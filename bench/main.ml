@@ -1,0 +1,27 @@
+(* Benchmark and experiment harness.
+
+     dune exec bench/main.exe              # every experiment, then perf
+     dune exec bench/main.exe e4           # one experiment
+     dune exec bench/main.exe experiments  # tables only
+     dune exec bench/main.exe perf         # micro-benchmarks only *)
+
+let usage () =
+  print_endline "usage: main.exe [e1..e11 | experiments | perf]";
+  print_endline "experiments:";
+  List.iter (fun (id, _) -> Printf.printf "  %s\n" id) Experiments.all
+
+let run_experiments () = List.iter (fun (_, f) -> f ()) Experiments.all
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] ->
+      run_experiments ();
+      Perf.run ()
+  | [ _; "experiments" ] -> run_experiments ()
+  | [ _; "perf" ] -> Perf.run ()
+  | [ _; id ] -> begin
+      match List.assoc_opt id Experiments.all with
+      | Some f -> f ()
+      | None -> usage (); exit 1
+    end
+  | _ -> usage (); exit 1

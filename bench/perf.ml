@@ -1,0 +1,159 @@
+(* Bechamel micro-benchmarks of the hot paths behind every experiment:
+   allocator arrival handling, the repack procedure, and the machine
+   substrate's data structures. One Test.make per reproduced table's
+   dominant cost. *)
+
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Load_map = Pmp_machine.Load_map
+module Task = Pmp_workload.Task
+module Sequence = Pmp_workload.Sequence
+module Event = Pmp_workload.Event
+module Allocator = Pmp_core.Allocator
+module Realloc = Pmp_core.Realloc
+open Bechamel
+open Toolkit
+
+let n = 1024
+let machine = Machine.create n
+
+(* replay a prebuilt churn trace through a fresh allocator *)
+let replay make_alloc events () =
+  let alloc : Allocator.t = make_alloc () in
+  Array.iter
+    (fun (ev : Event.t) ->
+      match ev with
+      | Arrive task -> ignore (alloc.Allocator.assign task)
+      | Depart id -> alloc.Allocator.remove id)
+    events
+
+let trace = Sequence.events (Workloads.churn ~steps:1_000 n)
+
+let repack_tasks =
+  List.init 2_000 (fun id -> Task.make ~id ~size:(1 lsl (id mod 9)))
+
+let bench_allocators =
+  [
+    Test.make ~name:"e3/e4 greedy: 1k churn events (N=1024)"
+      (Staged.stage (replay (fun () -> Pmp_core.Greedy.create machine) trace));
+    Test.make ~name:"e2 copies: 1k churn events (N=1024)"
+      (Staged.stage (replay (fun () -> Pmp_core.Copies.create machine) trace));
+    Test.make ~name:"e4/e8 periodic(d=2): 1k churn events (N=1024)"
+      (Staged.stage
+         (replay
+            (fun () ->
+              Pmp_core.Periodic.create ~force_copies:true machine
+                ~d:(Realloc.Budget 2))
+            trace));
+    Test.make ~name:"e2 optimal: 1k churn events (N=1024)"
+      (Staged.stage (replay (fun () -> Pmp_core.Optimal.create machine) trace));
+    Test.make ~name:"e6/e7 randomized: 1k churn events (N=1024)"
+      (Staged.stage
+         (replay
+            (fun () ->
+              Pmp_core.Randomized.create machine
+                ~rng:(Pmp_prng.Splitmix64.create 9))
+            trace));
+  ]
+
+let bench_substrate =
+  [
+    Test.make ~name:"A_R repack of 2k tasks (N=1024)"
+      (Staged.stage (fun () -> ignore (Pmp_core.Repack.pack machine repack_tasks)));
+    Test.make ~name:"load-map: add+min_max at order 0 (N=1024)"
+      (Staged.stage
+         (let lm = Load_map.create machine in
+          let i = ref 0 in
+          fun () ->
+            let sub = Sub.make machine ~order:0 ~index:(!i land (n - 1)) in
+            incr i;
+            Load_map.add lm sub 1;
+            ignore (Load_map.min_max_at_order lm 0);
+            Load_map.add lm sub (-1)));
+    Test.make ~name:"load-map: add+min_max at order 5 (N=1024)"
+      (Staged.stage
+         (let lm = Load_map.create machine in
+          let i = ref 0 in
+          fun () ->
+            let sub = Sub.make machine ~order:5 ~index:(!i land 31) in
+            incr i;
+            Load_map.add lm sub 1;
+            ignore (Load_map.min_max_at_order lm 5);
+            Load_map.add lm sub (-1)));
+    Test.make ~name:"buddy: alloc/free cycle (N=1024)"
+      (Staged.stage
+         (let b = Pmp_core.Buddy.create machine in
+          fun () ->
+            match Pmp_core.Buddy.alloc b ~order:3 with
+            | Some s -> Pmp_core.Buddy.free b s
+            | None -> assert false));
+    Test.make ~name:"σ_r generation (N=65536)"
+      (Staged.stage
+         (let g = Pmp_prng.Splitmix64.create 17 in
+          fun () ->
+            ignore (Pmp_adversary.Rand_adversary.generate g ~machine_size:65536)));
+    Test.make ~name:"e15 routing: 100-transfer congestion profile (N=1024)"
+      (Staged.stage
+         (let transfers =
+            List.init 100 (fun i ->
+                {
+                  Pmp_machine.Routing.src =
+                    Sub.make machine ~order:2 ~index:(i mod 64);
+                  dst = Sub.make machine ~order:2 ~index:((i * 7) mod 256);
+                  bytes = 4096;
+                })
+          in
+          fun () ->
+            ignore (Pmp_machine.Routing.congestion machine transfers)));
+    Test.make ~name:"e16 closed loop: 200 jobs on greedy (N=64)"
+      (Staged.stage
+         (let specs =
+            Pmp_sim.Closed_loop.poisson_specs
+              (Pmp_prng.Splitmix64.create 23)
+              ~machine_size:64 ~horizon:100.0 ~arrival_rate:2.0 ~mean_work:5.0
+              ~max_order:5 ~size_bias:0.5
+          in
+          let m64 = Machine.create 64 in
+          fun () ->
+            ignore (Pmp_sim.Closed_loop.run (Pmp_core.Greedy.create m64) specs)));
+  ]
+
+let run_and_print tests =
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let table = Pmp_util.Table.create ~title:"hot-path timings" [ "benchmark"; "time/run"; "r²" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols instance raw in
+          let nanos =
+            match Analyze.OLS.estimates est with
+            | Some (t :: _) -> t
+            | Some [] | None -> nan
+          in
+          let pretty =
+            if nanos >= 1e6 then Printf.sprintf "%.2f ms" (nanos /. 1e6)
+            else if nanos >= 1e3 then Printf.sprintf "%.2f us" (nanos /. 1e3)
+            else Printf.sprintf "%.0f ns" nanos
+          in
+          let r2 =
+            match Analyze.OLS.r_square est with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          Pmp_util.Table.add_row table [ name; pretty; r2 ])
+        results)
+    tests;
+  Pmp_util.Table.print table
+
+let run () =
+  print_endline "=== perf: Bechamel micro-benchmarks ===";
+  run_and_print bench_allocators;
+  print_newline ();
+  run_and_print bench_substrate;
+  print_newline ()

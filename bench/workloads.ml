@@ -1,0 +1,35 @@
+(* Seeded workload constructors shared by the experiment harness. All
+   randomness is pinned so every run of the harness prints the same
+   numbers. *)
+
+module Sm = Pmp_prng.Splitmix64
+module Generators = Pmp_workload.Generators
+module Sequence = Pmp_workload.Sequence
+
+let churn ?(seed = 42) ?(steps = 4_000) ?(target_util = 1.5) n =
+  let levels = Pmp_util.Pow2.ilog2 n in
+  Generators.churn (Sm.create seed) ~machine_size:n ~steps ~target_util
+    ~max_order:(max 0 (levels - 1))
+    ~size_bias:0.6
+
+let bursty ?(seed = 43) n =
+  Generators.bursty (Sm.create seed) ~machine_size:n ~sessions:30
+    ~session_tasks:50
+    ~max_order:(max 0 (Pmp_util.Pow2.ilog2 n - 1))
+
+let fragmenting ?(cycles = 6) n = Generators.sawtooth_cycles ~machine_size:n ~cycles
+
+let unit_flood n =
+  (* N unit arrivals, no departures: the binomial worst case for the
+     oblivious randomized allocator *)
+  let b = Sequence.Builder.create () in
+  for _ = 1 to n do
+    ignore (Sequence.Builder.arrive_fresh b ~size:1)
+  done;
+  Sequence.Builder.seal b
+
+(* fragmentation cycles followed by churn: the workload of the
+   migration-cost experiment *)
+let mixed_day ?(seed = 7) n =
+  Pmp_workload.Compose.concat
+    [ fragmenting ~cycles:8 n; churn ~seed ~steps:4_000 ~target_util:2.0 n ]

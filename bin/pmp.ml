@@ -1,0 +1,542 @@
+(* pmp — command-line driver for the partitionable-multiprocessor
+   allocation library.
+
+     pmp run       simulate one allocator over one workload
+     pmp sweep     sweep the reallocation parameter d over a workload
+     pmp adversary play the Theorem 4.3 adversary against an allocator
+     pmp gen       generate a workload trace file
+     pmp replay    run an allocator over a saved trace
+     pmp profile   describe a workload or trace
+     pmp bounds    print the paper's bounds for a machine size *)
+
+open Cmdliner
+
+module Machine = Pmp_machine.Machine
+module Sequence = Pmp_workload.Sequence
+module Trace = Pmp_workload.Trace
+module Builders = Pmp_cli.Builders
+module Allocator = Pmp_core.Allocator
+module Realloc = Pmp_core.Realloc
+module Bounds = Pmp_core.Bounds
+module Engine = Pmp_sim.Engine
+module Metrics = Pmp_sim.Metrics
+module Table = Pmp_util.Table
+
+(* ------------------------------------------------------------------ *)
+(* shared argument definitions                                         *)
+
+let machine_arg =
+  let doc = "Machine size N (a power of two)." in
+  Arg.(value & opt int 256 & info [ "m"; "machine" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for workloads and randomized allocators." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let steps_arg =
+  let doc = "Number of workload events to generate." in
+  Arg.(value & opt int 4000 & info [ "steps" ] ~docv:"K" ~doc)
+
+let check_arg =
+  let doc = "Run the engine in checked mode (validates every response)." in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let heatmap_arg =
+  let doc = "Also print an ASCII per-PE load heatmap over time." in
+  Arg.(value & flag & info [ "heatmap" ] ~doc)
+
+let d_arg =
+  let doc = "Reallocation parameter d (an integer, or 'inf')." in
+  Arg.(value & opt string "2" & info [ "d" ] ~docv:"D" ~doc)
+
+let alloc_arg =
+  let doc =
+    Printf.sprintf "Allocator: one of %s."
+      (String.concat ", " Builders.allocator_names)
+  in
+  Arg.(value & opt string "greedy" & info [ "a"; "alloc" ] ~docv:"ALGO" ~doc)
+
+let workload_arg =
+  let doc =
+    Printf.sprintf "Workload: one of %s."
+      (String.concat ", " Builders.workload_names)
+  in
+  Arg.(value & opt string "churn" & info [ "w"; "workload" ] ~docv:"KIND" ~doc)
+
+let topology_arg =
+  let doc =
+    "Topology for the migration-cost model: tree, hypercube, mesh, butterfly."
+  in
+  Arg.(value & opt string "tree" & info [ "topology" ] ~docv:"TOPO" ~doc)
+
+let ( let* ) = Result.bind
+
+let print_result (r : Engine.result) =
+  let s = Metrics.summarize r in
+  Printf.printf "allocator        : %s\n" r.Engine.allocator_name;
+  Printf.printf "machine          : %d PEs\n" r.Engine.machine_size;
+  Printf.printf "events           : %d\n" r.Engine.events;
+  Printf.printf "max load         : %d\n" r.Engine.max_load;
+  Printf.printf "optimal load L*  : %d\n" r.Engine.optimal_load;
+  Printf.printf "load / L*        : %.2f\n" r.Engine.ratio;
+  Printf.printf "max ratio (inst.): %.2f\n" s.Metrics.max_ratio;
+  Printf.printf "p99 load         : %.1f\n" s.Metrics.p99_load;
+  Printf.printf "reallocations    : %d\n" r.Engine.realloc_events;
+  Printf.printf "tasks moved      : %d\n" r.Engine.tasks_moved;
+  Printf.printf "migration traffic: %d PE-hop units\n" r.Engine.migration_traffic
+
+(* ------------------------------------------------------------------ *)
+(* subcommands                                                         *)
+
+let run_cmd =
+  let action machine_size alloc_name workload_name steps seed d_str check topo
+      heatmap =
+    let* machine = Builders.machine machine_size in
+    let* d = Builders.parse_d d_str in
+    let* alloc = Builders.allocator alloc_name machine ~d ~seed in
+    let* seq = Builders.workload workload_name ~machine_size ~steps ~seed in
+    let* topology = Builders.topology topo machine in
+    let cost = Pmp_sim.Cost.make topology in
+    let r = Engine.run ~check ~cost alloc seq in
+    print_result r;
+    if heatmap then begin
+      (* re-run a fresh allocator of the same kind for the picture *)
+      let* alloc2 = Builders.allocator alloc_name machine ~d ~seed in
+      print_newline ();
+      print_string (Pmp_sim.Heatmap.render (Pmp_sim.Heatmap.sample alloc2 seq));
+      Ok ()
+    end
+    else Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ machine_arg $ alloc_arg $ workload_arg $ steps_arg
+       $ seed_arg $ d_arg $ check_arg $ topology_arg $ heatmap_arg))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate one allocator over one workload.") term
+
+let csv_arg =
+  let doc = "Emit CSV instead of an aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let sweep_cmd =
+  let action machine_size workload_name steps seed check csv =
+    let* machine = Builders.machine machine_size in
+    let* seq = Builders.workload workload_name ~machine_size ~steps ~seed in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "d sweep: %s on N = %d (%d events, L* = %d)"
+             workload_name machine_size (Sequence.length seq)
+             (Sequence.optimal_load seq ~machine_size))
+        [ "d"; "max load"; "load/L*"; "reallocs"; "moved"; "upper bound" ]
+    in
+    let ds =
+      Realloc.Every
+      :: List.map (fun d -> Realloc.Budget d) [ 1; 2; 3; 4; 6; 8 ]
+      @ [ Realloc.Never ]
+    in
+    List.iter
+      (fun d ->
+        let alloc = Pmp_core.Periodic.create ~force_copies:true machine ~d in
+        let r = Engine.run ~check alloc seq in
+        Table.add_row table
+          [
+            Realloc.to_string d;
+            string_of_int r.Engine.max_load;
+            Table.fmt_ratio r.Engine.ratio;
+            string_of_int r.Engine.realloc_events;
+            string_of_int r.Engine.tasks_moved;
+            string_of_int (Bounds.det_upper_factor ~machine_size ~d);
+          ])
+      ds;
+    if csv then print_string (Table.to_csv table) else Table.print table;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ machine_arg $ workload_arg $ steps_arg $ seed_arg
+       $ check_arg $ csv_arg))
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Sweep the reallocation parameter d.") term
+
+(* An interactive (or piped) console over the Cluster facade:
+     submit <size> | finish <id> | stats | loads | quit *)
+let console_cmd =
+  let cap_arg =
+    let doc = "Admission capacity as a multiple of N (omit for the paper's real-time model)." in
+    Arg.(value & opt (some float) None & info [ "cap" ] ~docv:"X" ~doc)
+  in
+  let action machine_size alloc_name d_str cap =
+    let* _ = Builders.machine machine_size in
+    let* d = Builders.parse_d d_str in
+    let* policy =
+      match alloc_name with
+      | "greedy" -> Ok Pmp_cluster.Cluster.Greedy
+      | "copies" -> Ok Pmp_cluster.Cluster.Copies
+      | "optimal" -> Ok Pmp_cluster.Cluster.Optimal
+      | "periodic" -> Ok (Pmp_cluster.Cluster.Periodic d)
+      | "hybrid" -> Ok (Pmp_cluster.Cluster.Hybrid d)
+      | "randomized" -> Ok (Pmp_cluster.Cluster.Randomized 42)
+      | other ->
+          Error (`Msg (Printf.sprintf "console does not support allocator %S" other))
+    in
+    let* cluster =
+      Result.map_error
+        (fun e -> `Msg e)
+        (Pmp_cluster.Cluster.create ~machine_size ~policy ~admission_cap:cap ())
+    in
+    let print_stats () =
+      let s = Pmp_cluster.Cluster.stats cluster in
+      Printf.printf
+        "active=%d (size %d)  queued=%d  load=%d (peak %d, opt %d)  reallocs=%d moved=%d\n%!"
+        s.Pmp_cluster.Cluster.active_now s.Pmp_cluster.Cluster.active_size
+        s.Pmp_cluster.Cluster.queued_now s.Pmp_cluster.Cluster.max_load
+        s.Pmp_cluster.Cluster.peak_load s.Pmp_cluster.Cluster.optimal_now
+        s.Pmp_cluster.Cluster.reallocations s.Pmp_cluster.Cluster.tasks_migrated
+    in
+    let rec loop () =
+      match In_channel.input_line stdin with
+      | None -> Ok ()
+      | Some line -> begin
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "" ] -> loop ()
+          | [ "quit" ] | [ "exit" ] -> Ok ()
+          | [ "stats" ] -> print_stats (); loop ()
+          | [ "loads" ] ->
+              Array.iter
+                (fun l -> Printf.printf "%d " l)
+                (Pmp_cluster.Cluster.leaf_loads cluster);
+              print_newline ();
+              loop ()
+          | [ "submit"; size ] -> begin
+              match int_of_string_opt size with
+              | None -> Printf.printf "error: bad size %S\n%!" size; loop ()
+              | Some size -> begin
+                  match Pmp_cluster.Cluster.submit cluster ~size with
+                  | Ok (Pmp_cluster.Cluster.Placed (id, p)) ->
+                      Printf.printf "placed %d at %s\n%!" id
+                        (Format.asprintf "%a" Pmp_core.Placement.pp p);
+                      loop ()
+                  | Ok (Pmp_cluster.Cluster.Queued id) ->
+                      Printf.printf "queued %d\n%!" id;
+                      loop ()
+                  | Error e -> Printf.printf "error: %s\n%!" e; loop ()
+                end
+            end
+          | [ "finish"; id ] -> begin
+              match int_of_string_opt id with
+              | None -> Printf.printf "error: bad id %S\n%!" id; loop ()
+              | Some id -> begin
+                  match Pmp_cluster.Cluster.finish cluster id with
+                  | Ok () -> Printf.printf "finished %d\n%!" id; loop ()
+                  | Error e -> Printf.printf "error: %s\n%!" e; loop ()
+                end
+            end
+          | _ ->
+              Printf.printf "commands: submit <size> | finish <id> | stats | loads | quit\n%!";
+              loop ()
+        end
+    in
+    loop ()
+  in
+  let term =
+    Term.(
+      term_result (const action $ machine_arg $ alloc_arg $ d_arg $ cap_arg))
+  in
+  Cmd.v
+    (Cmd.info "console"
+       ~doc:"Drive a live cluster from stdin (submit/finish/stats).")
+    term
+
+let adversary_cmd =
+  let action machine_size alloc_name seed d_str =
+    let* machine = Builders.machine machine_size in
+    let* d = Builders.parse_d d_str in
+    let d_int =
+      match d with
+      | Realloc.Every -> 0
+      | Realloc.Budget b -> b
+      | Realloc.Never -> Machine.levels machine
+    in
+    let* alloc = Builders.allocator alloc_name machine ~d ~seed in
+    let outcome = Pmp_adversary.Det_adversary.run alloc ~d:d_int in
+    Printf.printf "victim        : %s\n" alloc.Allocator.name;
+    Printf.printf "phases        : %d\n"
+      outcome.Pmp_adversary.Det_adversary.phases_run;
+    Printf.printf "events        : %d\n"
+      (Sequence.length outcome.Pmp_adversary.Det_adversary.sequence);
+    Printf.printf "forced load   : %d\n"
+      outcome.Pmp_adversary.Det_adversary.max_load;
+    Printf.printf "optimal load  : %d\n"
+      outcome.Pmp_adversary.Det_adversary.optimal_load;
+    Printf.printf "theorem floor : %d\n"
+      (Pmp_adversary.Det_adversary.forced_factor ~machine_size ~d:d_int
+      * outcome.Pmp_adversary.Det_adversary.optimal_load);
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result (const action $ machine_arg $ alloc_arg $ seed_arg $ d_arg))
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:"Play the Theorem 4.3 adversary against an allocator.")
+    term
+
+let out_arg =
+  let doc = "Output trace file." in
+  Arg.(
+    value & opt string "workload.trace" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let gen_cmd =
+  let action machine_size workload_name steps seed out =
+    let* _machine = Builders.machine machine_size in
+    let* seq = Builders.workload workload_name ~machine_size ~steps ~seed in
+    Trace.save out seq;
+    Printf.printf "wrote %d events to %s (peak demand %d, L* = %d on N = %d)\n"
+      (Sequence.length seq) out
+      (Sequence.peak_active_size seq)
+      (Sequence.optimal_load seq ~machine_size)
+      machine_size;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ machine_arg $ workload_arg $ steps_arg $ seed_arg
+       $ out_arg))
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a workload trace file.") term
+
+let trace_pos =
+  let doc = "Trace file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+
+let replay_cmd =
+  let action machine_size alloc_name seed d_str check path =
+    let* machine = Builders.machine machine_size in
+    let* d = Builders.parse_d d_str in
+    let* alloc = Builders.allocator alloc_name machine ~d ~seed in
+    let* seq =
+      match Trace.load path with Ok s -> Ok s | Error e -> Error (`Msg e)
+    in
+    if not (Sequence.fits seq ~machine_size) then
+      Error (`Msg "trace contains tasks larger than the machine")
+    else begin
+      print_result (Engine.run ~check alloc seq);
+      Ok ()
+    end
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ machine_arg $ alloc_arg $ seed_arg $ d_arg $ check_arg
+       $ trace_pos))
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Run an allocator over a saved trace.") term
+
+let profile_cmd =
+  let workload_opt =
+    let doc = "Profile a generated workload instead of a trace file." in
+    Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"KIND" ~doc)
+  in
+  let trace_opt =
+    let doc = "Trace file to profile." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let action machine_size steps seed workload_name trace_path =
+    let* seq =
+      match (workload_name, trace_path) with
+      | Some name, None -> Builders.workload name ~machine_size ~steps ~seed
+      | None, Some path -> begin
+          match Trace.load path with Ok s -> Ok s | Error e -> Error (`Msg e)
+        end
+      | Some _, Some _ -> Error (`Msg "give either a workload or a trace, not both")
+      | None, None -> Error (`Msg "give a workload (-w) or a trace file")
+    in
+    let profile = Pmp_workload.Profile.analyze seq in
+    Table.print (Pmp_workload.Profile.to_table profile ~machine_size);
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ machine_arg $ steps_arg $ seed_arg $ workload_opt
+       $ trace_opt))
+  in
+  Cmd.v (Cmd.info "profile" ~doc:"Describe a workload or trace.") term
+
+(* Render the d-sweep frontier (max load and migration traffic vs d)
+   or a single run's load trajectory as an SVG chart. *)
+let chart_cmd =
+  let out_arg =
+    let doc = "Output SVG file." in
+    Arg.(value & opt string "chart.svg" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let kind_arg =
+    let doc =
+      "What to draw: 'frontier' (d sweep), 'trajectory' (one run), or \
+       'heatmap' (per-PE load grid)."
+    in
+    Arg.(value & opt string "frontier" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let action machine_size alloc_name workload_name steps seed d_str out kind =
+    let* machine = Builders.machine machine_size in
+    let* seq = Builders.workload workload_name ~machine_size ~steps ~seed in
+    match kind with
+    | "frontier" ->
+        let ds = [ 0; 1; 2; 3; 4; 6; 8 ] in
+        let runs =
+          List.map
+            (fun d_raw ->
+              let d = Realloc.make_budget d_raw in
+              let topology =
+                Pmp_machine.Topology.create Pmp_machine.Topology.Tree machine
+              in
+              let cost = Pmp_sim.Cost.make ~bytes_per_pe:4096 topology in
+              let alloc = Pmp_core.Periodic.create ~force_copies:true machine ~d in
+              (float_of_int d_raw, Engine.run ~cost alloc seq))
+            ds
+        in
+        let load_series =
+          {
+            Pmp_report.Chart.label = "max load";
+            points = List.map (fun (d, r) -> (d, float_of_int r.Engine.max_load)) runs;
+            color = "#d62728";
+            step = false;
+          }
+        in
+        let traffic_series =
+          let peak =
+            List.fold_left
+              (fun acc (_, r) -> max acc r.Engine.migration_traffic)
+              1 runs
+          in
+          let top =
+            List.fold_left
+              (fun acc (_, r) -> max acc r.Engine.max_load)
+              1 runs
+          in
+          {
+            Pmp_report.Chart.label = "traffic (scaled)";
+            points =
+              List.map
+                (fun (d, r) ->
+                  ( d,
+                    float_of_int r.Engine.migration_traffic
+                    /. float_of_int peak *. float_of_int top ))
+                runs;
+            color = "#1f77b4";
+            step = false;
+          }
+        in
+        Pmp_report.Chart.save
+          ~title:
+            (Printf.sprintf "load/traffic frontier: %s on N=%d" workload_name
+               machine_size)
+          ~x_label:"reallocation parameter d" ~y_label:"max load" ~path:out
+          [ load_series; traffic_series ];
+        Printf.printf "wrote %s\n" out;
+        Ok ()
+    | "trajectory" ->
+        let* d = Builders.parse_d d_str in
+        let* alloc = Builders.allocator alloc_name machine ~d ~seed in
+        let r = Engine.run alloc seq in
+        let to_points arr =
+          Array.to_list (Array.mapi (fun i v -> (float_of_int i, float_of_int v)) arr)
+        in
+        Pmp_report.Chart.save
+          ~title:
+            (Printf.sprintf "load trajectory: %s / %s on N=%d"
+               r.Engine.allocator_name workload_name machine_size)
+          ~x_label:"event" ~y_label:"machine load" ~path:out
+          [
+            {
+              Pmp_report.Chart.label = "load";
+              points = to_points r.Engine.load_trajectory;
+              color = "#d62728";
+              step = true;
+            };
+            {
+              Pmp_report.Chart.label = "optimum";
+              points = to_points r.Engine.opt_trajectory;
+              color = "#2ca02c";
+              step = true;
+            };
+          ];
+        Printf.printf "wrote %s\n" out;
+        Ok ()
+    | "heatmap" ->
+        let* d = Builders.parse_d d_str in
+        let* alloc = Builders.allocator alloc_name machine ~d ~seed in
+        let hm = Pmp_sim.Heatmap.sample ~rows:48 ~cols:128 alloc seq in
+        Pmp_report.Heatgrid.save ~path:out
+          (Pmp_report.Heatgrid.of_heatmap
+             ~title:
+               (Printf.sprintf "per-PE load: %s / %s on N=%d" alloc_name
+                  workload_name machine_size)
+             hm);
+        Printf.printf "wrote %s\n" out;
+        Ok ()
+    | other -> Error (`Msg (Printf.sprintf "unknown chart kind %S" other))
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ machine_arg $ alloc_arg $ workload_arg $ steps_arg
+       $ seed_arg $ d_arg $ out_arg $ kind_arg))
+  in
+  Cmd.v (Cmd.info "chart" ~doc:"Render experiment curves as SVG.") term
+
+let bounds_cmd =
+  let action machine_size =
+    let* _machine = Builders.machine machine_size in
+    Printf.printf "machine size N                 : %d (log N = %d)\n"
+      machine_size
+      (Pmp_util.Pow2.ilog2 machine_size);
+    Printf.printf "greedy factor (Thm 4.1)        : %d\n"
+      (Bounds.greedy_upper_factor ~machine_size);
+    let table =
+      Table.create ~title:"deterministic d-reallocation factors (Thms 4.2-4.3)"
+        [ "d"; "lower"; "upper" ]
+    in
+    List.iter
+      (fun d_raw ->
+        let d = Realloc.make_budget d_raw in
+        Table.add_row table
+          [
+            string_of_int d_raw;
+            string_of_int (Bounds.det_lower_factor ~machine_size ~d);
+            string_of_int (Bounds.det_upper_factor ~machine_size ~d);
+          ])
+      [ 0; 1; 2; 3; 4; 6; 8; 12 ];
+    Table.print table;
+    if machine_size >= 4 then begin
+      Printf.printf "randomized upper (Thm 5.1)     : %.3f\n"
+        (Bounds.rand_upper_factor ~machine_size);
+      Printf.printf
+        "randomized lower (Thm 5.2)     : %.3f (stated), %.3f (constructive)\n"
+        (Bounds.rand_lower_factor ~machine_size)
+        (Bounds.rand_lower_constructive ~machine_size)
+    end;
+    Ok ()
+  in
+  let term = Term.(term_result (const action $ machine_arg)) in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the paper's bounds for a machine size.")
+    term
+
+let () =
+  let doc = "Processor allocation in partitionable multiprocessors (SPAA'96)." in
+  let info = Cmd.info "pmp" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        run_cmd; sweep_cmd; adversary_cmd; gen_cmd; replay_cmd; profile_cmd;
+        console_cmd; chart_cmd; bounds_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,155 @@
+(* Render the repository's headline figures as standalone SVG files:
+
+     charts/tradeoff.svg    E4's measured staircase vs the paper's bounds
+     charts/frontier.svg    E8's load/traffic frontier over d
+     charts/trajectory.svg  greedy vs optimal load over a fragmenting day
+     charts/choices.svg     E6's one-choice / two-choice / greedy growth
+
+     dune exec examples/charts_gallery.exe [output-dir] *)
+
+module Machine = Pmp_machine.Machine
+module Sm = Pmp_prng.Splitmix64
+module Generators = Pmp_workload.Generators
+module Realloc = Pmp_core.Realloc
+module Bounds = Pmp_core.Bounds
+module Det = Pmp_adversary.Det_adversary
+module Engine = Pmp_sim.Engine
+module Chart = Pmp_report.Chart
+
+let colors = Chart.default_colors
+let color i = List.nth colors (i mod List.length colors)
+
+let series ?(step = false) i label points =
+  { Chart.label; points; color = color i; step }
+
+let tradeoff_chart dir =
+  let levels = 8 in
+  let machine = Machine.of_levels levels in
+  let n = Machine.size machine in
+  let ds = [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let fd = List.map float_of_int ds in
+  let measured =
+    List.map
+      (fun d ->
+        if d = 0 then 1.0
+        else begin
+          let alloc = Pmp_core.Periodic.create machine ~d:(Realloc.Budget d) in
+          let o = Det.run alloc ~d in
+          float_of_int o.Det.max_load /. float_of_int o.Det.optimal_load
+        end)
+      ds
+  in
+  let upper =
+    List.map
+      (fun d ->
+        float_of_int
+          (Bounds.det_upper_factor ~machine_size:n ~d:(Realloc.make_budget d)))
+      ds
+  in
+  let lower =
+    List.map
+      (fun d ->
+        float_of_int
+          (Bounds.det_lower_factor ~machine_size:n ~d:(Realloc.make_budget d)))
+      ds
+  in
+  Chart.save
+    ~title:(Printf.sprintf "the d-reallocation tradeoff (N = %d)" n)
+    ~x_label:"reallocation parameter d" ~y_label:"load / L*"
+    ~path:(Filename.concat dir "tradeoff.svg")
+    [
+      series 0 "measured (adversary)" (List.combine fd measured);
+      series 1 "upper bound (Thm 4.2)" (List.combine fd upper);
+      series 2 "lower bound (Thm 4.3)" (List.combine fd lower);
+    ]
+
+let frontier_chart dir =
+  let n = 128 in
+  let machine = Machine.create n in
+  let seq = Generators.sawtooth_cycles ~machine_size:n ~cycles:8 in
+  let topology = Pmp_machine.Topology.create Pmp_machine.Topology.Tree machine in
+  let cost = Pmp_sim.Cost.make ~bytes_per_pe:4096 topology in
+  let ds = [ 0; 1; 2; 3; 4; 6; 8 ] in
+  let runs =
+    List.map
+      (fun d ->
+        let alloc =
+          Pmp_core.Periodic.create ~force_copies:true machine
+            ~d:(Realloc.make_budget d)
+        in
+        (float_of_int d, Engine.run ~cost alloc seq))
+      ds
+  in
+  Chart.save ~title:"load vs migration traffic over d (fragmenting day)"
+    ~x_label:"reallocation parameter d" ~y_label:"max load / traffic (norm.)"
+    ~path:(Filename.concat dir "frontier.svg")
+    [
+      series 0 "max load"
+        (List.map (fun (d, r) -> (d, float_of_int r.Engine.max_load)) runs);
+      (let peak =
+         List.fold_left (fun acc (_, r) -> max acc r.Engine.migration_traffic) 1 runs
+       in
+       series 1 "traffic (norm. to max load axis)"
+         (List.map
+            (fun (d, r) ->
+              (d, 7.0 *. float_of_int r.Engine.migration_traffic /. float_of_int peak))
+            runs));
+    ]
+
+let trajectory_chart dir =
+  let n = 64 in
+  let machine () = Machine.create n in
+  let seq = Generators.sawtooth_cycles ~machine_size:n ~cycles:3 in
+  let to_points arr =
+    Array.to_list (Array.mapi (fun i v -> (float_of_int i, float_of_int v)) arr)
+  in
+  let run alloc = Engine.run alloc seq in
+  let greedy = run (Pmp_core.Greedy.create (machine ())) in
+  let optimal = run (Pmp_core.Optimal.create (machine ())) in
+  Chart.save ~title:"machine load over a fragmenting day (N = 64)"
+    ~x_label:"event" ~y_label:"max PE load"
+    ~path:(Filename.concat dir "trajectory.svg")
+    [
+      { (series 0 "greedy" (to_points greedy.Engine.load_trajectory)) with Chart.step = true };
+      { (series 2 "optimal (A_C)" (to_points optimal.Engine.load_trajectory)) with Chart.step = true };
+    ]
+
+let choices_chart dir =
+  let sizes = [ 16; 256; 4096; 65536 ] in
+  let mean n make =
+    let machine = Machine.create n in
+    let b = Pmp_workload.Sequence.Builder.create () in
+    for _ = 1 to n do
+      ignore (Pmp_workload.Sequence.Builder.arrive_fresh b ~size:1)
+    done;
+    let seq = Pmp_workload.Sequence.Builder.seal b in
+    let total = ref 0 in
+    for seed = 1 to 15 do
+      total := !total + (Engine.run (make machine seed) seq).Engine.max_load
+    done;
+    float_of_int !total /. 15.0
+  in
+  let curve make =
+    List.map
+      (fun n -> (float_of_int (Pmp_util.Pow2.ilog2 n), mean n make))
+      sizes
+  in
+  Chart.save ~title:"unit flood: max load vs machine size (L* = 1)"
+    ~x_label:"log2 N" ~y_label:"mean max load (15 seeds)"
+    ~path:(Filename.concat dir "choices.svg")
+    [
+      series 0 "one random choice"
+        (curve (fun m s -> Pmp_core.Randomized.create m ~rng:(Sm.create s)));
+      series 1 "two choices (ref [2])"
+        (curve (fun m s -> Pmp_core.Baselines.two_choice m ~rng:(Sm.create (s + 50))));
+      series 2 "greedy" (curve (fun m _ -> Pmp_core.Greedy.create m));
+    ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "charts" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  tradeoff_chart dir;
+  frontier_chart dir;
+  trajectory_chart dir;
+  choices_chart dir;
+  Printf.printf "wrote %s/{tradeoff,frontier,trajectory,choices}.svg\n" dir

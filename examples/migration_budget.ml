@@ -1,0 +1,85 @@
+(* Choosing the reallocation parameter under a migration budget.
+
+   An operator who can afford only so much checkpoint traffic per day
+   wants the smallest max-load achievable within that budget. This
+   example sweeps d over one day of churn, prints the load/traffic
+   frontier, and picks the best d for a given budget.
+
+     dune exec examples/migration_budget.exe [budget] *)
+
+module Machine = Pmp_machine.Machine
+module Sm = Pmp_prng.Splitmix64
+module Generators = Pmp_workload.Generators
+module Engine = Pmp_sim.Engine
+module Realloc = Pmp_core.Realloc
+module Table = Pmp_util.Table
+
+let n = 128
+let bytes_per_pe = 4096 (* 4 KiB of checkpoint state per occupied PE *)
+
+let () =
+  let budget =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1)
+    else 200 * 1024 * 1024
+  in
+  let machine = Machine.create n in
+  let topology = Pmp_machine.Topology.create Pmp_machine.Topology.Tree machine in
+  let cost = Pmp_sim.Cost.make ~bytes_per_pe topology in
+  (* fragmentation-heavy day: sawtooth churn cycles followed by random
+     traffic (Compose renumbers the ids) *)
+  let g = Sm.create 7 in
+  let seq =
+    Pmp_workload.Compose.concat
+      [
+        Generators.sawtooth_cycles ~machine_size:n ~cycles:8;
+        Generators.churn g ~machine_size:n ~steps:4_000 ~target_util:2.0
+          ~max_order:5 ~size_bias:0.4;
+      ]
+  in
+  let sweep =
+    Realloc.Every
+    :: List.map (fun d -> Realloc.Budget d) [ 1; 2; 3; 4; 6; 8 ]
+    @ [ Realloc.Never ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "Load/traffic frontier, N = %d, %d events, 4 KiB/PE checkpoints"
+           n
+           (Pmp_workload.Sequence.length seq))
+      [ "d"; "max load"; "load/L*"; "reallocs"; "tasks moved"; "traffic (MiB)" ]
+  in
+  let frontier =
+    List.map
+      (fun d ->
+        let alloc = Pmp_core.Periodic.create ~force_copies:true machine ~d in
+        let r = Engine.run ~cost alloc seq in
+        let mib = float_of_int r.Engine.migration_traffic /. 1024.0 /. 1024.0 in
+        Table.add_row table
+          [
+            Realloc.to_string d;
+            string_of_int r.Engine.max_load;
+            Table.fmt_ratio r.Engine.ratio;
+            string_of_int r.Engine.realloc_events;
+            string_of_int r.Engine.tasks_moved;
+            Table.fmt_float mib;
+          ];
+        (d, r))
+      sweep
+  in
+  Table.print table;
+  print_newline ();
+  let affordable =
+    List.filter (fun (_, r) -> r.Engine.migration_traffic <= budget) frontier
+  in
+  match
+    List.sort
+      (fun (_, a) (_, b) -> compare a.Engine.max_load b.Engine.max_load)
+      affordable
+  with
+  | (best_d, best_r) :: _ ->
+      Printf.printf
+        "Under a %.0f MiB budget the best choice is d = %s: max load %d (%.2fx L*)\n"
+        (float_of_int budget /. 1024.0 /. 1024.0)
+        (Realloc.to_string best_d) best_r.Engine.max_load best_r.Engine.ratio
+  | [] -> print_endline "No reallocation policy fits that budget; use d = inf."

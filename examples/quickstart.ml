@@ -1,0 +1,36 @@
+(* Quickstart: allocate the paper's Figure-1 task sequence on a 4-PE
+   tree machine with three allocators and watch the loads diverge.
+
+     dune exec examples/quickstart.exe *)
+
+module Machine = Pmp_machine.Machine
+module Generators = Pmp_workload.Generators
+module Engine = Pmp_sim.Engine
+
+let () =
+  let machine = Machine.create 4 in
+  let sequence = Generators.figure1 () in
+  Printf.printf
+    "The Figure-1 sequence on a 4-PE tree machine:\n\
+    \  four unit tasks arrive, two depart, then a size-2 task arrives.\n\
+     Optimal load L* = %d\n\n"
+    (Pmp_workload.Sequence.optimal_load sequence ~machine_size:4);
+  let contenders =
+    [
+      Pmp_core.Greedy.create machine;
+      Pmp_core.Periodic.create machine ~d:(Pmp_core.Realloc.Budget 1);
+      Pmp_core.Optimal.create machine;
+    ]
+  in
+  List.iter
+    (fun alloc ->
+      let name = alloc.Pmp_core.Allocator.name in
+      let r = Engine.run ~check:true alloc sequence in
+      Printf.printf "%-18s max load %d   (reallocations: %d, tasks moved: %d)\n"
+        name r.Engine.max_load r.Engine.realloc_events r.Engine.tasks_moved)
+    contenders;
+  print_newline ();
+  print_endline
+    "Greedy pays load 2 because it cannot undo fragmentation; one\n\
+     reallocation (d = 1) is already enough to stay optimal on this\n\
+     sequence — the tradeoff the paper quantifies."

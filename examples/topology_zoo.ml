@@ -1,0 +1,68 @@
+(* The paper's generality claim: the allocation algorithms apply to any
+   hierarchically decomposable machine — tree, hypercube, mesh,
+   butterfly — because buddy addressing names a legal submachine in
+   each. What changes between topologies is the embedding, hence the
+   distance checkpoints travel during reallocation. This example runs
+   the same d = 2 policy on the same workload under each topology's
+   cost model and compares the traffic.
+
+     dune exec examples/topology_zoo.exe *)
+
+module Machine = Pmp_machine.Machine
+module Topology = Pmp_machine.Topology
+module Sm = Pmp_prng.Splitmix64
+module Generators = Pmp_workload.Generators
+module Engine = Pmp_sim.Engine
+module Realloc = Pmp_core.Realloc
+module Table = Pmp_util.Table
+
+let n = 256
+
+let () =
+  let machine = Machine.create n in
+  let g = Sm.create 99 in
+  let seq =
+    Generators.bursty g ~machine_size:n ~sessions:40 ~session_tasks:60 ~max_order:6
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Same allocation (A_M, d=2), different embeddings — N = %d, %d events"
+           n
+           (Pmp_workload.Sequence.length seq))
+      [ "topology"; "max load"; "reallocs"; "tasks moved"; "traffic (PE-hops)";
+        "diameter (hops)" ]
+  in
+  List.iter
+    (fun kind ->
+      let topology = Topology.create kind machine in
+      let cost = Pmp_sim.Cost.make topology in
+      let alloc =
+        Pmp_core.Periodic.create ~force_copies:true machine ~d:(Realloc.Budget 2)
+      in
+      let r = Engine.run ~cost alloc seq in
+      let diameter =
+        let d = ref 0 in
+        for i = 0 to n - 1 do
+          d := max !d (Topology.pe_hops topology 0 i)
+        done;
+        !d
+      in
+      Table.add_row table
+        [
+          Topology.kind_name kind;
+          string_of_int r.Engine.max_load;
+          string_of_int r.Engine.realloc_events;
+          string_of_int r.Engine.tasks_moved;
+          string_of_int r.Engine.migration_traffic;
+          string_of_int diameter;
+        ])
+    Topology.all_kinds;
+  Table.print table;
+  print_newline ();
+  print_endline
+    "Loads and reallocation counts are identical — the algorithm only\n\
+     sees the hierarchical decomposition. Traffic differs because a\n\
+     hypercube hop count (Hamming) or mesh hop count (Manhattan over\n\
+     the Z-order embedding) prices the same migration differently."

@@ -1,0 +1,84 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Task = Pmp_workload.Task
+module Sequence = Pmp_workload.Sequence
+module Allocator = Pmp_core.Allocator
+module Mirror = Pmp_core.Mirror
+
+type outcome = {
+  sequence : Sequence.t;
+  max_load : int;
+  optimal_load : int;
+  phases_run : int;
+  potential_trace : (int * int) list;
+}
+
+let forced_factor ~machine_size ~d =
+  let p = min d (Pmp_util.Pow2.ilog2 machine_size) in
+  (p + 2) / 2 (* = ceil ((p + 1) / 2) *)
+
+let run (alloc : Allocator.t) ~d =
+  if d < 0 then invalid_arg "Det_adversary.run: negative d";
+  let m = alloc.machine in
+  let n = Machine.size m and levels = Machine.levels m in
+  let p = min d levels in
+  let mirror = Mirror.create m in
+  let b = Sequence.Builder.create () in
+  let max_seen = ref 0 in
+  let note () = max_seen := max !max_seen (Mirror.max_load mirror) in
+  let arrive size =
+    let task = Sequence.Builder.arrive_fresh b ~size in
+    let resp = alloc.assign task in
+    Mirror.apply_assign mirror task resp;
+    note ()
+  in
+  let depart (task : Task.t) =
+    Sequence.Builder.depart b task.id;
+    alloc.remove task.id;
+    Mirror.apply_remove mirror task.id
+  in
+  (* phase-end potential P(T, i) = sum over order-i submachines of
+     [2^i * l(T_i) - L(T_i)], the fragmentation measure of Lemma 3 *)
+  let potential i =
+    List.fold_left
+      (fun acc sub ->
+        acc
+        + (Sub.size sub * Mirror.max_load_in mirror sub)
+        - Mirror.assigned_size_in mirror sub)
+      0
+      (Sub.all_at_order m i)
+  in
+  let trace = ref [] in
+  (* phase 0: flood with N unit tasks *)
+  for _ = 1 to n do
+    arrive 1
+  done;
+  trace := (0, potential 0) :: !trace;
+  for i = 1 to p - 1 do
+    let phase_size = 1 lsl i in
+    (* (1) in each order-i submachine, depart the lower-potential half *)
+    List.iter
+      (fun sub ->
+        let q half =
+          (phase_size * Mirror.max_load_in mirror half)
+          - Mirror.assigned_size_in mirror half
+        in
+        let left = Sub.left_half sub and right = Sub.right_half sub in
+        let victim_half = if q left > q right then right else left in
+        List.iter depart (Mirror.tasks_inside mirror victim_half))
+      (Sub.all_at_order m i);
+    (* (2) refill the freed capacity with size-2^i tasks *)
+    let s = Mirror.active_size mirror in
+    for _ = 1 to (n - s) / phase_size do
+      arrive phase_size
+    done;
+    trace := (i, potential i) :: !trace
+  done;
+  let sequence = Sequence.Builder.seal b in
+  {
+    sequence;
+    max_load = !max_seen;
+    optimal_load = Sequence.optimal_load sequence ~machine_size:n;
+    phases_run = p;
+    potential_trace = List.rev !trace;
+  }

@@ -1,0 +1,38 @@
+(** The Theorem 4.3 adversary: an adaptive task sequence that forces
+    any deterministic d-reallocation algorithm to load at least
+    [ceil ((min {d, log N} + 1) / 2)] times optimal.
+
+    The construction runs [p = min {d, log N}] phases. Phase 0 floods
+    the machine with [N] unit tasks. Phase [i] then plays the potential
+    game: for every size-[2{^i}] submachine it compares the
+    fragmentation potential [Q = 2{^i} l - L] of its two halves (where
+    [l] is the half's max PE load and [L] the size of active tasks on
+    it), departs every task on the {e lower}-potential half — wiping
+    work while preserving the imbalance witnessed by the other half —
+    and then refills the freed capacity with [floor ((N - S) / 2^i)]
+    tasks of size [2{^i}]. Total arrivals stay within [p * N <= d * N],
+    so the algorithm's reallocation budget never opens.
+
+    The adversary is adaptive: it inspects the victim's actual
+    placements (through a {!Pmp_core.Mirror}) before choosing each
+    departure wave. *)
+
+type outcome = {
+  sequence : Pmp_workload.Sequence.t;  (** the constructed σ *)
+  max_load : int;  (** highest machine load the victim ever reached *)
+  optimal_load : int;  (** [L*] of the constructed sequence *)
+  phases_run : int;
+  potential_trace : (int * int) list;
+      (** per phase: (phase index, machine potential [P(T,i)] after the
+          phase) — the quantity Lemma 3 proves grows by
+          [(N - 2{^(i-1)}) / 2] per phase. *)
+}
+
+val run : Pmp_core.Allocator.t -> d:int -> outcome
+(** Play the construction against a fresh allocator. [d >= 0] is the
+    victim's reallocation parameter (it determines the number of
+    phases); pass [log2 N] or more for no-reallocation victims.
+    @raise Invalid_argument on negative [d]. *)
+
+val forced_factor : machine_size:int -> d:int -> int
+(** The bound the theorem guarantees: [ceil ((min {d, log N} + 1)/2)]. *)

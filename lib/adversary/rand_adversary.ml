@@ -1,0 +1,104 @@
+module Sm = Pmp_prng.Splitmix64
+module Sequence = Pmp_workload.Sequence
+
+let log_n ~machine_size = Pmp_util.Pow2.ilog2 machine_size
+
+let loglog_n ~machine_size =
+  let n = log_n ~machine_size in
+  if n < 2 then invalid_arg "Rand_adversary: machine too small";
+  log (float_of_int n) /. log 2.0
+
+let phases ~machine_size =
+  let n = float_of_int (log_n ~machine_size) in
+  max 1 (int_of_float (floor (n /. (2.0 *. loglog_n ~machine_size))))
+
+let exact_phase_size ~machine_size i =
+  let logn = log_n ~machine_size in
+  let rec pow acc k = if k = 0 then acc else pow (acc * logn) (k - 1) in
+  pow 1 i
+
+let phase_task_size ~machine_size i =
+  let exact = exact_phase_size ~machine_size i in
+  min machine_size (Pmp_util.Pow2.round_nearest_pow2 exact)
+
+let sizes_exact ~machine_size =
+  let k = phases ~machine_size in
+  let rec check i =
+    i >= k
+    || Pmp_util.Pow2.is_pow2 (exact_phase_size ~machine_size i)
+       && exact_phase_size ~machine_size i <= machine_size
+       && check (i + 1)
+  in
+  check 0
+
+let generate g ~machine_size =
+  let logn = log_n ~machine_size in
+  let b = Sequence.Builder.create () in
+  let depart_prob = 1.0 -. (1.0 /. float_of_int logn) in
+  for i = 0 to phases ~machine_size - 1 do
+    let size = phase_task_size ~machine_size i in
+    let count = machine_size / (3 * size) in
+    let ids =
+      List.init (max 1 count) (fun _ ->
+          (Sequence.Builder.arrive_fresh b ~size).Pmp_workload.Task.id)
+    in
+    List.iter
+      (fun id -> if Sm.bernoulli g depart_prob then Sequence.Builder.depart b id)
+      ids
+  done;
+  Sequence.Builder.seal b
+
+type outcome = {
+  sequence : Sequence.t;
+  max_load : int;
+  optimal_load : int;
+  phase_potentials : (int * int) list;
+}
+
+let run g (alloc : Pmp_core.Allocator.t) =
+  let machine = alloc.Pmp_core.Allocator.machine in
+  let machine_size = Pmp_machine.Machine.size machine in
+  let b = Sequence.Builder.create () in
+  let mirror = Pmp_core.Mirror.create machine in
+  let logn = log_n ~machine_size in
+  let depart_prob = 1.0 -. (1.0 /. float_of_int logn) in
+  let max_seen = ref 0 in
+  let potentials = ref [] in
+  (* P'(T, i): sum over the size-(log^i N) submachines of their max PE
+     load times their size *)
+  let potential size =
+    let order = Pmp_util.Pow2.ilog2 size in
+    List.fold_left
+      (fun acc sub -> acc + (size * Pmp_core.Mirror.max_load_in mirror sub))
+      0
+      (Pmp_machine.Submachine.all_at_order machine order)
+  in
+  for i = 0 to phases ~machine_size - 1 do
+    let size = phase_task_size ~machine_size i in
+    potentials := (i, potential size) :: !potentials;
+    let count = max 1 (machine_size / (3 * size)) in
+    let tasks =
+      List.init count (fun _ -> Sequence.Builder.arrive_fresh b ~size)
+    in
+    List.iter
+      (fun task ->
+        let resp = alloc.Pmp_core.Allocator.assign task in
+        Pmp_core.Mirror.apply_assign mirror task resp;
+        max_seen := max !max_seen (Pmp_core.Mirror.max_load mirror))
+      tasks;
+    List.iter
+      (fun (task : Pmp_workload.Task.t) ->
+        if Sm.bernoulli g depart_prob then begin
+          Sequence.Builder.depart b task.id;
+          alloc.Pmp_core.Allocator.remove task.id;
+          Pmp_core.Mirror.apply_remove mirror task.id
+        end)
+      tasks
+  done;
+  let sequence = Sequence.Builder.seal b in
+  {
+    sequence;
+    max_load = !max_seen;
+    optimal_load = Sequence.optimal_load sequence ~machine_size;
+    phase_potentials = List.rev !potentials;
+  }

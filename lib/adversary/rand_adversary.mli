@@ -1,0 +1,51 @@
+(** The Theorem 5.2 random task sequence [σ_r].
+
+    Unlike the deterministic adversary, [σ_r] is {e oblivious}: it is
+    drawn without looking at the victim, and Yao-style reasoning turns
+    "every algorithm does badly in expectation on [σ_r]" into "for
+    every randomized algorithm some fixed sequence is bad". The
+    sequence runs [log N / (2 log log N)] phases; in phase [i],
+    [N / (3 log^i N)] tasks of size [log^i N] arrive and each departs
+    immediately with probability [1 - 1/log N]. With high probability
+    the peak active size stays at most [N] (so [L* = 1]) while the
+    surviving tasks scatter enough to force load
+    [(log N / (240 log log N))^{1/3}] on any no-reallocation victim.
+
+    Task sizes must be powers of two; [log^i N] is exact when [log N]
+    is itself a power of two (machines of size [2^(2^k)]), and is
+    rounded to the nearest power of two otherwise — the experiments
+    report which regime they ran in. *)
+
+val phases : machine_size:int -> int
+(** [floor (log N / (2 log log N))], at least 1. *)
+
+val phase_task_size : machine_size:int -> int -> int
+(** Size used in phase [i]: [log^i N] rounded to the nearest power of
+    two and capped at the machine size. *)
+
+val sizes_exact : machine_size:int -> bool
+(** Whether every phase size is exactly [log^i N] (no rounding). *)
+
+val generate :
+  Pmp_prng.Splitmix64.t -> machine_size:int -> Pmp_workload.Sequence.t
+(** Draw one [σ_r]. Departures are interleaved right after each
+    phase's arrivals, as in the proof. *)
+
+type outcome = {
+  sequence : Pmp_workload.Sequence.t;
+  max_load : int;
+  optimal_load : int;
+  phase_potentials : (int * int) list;
+      (** per phase [i]: the Lemma 6 potential
+          [P'(T, i) = Σ over size-(log^i N) submachines of
+          l(T'_i) * log^i N] measured at the phase boundary — the
+          quantity the proof shows grows by [N/(120 ℓ²)] per phase
+          w.h.p. against any victim whose load stays below [ℓ]. *)
+}
+
+val run :
+  Pmp_prng.Splitmix64.t -> Pmp_core.Allocator.t -> outcome
+(** Draw a fresh [σ_r] for the victim's machine and play it, tracking
+    the per-phase potential through an observer
+    {!Pmp_core.Mirror}. (The sequence itself is oblivious — the
+    victim's behaviour only affects the measurements.) *)

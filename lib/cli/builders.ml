@@ -1,0 +1,93 @@
+module Machine = Pmp_machine.Machine
+module Topology = Pmp_machine.Topology
+module Sm = Pmp_prng.Splitmix64
+module Generators = Pmp_workload.Generators
+module Realloc = Pmp_core.Realloc
+
+let parse_d s =
+  match String.lowercase_ascii s with
+  | "inf" | "never" -> Ok Realloc.Never
+  | _ -> begin
+      match int_of_string_opt s with
+      | Some v when v >= 0 -> Ok (Realloc.make_budget v)
+      | Some _ | None -> Error (`Msg (Printf.sprintf "bad d value %S" s))
+    end
+
+let machine n =
+  if Pmp_util.Pow2.is_pow2 n then Ok (Machine.create n)
+  else Error (`Msg "machine size must be a positive power of two")
+
+let allocator_names =
+  [
+    "greedy"; "copies"; "copies-bestfit"; "optimal"; "periodic"; "hybrid";
+    "randomized";
+    "rand-periodic"; "two-choice"; "greedy-rightmost"; "greedy-random-tie";
+    "leftmost-always"; "round-robin"; "worst-fit";
+  ]
+
+let allocator name m ~d ~seed =
+  match name with
+  | "greedy" -> Ok (Pmp_core.Greedy.create m)
+  | "copies" -> Ok (Pmp_core.Copies.create m)
+  | "copies-bestfit" ->
+      Ok (Pmp_core.Copies.create ~fit:Pmp_core.Copystack.Best_fit m)
+  | "optimal" -> Ok (Pmp_core.Optimal.create m)
+  | "periodic" -> Ok (Pmp_core.Periodic.create m ~d)
+  | "hybrid" -> Ok (Pmp_core.Hybrid.create m ~d)
+  | "randomized" ->
+      Ok (Pmp_core.Randomized.create m ~rng:(Sm.create (seed + 1)))
+  | "rand-periodic" ->
+      Ok (Pmp_core.Rand_periodic.create m ~rng:(Sm.create (seed + 1)) ~d)
+  | "two-choice" ->
+      Ok (Pmp_core.Baselines.two_choice m ~rng:(Sm.create (seed + 3)))
+  | "greedy-rightmost" -> Ok (Pmp_core.Baselines.rightmost_greedy m)
+  | "greedy-random-tie" ->
+      Ok (Pmp_core.Baselines.random_tie_greedy m ~rng:(Sm.create (seed + 2)))
+  | "leftmost-always" -> Ok (Pmp_core.Baselines.leftmost_always m)
+  | "round-robin" -> Ok (Pmp_core.Baselines.round_robin m)
+  | "worst-fit" -> Ok (Pmp_core.Baselines.worst_fit m)
+  | other -> Error (`Msg (Printf.sprintf "unknown allocator %S" other))
+
+let workload_names =
+  [
+    "churn"; "bursty"; "sawtooth"; "fragmenting"; "staircase"; "arrivals";
+    "figure1"; "sigma-r";
+  ]
+
+let workload name ~machine_size ~steps ~seed =
+  if not (Pmp_util.Pow2.is_pow2 machine_size) then
+    Error (`Msg "machine size must be a positive power of two")
+  else begin
+    let g = Sm.create seed in
+    let levels = Pmp_util.Pow2.ilog2 machine_size in
+    match name with
+    | "churn" ->
+        Ok
+          (Generators.churn g ~machine_size ~steps ~target_util:1.5
+             ~max_order:(max 0 (levels - 1)) ~size_bias:0.6)
+    | "bursty" ->
+        Ok
+          (Generators.bursty g ~machine_size ~sessions:(max 1 (steps / 100))
+             ~session_tasks:50
+             ~max_order:(max 0 (levels - 1)))
+    | "sawtooth" -> Ok (Generators.sawtooth ~machine_size ~rounds:levels)
+    | "fragmenting" ->
+        Ok
+          (Generators.sawtooth_cycles ~machine_size
+             ~cycles:(max 1 (steps / 1000)))
+    | "staircase" -> Ok (Generators.staircase_descent ~machine_size)
+    | "arrivals" ->
+        Ok
+          (Generators.arrivals_only g ~count:steps
+             ~max_order:(max 0 (levels - 1)))
+    | "figure1" -> Ok (Generators.figure1 ())
+    | "sigma-r" ->
+        if levels < 2 then Error (`Msg "sigma-r needs a machine of at least 4 PEs")
+        else Ok (Pmp_adversary.Rand_adversary.generate g ~machine_size)
+    | other -> Error (`Msg (Printf.sprintf "unknown workload %S" other))
+  end
+
+let topology name m =
+  match Topology.of_name name with
+  | Some kind -> Ok (Topology.create kind m)
+  | None -> Error (`Msg (Printf.sprintf "unknown topology %S" name))

@@ -1,0 +1,39 @@
+(** Name-based constructors shared by the [pmp] command-line tool and
+    any other front end (and unit-testable without invoking the
+    binary): parse a reallocation parameter, build an allocator or a
+    workload from its CLI name. All errors come back as
+    [Error (`Msg _)], cmdliner's convention. *)
+
+type 'a result := ('a, [ `Msg of string ]) Stdlib.result
+
+val parse_d : string -> Pmp_core.Realloc.t result
+(** Accepts a non-negative integer, or ["inf"]/["never"]. *)
+
+val machine : int -> Pmp_machine.Machine.t result
+(** Validates the power-of-two constraint. *)
+
+val allocator_names : string list
+(** Every name {!allocator} accepts. *)
+
+val allocator :
+  string ->
+  Pmp_machine.Machine.t ->
+  d:Pmp_core.Realloc.t ->
+  seed:int ->
+  Pmp_core.Allocator.t result
+(** Build a fresh allocator by CLI name. Randomized allocators derive
+    their stream from [seed]. *)
+
+val workload_names : string list
+
+val workload :
+  string ->
+  machine_size:int ->
+  steps:int ->
+  seed:int ->
+  Pmp_workload.Sequence.t result
+(** Build a seeded workload by CLI name. [steps] scales the generators
+    that take a length; fixed-shape workloads (figure1, sawtooth,
+    staircase, sigma-r) ignore it. *)
+
+val topology : string -> Pmp_machine.Machine.t -> Pmp_machine.Topology.t result

@@ -1,0 +1,87 @@
+(** The operator facade: one object that composes admission control,
+    a processor-allocation policy, and live accounting.
+
+    The rest of the library is organised for experiments (explicit
+    sequences, replayed engines). A system embedding this work wants
+    the inverse shape: a long-lived machine object it can push
+    submissions and completions into and query for load. [Cluster]
+    provides that, with the paper's algorithms behind a policy knob:
+
+    {[
+      let cluster =
+        Cluster.create ~machine_size:256
+          ~policy:(Cluster.Periodic (Pmp_core.Realloc.Budget 2))
+          ~admission_cap:(Some 2.0) ()
+      in
+      match Cluster.submit cluster ~size:16 with
+      | Ok (Placed (id, placement)) -> ...
+      | Ok (Queued id) -> (* will be placed when capacity frees *) ...
+      | Error msg -> ...
+    ]}
+
+    All ids are allocated by the cluster; completions of queued tasks
+    cancel them. Every mutation updates the running statistics. *)
+
+type policy =
+  | Greedy
+  | Copies
+  | Optimal
+  | Periodic of Pmp_core.Realloc.t
+  | Hybrid of Pmp_core.Realloc.t
+  | Randomized of int  (** seed *)
+
+val policy_name : policy -> string
+
+type t
+
+val create :
+  machine_size:int ->
+  policy:policy ->
+  ?admission_cap:float option ->
+  unit ->
+  (t, string) result
+(** [admission_cap] (default [None] = the paper's real-time model)
+    caps the cumulative active size at [cap *. machine_size]; excess
+    submissions queue FIFO. *)
+
+type submission = Placed of Pmp_workload.Task.id * Pmp_core.Placement.t
+                | Queued of Pmp_workload.Task.id
+
+val submit : t -> size:int -> (submission, string) result
+(** Errors on a size that is not a power of two or exceeds the machine
+    (or the admission capacity). *)
+
+val finish : t -> Pmp_workload.Task.id -> (unit, string) result
+(** Completion (or cancellation of a queued submission). Frees
+    capacity and admits queued work; the placements of newly admitted
+    tasks are visible through {!placement}. *)
+
+val placement : t -> Pmp_workload.Task.id -> Pmp_core.Placement.t option
+(** [None] when the task is queued, finished, or unknown. *)
+
+val is_queued : t -> Pmp_workload.Task.id -> bool
+
+type stats = {
+  submitted : int;
+  completed : int;
+  queued_now : int;
+  active_now : int;
+  active_size : int;
+  max_load : int;  (** current *)
+  peak_load : int;  (** high-water mark over the cluster's lifetime *)
+  optimal_now : int;  (** [ceil (active_size / N)] *)
+  reallocations : int;
+  tasks_migrated : int;
+}
+
+val stats : t -> stats
+val leaf_loads : t -> int array
+val machine_size : t -> int
+
+val history : t -> Pmp_workload.Sequence.t
+(** The traffic the {e allocator} has seen so far — admissions as
+    arrivals (in admission order, so queued tasks appear when they were
+    actually placed) and completions of admitted tasks as departures.
+    Always a valid sequence; replay it through {!Pmp_sim.Engine} to
+    compare alternative policies on exactly the traffic a live cluster
+    served ("what would d = 4 have cost us yesterday?"). *)

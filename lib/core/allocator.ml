@@ -1,0 +1,43 @@
+module Sub = Pmp_machine.Submachine
+module Task = Pmp_workload.Task
+
+type move = { task : Task.t; from_ : Placement.t; to_ : Placement.t }
+type response = { placement : Placement.t; moves : move list }
+
+type t = {
+  name : string;
+  machine : Pmp_machine.Machine.t;
+  assign : Task.t -> response;
+  remove : Task.id -> unit;
+  placements : unit -> (Task.t * Placement.t) list;
+  realloc_events : unit -> int;
+}
+
+let sub_in_machine machine sub =
+  Sub.order sub >= 0
+  && Sub.order sub <= Pmp_machine.Machine.levels machine
+  && Sub.first_leaf sub >= 0
+  && Sub.last_leaf sub < Pmp_machine.Machine.size machine
+
+let check_response alloc task resp =
+  let check_one what (task : Task.t) (p : Placement.t) =
+    if Sub.size p.sub <> task.Task.size then
+      Error
+        (Printf.sprintf "%s: task %d of size %d placed on submachine of size %d"
+           what task.Task.id task.Task.size (Sub.size p.sub))
+    else if not (sub_in_machine alloc.machine p.sub) then
+      Error (Printf.sprintf "%s: task %d placed outside the machine" what task.Task.id)
+    else Ok ()
+  in
+  match check_one "placement" task resp.placement with
+  | Error _ as e -> e
+  | Ok () ->
+      let rec moves = function
+        | [] -> Ok ()
+        | mv :: rest -> begin
+            match check_one "move" mv.task mv.to_ with
+            | Error _ as e -> e
+            | Ok () -> moves rest
+          end
+      in
+      moves resp.moves

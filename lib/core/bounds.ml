@@ -1,0 +1,38 @@
+let log_n ~machine_size = Pmp_util.Pow2.ilog2 machine_size
+
+let greedy_upper_factor ~machine_size =
+  let n = log_n ~machine_size in
+  (n + 1 + 1) / 2
+
+let det_upper_factor ~machine_size ~d =
+  let greedy = greedy_upper_factor ~machine_size in
+  match (d : Realloc.t) with
+  | Every -> 1
+  | Budget d -> min (d + 1) greedy
+  | Never -> greedy
+
+let det_lower_factor ~machine_size ~d =
+  let n = log_n ~machine_size in
+  let p = match (d : Realloc.t) with
+    | Every -> 0
+    | Budget d -> min d n
+    | Never -> n
+  in
+  (p + 1 + 1) / 2
+
+let loglog ~machine_size =
+  let n = log_n ~machine_size in
+  if n < 2 then invalid_arg "Bounds: machine too small for log log N";
+  log (float_of_int n) /. log 2.0
+
+let rand_upper_factor ~machine_size =
+  let n = float_of_int (log_n ~machine_size) in
+  (3.0 *. n /. loglog ~machine_size) +. 1.0
+
+let rand_lower_factor ~machine_size =
+  let n = float_of_int (log_n ~machine_size) in
+  (n /. loglog ~machine_size) ** (1.0 /. 3.0) /. 7.0
+
+let rand_lower_constructive ~machine_size =
+  let n = float_of_int (log_n ~machine_size) in
+  (n /. (240.0 *. loglog ~machine_size)) ** (1.0 /. 3.0)

@@ -1,0 +1,30 @@
+(** The paper's bounds as executable formulas.
+
+    The experiment harness overlays these curves on measured loads;
+    the test suite checks the algorithms against them. All take the
+    machine size [N] (a power of two) and, where relevant, the
+    reallocation parameter. *)
+
+val greedy_upper_factor : machine_size:int -> int
+(** Theorem 4.1: [ceil ((log N + 1) / 2)] — greedy's competitive
+    factor. *)
+
+val det_upper_factor : machine_size:int -> d:Realloc.t -> int
+(** Theorem 4.2: [min {d + 1, ceil ((log N + 1)/2)}] for Algorithm
+    [A_M] ([Every] gives 1, [Never] gives the greedy factor). *)
+
+val det_lower_factor : machine_size:int -> d:Realloc.t -> int
+(** Theorem 4.3: [ceil ((min {d, log N} + 1) / 2)] — no deterministic
+    d-reallocation algorithm beats this on every sequence. *)
+
+val rand_upper_factor : machine_size:int -> float
+(** Theorem 5.1: [3 log N / log log N + 1] for the oblivious randomized
+    algorithm. @raise Invalid_argument for [N < 4] (log log N = 0). *)
+
+val rand_lower_factor : machine_size:int -> float
+(** Theorem 5.2 as stated: [(1/7) (log N / log log N)^(1/3)]. *)
+
+val rand_lower_constructive : machine_size:int -> float
+(** The factor the Lemma 7 construction actually certifies w.h.p.:
+    [(log N / (240 log log N))^(1/3)] — the curve the σ_r experiment
+    is compared against. *)

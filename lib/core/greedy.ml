@@ -1,0 +1,31 @@
+module Task = Pmp_workload.Task
+module Load_map = Pmp_machine.Load_map
+
+let create m : Allocator.t =
+  let loads = Load_map.create m in
+  let table : (Task.id, Task.t * Placement.t) Hashtbl.t = Hashtbl.create 64 in
+  let assign (task : Task.t) =
+    if task.size > Pmp_machine.Machine.size m then
+      invalid_arg "Greedy.assign: task larger than machine";
+    let _, sub = Load_map.min_max_at_order loads (Task.order task) in
+    Load_map.add loads sub 1;
+    let placement = Placement.direct sub in
+    Hashtbl.replace table task.id (task, placement);
+    { Allocator.placement; moves = [] }
+  in
+  let remove id =
+    match Hashtbl.find_opt table id with
+    | None -> invalid_arg "Greedy.remove: unknown task"
+    | Some (_, p) ->
+        Load_map.add loads p.sub (-1);
+        Hashtbl.remove table id
+  in
+  let placements () = Hashtbl.fold (fun _ tp acc -> tp :: acc) table [] in
+  {
+    Allocator.name = "greedy";
+    machine = m;
+    assign;
+    remove;
+    placements;
+    realloc_events = (fun () -> 0);
+  }

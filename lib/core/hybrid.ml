@@ -1,0 +1,7 @@
+let create m ~d =
+  let choose loads ~order =
+    snd (Pmp_machine.Load_map.min_max_at_order loads order)
+  in
+  Repacking.create m
+    ~name:(Printf.sprintf "hybrid(d=%s)" (Realloc.to_string d))
+    ~d ~choose

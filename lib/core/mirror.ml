@@ -1,0 +1,94 @@
+module Task = Pmp_workload.Task
+module Sub = Pmp_machine.Submachine
+module Load_map = Pmp_machine.Load_map
+
+type t = {
+  m : Pmp_machine.Machine.t;
+  loads : Load_map.t;
+  table : (Task.id, Task.t * Placement.t) Hashtbl.t;
+  mutable active_size : int;
+}
+
+let create m =
+  { m; loads = Load_map.create m; table = Hashtbl.create 64; active_size = 0 }
+
+let machine t = t.m
+
+let apply_move t (mv : Allocator.move) =
+  let id = mv.task.Task.id in
+  match Hashtbl.find_opt t.table id with
+  | None -> invalid_arg "Mirror.apply_assign: move of unknown task"
+  | Some (task, current) ->
+      if not (Placement.equal current mv.from_) then
+        invalid_arg "Mirror.apply_assign: move disagrees on old placement";
+      Load_map.add t.loads current.Placement.sub (-1);
+      Load_map.add t.loads mv.to_.Placement.sub 1;
+      Hashtbl.replace t.table id (task, mv.to_)
+
+let apply_assign t (task : Task.t) (resp : Allocator.response) =
+  if Hashtbl.mem t.table task.id then
+    invalid_arg "Mirror.apply_assign: task already active";
+  List.iter (apply_move t) resp.moves;
+  Hashtbl.replace t.table task.id (task, resp.placement);
+  Load_map.add t.loads resp.placement.Placement.sub 1;
+  t.active_size <- t.active_size + task.size
+
+let apply_remove t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> invalid_arg "Mirror.apply_remove: unknown task"
+  | Some (task, p) ->
+      Load_map.add t.loads p.Placement.sub (-1);
+      Hashtbl.remove t.table id;
+      t.active_size <- t.active_size - task.Task.size
+
+let placement t id =
+  Option.map snd (Hashtbl.find_opt t.table id)
+
+let active t = Hashtbl.fold (fun _ tp acc -> tp :: acc) t.table []
+let num_active t = Hashtbl.length t.table
+let active_size t = t.active_size
+
+let max_load t = Load_map.max_overall t.loads
+let max_load_in t sub = Load_map.max_load t.loads sub
+
+let assigned_size_in t sub =
+  Hashtbl.fold
+    (fun _ ((task : Task.t), (p : Placement.t)) acc ->
+      let home = p.Placement.sub in
+      let intersects =
+        Sub.contains sub home || Sub.contains home sub
+      in
+      if intersects then acc + task.size else acc)
+    t.table 0
+
+let tasks_inside t sub =
+  Hashtbl.fold
+    (fun _ ((task : Task.t), (p : Placement.t)) acc ->
+      if Sub.contains sub p.Placement.sub then task :: acc else acc)
+    t.table []
+
+let leaf_loads t = Load_map.leaf_loads t.loads
+
+let check_against t (alloc : Allocator.t) =
+  let theirs = alloc.placements () in
+  if List.length theirs <> Hashtbl.length t.table then
+    Error
+      (Printf.sprintf "mirror has %d active tasks, allocator reports %d"
+         (Hashtbl.length t.table) (List.length theirs))
+  else begin
+    let rec check = function
+      | [] -> Ok ()
+      | ((task : Task.t), their_p) :: rest -> begin
+          match Hashtbl.find_opt t.table task.id with
+          | None ->
+              Error (Printf.sprintf "allocator reports unknown task %d" task.id)
+          | Some (_, our_p) ->
+              if Placement.equal our_p their_p then check rest
+              else
+                Error
+                  (Printf.sprintf "task %d: mirror and allocator disagree"
+                     task.id)
+        end
+    in
+    check theirs
+  end

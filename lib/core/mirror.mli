@@ -1,0 +1,54 @@
+(** Observer-side bookkeeping of an allocator's state.
+
+    The simulation engine and the Theorem 4.3 adversary both need an
+    authoritative view of where every active task currently sits and
+    what every PE's load is — kept {e outside} the allocator, so that
+    measurements can't be skewed by an allocator's own accounting bugs.
+    A mirror is fed every response and departure and maintains the
+    task table plus a {!Pmp_machine.Load_map} (one increment per task
+    per covered PE, matching the paper's load definition). *)
+
+type t
+
+val create : Pmp_machine.Machine.t -> t
+
+val machine : t -> Pmp_machine.Machine.t
+
+val apply_assign : t -> Pmp_workload.Task.t -> Allocator.response -> unit
+(** Record an arrival's placement and any reallocation moves bundled
+    with it. @raise Invalid_argument if a move refers to a task the
+    mirror doesn't know, or the arriving task id is already active. *)
+
+val apply_remove : t -> Pmp_workload.Task.id -> unit
+(** Record a departure. @raise Invalid_argument on unknown ids. *)
+
+val placement : t -> Pmp_workload.Task.id -> Placement.t option
+
+val active : t -> (Pmp_workload.Task.t * Placement.t) list
+(** Active tasks in unspecified order. *)
+
+val num_active : t -> int
+val active_size : t -> int
+
+val max_load : t -> int
+(** Current maximum PE load — the paper's [L_A(σ;τ)]. *)
+
+val max_load_in : t -> Pmp_machine.Submachine.t -> int
+(** Max PE load within a submachine ([l(T')] in the lower-bound
+    construction). *)
+
+val assigned_size_in : t -> Pmp_machine.Submachine.t -> int
+(** Cumulative size of active tasks whose submachine intersects the
+    given one ([L(T')] in the lower-bound construction). For tasks no
+    larger than the submachine this equals the size assigned wholly
+    inside it. *)
+
+val tasks_inside : t -> Pmp_machine.Submachine.t -> Pmp_workload.Task.t list
+(** Active tasks placed wholly inside the submachine. *)
+
+val leaf_loads : t -> int array
+
+val check_against : t -> Allocator.t -> (unit, string) result
+(** Cross-validate the mirror against the allocator's own
+    [placements] view (same active set, same homes). Used in checked
+    simulation mode. *)

@@ -1,0 +1,69 @@
+module Task = Pmp_workload.Task
+
+let copy_branch m ~d ~eager ~name : Allocator.t =
+  let table : (Task.id, Task.t * Placement.t) Hashtbl.t = Hashtbl.create 64 in
+  let stack = ref (Copystack.create m) in
+  let arrived_since_repack = ref 0 in
+  let reallocs = ref 0 in
+  let threshold =
+    Realloc.threshold_size d ~machine_size:(Pmp_machine.Machine.size m)
+  in
+  (* Repack every active task plus the arriving one; returns the moves
+     of previously-active tasks (the newcomer is not a "move"). *)
+  let repack_with (task : Task.t) =
+    let actives = Hashtbl.fold (fun _ (t, p) acc -> (t, p) :: acc) table [] in
+    let new_stack, packed = Repack.pack m (task :: List.map fst actives) in
+    stack := new_stack;
+    incr reallocs;
+    arrived_since_repack := 0;
+    let moves =
+      List.filter_map
+        (fun ((t : Task.t), old_p) ->
+          let new_p = Hashtbl.find packed t.id in
+          Hashtbl.replace table t.id (t, new_p);
+          if Placement.equal old_p new_p then None
+          else Some { Allocator.task = t; from_ = old_p; to_ = new_p })
+        actives
+    in
+    (Hashtbl.find packed task.id, moves)
+  in
+  let assign (task : Task.t) =
+    if task.size > Pmp_machine.Machine.size m then
+      invalid_arg "Periodic.assign: task larger than machine";
+    let order = Task.order task in
+    arrived_since_repack := !arrived_since_repack + task.size;
+    let budget_open =
+      match threshold with
+      | Some limit -> !arrived_since_repack >= limit
+      | None -> false
+    in
+    let needs_room = not (Copystack.can_alloc !stack ~order) in
+    let placement, moves =
+      if budget_open && (eager || needs_room) then repack_with task
+      else (Copystack.alloc !stack ~order, [])
+    in
+    Hashtbl.replace table task.id (task, placement);
+    { Allocator.placement; moves }
+  in
+  let remove id =
+    match Hashtbl.find_opt table id with
+    | None -> invalid_arg "Periodic.remove: unknown task"
+    | Some (_, p) ->
+        Copystack.free !stack p;
+        Hashtbl.remove table id
+  in
+  let placements () = Hashtbl.fold (fun _ tp acc -> tp :: acc) table [] in
+  {
+    Allocator.name;
+    machine = m;
+    assign;
+    remove;
+    placements;
+    realloc_events = (fun () -> !reallocs);
+  }
+
+let create ?(force_copies = false) ?(eager = false) m ~d =
+  let name = Printf.sprintf "periodic(d=%s)" (Realloc.to_string d) in
+  if (not force_copies) && Realloc.exceeds_greedy_threshold d m then
+    { (Greedy.create m) with Allocator.name = name ^ "=greedy" }
+  else copy_branch m ~d ~eager ~name:(if eager then name ^ ",eager" else name)

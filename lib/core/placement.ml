@@ -1,0 +1,12 @@
+type t = { copy : int; sub : Pmp_machine.Submachine.t }
+
+let make ~copy sub =
+  if copy < 0 then invalid_arg "Placement.make: negative copy";
+  { copy; sub }
+
+let direct sub = { copy = 0; sub }
+
+let equal a b = a.copy = b.copy && Pmp_machine.Submachine.equal a.sub b.sub
+
+let pp ppf t =
+  Format.fprintf ppf "copy%d:%a" t.copy Pmp_machine.Submachine.pp t.sub

@@ -1,0 +1,24 @@
+(** Where an active task lives.
+
+    Every allocator answers an arrival with a submachine of the task's
+    size. The copy-based algorithms ([A_B], [A_R], [A_C], [A_M]) also
+    track which {e virtual copy} of the machine the task occupies: the
+    copies are the paper's device for bounding load (each PE serves at
+    most one task per copy, so the machine's max load is at most the
+    number of copies). Direct algorithms (greedy, randomized,
+    baselines) place everything in copy 0 and let tasks overlap there.
+
+    A PE's load is the number of active tasks whose submachine contains
+    it, regardless of copy — the copy index never changes that count,
+    only explains it. *)
+
+type t = { copy : int; sub : Pmp_machine.Submachine.t }
+
+val make : copy:int -> Pmp_machine.Submachine.t -> t
+(** @raise Invalid_argument if [copy < 0]. *)
+
+val direct : Pmp_machine.Submachine.t -> t
+(** Placement in copy 0. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

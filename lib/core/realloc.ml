@@ -1,0 +1,25 @@
+type t = Every | Budget of int | Never
+
+let make_budget d =
+  if d < 0 then invalid_arg "Realloc.make_budget: negative d"
+  else if d = 0 then Every
+  else Budget d
+
+let threshold_size t ~machine_size =
+  match t with
+  | Every -> Some 0
+  | Budget d -> Some (d * machine_size)
+  | Never -> None
+
+let exceeds_greedy_threshold t m =
+  match t with
+  | Every -> false
+  | Budget d -> d >= Pmp_machine.Machine.greedy_threshold m
+  | Never -> true
+
+let to_string = function
+  | Every -> "0"
+  | Budget d -> string_of_int d
+  | Never -> "inf"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

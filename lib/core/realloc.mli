@@ -1,0 +1,27 @@
+(** The reallocation parameter [d].
+
+    A [d]-reallocation algorithm may repack all active tasks whenever
+    the cumulative size of arrivals since the last repack reaches
+    [d * N]. [Every] is the paper's [d = 0] (repack on each arrival,
+    Algorithm [A_C]); [Never] is [d = ∞] (pure online). *)
+
+type t =
+  | Every  (** [d = 0]: reallocate at every arrival. *)
+  | Budget of int  (** finite [d >= 1]. *)
+  | Never  (** [d = ∞]: no reallocation. *)
+
+val make_budget : int -> t
+(** [make_budget d] normalises: [d = 0] is [Every].
+    @raise Invalid_argument on negative [d]. *)
+
+val threshold_size : t -> machine_size:int -> int option
+(** The arrival volume [d * N] that triggers a repack, if finite.
+    [Every] yields [Some 0]; [Never] yields [None]. *)
+
+val exceeds_greedy_threshold : t -> Pmp_machine.Machine.t -> bool
+(** Whether [d >= ceil ((log N + 1)/2)], the regime in which Algorithm
+    [A_M] ignores its budget and runs pure greedy (the greedy bound is
+    already the better of the two). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+module Task = Pmp_workload.Task
+
+let pack m tasks =
+  let n = Pmp_machine.Machine.size m in
+  List.iter
+    (fun (t : Task.t) ->
+      if t.size > n then invalid_arg "Repack.pack: task larger than machine")
+    tasks;
+  let sorted =
+    List.sort
+      (fun (a : Task.t) (b : Task.t) ->
+        match compare b.size a.size with 0 -> compare a.id b.id | c -> c)
+      tasks
+  in
+  let stack = Copystack.create m in
+  let table = Hashtbl.create (List.length tasks) in
+  List.iter
+    (fun (t : Task.t) ->
+      let p = Copystack.alloc stack ~order:(Task.order t) in
+      Hashtbl.replace table t.id p)
+    sorted;
+  (stack, table)
+
+let copies_needed m tasks =
+  match tasks with
+  | [] -> 0
+  | _ ->
+      let _, table = pack m tasks in
+      Hashtbl.fold (fun _ (p : Placement.t) acc -> max acc (p.copy + 1)) table 0

@@ -1,0 +1,23 @@
+(** The paper's reallocation procedure [A_R]: first-fit decreasing
+    packing of a task set into virtual copies.
+
+    Sort the active tasks in decreasing size order, then place each in
+    the first copy with a vacant submachine of its size (leftmost
+    within the copy), creating copies as needed. Lemma 1 of the paper:
+    for any task set of total size [S] on an [N]-PE machine this uses
+    exactly [ceil (S/N)] copies — i.e. the packing is perfect except
+    possibly in the last copy. Ties between equal-sized tasks break by
+    task id so the procedure is deterministic. *)
+
+val pack :
+  Pmp_machine.Machine.t ->
+  Pmp_workload.Task.t list ->
+  Copystack.t * (Pmp_workload.Task.id, Placement.t) Hashtbl.t
+(** [pack m tasks] returns the copy stack left by the packing (so a
+    copy-based allocator can keep first-fitting subsequent arrivals
+    into it) together with each task's new placement.
+    @raise Invalid_argument if a task exceeds the machine size. *)
+
+val copies_needed : Pmp_machine.Machine.t -> Pmp_workload.Task.t list -> int
+(** Number of copies [pack] uses — by Lemma 1, [ceil (S/N)] (0 for the
+    empty set). *)

@@ -1,0 +1,71 @@
+module Task = Pmp_workload.Task
+module Load_map = Pmp_machine.Load_map
+
+let create m ~name ~d ~choose : Allocator.t =
+  let table : (Task.id, Task.t * Placement.t) Hashtbl.t = Hashtbl.create 64 in
+  let loads = Load_map.create m in
+  let active_size = ref 0 in
+  let arrived_since_repack = ref 0 in
+  let reallocs = ref 0 in
+  let n = Pmp_machine.Machine.size m in
+  let threshold = Realloc.threshold_size d ~machine_size:n in
+  let repack_all () =
+    let actives = Hashtbl.fold (fun _ (t, p) acc -> (t, p) :: acc) table [] in
+    let _, packed = Repack.pack m (List.map fst actives) in
+    incr reallocs;
+    arrived_since_repack := 0;
+    Load_map.clear loads;
+    List.filter_map
+      (fun ((t : Task.t), old_p) ->
+        let new_p = Hashtbl.find packed t.id in
+        Hashtbl.replace table t.id (t, new_p);
+        Load_map.add loads new_p.Placement.sub 1;
+        if Placement.equal old_p new_p then None
+        else Some { Allocator.task = t; from_ = old_p; to_ = new_p })
+      actives
+  in
+  let assign (task : Task.t) =
+    if task.size > n then invalid_arg (name ^ ".assign: task larger than machine");
+    let order = Task.order task in
+    arrived_since_repack := !arrived_since_repack + task.size;
+    active_size := !active_size + task.size;
+    let sub = choose loads ~order in
+    Hashtbl.replace table task.id (task, Placement.direct sub);
+    Load_map.add loads sub 1;
+    let budget_open =
+      match threshold with
+      | Some limit -> !arrived_since_repack >= limit
+      | None -> false
+    in
+    let above_optimal =
+      Load_map.max_overall loads > Pmp_util.Pow2.ceil_div !active_size n
+    in
+    let moves =
+      if budget_open && above_optimal then
+        (* the arriving task is repacked too, but relocating it before
+           it ever ran is not a migration — report only real moves *)
+        List.filter
+          (fun mv -> mv.Allocator.task.Task.id <> task.id)
+          (repack_all ())
+      else []
+    in
+    let _, placement = Hashtbl.find table task.id in
+    { Allocator.placement; moves }
+  in
+  let remove id =
+    match Hashtbl.find_opt table id with
+    | None -> invalid_arg (name ^ ".remove: unknown task")
+    | Some (task, p) ->
+        Load_map.add loads p.Placement.sub (-1);
+        active_size := !active_size - task.Task.size;
+        Hashtbl.remove table id
+  in
+  let placements () = Hashtbl.fold (fun _ tp acc -> tp :: acc) table [] in
+  {
+    Allocator.name = name;
+    machine = m;
+    assign;
+    remove;
+    placements;
+    realloc_events = (fun () -> !reallocs);
+  }

@@ -1,0 +1,149 @@
+module Machine = Pmp_machine.Machine
+
+type strategy = Buddy | Gray
+
+let strategy_name = function Buddy -> "buddy" | Gray -> "gray-code"
+
+let gray i = i lxor (i lsr 1)
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+(* A PE set is a dimension-k subcube iff its 2^k addresses agree
+   outside exactly <= k bit positions: the OR of (addr xor base) has
+   popcount <= k (and the set has 2^k distinct members). *)
+let is_subcube pes =
+  let k = Pmp_util.Pow2.ilog2 (Array.length pes) in
+  let base = pes.(0) in
+  let varying = Array.fold_left (fun acc p -> acc lor (p lxor base)) 0 pes in
+  popcount varying <= k
+
+(* Candidate windows per order, precomputed once per machine size.
+   Buddy: aligned blocks of the identity ordering. Gray: cyclic windows
+   of the gray-code ordering starting at multiples of 2^(k-1) (2^k for
+   k = 0), kept only if they truly form subcubes. *)
+let windows_for ~n ~strategy order =
+  let size = 1 lsl order in
+  match strategy with
+  | Buddy ->
+      List.init (n / size) (fun j ->
+          Array.init size (fun i -> (j * size) + i))
+  | Gray ->
+      let step = if order = 0 then 1 else size / 2 in
+      let starts = List.init (n / step) (fun s -> s * step) in
+      List.filter_map
+        (fun start ->
+          let pes = Array.init size (fun i -> gray ((start + i) mod n)) in
+          if is_subcube pes then begin
+            let sorted = Array.copy pes in
+            Array.sort compare sorted;
+            Some sorted
+          end
+          else None)
+        starts
+      (* dedupe identical PE sets (wraparound can repeat a window) *)
+      |> List.sort_uniq compare
+
+type t = {
+  m : Machine.t;
+  busy : bool array;
+  windows : int array list array;  (** index = order *)
+  mutable busy_count : int;
+  mutable next_id : int;
+}
+
+let create m ~strategy =
+  let n = Machine.size m in
+  let levels = Machine.levels m in
+  {
+    m;
+    busy = Array.make n false;
+    windows = Array.init (levels + 1) (windows_for ~n ~strategy);
+    busy_count = 0;
+    next_id = 0;
+  }
+
+type allocation = { id : int; pes : int array }
+
+let window_free t pes = Array.for_all (fun p -> not t.busy.(p)) pes
+
+let request t ~size =
+  if not (Pmp_util.Pow2.is_pow2 size) then
+    invalid_arg "Exclusive.request: size not a power of two";
+  if size > Machine.size t.m then
+    invalid_arg "Exclusive.request: size exceeds machine";
+  let order = Pmp_util.Pow2.ilog2 size in
+  match List.find_opt (window_free t) t.windows.(order) with
+  | None -> None
+  | Some pes ->
+      Array.iter (fun p -> t.busy.(p) <- true) pes;
+      t.busy_count <- t.busy_count + size;
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Some { id; pes = Array.copy pes }
+
+let release t alloc =
+  Array.iter
+    (fun p ->
+      if not t.busy.(p) then invalid_arg "Exclusive.release: PE already free";
+      t.busy.(p) <- false)
+    alloc.pes;
+  t.busy_count <- t.busy_count - Array.length alloc.pes
+
+let busy_pes t = t.busy_count
+
+let recognizable t ~size =
+  if not (Pmp_util.Pow2.is_pow2 size) || size > Machine.size t.m then
+    invalid_arg "Exclusive.recognizable: bad size";
+  let order = Pmp_util.Pow2.ilog2 size in
+  List.length (List.filter (window_free t) t.windows.(order))
+
+type stats = {
+  requests : int;
+  accepted : int;
+  rejected : int;
+  mean_utilization : float;
+  peak_utilization : float;
+}
+
+let run t seq =
+  let n = Machine.size t.m in
+  if not (Pmp_workload.Sequence.fits seq ~machine_size:n) then
+    invalid_arg "Exclusive.run: sequence does not fit the machine";
+  let held : (Pmp_workload.Task.id, allocation) Hashtbl.t = Hashtbl.create 64 in
+  let requests = ref 0 and accepted = ref 0 in
+  let util_sum = ref 0.0 and peak = ref 0.0 in
+  Array.iter
+    (fun (ev : Pmp_workload.Event.t) ->
+      begin
+        match ev with
+        | Arrive task -> begin
+            incr requests;
+            match request t ~size:task.Pmp_workload.Task.size with
+            | Some alloc ->
+                incr accepted;
+                Hashtbl.replace held task.Pmp_workload.Task.id alloc
+            | None -> ()
+          end
+        | Depart id -> begin
+            match Hashtbl.find_opt held id with
+            | Some alloc ->
+                release t alloc;
+                Hashtbl.remove held id
+            | None -> () (* the task was rejected at arrival *)
+          end
+      end;
+      let util = float_of_int t.busy_count /. float_of_int n in
+      util_sum := !util_sum +. util;
+      if util > !peak then peak := util)
+    (Pmp_workload.Sequence.events seq);
+  let events = Pmp_workload.Sequence.length seq in
+  {
+    requests = !requests;
+    accepted = !accepted;
+    rejected = !requests - !accepted;
+    mean_utilization =
+      (if events = 0 then 0.0 else !util_sum /. float_of_int events);
+    peak_utilization = !peak;
+  }

@@ -1,0 +1,69 @@
+(** Exclusive (space-shared) subcube allocation — the related-work
+    model the paper departs from.
+
+    The paper's references [9, 10, 12] (Chen & Shin; Chen & Lai) study
+    hypercubes where each task gets {e dedicated} processors: requests
+    that don't fit are rejected (or wait), and the research question is
+    {e subcube recognition} — how many of the hypercube's free subcubes
+    an allocation strategy can actually see. The classic comparison:
+
+    - the {b buddy} strategy only recognises the [2{^(n-k)}] aligned
+      subcubes of dimension [k] (the ones our {!Pmp_machine.Submachine}
+      addressing names);
+    - the {b gray-code} strategy orders processors by the binary
+      reflected Gray code and recognises windows of [2{^k}] cyclically
+      consecutive codes (suitably aligned), which include the buddy
+      subcubes {e plus} as many again shifted by half — so it can
+      accept requests buddy must reject.
+
+    This module implements both recognisers over a shared busy-set and
+    a driver that replays a task sequence in exclusive mode (arrivals
+    that don't fit are dropped together with their departures),
+    measuring acceptance and utilisation — experiment E18. Window
+    validity is established constructively at start-up: every candidate
+    window is checked to be a true subcube, so the recogniser is
+    correct by construction rather than by citation. *)
+
+type strategy = Buddy | Gray
+
+val strategy_name : strategy -> string
+
+type t
+
+val create : Pmp_machine.Machine.t -> strategy:strategy -> t
+(** An empty (all-free) machine. *)
+
+type allocation = private {
+  id : int;
+  pes : int array;  (** the dedicated PEs, sorted ascending *)
+}
+
+val request : t -> size:int -> allocation option
+(** Claim a free subcube of [size] PEs, or [None] if the strategy
+    recognises none. @raise Invalid_argument if [size] is not a
+    power of two or exceeds the machine. *)
+
+val release : t -> allocation -> unit
+(** @raise Invalid_argument if (any of) the allocation was already
+    released. *)
+
+val busy_pes : t -> int
+(** Currently dedicated PEs. *)
+
+val recognizable : t -> size:int -> int
+(** How many distinct free regions of [size] the strategy can see
+    right now (the recognition count the literature compares). *)
+
+type stats = {
+  requests : int;
+  accepted : int;
+  rejected : int;
+  mean_utilization : float;  (** busy fraction, averaged over events *)
+  peak_utilization : float;
+}
+
+val run : t -> Pmp_workload.Sequence.t -> stats
+(** Replay the sequence in exclusive mode: each arrival issues a
+    {!request}; rejected tasks vanish (their departures are ignored);
+    departures of accepted tasks release their PEs.
+    @raise Invalid_argument if the sequence does not fit the machine. *)

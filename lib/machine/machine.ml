@@ -1,0 +1,14 @@
+type t = { levels : int; size : int }
+
+let create n =
+  if not (Pmp_util.Pow2.is_pow2 n) then
+    invalid_arg "Machine.create: size must be a positive power of two";
+  { levels = Pmp_util.Pow2.ilog2 n; size = n }
+
+let of_levels k = create (Pmp_util.Pow2.pow2 k)
+let size t = t.size
+let levels t = t.levels
+
+let greedy_threshold t = (t.levels + 1 + 1) / 2
+
+let pp ppf t = Format.fprintf ppf "tree-machine(N=%d, levels=%d)" t.size t.levels

@@ -1,0 +1,29 @@
+(** The partitionable machine descriptor.
+
+    A machine is an [N]-leaf complete binary tree whose leaves hold the
+    processing elements (PEs) and whose internal nodes hold switches,
+    as in the paper's model (after Browning's tree machine and the
+    CM-5 fat-tree). [N] must be a power of two. The descriptor is pure
+    data; load state lives in {!Load_map}. *)
+
+type t = private {
+  levels : int;  (** [log2 N]: height of the tree over the leaves. *)
+  size : int;  (** [N]: number of PEs. *)
+}
+
+val create : int -> t
+(** [create n] describes an [n]-PE machine.
+    @raise Invalid_argument if [n] is not a positive power of two. *)
+
+val of_levels : int -> t
+(** [of_levels k] is [create (2{^k})]. *)
+
+val size : t -> int
+val levels : t -> int
+
+val greedy_threshold : t -> int
+(** [ceil ((log N + 1) / 2)]: the reallocation parameter above which the
+    paper's Algorithm [A_M] degenerates to pure greedy (the greedy bound
+    is already at least as good as [(d+1)]). *)
+
+val pp : Format.formatter -> t -> unit

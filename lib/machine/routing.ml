@@ -1,0 +1,60 @@
+type link = { child_depth : int; child_pos : int }
+
+let num_links m = (2 * Machine.size m) - 2
+
+(* The root of submachine (order x, index j) is the node at depth
+   [levels - x], position [j]. Climbing one level halves the
+   position. *)
+let node_of m sub =
+  (Machine.levels m - Submachine.order sub, Submachine.index sub)
+
+let path m a b =
+  if Submachine.equal a b then []
+  else begin
+    let da, pa = node_of m a and db, pb = node_of m b in
+    (* climb the deeper side first, collecting the traversed links *)
+    let rec lift d p target acc =
+      if d = target then (p, acc)
+      else lift (d - 1) (p / 2) target ({ child_depth = d; child_pos = p } :: acc)
+    in
+    let shallow = min da db in
+    let pa, links_a = lift da pa shallow [] in
+    let pb, links_b = lift db pb shallow [] in
+    let rec to_lca d pa pb acc_a acc_b =
+      if pa = pb then List.rev_append acc_a acc_b
+      else
+        to_lca (d - 1) (pa / 2) (pb / 2)
+          ({ child_depth = d; child_pos = pa } :: acc_a)
+          ({ child_depth = d; child_pos = pb } :: acc_b)
+    in
+    to_lca shallow pa pb (List.rev links_a) links_b
+  end
+
+type transfer = { src : Submachine.t; dst : Submachine.t; bytes : int }
+
+type profile = { tbl : (link, int) Hashtbl.t; mutable total : int }
+
+let congestion m transfers =
+  let tbl = Hashtbl.create 64 in
+  let profile = { tbl; total = 0 } in
+  List.iter
+    (fun t ->
+      if t.bytes < 0 then invalid_arg "Routing.congestion: negative bytes";
+      List.iter
+        (fun link ->
+          let current = try Hashtbl.find tbl link with Not_found -> 0 in
+          Hashtbl.replace tbl link (current + t.bytes);
+          profile.total <- profile.total + t.bytes)
+        (path m t.src t.dst))
+    transfers;
+  profile
+
+let max_link_bytes p = Hashtbl.fold (fun _ v acc -> max v acc) p.tbl 0
+let total_bytes p = p.total
+
+let link_bytes p link =
+  try Hashtbl.find p.tbl link with Not_found -> 0
+
+let makespan p ~link_bandwidth =
+  if link_bandwidth <= 0.0 then invalid_arg "Routing.makespan: bad bandwidth";
+  float_of_int (max_link_bytes p) /. link_bandwidth

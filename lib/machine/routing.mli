@@ -1,0 +1,49 @@
+(** Link-level routing over the tree machine's switch fabric.
+
+    The machine's internal nodes are switches; each tree edge is a
+    bidirectional link. A migration from one submachine to another
+    ships bytes along the unique tree path between their roots, and
+    when a reallocation moves many tasks at once the links near the
+    root are shared — the repack's wall-clock makespan is governed by
+    the most congested link, not by the total volume. This module
+    names links, computes paths, and folds a batch of transfers into a
+    per-link congestion profile. *)
+
+type link = {
+  child_depth : int;  (** depth of the link's lower endpoint (root = 0) *)
+  child_pos : int;  (** position of the lower endpoint at that depth *)
+}
+(** The tree edge between node [(child_depth, child_pos)] and its
+    parent. A machine with [N = 2{^n}] leaves has [2N - 2] directed…
+    we treat links as undirected: [2N - 2] total, [2{^d}] at each
+    child-depth [d] from 1 to [n]. *)
+
+val num_links : Machine.t -> int
+
+val path : Machine.t -> Submachine.t -> Submachine.t -> link list
+(** Links on the unique path between the roots of the two submachines;
+    empty when they coincide. Its length equals {!Submachine.hops}. *)
+
+type transfer = { src : Submachine.t; dst : Submachine.t; bytes : int }
+
+type profile
+(** Per-link accumulated bytes for a batch of transfers. *)
+
+val congestion : Machine.t -> transfer list -> profile
+
+val max_link_bytes : profile -> int
+(** Bytes on the most loaded link — the batch's bottleneck. 0 for an
+    empty batch. *)
+
+val total_bytes : profile -> int
+(** Sum over links of bytes carried ([= Σ bytes·hops], the quantity
+    {!Pmp_sim.Cost} charges). *)
+
+val link_bytes : profile -> link -> int
+
+val makespan : profile -> link_bandwidth:float -> float
+(** Wall-clock time for the batch with every link running at
+    [link_bandwidth] bytes/time and all transfers overlapped:
+    [max_link_bytes / link_bandwidth]. Contrast with the serialised
+    estimate [total_bytes / link_bandwidth].
+    @raise Invalid_argument on non-positive bandwidth. *)

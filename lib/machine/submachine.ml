@@ -1,0 +1,70 @@
+type t = { order : int; index : int }
+
+let make m ~order ~index =
+  let n = Machine.levels m in
+  if order < 0 || order > n then invalid_arg "Submachine.make: bad order";
+  if index < 0 || index >= 1 lsl (n - order) then
+    invalid_arg "Submachine.make: bad index";
+  { order; index }
+
+let order t = t.order
+let index t = t.index
+let size t = 1 lsl t.order
+let first_leaf t = t.index * size t
+let last_leaf t = first_leaf t + size t - 1
+
+let of_leaf_span m ~first_leaf ~size =
+  if not (Pmp_util.Pow2.is_pow2 size) then
+    invalid_arg "Submachine.of_leaf_span: size not a power of two";
+  if not (Pmp_util.Pow2.is_aligned first_leaf size) then
+    invalid_arg "Submachine.of_leaf_span: unaligned span";
+  if first_leaf < 0 || first_leaf + size > Machine.size m then
+    invalid_arg "Submachine.of_leaf_span: out of machine";
+  let order = Pmp_util.Pow2.ilog2 size in
+  { order; index = first_leaf / size }
+
+let contains outer inner =
+  outer.order >= inner.order
+  && inner.index lsr (outer.order - inner.order) = outer.index
+
+let contains_leaf t leaf = t.index = leaf lsr t.order
+
+let parent m t =
+  if t.order >= Machine.levels m then None
+  else Some { order = t.order + 1; index = t.index / 2 }
+
+let left_half t =
+  if t.order = 0 then invalid_arg "Submachine.left_half: single PE";
+  { order = t.order - 1; index = 2 * t.index }
+
+let right_half t =
+  if t.order = 0 then invalid_arg "Submachine.right_half: single PE";
+  { order = t.order - 1; index = (2 * t.index) + 1 }
+
+let root m = { order = Machine.levels m; index = 0 }
+let count_at_order m order = 1 lsl (Machine.levels m - order)
+
+let all_at_order m order =
+  List.init (count_at_order m order) (fun index -> { order; index })
+
+(* Tree nodes as (depth-from-root, position); the root of submachine
+   (x, j) sits at depth [levels - x], position [j]. *)
+let hops m a b =
+  let n = Machine.levels m in
+  let da = n - a.order and db = n - b.order in
+  let rec lift d p target = if d = target then p else lift (d - 1) (p / 2) target in
+  let shallow = min da db in
+  let pa = lift da a.index shallow and pb = lift db b.index shallow in
+  let rec to_lca d pa pb acc =
+    if pa = pb then acc else to_lca (d - 1) (pa / 2) (pb / 2) (acc + 2)
+  in
+  (da - shallow) + (db - shallow) + to_lca shallow pa pb 0
+
+let equal a b = a.order = b.order && a.index = b.index
+
+let compare a b =
+  match Stdlib.compare b.order a.order with
+  | 0 -> Stdlib.compare a.index b.index
+  | c -> c
+
+let pp ppf t = Format.fprintf ppf "[%d..%d]" (first_leaf t) (last_leaf t)

@@ -1,0 +1,66 @@
+(** Submachine addressing.
+
+    A size-[2{^x}] submachine of an [N = 2{^n}]-PE machine is a complete
+    binary subtree whose leaves are the aligned block
+    [\[j*2{^x}, (j+1)*2{^x})]. We address it as [(order = x, index = j)]
+    with [0 <= j < 2{^(n-x)}]. All structural relations (containment,
+    halves, parents, routing distance) reduce to integer arithmetic on
+    this pair. *)
+
+type t = { order : int; index : int }
+
+val make : Machine.t -> order:int -> index:int -> t
+(** @raise Invalid_argument if the order or index is out of range for
+    the machine. *)
+
+val of_leaf_span : Machine.t -> first_leaf:int -> size:int -> t
+(** The submachine whose leaves are [\[first_leaf, first_leaf + size)].
+    @raise Invalid_argument if the span is not an aligned power-of-two
+    block inside the machine. *)
+
+val order : t -> int
+val index : t -> int
+
+val size : t -> int
+(** Number of PEs, [2{^order}]. *)
+
+val first_leaf : t -> int
+(** Index of the leftmost PE. *)
+
+val last_leaf : t -> int
+(** Index of the rightmost PE (inclusive). *)
+
+val contains : t -> t -> bool
+(** [contains outer inner]: is [inner] a (possibly equal) subtree of
+    [outer]? *)
+
+val contains_leaf : t -> int -> bool
+
+val parent : Machine.t -> t -> t option
+(** Enclosing submachine of twice the size, or [None] at the root. *)
+
+val left_half : t -> t
+(** Left child subtree. @raise Invalid_argument on order-0 machines. *)
+
+val right_half : t -> t
+
+val root : Machine.t -> t
+(** The whole machine as a submachine. *)
+
+val count_at_order : Machine.t -> int -> int
+(** How many submachines of the given order the machine has. *)
+
+val all_at_order : Machine.t -> int -> t list
+(** All submachines of one order, leftmost first. *)
+
+val hops : Machine.t -> t -> t -> int
+(** Tree-routing distance between the roots of two submachines: the
+    number of switch-to-switch links on the unique tree path. Used by
+    the migration-cost model. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Order by size descending, then position left-to-right. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [\[first..last\]] leaf span. *)

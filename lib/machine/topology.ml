@@ -1,0 +1,81 @@
+type kind = Tree | Hypercube | Mesh | Butterfly
+
+let all_kinds = [ Tree; Hypercube; Mesh; Butterfly ]
+
+let kind_name = function
+  | Tree -> "tree"
+  | Hypercube -> "hypercube"
+  | Mesh -> "mesh"
+  | Butterfly -> "butterfly"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "tree" -> Some Tree
+  | "hypercube" | "cube" -> Some Hypercube
+  | "mesh" -> Some Mesh
+  | "butterfly" | "bfly" -> Some Butterfly
+  | _ -> None
+
+type t = { kind : kind; m : Machine.t }
+
+let create kind m = { kind; m }
+let kind t = t.kind
+let machine t = t.m
+
+let highest_bit x =
+  (* index of the most significant set bit; -1 for 0 *)
+  if x = 0 then -1 else Pmp_util.Pow2.floor_log2 x
+
+(* Morton (Z-order) deinterleave: even bits -> x, odd bits -> y. With
+   this embedding every aligned power-of-two leaf block is a rectangle
+   (quadrant decomposition), so tree submachines are legal mesh
+   submachines. *)
+let morton_xy i =
+  let rec go i bit x y =
+    if i = 0 then (x, y)
+    else begin
+      let x = x lor ((i land 1) lsl bit) in
+      let y = y lor (((i lsr 1) land 1) lsl bit) in
+      go (i lsr 2) (bit + 1) x y
+    end
+  in
+  go i 0 0 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let pe_hops t i j =
+  if i = j then 0
+  else begin
+    match t.kind with
+    | Tree ->
+        (* climb to the LCA: depth above leaves where paths merge *)
+        2 * (highest_bit (i lxor j) + 1)
+    | Hypercube -> popcount (i lxor j)
+    | Mesh ->
+        let xi, yi = morton_xy i and xj, yj = morton_xy j in
+        abs (xi - xj) + abs (yi - yj)
+    | Butterfly ->
+        (* route up through the levels until the differing address bits
+           can be corrected, then back down *)
+        2 * (highest_bit (i lxor j) + 1)
+  end
+
+let submachine_hops t a b =
+  if Submachine.equal a b then 0
+  else pe_hops t (Submachine.first_leaf a) (Submachine.first_leaf b)
+
+let coords t i =
+  match t.kind with
+  | Tree -> Printf.sprintf "leaf%d" i
+  | Hypercube -> Printf.sprintf "0b%s"
+      (let n = max 1 (Machine.levels t.m) in
+       String.init n (fun k -> if (i lsr (n - 1 - k)) land 1 = 1 then '1' else '0'))
+  | Mesh ->
+      let x, y = morton_xy i in
+      Printf.sprintf "(%d,%d)" x y
+  | Butterfly -> Printf.sprintf "col%d" i
+
+let pp ppf t =
+  Format.fprintf ppf "%s(N=%d)" (kind_name t.kind) (Machine.size t.m)

@@ -1,0 +1,56 @@
+(** Hierarchically decomposable machine topologies.
+
+    The paper states its tree-machine results carry over to any
+    hierarchically decomposable machine (CM-5/SP2 fat-trees, hypercube,
+    mesh, butterfly): the buddy addressing of {!Submachine} — order [x],
+    aligned index [j] — names a legal size-[2{^x}] submachine in each of
+    them (a subcube fixing the high address bits; a Z-order quadrant
+    block of the mesh; a subtree of the fat-tree). What differs between
+    topologies is the {e embedding}: where PE [i] physically sits and
+    how far apart two submachines are, which is what migration traffic
+    depends on. A topology therefore supplies routing distances and
+    coordinate labels; all allocation logic stays topology-agnostic. *)
+
+type kind = Tree | Hypercube | Mesh | Butterfly
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+val of_name : string -> kind option
+(** Case-insensitive lookup, e.g. for CLI flags. *)
+
+type t
+(** A topology instantiated for a machine size. *)
+
+val create : kind -> Machine.t -> t
+val kind : t -> kind
+val machine : t -> Machine.t
+
+val pe_hops : t -> int -> int -> int
+(** [pe_hops t i j] is the routing distance (link count) between PEs
+    [i] and [j]:
+    tree — up to the lowest common ancestor and back down;
+    hypercube — Hamming distance of the PE addresses;
+    mesh — Manhattan distance between Z-order (Morton) coordinates;
+    butterfly — twice the number of levels above the highest differing
+    address bit (ascend/descend through the switching fabric). *)
+
+val submachine_hops : t -> Submachine.t -> Submachine.t -> int
+(** Distance between two submachines for the migration-cost model:
+    the distance between their first PEs, plus the intra-submachine
+    fan-out cost is accounted separately by the cost model. Equal
+    submachines are at distance 0. *)
+
+val morton_xy : int -> int * int
+(** The Z-order (Morton) deinterleave used by the mesh embedding:
+    even bits of the PE index become the x coordinate, odd bits the y.
+    Exposed so clients (and the test suite) can verify the structural
+    claim behind the mesh instantiation: every aligned power-of-two
+    block of PE indices maps to a solid axis-aligned rectangle whose
+    aspect ratio is 1 or 2 — i.e. a legal mesh submachine. *)
+
+val coords : t -> int -> string
+(** Human-readable coordinate of PE [i] (e.g. ["(3,5)"] on the mesh,
+    ["0b0101"] on the hypercube). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+let uniform_int g ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform_int: hi < lo";
+  lo + Splitmix64.int g (hi - lo + 1)
+
+let exponential g ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate <= 0";
+  let u = 1.0 -. Splitmix64.float g 1.0 in
+  -.log u /. rate
+
+let geometric g ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Dist.geometric: p out of range";
+  if p = 1.0 then 0
+  else begin
+    let u = 1.0 -. Splitmix64.float g 1.0 in
+    int_of_float (floor (log u /. log (1.0 -. p)))
+  end
+
+let lognormal g ~mu ~sigma =
+  if sigma < 0.0 then invalid_arg "Dist.lognormal: sigma < 0";
+  let u1 = 1.0 -. Splitmix64.float g 1.0 in
+  let u2 = Splitmix64.float g 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  exp (mu +. (sigma *. z))
+
+let weibull g ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then invalid_arg "Dist.weibull: bad parameters";
+  let u = 1.0 -. Splitmix64.float g 1.0 in
+  scale *. ((-.log u) ** (1.0 /. shape))
+
+let poisson g ~lambda =
+  if lambda < 0.0 then invalid_arg "Dist.poisson: lambda < 0";
+  let threshold = exp (-.lambda) in
+  let rec go k p =
+    let p = p *. Splitmix64.float g 1.0 in
+    if p <= threshold then k else go (k + 1) p
+  in
+  go 0 1.0
+
+let zipf g ~n ~s =
+  if n < 1 then invalid_arg "Dist.zipf: n < 1";
+  if s < 0.0 then invalid_arg "Dist.zipf: s < 0";
+  let weights = Array.init n (fun i -> (float_of_int (i + 1)) ** -.s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let u = Splitmix64.float g total in
+  let rec find i acc =
+    if i = n - 1 then n
+    else begin
+      let acc = acc +. weights.(i) in
+      if u < acc then i + 1 else find (i + 1) acc
+    end
+  in
+  find 0 0.0
+
+let pow2_size g ~max_order ~bias =
+  if max_order < 0 then invalid_arg "Dist.pow2_size: max_order < 0";
+  let x =
+    if bias = 0.0 then Splitmix64.int g (max_order + 1)
+    else begin
+      let w = Array.init (max_order + 1) (fun i -> exp (-.bias *. float_of_int i)) in
+      let total = Array.fold_left ( +. ) 0.0 w in
+      let u = Splitmix64.float g total in
+      let rec find i acc =
+        if i = max_order then i
+        else begin
+          let acc = acc +. w.(i) in
+          if u < acc then i else find (i + 1) acc
+        end
+      in
+      find 0 0.0
+    end
+  in
+  1 lsl x

@@ -1,0 +1,38 @@
+(** Samplers for the distributions used by workload generators.
+
+    Each sampler takes the generator explicitly; none keeps hidden
+    state, so substreams can be split per component. *)
+
+val uniform_int : Splitmix64.t -> lo:int -> hi:int -> int
+(** Uniform on the inclusive range [\[lo, hi\]].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val exponential : Splitmix64.t -> rate:float -> float
+(** Exponential inter-arrival time with the given rate ([> 0]). *)
+
+val geometric : Splitmix64.t -> p:float -> int
+(** Number of Bernoulli([p]) failures before the first success
+    (support [0, 1, 2, ...]); [0 < p <= 1]. *)
+
+val lognormal : Splitmix64.t -> mu:float -> sigma:float -> float
+(** Log-normal service-time sample ([exp (mu + sigma * Z)] with [Z]
+    standard normal via Box–Muller); the classic heavy-ish-tailed model
+    for job durations. [sigma >= 0]. *)
+
+val weibull : Splitmix64.t -> scale:float -> shape:float -> float
+(** Weibull sample by inversion; [shape < 1] gives the heavy-tailed
+    regime, [shape = 1] is exponential. Both parameters [> 0]. *)
+
+val poisson : Splitmix64.t -> lambda:float -> int
+(** Poisson-distributed count (Knuth's method; [lambda] moderate). *)
+
+val zipf : Splitmix64.t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [\[1, n\]] with exponent [s >= 0], via
+    inverse-CDF on precomputed weights (recomputed per call; intended
+    for setup-time sampling, not hot loops). *)
+
+val pow2_size : Splitmix64.t -> max_order:int -> bias:float -> int
+(** Random power-of-two task size [2{^x}] with [0 <= x <= max_order].
+    [bias = 0.] gives a uniform exponent; positive bias favours small
+    tasks geometrically (each extra exponent is [exp(-bias)] times as
+    likely). *)

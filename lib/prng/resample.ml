@@ -1,0 +1,24 @@
+let mean_ci g xs ?(confidence = 0.95) ?(iterations = 2000) () =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Resample.mean_ci: empty sample";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Resample.mean_ci: confidence out of range";
+  if iterations < 1 then invalid_arg "Resample.mean_ci: iterations < 1";
+  if n = 1 then (xs.(0), xs.(0))
+  else begin
+    let means =
+      Array.init iterations (fun _ ->
+          let total = ref 0.0 in
+          for _ = 1 to n do
+            total := !total +. xs.(Splitmix64.int g n)
+          done;
+          !total /. float_of_int n)
+    in
+    Array.sort compare means;
+    let tail = (1.0 -. confidence) /. 2.0 in
+    let index q =
+      let i = int_of_float (q *. float_of_int (iterations - 1)) in
+      max 0 (min (iterations - 1) i)
+    in
+    (means.(index tail), means.(index (1.0 -. tail)))
+  end

@@ -1,0 +1,19 @@
+(** Bootstrap resampling for the experiment harness.
+
+    The randomized-algorithm experiments report means over a few dozen
+    seeded runs; a percentile-bootstrap confidence interval says how
+    much those means can be trusted without distributional
+    assumptions. Deterministic given the generator. *)
+
+val mean_ci :
+  Splitmix64.t ->
+  float array ->
+  ?confidence:float ->
+  ?iterations:int ->
+  unit ->
+  float * float
+(** [mean_ci g xs ()] is the percentile-bootstrap confidence interval
+    [(lo, hi)] for the mean of [xs] (default 95% over 2000 resamples).
+    @raise Invalid_argument on an empty sample or a confidence outside
+    (0, 1). A single-element sample yields the degenerate interval
+    [(x, x)]. *)

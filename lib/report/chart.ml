@@ -1,0 +1,105 @@
+type series = {
+  label : string;
+  points : (float * float) list;
+  color : string;
+  step : bool;
+}
+
+let default_colors =
+  [ "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b"; "#17becf" ]
+
+(* margins around the plot area *)
+let ml = 60.0
+let mr = 20.0
+let mt = 36.0
+let mb = 46.0
+
+let bounds series =
+  let xs = List.concat_map (fun s -> List.map fst s.points) series in
+  let ys = List.concat_map (fun s -> List.map snd s.points) series in
+  match (xs, ys) with
+  | [], _ | _, [] -> (0.0, 1.0, 0.0, 1.0)
+  | _ ->
+      let min_l = List.fold_left min infinity
+      and max_l = List.fold_left max neg_infinity in
+      let x0 = min_l xs and x1 = max_l xs in
+      let y0 = min 0.0 (min_l ys) and y1 = max_l ys in
+      let pad v0 v1 = if v1 -. v0 <= 0.0 then (v0 -. 0.5, v0 +. 0.5) else (v0, v1) in
+      let x0, x1 = pad x0 x1 and y0, y1 = pad y0 y1 in
+      (x0, x1, y0, y1 +. ((y1 -. y0) *. 0.05))
+
+(* round a raw tick interval to 1/2/5 x 10^k *)
+let nice_interval span =
+  if span <= 0.0 then 1.0
+  else begin
+    let raw = span /. 5.0 in
+    let mag = 10.0 ** floor (log10 raw) in
+    let unit = raw /. mag in
+    let nice = if unit <= 1.0 then 1.0 else if unit <= 2.0 then 2.0 else if unit <= 5.0 then 5.0 else 10.0 in
+    nice *. mag
+  end
+
+let fmt_tick v =
+  if Float.is_integer v && abs_float v < 1e7 then
+    string_of_int (int_of_float v)
+  else Printf.sprintf "%.2g" v
+
+let render ?(width = 640) ?(height = 400) ~title ~x_label ~y_label series =
+  let svg = Svg.create ~width ~height in
+  let w = float_of_int width and h = float_of_int height in
+  let plot_w = w -. ml -. mr and plot_h = h -. mt -. mb in
+  let x0, x1, y0, y1 = bounds series in
+  let sx x = ml +. ((x -. x0) /. (x1 -. x0) *. plot_w) in
+  let sy y = mt +. plot_h -. ((y -. y0) /. (y1 -. y0) *. plot_h) in
+  (* frame and title *)
+  Svg.rect svg ~x:ml ~y:mt ~w:plot_w ~h:plot_h ~stroke:"#999" ~fill:"none" ();
+  Svg.text svg ~x:(w /. 2.0) ~y:20.0 ~size:14 ~anchor:`Middle title;
+  Svg.text svg ~x:(w /. 2.0) ~y:(h -. 8.0) ~anchor:`Middle x_label;
+  Svg.text svg ~x:14.0 ~y:(mt -. 10.0) y_label;
+  (* ticks *)
+  let tick_loop v0 v1 draw =
+    let dv = nice_interval (v1 -. v0) in
+    let start = ceil (v0 /. dv) *. dv in
+    let rec go v = if v <= v1 +. 1e-9 then begin draw v; go (v +. dv) end in
+    go start
+  in
+  tick_loop x0 x1 (fun v ->
+      Svg.line svg ~x1:(sx v) ~y1:(mt +. plot_h) ~x2:(sx v)
+        ~y2:(mt +. plot_h +. 4.0) ~color:"#999" ();
+      Svg.text svg ~x:(sx v) ~y:(mt +. plot_h +. 18.0) ~anchor:`Middle
+        (fmt_tick v));
+  tick_loop y0 y1 (fun v ->
+      Svg.line svg ~x1:(ml -. 4.0) ~y1:(sy v) ~x2:ml ~y2:(sy v) ~color:"#999" ();
+      Svg.line svg ~x1:ml ~y1:(sy v) ~x2:(ml +. plot_w) ~y2:(sy v)
+        ~color:"#eee" ();
+      Svg.text svg ~x:(ml -. 8.0) ~y:(sy v +. 4.0) ~anchor:`End (fmt_tick v));
+  (* series *)
+  List.iteri
+    (fun i s ->
+      let scaled = List.map (fun (x, y) -> (sx x, sy y)) s.points in
+      let path =
+        if not s.step then scaled
+        else begin
+          (* step-after: horizontal then vertical between samples *)
+          let rec go = function
+            | (xa, ya) :: ((xb, _) :: _ as rest) ->
+                (xa, ya) :: (xb, ya) :: go rest
+            | tail -> tail
+          in
+          go scaled
+        end
+      in
+      Svg.polyline svg ~points:path ~color:s.color ();
+      List.iter (fun (x, y) -> Svg.circle svg ~cx:x ~cy:y ~r:2.5 ~fill:s.color) scaled;
+      (* legend entry *)
+      let ly = mt +. 14.0 +. (float_of_int i *. 16.0) in
+      Svg.line svg ~x1:(ml +. plot_w -. 120.0) ~y1:ly ~x2:(ml +. plot_w -. 100.0)
+        ~y2:ly ~width:2.0 ~color:s.color ();
+      Svg.text svg ~x:(ml +. plot_w -. 94.0) ~y:(ly +. 4.0) s.label)
+    (List.filter (fun s -> s.points <> []) series);
+  Svg.render svg
+
+let save ?width ?height ~title ~x_label ~y_label ~path series =
+  let doc = render ?width ?height ~title ~x_label ~y_label series in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)

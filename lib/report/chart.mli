@@ -1,0 +1,39 @@
+(** Line/step charts over {!Svg}.
+
+    Enough for the experiment write-ups: auto-scaled axes with ticks, a
+    legend, multiple series, optional step interpolation (loads are
+    step functions of time), and point markers. Deterministic output —
+    the same data always renders byte-identical SVG, so charts can be
+    golden-tested. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** in x order *)
+  color : string;  (** CSS color, e.g. ["#1f77b4"] *)
+  step : bool;  (** step-after interpolation instead of straight lines *)
+}
+
+val default_colors : string list
+(** A color cycle for callers that don't care. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** Complete SVG document. Series with fewer than one point are
+    skipped; an entirely empty chart still renders axes and title.
+    @raise Invalid_argument on non-positive dimensions. *)
+
+val save :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  path:string ->
+  series list ->
+  unit

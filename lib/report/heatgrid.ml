@@ -1,0 +1,49 @@
+let color_of ~peak v =
+  if peak = 0 || v = 0 then "#ffffff"
+  else begin
+    (* white -> red ramp, linear in v/peak *)
+    let t = float_of_int v /. float_of_int peak in
+    let channel = int_of_float (255.0 *. (1.0 -. t)) in
+    Printf.sprintf "#ff%02x%02x" channel channel
+  end
+
+let render ?(cell = 8) ~title ~rows () =
+  if cell <= 0 then invalid_arg "Heatgrid.render: bad cell size";
+  let n_rows = Array.length rows in
+  if n_rows = 0 then invalid_arg "Heatgrid.render: empty grid";
+  let n_cols = Array.length rows.(0) in
+  if n_cols = 0 then invalid_arg "Heatgrid.render: empty grid";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_cols then
+        invalid_arg "Heatgrid.render: ragged grid")
+    rows;
+  let margin_top = 30 and margin_left = 10 and margin_bottom = 24 in
+  let width = margin_left + (n_cols * cell) + 10 in
+  let height = margin_top + (n_rows * cell) + margin_bottom in
+  let svg = Svg.create ~width ~height in
+  let peak = Array.fold_left (fun acc r -> Array.fold_left max acc r) 0 rows in
+  Svg.text svg ~x:(float_of_int margin_left) ~y:18.0 ~size:13 title;
+  Array.iteri
+    (fun r row ->
+      Array.iteri
+        (fun c v ->
+          Svg.rect svg
+            ~x:(float_of_int (margin_left + (c * cell)))
+            ~y:(float_of_int (margin_top + (r * cell)))
+            ~w:(float_of_int cell) ~h:(float_of_int cell)
+            ~fill:(color_of ~peak v) ())
+        row)
+    rows;
+  Svg.text svg ~x:(float_of_int margin_left)
+    ~y:(float_of_int (height - 8))
+    (Printf.sprintf "PEs left-to-right, time top-to-bottom; deepest red = load %d"
+       peak);
+  Svg.render svg
+
+let of_heatmap ?cell ~title (hm : Pmp_sim.Heatmap.t) =
+  render ?cell ~title ~rows:hm.Pmp_sim.Heatmap.rows ()
+
+let save ~path doc =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)

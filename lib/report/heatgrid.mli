@@ -1,0 +1,23 @@
+(** SVG rendering of per-PE load heatmaps.
+
+    The ASCII {!Pmp_sim.Heatmap} is handy in a terminal; this renders
+    the same sampled grid as an SVG raster — one rectangle per
+    (time-bucket, PE-bucket) cell, colored on a white→red ramp with the
+    hottest observed cell at full saturation — plus axis captions and a
+    scale note. Deterministic output, suitable for golden tests. *)
+
+val render :
+  ?cell:int ->
+  title:string ->
+  rows:int array array ->
+  unit ->
+  string
+(** [render ~rows ()] draws the grid (row-major, row 0 on top). [cell]
+    is the pixel size of one cell (default 8).
+    @raise Invalid_argument on an empty or ragged grid, or
+    non-positive [cell]. *)
+
+val of_heatmap : ?cell:int -> title:string -> Pmp_sim.Heatmap.t -> string
+(** Convenience over a sampled {!Pmp_sim.Heatmap}. *)
+
+val save : path:string -> string -> unit

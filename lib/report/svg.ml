@@ -1,0 +1,78 @@
+type t = { width : int; height : int; buf : Buffer.t }
+
+let create ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Svg.create: bad dimensions";
+  { width; height; buf = Buffer.create 1024 }
+
+let f = Printf.sprintf "%.2f"
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let line t ~x1 ~y1 ~x2 ~y2 ?(width = 1.0) ~color () =
+  Buffer.add_string t.buf
+    (Printf.sprintf
+       "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" stroke-width=\"%s\"/>\n"
+       (f x1) (f y1) (f x2) (f y2) (escape color) (f width))
+
+let polyline t ~points ?(width = 1.5) ~color () =
+  if List.length points >= 2 then begin
+    let pts =
+      String.concat " " (List.map (fun (x, y) -> f x ^ "," ^ f y) points)
+    in
+    Buffer.add_string t.buf
+      (Printf.sprintf
+         "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"%s\"/>\n"
+         pts (escape color) (f width))
+  end
+
+let rect t ~x ~y ~w ~h ?stroke ~fill () =
+  let stroke_attr =
+    match stroke with
+    | None -> ""
+    | Some s -> Printf.sprintf " stroke=\"%s\"" (escape s)
+  in
+  Buffer.add_string t.buf
+    (Printf.sprintf
+       "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"%s\"%s/>\n"
+       (f x) (f y) (f w) (f h) (escape fill) stroke_attr)
+
+let circle t ~cx ~cy ~r ~fill =
+  Buffer.add_string t.buf
+    (Printf.sprintf "<circle cx=\"%s\" cy=\"%s\" r=\"%s\" fill=\"%s\"/>\n"
+       (f cx) (f cy) (f r) (escape fill))
+
+let text t ~x ~y ?(size = 11) ?(anchor = `Start) ?(color = "#333") content =
+  let anchor_str =
+    match anchor with `Start -> "start" | `Middle -> "middle" | `End -> "end"
+  in
+  Buffer.add_string t.buf
+    (Printf.sprintf
+       "<text x=\"%s\" y=\"%s\" font-size=\"%d\" font-family=\"sans-serif\" \
+        text-anchor=\"%s\" fill=\"%s\">%s</text>\n"
+       (f x) (f y) size anchor_str (escape color) (escape content))
+
+let render t =
+  Printf.sprintf
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+     <svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n\
+     <rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" fill=\"white\"/>\n\
+     %s</svg>\n"
+    t.width t.height t.width t.height t.width t.height (Buffer.contents t.buf)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render t))

@@ -1,0 +1,36 @@
+(** Minimal SVG 1.1 document builder.
+
+    Just enough vector drawing for the chart module: no dependencies,
+    plain strings, valid standalone [.svg] files. Coordinates are in
+    user units with the origin at the top-left, as in SVG itself. *)
+
+type t
+
+val create : width:int -> height:int -> t
+(** @raise Invalid_argument on non-positive dimensions. *)
+
+val line :
+  t -> x1:float -> y1:float -> x2:float -> y2:float -> ?width:float ->
+  color:string -> unit -> unit
+
+val polyline :
+  t -> points:(float * float) list -> ?width:float -> color:string -> unit ->
+  unit
+(** An open, unfilled path through the points; no-op on fewer than two
+    points. *)
+
+val rect :
+  t -> x:float -> y:float -> w:float -> h:float -> ?stroke:string ->
+  fill:string -> unit -> unit
+
+val circle : t -> cx:float -> cy:float -> r:float -> fill:string -> unit
+
+val text :
+  t -> x:float -> y:float -> ?size:int -> ?anchor:[ `Start | `Middle | `End ] ->
+  ?color:string -> string -> unit
+(** Text content is XML-escaped. *)
+
+val render : t -> string
+(** The complete document, [<?xml …?><svg …>…</svg>]. *)
+
+val save : t -> string -> unit

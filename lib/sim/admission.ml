@@ -1,0 +1,106 @@
+module Task = Pmp_workload.Task
+module Event = Pmp_workload.Event
+module Sequence = Pmp_workload.Sequence
+
+type stats = {
+  admitted_immediately : int;
+  delayed : int;
+  abandoned : int;
+  still_queued : int;
+  waits : int array;
+  max_queue_length : int;
+}
+
+type queued = { task : Task.t; enqueued_at : int }
+
+let throttle seq ~machine_size ~max_util =
+  if max_util <= 0.0 then invalid_arg "Admission.throttle: max_util <= 0";
+  let capacity = int_of_float (max_util *. float_of_int machine_size) in
+  let out = ref [] in
+  let emit ev = out := ev :: !out in
+  let active_size = ref 0 in
+  let active : (Task.id, int) Hashtbl.t = Hashtbl.create 64 in
+  let queue : queued Queue.t = Queue.create () in
+  let queued_ids : (Task.id, unit) Hashtbl.t = Hashtbl.create 16 in
+  let immediate = ref 0 and delayed = ref 0 and abandoned = ref 0 in
+  let waits = ref [] in
+  let max_queue = ref 0 in
+  let admit (task : Task.t) =
+    emit (Event.Arrive task);
+    Hashtbl.replace active task.id task.size;
+    active_size := !active_size + task.size
+  in
+  let drain now =
+    (* FIFO with head-of-line blocking: stop at the first task that
+       does not fit *)
+    let rec go () =
+      match Queue.peek_opt queue with
+      | Some q when !active_size + q.task.Task.size <= capacity ->
+          ignore (Queue.pop queue);
+          Hashtbl.remove queued_ids q.task.Task.id;
+          incr delayed;
+          waits := (now - q.enqueued_at) :: !waits;
+          admit q.task;
+          go ()
+      | Some _ | None -> ()
+    in
+    go ()
+  in
+  let handle now (ev : Event.t) =
+    match ev with
+    | Arrive task ->
+        if task.Task.size > machine_size then
+          invalid_arg "Admission.throttle: task larger than machine";
+        if task.Task.size > capacity then
+          invalid_arg "Admission.throttle: task larger than the capacity cap";
+        if Queue.is_empty queue && !active_size + task.Task.size <= capacity
+        then begin
+          incr immediate;
+          admit task
+        end
+        else begin
+          Queue.push { task; enqueued_at = now } queue;
+          Hashtbl.replace queued_ids task.Task.id ();
+          if Queue.length queue > !max_queue then max_queue := Queue.length queue
+        end
+    | Depart id ->
+        if Hashtbl.mem active id then begin
+          let size = Hashtbl.find active id in
+          Hashtbl.remove active id;
+          active_size := !active_size - size;
+          emit (Event.Depart id);
+          drain now
+        end
+        else if Hashtbl.mem queued_ids id then begin
+          (* the user left before ever being served *)
+          Hashtbl.remove queued_ids id;
+          incr abandoned;
+          let survivors = Queue.create () in
+          Queue.iter
+            (fun q -> if q.task.Task.id <> id then Queue.push q survivors)
+            queue;
+          Queue.clear queue;
+          Queue.transfer survivors queue;
+          drain now
+        end
+        else invalid_arg "Admission.throttle: departure of unknown task"
+  in
+  Array.iteri handle (Sequence.events seq);
+  let out_seq = Sequence.of_events_exn (List.rev !out) in
+  ( out_seq,
+    {
+      admitted_immediately = !immediate;
+      delayed = !delayed;
+      abandoned = !abandoned;
+      still_queued = Queue.length queue;
+      waits = Array.of_list (List.rev !waits);
+      max_queue_length = !max_queue;
+    } )
+
+let mean_wait stats =
+  if Array.length stats.waits = 0 then 0.0
+  else Pmp_util.Stats.mean (Array.map float_of_int stats.waits)
+
+let p95_wait stats =
+  if Array.length stats.waits = 0 then 0.0
+  else Pmp_util.Stats.percentile (Array.map float_of_int stats.waits) 95.0

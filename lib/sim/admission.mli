@@ -1,0 +1,41 @@
+(** Capacity-based admission control — the alternative the paper's
+    model deliberately rejects, built so its cost can be measured.
+
+    The paper insists on {e real-time service}: every task is placed
+    the moment it arrives, and the price is thread load (multiple
+    users per PE). The scheduling literature it contrasts itself with
+    ([13, 14, 18] in the paper) instead delays tasks so that processors
+    are never shared. This module implements the knob between the two
+    worlds: arrivals are admitted immediately while the cumulative
+    active size stays within [max_util * N], and queue FIFO (with
+    head-of-line blocking) otherwise, being admitted as departures free
+    capacity. A queued task whose departure event fires before it was
+    ever admitted abandons the queue.
+
+    [throttle] is a {e sequence transformer}: it rewrites a task
+    sequence into the admission-delayed sequence any allocator can then
+    run, plus the waiting statistics. Time is measured in input event
+    indices (each original event is one tick). *)
+
+type stats = {
+  admitted_immediately : int;
+  delayed : int;  (** admitted after waiting *)
+  abandoned : int;  (** departed while still queued *)
+  still_queued : int;  (** waiting when the sequence ended *)
+  waits : int array;  (** waiting ticks of every delayed (served) task *)
+  max_queue_length : int;
+}
+
+val throttle :
+  Pmp_workload.Sequence.t ->
+  machine_size:int ->
+  max_util:float ->
+  Pmp_workload.Sequence.t * stats
+(** @raise Invalid_argument if [max_util <= 0] or some task exceeds
+    the machine, or a single task exceeds the capacity (it could never
+    be admitted). *)
+
+val mean_wait : stats -> float
+(** Mean over served-after-waiting tasks; 0 if none waited. *)
+
+val p95_wait : stats -> float

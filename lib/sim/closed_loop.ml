@@ -1,0 +1,161 @@
+module Machine = Pmp_machine.Machine
+module Task = Pmp_workload.Task
+module Mirror = Pmp_core.Mirror
+
+type job_spec = { arrival : float; size : int; work : float }
+
+type completion = {
+  task : Task.t;
+  arrival : float;
+  finish : float;
+  slowdown : float;
+}
+
+type result = {
+  allocator_name : string;
+  completions : completion list;
+  max_load : int;
+  makespan : float;
+  mean_slowdown : float;
+  p95_slowdown : float;
+  max_slowdown : float;
+  fairness : float;
+  realloc_events : int;
+}
+
+type live = {
+  task : Task.t;
+  arrived : float;
+  total_work : float;
+  mutable remaining : float;
+}
+
+let run (alloc : Pmp_core.Allocator.t) specs =
+  let n = Machine.size alloc.machine in
+  List.iter
+    (fun (s : job_spec) ->
+      if s.arrival < 0.0 then invalid_arg "Closed_loop.run: negative arrival";
+      if s.work <= 0.0 then invalid_arg "Closed_loop.run: non-positive work";
+      if (not (Pmp_util.Pow2.is_pow2 s.size)) || s.size > n then
+        invalid_arg "Closed_loop.run: bad task size")
+    specs;
+  let pending =
+    ref
+      (List.mapi (fun id (s : job_spec) -> (Task.make ~id ~size:s.size, s)) specs
+      |> List.sort (fun (_, (a : job_spec)) (_, (b : job_spec)) ->
+             compare a.arrival b.arrival))
+  in
+  let mirror = Mirror.create alloc.machine in
+  let running : (Task.id, live) Hashtbl.t = Hashtbl.create 64 in
+  let max_load = ref 0 in
+  let completed = ref [] in
+  (* a job's current rate: gang-scheduled round-robin over the most
+     loaded PE of the submachine it currently occupies *)
+  let rate l =
+    match Mirror.placement mirror l.task.Task.id with
+    | None -> assert false
+    | Some p ->
+        1.0 /. float_of_int (max 1 (Mirror.max_load_in mirror p.Pmp_core.Placement.sub))
+  in
+  let advance elapsed =
+    if elapsed > 0.0 then
+      Hashtbl.iter
+        (fun _ l -> l.remaining <- l.remaining -. (elapsed *. rate l))
+        running
+  in
+  let next_completion now =
+    Hashtbl.fold
+      (fun _ l acc -> min acc (now +. (l.remaining /. rate l)))
+      running infinity
+  in
+  let rec step now =
+    let arrival_at =
+      match !pending with [] -> infinity | (_, s) :: _ -> s.arrival
+    in
+    let completion_at = next_completion now in
+    if arrival_at = infinity && completion_at = infinity then now
+    else if arrival_at <= completion_at then begin
+      advance (arrival_at -. now);
+      (match !pending with
+      | [] -> assert false
+      | (task, spec) :: rest ->
+          pending := rest;
+          let resp = alloc.assign task in
+          Mirror.apply_assign mirror task resp;
+          Hashtbl.replace running task.Task.id
+            {
+              task;
+              arrived = spec.arrival;
+              total_work = spec.work;
+              remaining = spec.work;
+            };
+          let load = Mirror.max_load mirror in
+          if load > !max_load then max_load := load);
+      step arrival_at
+    end
+    else begin
+      advance (completion_at -. now);
+      (* collect everything that has drained (ties finish together) *)
+      let finished =
+        Hashtbl.fold
+          (fun _ l acc -> if l.remaining <= 1e-9 then l :: acc else acc)
+          running []
+      in
+      List.iter
+        (fun l ->
+          Hashtbl.remove running l.task.Task.id;
+          alloc.remove l.task.Task.id;
+          Mirror.apply_remove mirror l.task.Task.id;
+          completed :=
+            {
+              task = l.task;
+              arrival = l.arrived;
+              finish = completion_at;
+              slowdown = (completion_at -. l.arrived) /. l.total_work;
+            }
+            :: !completed)
+        finished;
+      step completion_at
+    end
+  in
+  let makespan = step 0.0 in
+  let completions = List.rev !completed in
+  let slowdowns =
+    Array.of_list (List.map (fun c -> c.slowdown) completions)
+  in
+  let mean_slowdown = Pmp_util.Stats.mean slowdowns in
+  let p95_slowdown =
+    if Array.length slowdowns = 0 then 0.0
+    else Pmp_util.Stats.percentile slowdowns 95.0
+  in
+  let max_slowdown = Array.fold_left max 0.0 slowdowns in
+  {
+    allocator_name = alloc.name;
+    completions;
+    max_load = !max_load;
+    makespan;
+    mean_slowdown;
+    p95_slowdown;
+    max_slowdown;
+    fairness = Metrics.jain_fairness slowdowns;
+    realloc_events = alloc.realloc_events ();
+  }
+
+let poisson_specs g ~machine_size ~horizon ~arrival_rate ~mean_work ~max_order
+    ~size_bias =
+  if horizon <= 0.0 || arrival_rate <= 0.0 || mean_work <= 0.0 then
+    invalid_arg "Closed_loop.poisson_specs: bad parameters";
+  if max_order > Pmp_util.Pow2.ilog2 machine_size then
+    invalid_arg "Closed_loop.poisson_specs: max_order exceeds machine";
+  let sigma = 1.0 in
+  let mu = log mean_work -. (sigma *. sigma /. 2.0) in
+  let rec go now acc =
+    let now = now +. Pmp_prng.Dist.exponential g ~rate:arrival_rate in
+    if now > horizon then List.rev acc
+    else begin
+      let size = Pmp_prng.Dist.pow2_size g ~max_order ~bias:size_bias in
+      let work = Pmp_prng.Dist.lognormal g ~mu ~sigma in
+      go now ({ arrival = now; size; work } :: acc)
+    end
+  in
+  go 0.0 []

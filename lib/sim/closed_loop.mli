@@ -1,0 +1,57 @@
+(** Closed-loop simulation: departures caused by execution, not script.
+
+    Everywhere else in the library the task sequence is exogenous — a
+    departure happens when the trace says so. In a real time-shared
+    machine the causality is closed: a task arrives with a {e service
+    demand}, runs gang-scheduled on its submachine at rate
+    [1 / (max PE load over its submachine)], and departs {e when its
+    work completes} — so an allocator that stacks users on the same
+    PEs literally makes their jobs take longer, which keeps the load
+    high for longer, which slows the next arrivals. This module runs
+    that loop and reports the per-user slowdowns the paper's §2 uses
+    to motivate minimising load.
+
+    Reallocations are honoured mid-flight: when a repack migrates a
+    running task, its remaining work carries over and its rate follows
+    its new submachine. (Migration delay itself is charged separately
+    by the cost models; here migrations are instantaneous.) *)
+
+type job_spec = { arrival : float; size : int; work : float }
+(** [work] is in dedicated-submachine time units. *)
+
+type completion = {
+  task : Pmp_workload.Task.t;
+  arrival : float;
+  finish : float;
+  slowdown : float;  (** [(finish - arrival) / work], >= 1 *)
+}
+
+type result = {
+  allocator_name : string;
+  completions : completion list;  (** in finishing order *)
+  max_load : int;
+  makespan : float;  (** time of the last completion *)
+  mean_slowdown : float;
+  p95_slowdown : float;
+  max_slowdown : float;
+  fairness : float;  (** Jain's index over per-user slowdowns *)
+  realloc_events : int;
+}
+
+val run : Pmp_core.Allocator.t -> job_spec list -> result
+(** Specs need not be sorted. Every job completes (the simulation runs
+    past the last arrival until the system drains).
+    @raise Invalid_argument on negative arrivals, non-positive work,
+    or sizes that are not powers of two or exceed the machine. *)
+
+val poisson_specs :
+  Pmp_prng.Splitmix64.t ->
+  machine_size:int ->
+  horizon:float ->
+  arrival_rate:float ->
+  mean_work:float ->
+  max_order:int ->
+  size_bias:float ->
+  job_spec list
+(** Poisson arrivals with log-normal service demands — the open-system
+    workload for response-time experiments. *)

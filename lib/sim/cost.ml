@@ -1,0 +1,15 @@
+type t = { topology : Pmp_machine.Topology.t; bytes_per_pe : int }
+
+let make ?(bytes_per_pe = 1) topology =
+  if bytes_per_pe <= 0 then invalid_arg "Cost.make: bytes_per_pe <= 0";
+  { topology; bytes_per_pe }
+
+let topology t = t.topology
+
+let move_cost t (mv : Pmp_core.Allocator.move) =
+  let from_sub = mv.from_.Pmp_core.Placement.sub
+  and to_sub = mv.to_.Pmp_core.Placement.sub in
+  let hops = Pmp_machine.Topology.submachine_hops t.topology from_sub to_sub in
+  mv.task.Pmp_workload.Task.size * t.bytes_per_pe * hops
+
+let moves_cost t moves = List.fold_left (fun acc mv -> acc + move_cost t mv) 0 moves

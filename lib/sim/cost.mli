@@ -1,0 +1,29 @@
+(** Migration-cost model.
+
+    The paper motivates infrequent reallocation by the expense of
+    moving checkpointed task state between submachines, but never
+    quantifies it (its testbeds were CM-5/SP2-class machines we don't
+    have). We substitute an explicit traffic model: relocating a task
+    of size [s] from submachine [A] to submachine [B] ships [s *
+    bytes_per_pe] of checkpoint state across the network, paying the
+    topology's routing distance between the two submachines per byte.
+    A move between copies of the same submachine (a pure bookkeeping
+    move) is free — no state leaves its PEs.
+
+    This preserves the behaviour the tradeoff depends on: cost grows
+    with reallocation frequency, task size, and displacement, so the
+    load-vs-traffic frontier as a function of [d] is measurable. *)
+
+type t
+
+val make : ?bytes_per_pe:int -> Pmp_machine.Topology.t -> t
+(** [bytes_per_pe] defaults to 1 (cost in abstract "checkpoint units"
+    rather than bytes). @raise Invalid_argument if non-positive. *)
+
+val topology : t -> Pmp_machine.Topology.t
+
+val move_cost : t -> Pmp_core.Allocator.move -> int
+(** Traffic for one relocation. *)
+
+val moves_cost : t -> Pmp_core.Allocator.move list -> int
+(** Total over a repack's move list. *)

@@ -1,0 +1,89 @@
+module Machine = Pmp_machine.Machine
+module Sequence = Pmp_workload.Sequence
+module Task = Pmp_workload.Task
+module Event = Pmp_workload.Event
+module Allocator = Pmp_core.Allocator
+module Mirror = Pmp_core.Mirror
+
+type result = {
+  allocator_name : string;
+  machine_size : int;
+  events : int;
+  max_load : int;
+  optimal_load : int;
+  ratio : float;
+  load_trajectory : int array;
+  opt_trajectory : int array;
+  realloc_events : int;
+  tasks_moved : int;
+  migration_traffic : int;
+  final_leaf_loads : int array;
+}
+
+let run ?(check = false) ?cost (alloc : Allocator.t) seq =
+  let n = Machine.size alloc.machine in
+  if not (Sequence.fits seq ~machine_size:n) then
+    invalid_arg "Engine.run: sequence has tasks larger than the machine";
+  let events = Sequence.events seq in
+  let mirror = Mirror.create alloc.machine in
+  let load_trajectory = Array.make (Array.length events) 0 in
+  let opt_trajectory = Array.make (Array.length events) 0 in
+  let tasks_moved = ref 0 and traffic = ref 0 in
+  let account_moves moves =
+    tasks_moved := !tasks_moved + List.length moves;
+    match cost with
+    | None -> ()
+    | Some model -> traffic := !traffic + Cost.moves_cost model moves
+  in
+  Array.iteri
+    (fun i ev ->
+      begin
+        match (ev : Event.t) with
+        | Arrive task ->
+            let resp = alloc.assign task in
+            if check then begin
+              match Allocator.check_response alloc task resp with
+              | Ok () -> ()
+              | Error e -> invalid_arg ("Engine.run: bad response: " ^ e)
+            end;
+            Mirror.apply_assign mirror task resp;
+            account_moves resp.moves
+        | Depart id ->
+            alloc.remove id;
+            Mirror.apply_remove mirror id
+      end;
+      if check then begin
+        match Mirror.check_against mirror alloc with
+        | Ok () -> ()
+        | Error e -> invalid_arg ("Engine.run: mirror mismatch: " ^ e)
+      end;
+      load_trajectory.(i) <- Mirror.max_load mirror;
+      opt_trajectory.(i) <-
+        Pmp_util.Pow2.ceil_div (Mirror.active_size mirror) n)
+    events;
+  let max_load = Array.fold_left max 0 load_trajectory in
+  let optimal_load = Sequence.optimal_load seq ~machine_size:n in
+  {
+    allocator_name = alloc.name;
+    machine_size = n;
+    events = Array.length events;
+    max_load;
+    optimal_load;
+    ratio = float_of_int max_load /. float_of_int (max 1 optimal_load);
+    load_trajectory;
+    opt_trajectory;
+    realloc_events = alloc.realloc_events ();
+    tasks_moved = !tasks_moved;
+    migration_traffic = !traffic;
+    final_leaf_loads = Mirror.leaf_loads mirror;
+  }
+
+let max_ratio_over_time r =
+  let best = ref 0.0 in
+  Array.iteri
+    (fun i load ->
+      let opt = max 1 r.opt_trajectory.(i) in
+      let ratio = float_of_int load /. float_of_int opt in
+      if ratio > !best then best := ratio)
+    r.load_trajectory;
+  !best

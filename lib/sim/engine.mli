@@ -1,0 +1,37 @@
+(** The simulation engine: drive an allocator over a task sequence and
+    measure it.
+
+    Loads are accounted by an independent {!Pmp_core.Mirror}, never by
+    the allocator itself. In [~check:true] mode every response is
+    structurally validated and the mirror is cross-checked against the
+    allocator's own placement view after every event — slow, but the
+    test suite runs all integration scenarios this way. *)
+
+type result = {
+  allocator_name : string;
+  machine_size : int;
+  events : int;
+  max_load : int;  (** [L_A(σ) = max over τ of L_A(σ;τ)] *)
+  optimal_load : int;  (** [L* = ceil (s(σ)/N)] *)
+  ratio : float;  (** [max_load / max 1 L*] *)
+  load_trajectory : int array;  (** machine load after each event *)
+  opt_trajectory : int array;
+      (** instantaneous lower bound [ceil (S(σ;τ)/N)] after each
+          event *)
+  realloc_events : int;
+  tasks_moved : int;
+  migration_traffic : int;  (** per the cost model; 0 when none given *)
+  final_leaf_loads : int array;
+}
+
+val run :
+  ?check:bool -> ?cost:Cost.t -> Pmp_core.Allocator.t ->
+  Pmp_workload.Sequence.t -> result
+(** Run a {e fresh} allocator over the sequence from its beginning.
+    @raise Invalid_argument if the sequence does not fit the machine
+    or (in checked mode) the allocator misbehaves. *)
+
+val max_ratio_over_time : result -> float
+(** Peak of [load(τ) / max 1 opt(τ)] — a finer competitive measure
+    than [ratio] when the sequence's peak and the algorithm's worst
+    moment differ. *)

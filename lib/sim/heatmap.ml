@@ -1,0 +1,71 @@
+module Machine = Pmp_machine.Machine
+module Sequence = Pmp_workload.Sequence
+module Event = Pmp_workload.Event
+module Mirror = Pmp_core.Mirror
+
+type t = {
+  rows : int array array;
+  events_per_row : int;
+  pes_per_col : int;
+}
+
+let ramp = " .:-=+*#%@"
+
+let sample ?(rows = 24) ?(cols = 64) (alloc : Pmp_core.Allocator.t) seq =
+  if rows <= 0 || cols <= 0 then invalid_arg "Heatmap.sample: bad dimensions";
+  let n = Machine.size alloc.machine in
+  if not (Sequence.fits seq ~machine_size:n) then
+    invalid_arg "Heatmap.sample: sequence does not fit the machine";
+  let events = Sequence.events seq in
+  let total = Array.length events in
+  let events_per_row = max 1 (Pmp_util.Pow2.ceil_div (max total 1) rows) in
+  let pes_per_col = max 1 (Pmp_util.Pow2.ceil_div n cols) in
+  let n_cols = Pmp_util.Pow2.ceil_div n pes_per_col in
+  let mirror = Mirror.create alloc.machine in
+  let sampled = ref [] in
+  let snapshot () =
+    let leaf = Mirror.leaf_loads mirror in
+    let row = Array.make n_cols 0 in
+    Array.iteri
+      (fun i load ->
+        let c = i / pes_per_col in
+        if load > row.(c) then row.(c) <- load)
+      leaf;
+    sampled := row :: !sampled
+  in
+  Array.iteri
+    (fun i (ev : Event.t) ->
+      begin
+        match ev with
+        | Arrive task -> Mirror.apply_assign mirror task (alloc.assign task)
+        | Depart id ->
+            alloc.remove id;
+            Mirror.apply_remove mirror id
+      end;
+      if (i + 1) mod events_per_row = 0 || i = total - 1 then snapshot ())
+    events;
+  if total = 0 then snapshot ();
+  { rows = Array.of_list (List.rev !sampled); events_per_row; pes_per_col }
+
+let max_cell t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left max acc row)
+    0 t.rows
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "per-PE load (rows: %d events each; cols: %d PEs each; scale '%s', saturates at %d)\n"
+       t.events_per_row t.pes_per_col (String.trim ramp)
+       (String.length ramp - 1));
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun v ->
+          let idx = min v (String.length ramp - 1) in
+          Buffer.add_char buf ramp.[idx])
+        row;
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf

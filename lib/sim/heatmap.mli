@@ -1,0 +1,29 @@
+(** ASCII heatmap of per-PE load over time.
+
+    Renders one character per (time-bucket, PE-bucket) cell, where time
+    runs top to bottom (one row per sampled event window) and PEs run
+    left to right. Cell intensity is the {e maximum} PE load inside the
+    bucket, mapped onto the ramp [" .:-=+*#%@"] (saturating at 9+).
+    Because the machine is a complete binary tree, left/right imbalance
+    and fragmentation stripes are immediately visible — the pictures
+    the paper's worked example describes in prose. *)
+
+type t = {
+  rows : int array array;  (** sampled max loads, [rows x cols] *)
+  events_per_row : int;
+  pes_per_col : int;
+}
+
+val sample :
+  ?rows:int -> ?cols:int -> Pmp_core.Allocator.t -> Pmp_workload.Sequence.t -> t
+(** Run the allocator over the sequence (through a fresh mirror),
+    sampling leaf loads after every [ceil(events/rows)] events and
+    bucketing PEs into at most [cols] columns. Defaults: 24 rows,
+    64 columns. @raise Invalid_argument on non-positive dimensions or
+    an oversized sequence. *)
+
+val render : t -> string
+(** Multi-line picture with a load scale legend. *)
+
+val max_cell : t -> int
+(** Largest sampled value (the peak load the picture shows). *)

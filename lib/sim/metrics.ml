@@ -1,0 +1,45 @@
+module Stats = Pmp_util.Stats
+
+type summary = {
+  max_load : int;
+  mean_load : float;
+  p99_load : float;
+  max_ratio : float;
+  end_ratio : float;
+  imbalance : float;
+}
+
+let summarize (r : Engine.result) =
+  let traj = Array.map float_of_int r.load_trajectory in
+  let leafs = Array.map float_of_int r.final_leaf_loads in
+  let mean_leaf = Stats.mean leafs in
+  let max_leaf = if Array.length leafs = 0 then 0.0 else Array.fold_left max 0.0 leafs in
+  {
+    max_load = r.max_load;
+    mean_load = Stats.mean traj;
+    p99_load = (if Array.length traj = 0 then 0.0 else Stats.percentile traj 99.0);
+    max_ratio = Engine.max_ratio_over_time r;
+    end_ratio = r.ratio;
+    imbalance = (if mean_leaf <= 0.0 then 1.0 else max_leaf /. mean_leaf);
+  }
+
+let fragmentation (r : Engine.result) =
+  let n = Array.length r.load_trajectory in
+  if n = 0 then 0.0
+  else begin
+    let last_load = r.load_trajectory.(n - 1) in
+    let last_opt = max 1 r.opt_trajectory.(n - 1) in
+    float_of_int (last_load - last_opt) /. float_of_int last_opt
+  end
+
+let jain_fairness xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else begin
+    let sum = Array.fold_left ( +. ) 0.0 xs in
+    let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if sum_sq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sum_sq)
+  end
+
+let mean_of xs = Stats.mean (Array.of_list xs)
+let stddev_of xs = Stats.stddev (Array.of_list xs)

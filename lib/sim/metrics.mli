@@ -1,0 +1,29 @@
+(** Derived metrics over simulation results. *)
+
+type summary = {
+  max_load : int;
+  mean_load : float;  (** time-averaged machine load (per event) *)
+  p99_load : float;
+  max_ratio : float;  (** peak instantaneous load / instantaneous opt *)
+  end_ratio : float;  (** sequence-level [max_load / L*] *)
+  imbalance : float;
+      (** max PE load / mean PE load at the final state; 1.0 when
+          perfectly even or idle *)
+}
+
+val summarize : Engine.result -> summary
+
+val fragmentation : Engine.result -> float
+(** Final-state fragmentation: the fraction of machine capacity that
+    the maximum load overhangs the instantaneous optimum,
+    [(max_load - opt) / max 1 opt] at the last event. 0 when the
+    allocator ends perfectly packed. *)
+
+val jain_fairness : float array -> float
+(** Jain's fairness index [(Σx)² / (n · Σx²)] over per-user slowdowns
+    (or any non-negative allocation metric): 1.0 when perfectly even,
+    approaching [1/n] when one user takes everything. 1.0 on empty or
+    all-zero input. *)
+
+val mean_of : float list -> float
+val stddev_of : float list -> float

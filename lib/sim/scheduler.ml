@@ -1,0 +1,155 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Load_map = Pmp_machine.Load_map
+
+type job = { task : Pmp_workload.Task.t; sub : Sub.t; work : float }
+
+type completion = {
+  job : job;
+  finish_time : float;
+  slowdown : float;
+  peak_load_seen : int;
+}
+
+type live = {
+  j : job;
+  mutable remaining : float;
+  mutable peak : int;
+}
+
+let simulate m jobs =
+  List.iter
+    (fun j ->
+      if j.work <= 0.0 then invalid_arg "Scheduler.simulate: non-positive work";
+      if Sub.last_leaf j.sub >= Machine.size m then
+        invalid_arg "Scheduler.simulate: job outside machine")
+    jobs;
+  let loads = Load_map.create m in
+  List.iter (fun j -> Load_map.add loads j.sub 1) jobs;
+  let live = List.map (fun j -> { j; remaining = j.work; peak = 0 }) jobs in
+  let rate l = 1.0 /. float_of_int (max 1 (Load_map.max_load loads l.j.sub)) in
+  let rec step now live completed =
+    match live with
+    | [] -> List.rev completed
+    | _ ->
+        List.iter
+          (fun l -> l.peak <- max l.peak (Load_map.max_load loads l.j.sub))
+          live;
+        (* next completion under current (constant) rates *)
+        let horizon l = l.remaining /. rate l in
+        let next =
+          List.fold_left
+            (fun acc l -> min acc (horizon l))
+            infinity live
+        in
+        let elapsed = next in
+        let now = now +. elapsed in
+        let finished, survivors =
+          List.partition
+            (fun l ->
+              l.remaining <- l.remaining -. (elapsed *. rate l);
+              l.remaining <= 1e-9)
+            live
+        in
+        List.iter (fun l -> Load_map.add loads l.j.sub (-1)) finished;
+        let completed =
+          List.fold_left
+            (fun acc l ->
+              {
+                job = l.j;
+                finish_time = now;
+                slowdown = now /. l.j.work;
+                peak_load_seen = l.peak;
+              }
+              :: acc)
+            completed finished
+        in
+        step now survivors completed
+  in
+  step 0.0 live []
+
+type timed_job = { j : job; start : float }
+
+type tlive = {
+  lj : job;
+  started : float;
+  mutable t_remaining : float;
+  mutable t_peak : int;
+}
+
+let simulate_timeline m timed =
+  List.iter
+    (fun t ->
+      if t.start < 0.0 then
+        invalid_arg "Scheduler.simulate_timeline: negative start";
+      if t.j.work <= 0.0 then
+        invalid_arg "Scheduler.simulate_timeline: non-positive work";
+      if Sub.last_leaf t.j.sub >= Machine.size m then
+        invalid_arg "Scheduler.simulate_timeline: job outside machine")
+    timed;
+  let pending = ref (List.sort (fun a b -> compare a.start b.start) timed) in
+  let loads = Load_map.create m in
+  let rate l = 1.0 /. float_of_int (max 1 (Load_map.max_load loads l.lj.sub)) in
+  (* event-driven: the next event is the earlier of the next arrival
+     and the next completion under current (constant) rates *)
+  let rec step now running completed =
+    match (running, !pending) with
+    | [], [] -> List.rev completed
+    | _ ->
+        List.iter
+          (fun l -> l.t_peak <- max l.t_peak (Load_map.max_load loads l.lj.sub))
+          running;
+        let next_completion =
+          List.fold_left
+            (fun acc l -> min acc (now +. (l.t_remaining /. rate l)))
+            infinity running
+        in
+        let next_arrival =
+          match !pending with [] -> infinity | t :: _ -> t.start
+        in
+        if next_arrival < next_completion then begin
+          (* advance running work to the arrival instant, then admit *)
+          List.iter
+            (fun l ->
+              l.t_remaining <-
+                l.t_remaining -. ((next_arrival -. now) *. rate l))
+            running;
+          match !pending with
+          | [] -> assert false
+          | t :: rest ->
+              pending := rest;
+              Load_map.add loads t.j.sub 1;
+              let live =
+                { lj = t.j; started = t.start; t_remaining = t.j.work; t_peak = 0 }
+              in
+              step next_arrival (live :: running) completed
+        end
+        else begin
+          let elapsed = next_completion -. now in
+          let finished, survivors =
+            List.partition
+              (fun l ->
+                l.t_remaining <- l.t_remaining -. (elapsed *. rate l);
+                l.t_remaining <= 1e-9)
+              running
+          in
+          List.iter (fun l -> Load_map.add loads l.lj.sub (-1)) finished;
+          let completed =
+            List.fold_left
+              (fun acc l ->
+                {
+                  job = l.lj;
+                  finish_time = next_completion;
+                  slowdown = (next_completion -. l.started) /. l.lj.work;
+                  peak_load_seen = l.t_peak;
+                }
+                :: acc)
+              completed finished
+          in
+          step next_completion survivors completed
+        end
+  in
+  step 0.0 [] []
+
+let max_slowdown completions =
+  List.fold_left (fun acc c -> max acc c.slowdown) 0.0 completions

@@ -1,0 +1,46 @@
+(** Round-robin time-sharing scheduler.
+
+    Reproduces the paper's §2 observation that motivates minimising
+    load: "when tasks allocated to a single PE are time-shared in a
+    round-robin fashion, the worst slowdown ever experienced by a user
+    is proportional to the maximum load of any PE in the submachine
+    allocated to it."
+
+    The model: a task is gang-scheduled on its submachine and advances
+    at rate [1 / λ] where [λ] is the current maximum load over its
+    PEs (round-robin gives each resident thread an equal share of the
+    bottleneck PE). Rates change as other tasks complete, so the
+    simulation is event-driven over completions. A task's {e slowdown}
+    is its completion time divided by its service demand — on an idle
+    machine it would be exactly 1. *)
+
+type job = {
+  task : Pmp_workload.Task.t;
+  sub : Pmp_machine.Submachine.t;  (** where the allocator put it *)
+  work : float;  (** service demand, in dedicated-machine time units *)
+}
+
+type completion = {
+  job : job;
+  finish_time : float;
+  slowdown : float;  (** [finish_time_in_system / work] *)
+  peak_load_seen : int;  (** max load over its PEs while running *)
+}
+
+val simulate : Pmp_machine.Machine.t -> job list -> completion list
+(** All jobs start at time 0; returns completions in finishing order.
+    @raise Invalid_argument on non-positive work or jobs outside the
+    machine. *)
+
+type timed_job = { j : job; start : float }
+
+val simulate_timeline :
+  Pmp_machine.Machine.t -> timed_job list -> completion list
+(** Jobs arrive at their [start] times (which need not be sorted);
+    rates readjust at every arrival and completion. A job's slowdown
+    is its {e response time} [(finish - start) / work].
+    @raise Invalid_argument on negative starts, non-positive work, or
+    jobs outside the machine. *)
+
+val max_slowdown : completion list -> float
+(** 0.0 on the empty list. *)

@@ -1,0 +1,81 @@
+module Machine = Pmp_machine.Machine
+module Timed = Pmp_workload.Timed
+module Event = Pmp_workload.Event
+module Mirror = Pmp_core.Mirror
+
+type result = {
+  allocator_name : string;
+  machine_size : int;
+  events : int;
+  duration : float;
+  max_load : int;
+  optimal_load : int;
+  time_weighted_mean_load : float;
+  overload_fraction : float;
+  realloc_events : int;
+  migration_traffic : int;
+  total_downtime : float;
+  availability : float;
+}
+
+let run ?cost ?(bandwidth = infinity) (alloc : Pmp_core.Allocator.t) timed =
+  if bandwidth <= 0.0 then invalid_arg "Timed_engine.run: bandwidth <= 0";
+  let n = Machine.size alloc.machine in
+  if not (Pmp_workload.Sequence.fits (Timed.sequence timed) ~machine_size:n)
+  then invalid_arg "Timed_engine.run: sequence does not fit the machine";
+  let events = Timed.events timed in
+  let mirror = Mirror.create alloc.machine in
+  let max_load = ref 0 in
+  let load_integral = ref 0.0 in
+  let overload_time = ref 0.0 in
+  let traffic = ref 0 in
+  let downtime = ref 0.0 in
+  Array.iteri
+    (fun i { Timed.at; ev } ->
+      begin
+        match ev with
+        | Event.Arrive task ->
+            let resp = alloc.assign task in
+            Mirror.apply_assign mirror task resp;
+            if resp.moves <> [] then begin
+              match cost with
+              | None -> ()
+              | Some model ->
+                  let bytes = Cost.moves_cost model resp.moves in
+                  traffic := !traffic + bytes;
+                  if bandwidth < infinity then
+                    downtime := !downtime +. (float_of_int bytes /. bandwidth)
+            end
+        | Event.Depart id ->
+            alloc.remove id;
+            Mirror.apply_remove mirror id
+      end;
+      let load = Mirror.max_load mirror in
+      if load > !max_load then max_load := load;
+      (* the new state holds until the next event *)
+      if i + 1 < Array.length events then begin
+        let dt = events.(i + 1).Timed.at -. at in
+        load_integral := !load_integral +. (float_of_int load *. dt);
+        let opt = Pmp_util.Pow2.ceil_div (Mirror.active_size mirror) n in
+        if load > opt then overload_time := !overload_time +. dt
+      end)
+    events;
+  let duration = Timed.duration timed in
+  {
+    allocator_name = alloc.name;
+    machine_size = n;
+    events = Array.length events;
+    duration;
+    max_load = !max_load;
+    optimal_load = Timed.optimal_load timed ~machine_size:n;
+    time_weighted_mean_load =
+      (if duration <= 0.0 then 0.0 else !load_integral /. duration);
+    overload_fraction =
+      (if duration <= 0.0 then 0.0 else !overload_time /. duration);
+    realloc_events = alloc.realloc_events ();
+    migration_traffic = !traffic;
+    total_downtime = !downtime;
+    availability =
+      (if duration <= 0.0 then 1.0
+       else max 0.0 (1.0 -. (!downtime /. duration)));
+  }

@@ -1,0 +1,40 @@
+(** Simulation over continuous-time workloads, with migration
+    downtime accounting.
+
+    Runs an allocator over a {!Pmp_workload.Timed} sequence and
+    integrates the load over time instead of counting per event. The
+    migration-cost story also becomes operational here: a reallocation
+    moves checkpoint state across the network at a finite bandwidth,
+    during which the affected machine is effectively paused — so
+    reallocating often doesn't just consume bandwidth, it consumes
+    {e availability}. Downtime per repack is
+    [traffic_bytes / bandwidth]; availability is
+    [1 - total_downtime / duration]. *)
+
+type result = {
+  allocator_name : string;
+  machine_size : int;
+  events : int;
+  duration : float;
+  max_load : int;
+  optimal_load : int;
+  time_weighted_mean_load : float;  (** [∫ max-PE-load dt / duration] *)
+  overload_fraction : float;
+      (** fraction of time the load strictly exceeds the instantaneous
+          optimum [ceil(S/N)] *)
+  realloc_events : int;
+  migration_traffic : int;
+  total_downtime : float;
+  availability : float;  (** [1 - downtime/duration]; 1.0 if duration 0 *)
+}
+
+val run :
+  ?cost:Cost.t ->
+  ?bandwidth:float ->
+  Pmp_core.Allocator.t ->
+  Pmp_workload.Timed.t ->
+  result
+(** [bandwidth] is in cost-units per time-unit (default: infinite, so
+    downtime is 0 and availability 1 even when a cost model is given).
+    @raise Invalid_argument on non-positive bandwidth or a sequence
+    that does not fit the machine. *)

@@ -1,0 +1,42 @@
+let num_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map_array ?workers f xs =
+  let workers =
+    match workers with Some w -> w | None -> num_workers ()
+  in
+  if workers < 1 then invalid_arg "Parallel.map: workers < 1";
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if workers = 1 || n = 1 then Array.map f xs
+  else begin
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          begin
+            match f xs.(i) with
+            | y -> out.(i) <- Some y
+            | exception e ->
+                (* first failure wins; the rest of the queue is skipped *)
+                ignore (Atomic.compare_and_set failure None (Some e))
+          end;
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains =
+      List.init (min workers n) (fun _ -> Domain.spawn worker)
+    in
+    List.iter Domain.join domains;
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None ->
+        Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let map ?workers f xs =
+  Array.to_list (map_array ?workers f (Array.of_list xs))

@@ -1,0 +1,24 @@
+(** Simple fork/join parallelism over OCaml 5 domains.
+
+    The experiment harness repeats independent, seeded simulations (30
+    seeds per row, several machine sizes per table); those are
+    embarrassingly parallel and deterministic regardless of scheduling,
+    because every job owns its own PRNG stream. This module provides
+    the one combinator the harness needs: a parallel [map] that
+    preserves input order, with a bounded number of worker domains.
+
+    Jobs must not share mutable state (each builds its own machine,
+    allocator, and generator — the library's constructors make that
+    the natural style). Exceptions raised by a job are re-raised in
+    the caller after all workers are joined. *)
+
+val num_workers : unit -> int
+(** Default worker count: [Domain.recommended_domain_count () - 1],
+    at least 1. *)
+
+val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] is [List.map f xs] computed on up to [workers] domains
+    (default {!num_workers}; 1 means run inline with no domains).
+    Order is preserved. @raise Invalid_argument if [workers < 1]. *)
+
+val map_array : ?workers:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -1,0 +1,36 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let floor_log2 n =
+  if n < 1 then invalid_arg "Pow2.floor_log2: n < 1";
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let ilog2 n =
+  if not (is_pow2 n) then invalid_arg "Pow2.ilog2: not a power of two";
+  floor_log2 n
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Pow2.ceil_log2: n < 1";
+  let f = floor_log2 n in
+  if 1 lsl f = n then f else f + 1
+
+let pow2 x =
+  if x < 0 || x >= Sys.int_size - 1 then invalid_arg "Pow2.pow2: out of range";
+  1 lsl x
+
+let ceil_div a b =
+  if a < 0 then invalid_arg "Pow2.ceil_div: negative numerator";
+  if b <= 0 then invalid_arg "Pow2.ceil_div: non-positive denominator";
+  (a + b - 1) / b
+
+let round_up_pow2 n = pow2 (ceil_log2 n)
+let round_down_pow2 n = pow2 (floor_log2 n)
+
+let round_nearest_pow2 n =
+  let lo = round_down_pow2 n in
+  let hi = if lo = n then n else lo * 2 in
+  if n - lo < hi - n then lo else hi
+
+let is_aligned pos size =
+  if not (is_pow2 size) then invalid_arg "Pow2.is_aligned: bad size";
+  pos land (size - 1) = 0

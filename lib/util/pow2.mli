@@ -1,0 +1,45 @@
+(** Power-of-two integer arithmetic.
+
+    Every quantity in the tree-machine model — machine size, submachine
+    size, task size — is a power of two. This module centralises the
+    integer arithmetic so that the rest of the code never open-codes bit
+    tricks. All functions raise [Invalid_argument] on out-of-domain
+    inputs rather than returning garbage. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is [true] iff [n] is a positive power of two. *)
+
+val ilog2 : int -> int
+(** [ilog2 n] is the exact base-2 logarithm of [n].
+    @raise Invalid_argument if [n] is not a positive power of two. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is [floor (log2 n)] for [n >= 1].
+    @raise Invalid_argument if [n < 1]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is [ceil (log2 n)] for [n >= 1].
+    @raise Invalid_argument if [n < 1]. *)
+
+val pow2 : int -> int
+(** [pow2 x] is [2{^x}].
+    @raise Invalid_argument if [x < 0] or [2{^x}] overflows [int]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil (a / b)] for [a >= 0], [b > 0].
+    @raise Invalid_argument on negative [a] or non-positive [b]. *)
+
+val round_up_pow2 : int -> int
+(** [round_up_pow2 n] is the least power of two [>= n], for [n >= 1]. *)
+
+val round_down_pow2 : int -> int
+(** [round_down_pow2 n] is the greatest power of two [<= n], for [n >= 1]. *)
+
+val round_nearest_pow2 : int -> int
+(** [round_nearest_pow2 n] is the power of two nearest to [n >= 1]
+    (ties resolve upward). Used when a theoretical construction calls
+    for task sizes like [log^i N] that are not exact powers of two. *)
+
+val is_aligned : int -> int -> bool
+(** [is_aligned pos size] is [true] iff [pos] is a multiple of [size];
+    [size] must be a positive power of two. *)

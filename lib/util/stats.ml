@@ -1,0 +1,39 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0.0 xs in
+    sqrt (sq /. float_of_int n)
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  let frac = rank -. floor rank in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let max_int_arr xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max_int_arr: empty";
+  Array.fold_left max xs.(0) xs
+
+let mean_int xs = mean (Array.map float_of_int xs)
+
+let histogram xs =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun x ->
+      let c = try Hashtbl.find tbl x with Not_found -> 0 in
+      Hashtbl.replace tbl x (c + 1))
+    xs;
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,22 @@
+(** Small descriptive-statistics helpers used by metrics and reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0.0 on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0.0 on arrays of length < 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the [p]-th percentile ([0. <= p <= 100.]) using
+    linear interpolation between order statistics. The input need not be
+    sorted. @raise Invalid_argument on empty input or [p] out of range. *)
+
+val max_int_arr : int array -> int
+(** Maximum of a non-empty int array. @raise Invalid_argument if empty. *)
+
+val mean_int : int array -> float
+(** Mean of an int array; 0.0 on empty. *)
+
+val histogram : int array -> (int * int) list
+(** [histogram xs] is the list of [(value, count)] pairs present in
+    [xs], sorted by value. *)

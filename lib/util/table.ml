@@ -1,0 +1,90 @@
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  let n_head = List.length t.headers and n_cell = List.length cells in
+  if n_cell > n_head then invalid_arg "Table.add_row: too many cells";
+  let padded =
+    if n_cell = n_head then cells
+    else cells @ List.init (n_head - n_cell) (fun _ -> "")
+  in
+  t.rows <- padded :: t.rows
+
+let add_int_row t cells = add_row t (List.map string_of_int cells)
+
+let column_widths t =
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let widen row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  List.iter widen t.rows;
+  widths
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let render t =
+  let widths = column_widths t in
+  let buf = Buffer.create 256 in
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  render_row t.headers;
+  Array.iter
+    (fun w ->
+      Buffer.add_string buf (String.make w '-');
+      Buffer.add_string buf "  ")
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter render_row (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_cell s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  row t.headers;
+  List.iter row (List.rev t.rows);
+  Buffer.contents buf
+
+let fmt_float x =
+  let s = Printf.sprintf "%.3f" x in
+  (* trim trailing zeros but keep one decimal digit *)
+  let len = String.length s in
+  let rec last i = if i > 0 && s.[i] = '0' && s.[i - 1] <> '.' then last (i - 1) else i in
+  String.sub s 0 (last (len - 1) + 1)
+
+let fmt_ratio x = Printf.sprintf "%.2f" x

@@ -1,0 +1,40 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints every reproduced table/series through
+    this module so that all experiment output shares one format:
+    a header row, a rule, then data rows, with columns padded to the
+    widest cell. *)
+
+type t
+(** A table under construction. *)
+
+val create : title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column
+    headers. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a data row. Rows shorter than the header
+    are right-padded with empty cells; longer rows raise
+    [Invalid_argument]. *)
+
+val add_int_row : t -> int list -> unit
+(** Convenience: a row of integers. *)
+
+val render : t -> string
+(** [render t] is the formatted table, title first, ending with a
+    newline. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV: header row then data rows; cells containing
+    commas, quotes, or newlines are quoted, with inner quotes doubled.
+    The title is not included. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to standard output. *)
+
+val fmt_float : float -> string
+(** Canonical float formatting for report cells ([%.3f] with trailing
+    zeros trimmed to at least one decimal). *)
+
+val fmt_ratio : float -> string
+(** Format a competitive ratio as [x.xx]. *)

@@ -1,0 +1,69 @@
+(* Renumber each input into its own id range before merging; ranges
+   are sized by each input's maximum id so inputs never collide. *)
+let renumber seqs =
+  let rec go offset acc = function
+    | [] -> List.rev acc
+    | seq :: rest ->
+        let max_id =
+          Array.fold_left
+            (fun acc (ev : Event.t) ->
+              match ev with
+              | Arrive task -> max acc task.Task.id
+              | Depart id -> max acc id)
+            (-1) (Sequence.events seq)
+        in
+        let shifted = Sequence.concat_map_ids seq ~offset in
+        go (offset + max_id + 1) (shifted :: acc) rest
+  in
+  go 0 [] seqs
+
+let concat seqs =
+  renumber seqs
+  |> List.concat_map Sequence.to_list
+  |> Sequence.of_events_exn
+
+let repeat seq ~times =
+  if times < 0 then invalid_arg "Compose.repeat: negative times";
+  concat (List.init times (fun _ -> seq))
+
+let interleave seqs =
+  let arrays = List.map Sequence.events (renumber seqs) in
+  let cursors = List.map (fun arr -> (arr, ref 0)) arrays in
+  let out = ref [] in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    List.iter
+      (fun (arr, cursor) ->
+        if !cursor < Array.length arr then begin
+          out := arr.(!cursor) :: !out;
+          incr cursor;
+          progressed := true
+        end)
+      cursors
+  done;
+  Sequence.of_events_exn (List.rev !out)
+
+let prefix seq k =
+  if k < 0 then invalid_arg "Compose.prefix: negative length";
+  Sequence.to_list seq
+  |> List.filteri (fun i _ -> i < k)
+  |> Sequence.of_events_exn
+
+let drain seq =
+  let active = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (ev : Event.t) ->
+      match ev with
+      | Arrive task ->
+          Hashtbl.replace active task.Task.id ();
+          order := task.Task.id :: !order
+      | Depart id -> Hashtbl.remove active id)
+    (Sequence.to_list seq);
+  let departures =
+    List.rev !order
+    |> List.filter (Hashtbl.mem active)
+    |> List.map Event.depart
+  in
+  Sequence.of_events_exn (Sequence.to_list seq @ departures)

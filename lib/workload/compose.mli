@@ -1,0 +1,30 @@
+(** Combinators over task sequences.
+
+    Experiments keep gluing workloads together — a fragmentation
+    prelude followed by churn, several users' streams interleaved, a
+    pattern repeated all day. Doing that by hand risks task-id
+    collisions and invalid orderings; these combinators renumber ids
+    automatically and always return validated sequences. *)
+
+val concat : Sequence.t list -> Sequence.t
+(** Play the sequences one after another. Ids are renumbered into
+    disjoint ranges, so inputs may reuse ids freely. *)
+
+val repeat : Sequence.t -> times:int -> Sequence.t
+(** [concat] of [times] copies. @raise Invalid_argument if
+    [times < 0]. *)
+
+val interleave : Sequence.t list -> Sequence.t
+(** Round-robin merge: one event from each non-exhausted input in
+    turn. Per-input event order is preserved, so validity is too.
+    Ids are renumbered into disjoint ranges. *)
+
+val prefix : Sequence.t -> int -> Sequence.t
+(** The first [k] events (all of them if [k] exceeds the length).
+    Always valid — a prefix of a valid sequence is valid.
+    @raise Invalid_argument if [k < 0]. *)
+
+val drain : Sequence.t -> Sequence.t
+(** The sequence followed by departures of every task still active at
+    its end, in arrival order. The result always ends with an empty
+    machine. *)

@@ -1,0 +1,43 @@
+type t =
+  | Arrive of Task.t
+  | Depart of Task.id
+
+let arrive t = Arrive t
+let depart id = Depart id
+
+let is_arrival = function Arrive _ -> true | Depart _ -> false
+
+let pp ppf = function
+  | Arrive t -> Format.fprintf ppf "arrive %a" Task.pp t
+  | Depart id -> Format.fprintf ppf "depart t%d" id
+
+let to_string = function
+  | Arrive t -> Printf.sprintf "+%d:%d" t.Task.id t.Task.size
+  | Depart id -> Printf.sprintf "-%d" id
+
+let of_string s =
+  let fail () = Error (Printf.sprintf "Event.of_string: cannot parse %S" s) in
+  if String.length s < 2 then fail ()
+  else begin
+    match s.[0] with
+    | '+' -> begin
+        match String.index_opt s ':' with
+        | None -> fail ()
+        | Some colon -> begin
+            match
+              ( int_of_string_opt (String.sub s 1 (colon - 1)),
+                int_of_string_opt
+                  (String.sub s (colon + 1) (String.length s - colon - 1)) )
+            with
+            | Some id, Some size when id >= 0 && Pmp_util.Pow2.is_pow2 size ->
+                Ok (Arrive (Task.make ~id ~size))
+            | _ -> fail ()
+          end
+      end
+    | '-' -> begin
+        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+        | Some id when id >= 0 -> Ok (Depart id)
+        | _ -> fail ()
+      end
+    | _ -> fail ()
+  end

@@ -1,0 +1,18 @@
+(** Arrival/departure events, the atoms of a task sequence. *)
+
+type t =
+  | Arrive of Task.t
+  | Depart of Task.id
+
+val arrive : Task.t -> t
+val depart : Task.id -> t
+
+val is_arrival : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** One-line textual form, [+id:size] or [-id], used by {!Trace}. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; [Error] describes the parse failure. *)

@@ -1,0 +1,123 @@
+module Sm = Pmp_prng.Splitmix64
+module Dist = Pmp_prng.Dist
+
+let figure1 () =
+  let task id size = Task.make ~id ~size in
+  Sequence.of_events_exn
+    [
+      Event.arrive (task 1 1);
+      Event.arrive (task 2 1);
+      Event.arrive (task 3 1);
+      Event.arrive (task 4 1);
+      Event.depart 2;
+      Event.depart 4;
+      Event.arrive (task 5 2);
+    ]
+
+let churn g ~machine_size ~steps ~target_util ~max_order ~size_bias =
+  if max_order > Pmp_util.Pow2.ilog2 machine_size then
+    invalid_arg "Generators.churn: max_order exceeds machine";
+  if target_util <= 0.0 then invalid_arg "Generators.churn: target_util <= 0";
+  let b = Sequence.Builder.create () in
+  let target = target_util *. float_of_int machine_size in
+  for _ = 1 to steps do
+    let active = Sequence.Builder.active b in
+    let occupancy = float_of_int (Sequence.Builder.active_size b) /. target in
+    (* arrival probability decays smoothly as occupancy passes target *)
+    let p_arrive = 1.0 /. (1.0 +. (occupancy *. occupancy)) in
+    if active = [] || Sm.bernoulli g p_arrive then begin
+      let size = Dist.pow2_size g ~max_order ~bias:size_bias in
+      ignore (Sequence.Builder.arrive_fresh b ~size)
+    end
+    else begin
+      let victims = Array.of_list active in
+      let v = victims.(Sm.int g (Array.length victims)) in
+      Sequence.Builder.depart b v.Task.id
+    end
+  done;
+  Sequence.Builder.seal b
+
+let bursty g ~machine_size ~sessions ~session_tasks ~max_order =
+  if max_order > Pmp_util.Pow2.ilog2 machine_size then
+    invalid_arg "Generators.bursty: max_order exceeds machine";
+  let b = Sequence.Builder.create () in
+  for _ = 1 to sessions do
+    for _ = 1 to session_tasks do
+      let size = Dist.pow2_size g ~max_order ~bias:0.5 in
+      ignore (Sequence.Builder.arrive_fresh b ~size)
+    done;
+    let survivors = Array.of_list (Sequence.Builder.active b) in
+    let n = Array.length survivors in
+    let leavers = n / 2 + Sm.int g (n / 2 + 1) in
+    (* shuffle a prefix to pick leavers uniformly *)
+    for i = 0 to leavers - 1 do
+      let j = i + Sm.int g (n - i) in
+      let tmp = survivors.(i) in
+      survivors.(i) <- survivors.(j);
+      survivors.(j) <- tmp;
+      Sequence.Builder.depart b survivors.(i).Task.id
+    done
+  done;
+  Sequence.Builder.seal b
+
+let arrivals_only g ~count ~max_order =
+  let b = Sequence.Builder.create () in
+  for _ = 1 to count do
+    let size = Dist.pow2_size g ~max_order ~bias:0.0 in
+    ignore (Sequence.Builder.arrive_fresh b ~size)
+  done;
+  Sequence.Builder.seal b
+
+let sawtooth ~machine_size ~rounds =
+  let levels = Pmp_util.Pow2.ilog2 machine_size in
+  if rounds > levels then invalid_arg "Generators.sawtooth: too many rounds";
+  let b = Sequence.Builder.create () in
+  for round = 0 to rounds - 1 do
+    let size = 1 lsl round in
+    let count = machine_size / size in
+    let ids =
+      List.init count (fun _ ->
+          (Sequence.Builder.arrive_fresh b ~size).Task.id)
+    in
+    (* depart every second task of the round, leaving a comb of holes *)
+    List.iteri (fun i id -> if i mod 2 = 0 then Sequence.Builder.depart b id) ids
+  done;
+  Sequence.Builder.seal b
+
+let sawtooth_cycles ~machine_size ~cycles =
+  let levels = Pmp_util.Pow2.ilog2 machine_size in
+  let b = Sequence.Builder.create () in
+  for _ = 1 to cycles do
+    for round = 0 to levels - 1 do
+      let size = 1 lsl round in
+      let ids =
+        List.init (machine_size / size) (fun _ ->
+            (Sequence.Builder.arrive_fresh b ~size).Task.id)
+      in
+      List.iteri
+        (fun i id -> if i mod 2 = 0 then Sequence.Builder.depart b id)
+        ids
+    done;
+    (* drain the survivors so every cycle starts from an empty machine *)
+    List.iter
+      (fun t -> Sequence.Builder.depart b t.Task.id)
+      (Sequence.Builder.active b)
+  done;
+  Sequence.Builder.seal b
+
+let staircase_descent ~machine_size =
+  let levels = Pmp_util.Pow2.ilog2 machine_size in
+  let b = Sequence.Builder.create () in
+  let big_ids =
+    List.init levels (fun i ->
+        let size = machine_size lsr (i + 1) in
+        (Sequence.Builder.arrive_fresh b ~size).Task.id)
+  in
+  List.iter
+    (fun id ->
+      Sequence.Builder.depart b id;
+      (* two unit tasks trickle in after each big departure *)
+      ignore (Sequence.Builder.arrive_fresh b ~size:1);
+      ignore (Sequence.Builder.arrive_fresh b ~size:1))
+    big_ids;
+  Sequence.Builder.seal b

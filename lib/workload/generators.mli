@@ -1,0 +1,66 @@
+(** Workload generators.
+
+    The paper proves worst-case bounds over {e all} sequences; the
+    experiments exercise the algorithms on three regimes — benign
+    random churn, skewed/bursty traffic, and structured fragmentation
+    stress — plus the paper's own worked example (Figure 1). All
+    randomized generators draw from an explicit {!Pmp_prng.Splitmix64}
+    stream, so traces are reproducible from a seed. *)
+
+val figure1 : unit -> Sequence.t
+(** The paper's sequence [σ*] for Figure 1 (a 4-PE machine):
+    tasks [t1..t4] of size 1 arrive, [t2] and [t4] depart, then [t5]
+    of size 2 arrives. Greedy incurs load 2 on it; a 1-reallocation
+    algorithm achieves the optimal load 1. *)
+
+val churn :
+  Pmp_prng.Splitmix64.t ->
+  machine_size:int ->
+  steps:int ->
+  target_util:float ->
+  max_order:int ->
+  size_bias:float ->
+  Sequence.t
+(** Stationary multi-user churn. The generator keeps the active
+    cumulative size hovering around [target_util * machine_size]
+    ([target_util] may exceed 1: the machine is time-shared) by biasing
+    each step towards arrival when under target and towards departing a
+    uniformly random active task when over. Task sizes are
+    [2{^x}] with [x] drawn from [Dist.pow2_size ~max_order ~bias:size_bias]. *)
+
+val bursty :
+  Pmp_prng.Splitmix64.t ->
+  machine_size:int ->
+  sessions:int ->
+  session_tasks:int ->
+  max_order:int ->
+  Sequence.t
+(** Arrival bursts followed by mass departures: each session admits
+    [session_tasks] users of random size, then a random 50–100% of the
+    session's survivors leave before the next burst — the pattern that
+    drives fragmentation in space-shared machines. *)
+
+val arrivals_only :
+  Pmp_prng.Splitmix64.t -> count:int -> max_order:int -> Sequence.t
+(** [count] arrivals, no departures: the regime where Lemma 2's
+    [ceil (S/N)] bound is tight for copy-based allocation. *)
+
+val sawtooth : machine_size:int -> rounds:int -> Sequence.t
+(** Deterministic fragmentation stress: round [i] fills the machine
+    with size-[2{^i}] tasks, then departs every second one (alternating
+    submachines), leaving a comb of holes before the next round doubles
+    the task size. This mirrors the lower-bound adversary's phase
+    structure without adapting to the allocator, and already separates
+    greedy from the repacking algorithms. [rounds <= log2 machine_size]. *)
+
+val sawtooth_cycles : machine_size:int -> cycles:int -> Sequence.t
+(** [cycles] repetitions of the full {!sawtooth} ladder, each followed
+    by a complete drain of the surviving tasks. Sustained fragmentation
+    pressure: the workload on which the reallocation budget [d] visibly
+    buys load (no-reallocation algorithms sit near the Theorem 4.1
+    bound, small [d] recovers the optimum). *)
+
+val staircase_descent : machine_size:int -> Sequence.t
+(** Large-to-small descent: one task of each size [N/2, N/4, ..., 1]
+    arrives, then they depart largest-first while small tasks trickle
+    in — exercises re-use of vacated large submachines. *)

@@ -1,0 +1,83 @@
+type t = {
+  events : int;
+  arrivals : int;
+  departures : int;
+  peak_active_size : int;
+  mean_active_size : float;
+  total_arrival_size : int;
+  max_task_size : int;
+  size_histogram : (int * int) list;
+  mean_lifetime : float;
+  never_departed : int;
+}
+
+let analyze seq =
+  let events = Sequence.events seq in
+  let sizes = Hashtbl.create 64 (* id -> size *) in
+  let born = Hashtbl.create 64 (* id -> event index *) in
+  let histogram = Hashtbl.create 16 in
+  let arrivals = ref 0 and departures = ref 0 in
+  let lifetimes = ref [] in
+  Array.iteri
+    (fun i (ev : Event.t) ->
+      match ev with
+      | Arrive task ->
+          incr arrivals;
+          Hashtbl.replace sizes task.Task.id task.Task.size;
+          Hashtbl.replace born task.Task.id i;
+          let c = try Hashtbl.find histogram task.Task.size with Not_found -> 0 in
+          Hashtbl.replace histogram task.Task.size (c + 1)
+      | Depart id ->
+          incr departures;
+          lifetimes := (i - Hashtbl.find born id) :: !lifetimes;
+          Hashtbl.remove born id)
+    events;
+  let active_sizes = Sequence.active_size_after seq in
+  let mean_active =
+    if Array.length active_sizes = 0 then 0.0
+    else Pmp_util.Stats.mean (Array.map float_of_int active_sizes)
+  in
+  let mean_lifetime =
+    match !lifetimes with
+    | [] -> 0.0
+    | ls -> Pmp_util.Stats.mean (Array.of_list (List.map float_of_int ls))
+  in
+  {
+    events = Array.length events;
+    arrivals = !arrivals;
+    departures = !departures;
+    peak_active_size = Sequence.peak_active_size seq;
+    mean_active_size = mean_active;
+    total_arrival_size = Sequence.total_arrival_size seq;
+    max_task_size = Sequence.max_task_size seq;
+    size_histogram =
+      Hashtbl.fold (fun s c acc -> (s, c) :: acc) histogram []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    mean_lifetime;
+    never_departed = Hashtbl.length born;
+  }
+
+let optimal_load t ~machine_size =
+  Pmp_util.Pow2.ceil_div t.peak_active_size machine_size
+
+let to_table t ~machine_size =
+  let table =
+    Pmp_util.Table.create ~title:"workload profile" [ "metric"; "value" ]
+  in
+  let add k v = Pmp_util.Table.add_row table [ k; v ] in
+  add "events" (string_of_int t.events);
+  add "arrivals" (string_of_int t.arrivals);
+  add "departures" (string_of_int t.departures);
+  add "still active at end" (string_of_int t.never_departed);
+  add "peak active demand (PEs)" (string_of_int t.peak_active_size);
+  add "mean active demand (PEs)" (Pmp_util.Table.fmt_float t.mean_active_size);
+  add "total arrival volume (PEs)" (string_of_int t.total_arrival_size);
+  add "largest task" (string_of_int t.max_task_size);
+  add "mean lifetime (events)" (Pmp_util.Table.fmt_float t.mean_lifetime);
+  add "optimal load L*"
+    (string_of_int (optimal_load t ~machine_size));
+  List.iter
+    (fun (size, count) ->
+      add (Printf.sprintf "  arrivals of size %d" size) (string_of_int count))
+    t.size_histogram;
+  table

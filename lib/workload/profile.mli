@@ -1,0 +1,29 @@
+(** Workload profiling: descriptive statistics of a task sequence.
+
+    Used by the CLI ([pmp profile]) and the experiment write-ups to
+    characterise what a generator or captured trace actually contains —
+    demand level, size mix, churn — so results can be interpreted
+    without replaying the trace. *)
+
+type t = {
+  events : int;
+  arrivals : int;
+  departures : int;
+  peak_active_size : int;  (** [s(σ)] *)
+  mean_active_size : float;  (** time-average over events *)
+  total_arrival_size : int;
+  max_task_size : int;
+  size_histogram : (int * int) list;  (** (size, #arrivals), ascending *)
+  mean_lifetime : float;
+      (** mean events between a task's arrival and departure, over
+          tasks that do depart *)
+  never_departed : int;  (** tasks still active at the end *)
+}
+
+val analyze : Sequence.t -> t
+
+val optimal_load : t -> machine_size:int -> int
+(** [L*] derived from the profile's peak. *)
+
+val to_table : t -> machine_size:int -> Pmp_util.Table.t
+(** Render as a printable key/value table. *)

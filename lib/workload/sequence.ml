@@ -1,0 +1,158 @@
+type t = Event.t array
+
+(* Replay events checking the two well-formedness rules: fresh ids on
+   arrival, active ids on departure. Returns the table of task sizes by
+   id for reuse by the derived-quantity computations. *)
+let validate events =
+  let seen = Hashtbl.create 64 and active = Hashtbl.create 64 in
+  let check i (ev : Event.t) =
+    match ev with
+    | Arrive task ->
+        if Hashtbl.mem seen task.Task.id then
+          Error (Printf.sprintf "event %d: task id %d reused" i task.Task.id)
+        else begin
+          Hashtbl.add seen task.Task.id ();
+          Hashtbl.add active task.Task.id task.Task.size;
+          Ok ()
+        end
+    | Depart id ->
+        if Hashtbl.mem active id then begin
+          Hashtbl.remove active id;
+          Ok ()
+        end
+        else Error (Printf.sprintf "event %d: departure of inactive task %d" i id)
+  in
+  let rec go i =
+    if i = Array.length events then Ok ()
+    else begin
+      match check i events.(i) with Ok () -> go (i + 1) | Error _ as e -> e
+    end
+  in
+  go 0
+
+let of_events list =
+  let events = Array.of_list list in
+  match validate events with Ok () -> Ok events | Error e -> Error e
+
+let of_events_exn list =
+  match of_events list with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Sequence.of_events_exn: " ^ e)
+
+let events t = Array.copy t
+let to_list t = Array.to_list t
+let length t = Array.length t
+
+let num_arrivals t =
+  Array.fold_left (fun acc ev -> if Event.is_arrival ev then acc + 1 else acc) 0 t
+
+let active_size_after t =
+  let sizes = Hashtbl.create 64 in
+  let current = ref 0 in
+  Array.map
+    (fun (ev : Event.t) ->
+      begin
+        match ev with
+        | Arrive task ->
+            Hashtbl.add sizes task.Task.id task.Task.size;
+            current := !current + task.Task.size
+        | Depart id ->
+            current := !current - Hashtbl.find sizes id
+      end;
+      !current)
+    t
+
+let peak_active_size t = Array.fold_left max 0 (active_size_after t)
+
+let total_arrival_size t =
+  Array.fold_left
+    (fun acc (ev : Event.t) ->
+      match ev with Arrive task -> acc + task.Task.size | Depart _ -> acc)
+    0 t
+
+let max_task_size t =
+  Array.fold_left
+    (fun acc (ev : Event.t) ->
+      match ev with Arrive task -> max acc task.Task.size | Depart _ -> acc)
+    0 t
+
+let optimal_load t ~machine_size =
+  if not (Pmp_util.Pow2.is_pow2 machine_size) then
+    invalid_arg "Sequence.optimal_load: machine size not a power of two";
+  Pmp_util.Pow2.ceil_div (peak_active_size t) machine_size
+
+let fits t ~machine_size = max_task_size t <= machine_size
+
+let append t extra =
+  of_events (Array.to_list t @ extra)
+
+let concat_map_ids t ~offset =
+  Array.map
+    (fun (ev : Event.t) ->
+      match ev with
+      | Arrive task -> Event.Arrive (Task.make ~id:(task.Task.id + offset) ~size:task.Task.size)
+      | Depart id -> Event.Depart (id + offset))
+    t
+
+module Builder = struct
+  type seq = t
+
+  type t = {
+    mutable rev_events : Event.t list;
+    mutable next_id : int;
+    mutable active_size : int;
+    mutable peak : int;
+    mutable len : int;
+    active_tbl : (Task.id, Task.t) Hashtbl.t;
+    mutable rev_active : Task.t list; (* arrival order, lazily compacted *)
+  }
+
+  let create () =
+    {
+      rev_events = [];
+      next_id = 0;
+      active_size = 0;
+      peak = 0;
+      len = 0;
+      active_tbl = Hashtbl.create 64;
+      rev_active = [];
+    }
+
+  let fresh_id b = b.next_id
+
+  let arrive b task =
+    let id = task.Task.id in
+    (* ids grow monotonically, so freshness is a single comparison *)
+    if id < b.next_id then invalid_arg "Sequence.Builder.arrive: id already used";
+    b.next_id <- id + 1;
+    b.rev_events <- Event.Arrive task :: b.rev_events;
+    b.len <- b.len + 1;
+    Hashtbl.add b.active_tbl id task;
+    b.rev_active <- task :: b.rev_active;
+    b.active_size <- b.active_size + task.Task.size;
+    if b.active_size > b.peak then b.peak <- b.active_size
+
+  let arrive_fresh b ~size =
+    let task = Task.make ~id:b.next_id ~size in
+    arrive b task;
+    task
+
+  let depart b id =
+    match Hashtbl.find_opt b.active_tbl id with
+    | None -> invalid_arg "Sequence.Builder.depart: task not active"
+    | Some task ->
+        Hashtbl.remove b.active_tbl id;
+        b.rev_events <- Event.Depart id :: b.rev_events;
+        b.len <- b.len + 1;
+        b.active_size <- b.active_size - task.Task.size
+
+  let active b =
+    let live = List.filter (fun t -> Hashtbl.mem b.active_tbl t.Task.id) (List.rev b.rev_active) in
+    b.rev_active <- List.rev live;
+    live
+
+  let active_size b = b.active_size
+  let peak_active_size b = b.peak
+  let length b = b.len
+  let seal b : seq = Array.of_list (List.rev b.rev_events)
+end

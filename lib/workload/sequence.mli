@@ -1,0 +1,88 @@
+(** Validated task sequences and their derived quantities.
+
+    A task sequence [σ] is the paper's input object: an ordered list of
+    arrival/departure events. The derived quantities defined in §2 of
+    the paper are exposed here: the active cumulative size [S(σ;τ)]
+    after each event, the sequence size [s(σ)] (its peak), and the
+    optimal load [L* = ceil (s(σ) / N)] that any allocator — even one
+    rebalancing continuously — must incur on an [N]-PE machine. *)
+
+type t
+(** An immutable, validated sequence. *)
+
+val of_events : Event.t list -> (t, string) result
+(** Validates that every arrival uses a fresh task id and every
+    departure names a task that is active at that point. *)
+
+val of_events_exn : Event.t list -> t
+(** @raise Invalid_argument on the same conditions. *)
+
+val events : t -> Event.t array
+(** The events in order (fresh copy). *)
+
+val to_list : t -> Event.t list
+val length : t -> int
+
+val num_arrivals : t -> int
+
+val peak_active_size : t -> int
+(** [s(σ)]: the maximum over time of the cumulative size of active
+    tasks. *)
+
+val active_size_after : t -> int array
+(** [S(σ;τ)] sampled after each event; element [i] is the active size
+    once event [i] has been applied. *)
+
+val total_arrival_size : t -> int
+(** Sum of sizes over {e all} arrivals (the [S] of the paper's
+    Lemma 2) — departures do not reduce it. *)
+
+val max_task_size : t -> int
+(** Largest task size present; 0 for the empty sequence. *)
+
+val optimal_load : t -> machine_size:int -> int
+(** [L* = ceil (s(σ) / N)]. 0 for an empty sequence.
+    @raise Invalid_argument if [machine_size] is not a power of two. *)
+
+val fits : t -> machine_size:int -> bool
+(** Whether every task size is at most the machine size. *)
+
+val append : t -> Event.t list -> (t, string) result
+(** Extend with further events, re-validating the suffix. *)
+
+val concat_map_ids : t -> offset:int -> t
+(** Shift every task id by [offset] (used when splicing generated
+    traffic streams together). *)
+
+(** Incremental construction with the same validation, used by
+    generators and by the adaptive lower-bound adversaries which choose
+    events as a function of the allocator's placements. *)
+module Builder : sig
+  type seq := t
+  type t
+
+  val create : unit -> t
+
+  val fresh_id : t -> Task.id
+  (** Lowest task id never yet used by this builder. *)
+
+  val arrive : t -> Task.t -> unit
+  (** @raise Invalid_argument if the id was already used. *)
+
+  val arrive_fresh : t -> size:int -> Task.t
+  (** Allocate a fresh id, record the arrival, return the task. *)
+
+  val depart : t -> Task.id -> unit
+  (** @raise Invalid_argument if the task is not active. *)
+
+  val active : t -> Task.t list
+  (** Currently active tasks, in arrival order. *)
+
+  val active_size : t -> int
+  (** Current [S(σ;now)]. *)
+
+  val peak_active_size : t -> int
+  val length : t -> int
+  val seal : t -> seq
+  (** Freeze into a validated sequence (builder stays usable). *)
+end

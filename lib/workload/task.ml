@@ -1,0 +1,12 @@
+type id = int
+type t = { id : id; size : int }
+
+let make ~id ~size =
+  if id < 0 then invalid_arg "Task.make: negative id";
+  if not (Pmp_util.Pow2.is_pow2 size) then
+    invalid_arg "Task.make: size must be a positive power of two";
+  { id; size }
+
+let order t = Pmp_util.Pow2.ilog2 t.size
+let equal a b = a.id = b.id && a.size = b.size
+let pp ppf t = Format.fprintf ppf "t%d(size=%d)" t.id t.size

@@ -1,0 +1,20 @@
+(** Tasks (user jobs).
+
+    A task is a user request for a dedicated submachine of a
+    power-of-two size. Its size is revealed at arrival; its lifetime is
+    unknown to the allocator (the departure is a separate event). Task
+    ids are unique within a sequence. *)
+
+type id = int
+
+type t = { id : id; size : int }
+
+val make : id:int -> size:int -> t
+(** @raise Invalid_argument if [size] is not a positive power of two or
+    [id] is negative. *)
+
+val order : t -> int
+(** [log2 size]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+module Sm = Pmp_prng.Splitmix64
+module Dist = Pmp_prng.Dist
+
+type event = { at : float; ev : Event.t }
+
+type t = { events : event array; seq : Sequence.t }
+
+let of_events list =
+  let arr = Array.of_list list in
+  let rec check_times i =
+    if i >= Array.length arr then Ok ()
+    else if arr.(i).at < 0.0 then Error "negative timestamp"
+    else if i > 0 && arr.(i).at < arr.(i - 1).at then
+      Error (Printf.sprintf "timestamps decrease at event %d" i)
+    else check_times (i + 1)
+  in
+  match check_times 0 with
+  | Error e -> Error e
+  | Ok () -> begin
+      match Sequence.of_events (List.map (fun e -> e.ev) list) with
+      | Error e -> Error e
+      | Ok seq -> Ok { events = arr; seq }
+    end
+
+let of_events_exn list =
+  match of_events list with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Timed.of_events_exn: " ^ e)
+
+let events t = Array.copy t.events
+let length t = Array.length t.events
+let sequence t = t.seq
+
+let duration t =
+  let n = Array.length t.events in
+  if n = 0 then 0.0 else t.events.(n - 1).at
+
+let peak_active_size t = Sequence.peak_active_size t.seq
+let optimal_load t ~machine_size = Sequence.optimal_load t.seq ~machine_size
+
+let time_weighted_mean_active t =
+  let total = duration t in
+  if total <= 0.0 then 0.0
+  else begin
+    let sizes = Sequence.active_size_after t.seq in
+    let integral = ref 0.0 in
+    Array.iteri
+      (fun i ev ->
+        if i + 1 < Array.length t.events then begin
+          let dt = t.events.(i + 1).at -. ev.at in
+          integral := !integral +. (float_of_int sizes.(i) *. dt)
+        end)
+      t.events;
+    !integral /. total
+  end
+
+let poisson_churn g ~machine_size ~horizon ~arrival_rate ~mean_duration
+    ~max_order ~size_bias =
+  if horizon <= 0.0 then invalid_arg "Timed.poisson_churn: horizon <= 0";
+  if arrival_rate <= 0.0 then invalid_arg "Timed.poisson_churn: rate <= 0";
+  if mean_duration <= 0.0 then
+    invalid_arg "Timed.poisson_churn: mean_duration <= 0";
+  if max_order > Pmp_util.Pow2.ilog2 machine_size then
+    invalid_arg "Timed.poisson_churn: max_order exceeds machine";
+  (* log-normal with sigma = 1: mean = exp(mu + 1/2), so mu =
+     log(mean) - 1/2 *)
+  let sigma = 1.0 in
+  let mu = log mean_duration -. (sigma *. sigma /. 2.0) in
+  (* draw arrivals, then merge with their departures on a timeline *)
+  let rec draw_arrivals now acc id =
+    let now = now +. Dist.exponential g ~rate:arrival_rate in
+    if now > horizon then List.rev acc
+    else begin
+      let size = Dist.pow2_size g ~max_order ~bias:size_bias in
+      let life = Dist.lognormal g ~mu ~sigma in
+      draw_arrivals now ((now, id, size, now +. life) :: acc) (id + 1)
+    end
+  in
+  let arrivals = draw_arrivals 0.0 [] 0 in
+  let timeline =
+    List.concat_map
+      (fun (at, id, size, dies) ->
+        let arrive = { at; ev = Event.Arrive (Task.make ~id ~size) } in
+        if dies <= horizon then [ arrive; { at = dies; ev = Event.Depart id } ]
+        else [ arrive ])
+      arrivals
+    |> List.sort (fun a b -> compare a.at b.at)
+  in
+  of_events_exn timeline

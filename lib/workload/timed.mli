@@ -1,0 +1,56 @@
+(** Continuous-time task sequences.
+
+    The paper's model orders events but never needs wall-clock time —
+    its quantities ([s(σ)], [L*]) are order-invariant. A real machine,
+    however, runs in time: users arrive by a stochastic process and
+    hold their submachines for stochastic durations, and operational
+    metrics (time-averaged load, availability under migration
+    downtime) are integrals over time, not sums over events. This
+    module attaches timestamps to a validated {!Sequence} and provides
+    the time-weighted derived quantities; {!Pmp_sim.Timed_engine}
+    consumes it. *)
+
+type event = { at : float; ev : Event.t }
+
+type t
+(** A validated timed sequence: timestamps non-decreasing and
+    non-negative; the underlying event list a valid {!Sequence}. *)
+
+val of_events : event list -> (t, string) result
+val of_events_exn : event list -> t
+
+val events : t -> event array
+(** Fresh copy, in order. *)
+
+val length : t -> int
+
+val sequence : t -> Sequence.t
+(** The underlying untimed sequence (timestamps stripped). *)
+
+val duration : t -> float
+(** Time of the last event; 0 for the empty sequence. *)
+
+val peak_active_size : t -> int
+(** Same as the untimed [s(σ)] (order-invariant). *)
+
+val optimal_load : t -> machine_size:int -> int
+
+val time_weighted_mean_active : t -> float
+(** [∫ S(σ;t) dt / duration]: the time-averaged demand. 0 when the
+    duration is 0. *)
+
+val poisson_churn :
+  Pmp_prng.Splitmix64.t ->
+  machine_size:int ->
+  horizon:float ->
+  arrival_rate:float ->
+  mean_duration:float ->
+  max_order:int ->
+  size_bias:float ->
+  t
+(** The standard open workload: Poisson arrivals at [arrival_rate],
+    power-of-two sizes from [Dist.pow2_size], independent log-normal
+    service times with the given mean (sigma fixed at 1.0, mu derived),
+    simulated until [horizon]. Tasks still running at the horizon never
+    depart. Offered demand is [arrival_rate * mean_duration * E(size)]
+    PEs. *)

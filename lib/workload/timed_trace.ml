@@ -1,0 +1,55 @@
+let to_string timed =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun { Timed.at; ev } ->
+      Buffer.add_string buf (Printf.sprintf "@%.6f %s\n" at (Event.to_string ev)))
+    (Timed.events timed);
+  Buffer.contents buf
+
+let parse_line lineno line =
+  let fail () = Error (Printf.sprintf "line %d: cannot parse %S" lineno line) in
+  if String.length line < 2 || line.[0] <> '@' then fail ()
+  else begin
+    match String.index_opt line ' ' with
+    | None -> fail ()
+    | Some space -> begin
+        let time_str = String.sub line 1 (space - 1) in
+        let rest = String.sub line (space + 1) (String.length line - space - 1) in
+        match float_of_string_opt time_str with
+        | None -> fail ()
+        | Some at when (not (Float.is_finite at)) || at < 0.0 -> fail ()
+        | Some at -> begin
+            match Event.of_string (String.trim rest) with
+            | Ok ev -> Ok { Timed.at; ev }
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+          end
+      end
+  end
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec parse lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then parse (lineno + 1) acc rest
+        else begin
+          match parse_line lineno line with
+          | Ok ev -> parse (lineno + 1) (ev :: acc) rest
+          | Error _ as e -> e
+        end
+  in
+  match parse 1 [] lines with
+  | Error _ as e -> e
+  | Ok events -> Timed.of_events events
+
+let save path timed =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string timed))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> of_string contents
+  | exception Sys_error e -> Error e

@@ -1,0 +1,14 @@
+(** Text format for continuous-time traces.
+
+    One event per line, timestamp first: [@<seconds> +id:size] for an
+    arrival, [@<seconds> -id] for a departure. Comments ([#]) and blank
+    lines are ignored, as in {!Trace}. Timestamps are written with
+    microsecond precision; because rounding is monotone the round-trip
+    of any valid timed sequence is itself valid, with times equal to
+    within 1e-6. *)
+
+val to_string : Timed.t -> string
+val of_string : string -> (Timed.t, string) result
+
+val save : string -> Timed.t -> unit
+val load : string -> (Timed.t, string) result

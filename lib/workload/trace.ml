@@ -1,0 +1,36 @@
+let to_string seq =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun ev ->
+      Buffer.add_string buf (Event.to_string ev);
+      Buffer.add_char buf '\n')
+    (Sequence.events seq);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec parse lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then parse (lineno + 1) acc rest
+        else begin
+          match Event.of_string line with
+          | Ok ev -> parse (lineno + 1) (ev :: acc) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        end
+  in
+  match parse 1 [] lines with
+  | Error _ as e -> e
+  | Ok events -> Sequence.of_events events
+
+let save path seq =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string seq))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> of_string contents
+  | exception Sys_error e -> Error e

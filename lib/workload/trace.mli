@@ -1,0 +1,16 @@
+(** Plain-text trace format for task sequences.
+
+    One event per line: [+id:size] for an arrival, [-id] for a
+    departure. Lines beginning with [#] and blank lines are ignored.
+    The format round-trips exactly, so generated workloads can be
+    archived, diffed, and replayed from the CLI. *)
+
+val to_string : Sequence.t -> string
+val of_string : string -> (Sequence.t, string) result
+
+val save : string -> Sequence.t -> unit
+(** [save path seq] writes the trace to [path]. *)
+
+val load : string -> (Sequence.t, string) result
+(** [load path] parses the trace at [path]. [Error] carries the line
+    number on parse failures. *)

@@ -1,0 +1,117 @@
+(* Shared test machinery: qcheck-to-alcotest glue, reproducible random
+   sequence construction, and naive reference implementations that the
+   optimised structures are checked against. *)
+
+module Sm = Pmp_prng.Splitmix64
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Task = Pmp_workload.Task
+module Event = Pmp_workload.Event
+module Sequence = Pmp_workload.Sequence
+
+let qtests cases = List.map QCheck_alcotest.to_alcotest cases
+
+(* Deterministically build a valid random sequence from (seed, steps):
+   each step is an arrival of a random power-of-two size <= N (biased
+   small) or the departure of a random active task. *)
+let random_sequence ~seed ~machine_size ~steps =
+  let g = Sm.create seed in
+  let levels = Pmp_util.Pow2.ilog2 machine_size in
+  let b = Sequence.Builder.create () in
+  for _ = 1 to steps do
+    let active = Sequence.Builder.active b in
+    if active = [] || Sm.int g 3 < 2 then begin
+      let order = Sm.int g (levels + 1) in
+      let order = if Sm.bool g then Sm.int g (order + 1) else order in
+      ignore (Sequence.Builder.arrive_fresh b ~size:(1 lsl order))
+    end
+    else begin
+      let arr = Array.of_list active in
+      Sequence.Builder.depart b arr.(Sm.int g (Array.length arr)).Task.id
+    end
+  done;
+  Sequence.Builder.seal b
+
+(* A qcheck arbitrary over (levels in [1..max_levels], seed, steps). *)
+let seq_params ?(max_levels = 6) ?(max_steps = 200) () =
+  QCheck.make
+    ~print:(fun (levels, seed, steps) ->
+      Printf.sprintf "levels=%d seed=%d steps=%d" levels seed steps)
+    QCheck.Gen.(
+      triple (int_range 1 max_levels) (int_range 0 1_000_000) (int_range 1 max_steps))
+
+(* Naive per-PE load table: the reference the Load_map and the engine
+   are validated against. *)
+module Naive_loads = struct
+  type t = { n : int; loads : int array }
+
+  let create machine_size = { n = machine_size; loads = Array.make machine_size 0 }
+
+  let add t sub delta =
+    for leaf = Sub.first_leaf sub to Sub.last_leaf sub do
+      t.loads.(leaf) <- t.loads.(leaf) + delta
+    done
+
+  let max_in t sub =
+    let best = ref min_int in
+    for leaf = Sub.first_leaf sub to Sub.last_leaf sub do
+      if t.loads.(leaf) > !best then best := t.loads.(leaf)
+    done;
+    !best
+
+  let max_overall t = Array.fold_left max t.loads.(0) t.loads
+end
+
+(* Maximum number of concurrently active full-machine (size = N) tasks
+   in a sequence. Theorem 4.1's proof treats those as creating no
+   imbalance ("we assume all tasks have size less than N"); on mixed
+   sequences the universally valid greedy bound is
+   [f * L* + max_full_tasks] because k concurrent full-machine tasks
+   shift every PE's load up by exactly k without affecting greedy's
+   choices. *)
+let max_concurrent_full_tasks ~machine_size seq =
+  let active = Hashtbl.create 16 in
+  let count = ref 0 and peak = ref 0 in
+  List.iter
+    (fun (ev : Event.t) ->
+      match ev with
+      | Arrive task ->
+          if task.Task.size = machine_size then begin
+            Hashtbl.add active task.Task.id ();
+            incr count;
+            if !count > !peak then peak := !count
+          end
+      | Depart id ->
+          if Hashtbl.mem active id then begin
+            Hashtbl.remove active id;
+            decr count
+          end)
+    (Sequence.to_list seq);
+  !peak
+
+(* Like random_sequence but with all task sizes strictly below the
+   machine size (the regime Theorem 4.1's claim is stated for).
+   Machines must have at least 2 levels so a proper size exists. *)
+let random_sequence_no_full ~seed ~machine_size ~steps =
+  let g = Sm.create seed in
+  let levels = Pmp_util.Pow2.ilog2 machine_size in
+  assert (levels >= 1);
+  let b = Sequence.Builder.create () in
+  for _ = 1 to steps do
+    let active = Sequence.Builder.active b in
+    if active = [] || Sm.int g 3 < 2 then begin
+      let order = Sm.int g levels in
+      ignore (Sequence.Builder.arrive_fresh b ~size:(1 lsl order))
+    end
+    else begin
+      let arr = Array.of_list active in
+      Sequence.Builder.depart b arr.(Sm.int g (Array.length arr)).Task.id
+    end
+  done;
+  Sequence.Builder.seal b
+
+(* Run an allocator over a sequence with the engine in checked mode —
+   the default way integration tests exercise algorithms. *)
+let run_checked alloc seq = Pmp_sim.Engine.run ~check:true alloc seq
+
+let check_ok = Alcotest.(check (result unit string)) "invariants" (Ok ())

@@ -1,0 +1,131 @@
+module Machine = Pmp_machine.Machine
+module Task = Pmp_workload.Task
+module Event = Pmp_workload.Event
+module Sequence = Pmp_workload.Sequence
+module Admission = Pmp_sim.Admission
+module Engine = Pmp_sim.Engine
+
+let arrive id size = Event.arrive (Task.make ~id ~size)
+
+let test_no_cap_passthrough () =
+  let seq = Helpers.random_sequence ~seed:3 ~machine_size:8 ~steps:200 in
+  let out, stats = Admission.throttle seq ~machine_size:8 ~max_util:1000.0 in
+  Alcotest.(check bool) "identical" true (Sequence.to_list out = Sequence.to_list seq);
+  Alcotest.(check int) "nobody waits" 0 stats.Admission.delayed;
+  Alcotest.(check int) "nobody abandons" 0 stats.Admission.abandoned
+
+let test_queueing () =
+  (* capacity 4: two size-4 tasks cannot be active together *)
+  let seq =
+    Sequence.of_events_exn
+      [ arrive 0 4; arrive 1 4; Event.depart 0; Event.depart 1 ]
+  in
+  let out, stats = Admission.throttle seq ~machine_size:4 ~max_util:1.0 in
+  Alcotest.(check int) "one delayed" 1 stats.Admission.delayed;
+  Alcotest.(check int) "one immediate" 1 stats.Admission.admitted_immediately;
+  (* task 1 waits from event 1 to event 2 = 1 tick *)
+  Alcotest.(check (array int)) "wait ticks" [| 1 |] stats.Admission.waits;
+  (* admitted order: 0 arrives, 0 departs, 1 arrives, 1 departs *)
+  Alcotest.(check (list string)) "reordered"
+    [ "+0:4"; "-0"; "+1:4"; "-1" ]
+    (List.map Event.to_string (Sequence.to_list out))
+
+let test_abandonment () =
+  let seq =
+    Sequence.of_events_exn [ arrive 0 4; arrive 1 4; Event.depart 1; Event.depart 0 ]
+  in
+  let out, stats = Admission.throttle seq ~machine_size:4 ~max_util:1.0 in
+  Alcotest.(check int) "abandoned" 1 stats.Admission.abandoned;
+  Alcotest.(check int) "served late" 0 stats.Admission.delayed;
+  Alcotest.(check (list string)) "only task 0 ever runs" [ "+0:4"; "-0" ]
+    (List.map Event.to_string (Sequence.to_list out))
+
+let test_head_of_line_blocking () =
+  (* a big task at the queue head blocks a small one behind it *)
+  let seq =
+    Sequence.of_events_exn
+      [
+        arrive 0 4; (* fills capacity *)
+        arrive 1 4; (* queued *)
+        arrive 2 1; (* queued behind 1, would fit but must wait *)
+        Event.depart 0;
+      ]
+  in
+  let out, stats = Admission.throttle seq ~machine_size:4 ~max_util:1.0 in
+  Alcotest.(check (list string)) "FIFO order" [ "+0:4"; "-0"; "+1:4" ]
+    (List.map Event.to_string (Sequence.to_list out));
+  Alcotest.(check int) "queue peaked at 2" 2 stats.Admission.max_queue_length
+
+let test_capacity_cap_enforced () =
+  let seq = Sequence.of_events_exn [ arrive 0 8 ] in
+  Alcotest.check_raises "task bigger than cap"
+    (Invalid_argument "Admission.throttle: task larger than the capacity cap")
+    (fun () -> ignore (Admission.throttle seq ~machine_size:8 ~max_util:0.5));
+  Alcotest.check_raises "bad util"
+    (Invalid_argument "Admission.throttle: max_util <= 0") (fun () ->
+      ignore (Admission.throttle seq ~machine_size:8 ~max_util:0.0))
+
+let test_wait_stats () =
+  let stats =
+    {
+      Admission.admitted_immediately = 1;
+      delayed = 3;
+      abandoned = 0;
+      still_queued = 0;
+      waits = [| 2; 4; 6 |];
+      max_queue_length = 2;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "mean" 4.0 (Admission.mean_wait stats);
+  Alcotest.(check bool) "p95 near max" true (Admission.p95_wait stats >= 5.0);
+  let empty = { stats with Admission.waits = [||] } in
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Admission.mean_wait empty)
+
+(* The throttled sequence always respects the capacity and is valid. *)
+let prop_capacity_respected =
+  QCheck.Test.make ~name:"admission: output never exceeds the capacity" ~count:100
+    QCheck.(pair (Helpers.seq_params ~max_levels:5 ~max_steps:200 ()) (int_range 1 4))
+    (fun ((levels, seed, steps), cap_quarters) ->
+      let n = 1 lsl levels in
+      (* clamp: qcheck shrinking may step outside int_range bounds *)
+      let max_util = float_of_int (max 1 cap_quarters) in
+      let seq = Helpers.random_sequence ~seed ~machine_size:n ~steps in
+      let out, stats = Admission.throttle seq ~machine_size:n ~max_util in
+      let capacity = int_of_float (max_util *. float_of_int n) in
+      let sizes_ok =
+        Array.for_all (fun s -> s <= capacity) (Sequence.active_size_after out)
+      in
+      let conserved =
+        stats.Admission.admitted_immediately + stats.Admission.delayed
+        + stats.Admission.abandoned + stats.Admission.still_queued
+        = Sequence.num_arrivals seq
+      in
+      sizes_ok && conserved
+      && Sequence.num_arrivals out
+         = stats.Admission.admitted_immediately + stats.Admission.delayed)
+
+(* Tighter caps can only reduce the load an allocator then suffers. *)
+let prop_cap_bounds_load =
+  QCheck.Test.make ~name:"admission: greedy load under cap <= ceil(cap)" ~count:80
+    (Helpers.seq_params ~max_levels:5 ~max_steps:200 ())
+    (fun (levels, seed, steps) ->
+      let n = 1 lsl levels in
+      let machine = Machine.of_levels levels in
+      let seq = Helpers.random_sequence ~seed ~machine_size:n ~steps in
+      let out, _ = Admission.throttle seq ~machine_size:n ~max_util:1.0 in
+      (* capacity N means L* = 1 for the throttled sequence *)
+      Sequence.optimal_load out ~machine_size:n <= 1
+      &&
+      let r = Engine.run (Pmp_core.Optimal.create machine) out in
+      r.Engine.max_load <= 1)
+
+let suite =
+  [
+    Alcotest.test_case "no cap passthrough" `Quick test_no_cap_passthrough;
+    Alcotest.test_case "queueing" `Quick test_queueing;
+    Alcotest.test_case "abandonment" `Quick test_abandonment;
+    Alcotest.test_case "head-of-line blocking" `Quick test_head_of_line_blocking;
+    Alcotest.test_case "input validation" `Quick test_capacity_cap_enforced;
+    Alcotest.test_case "wait statistics" `Quick test_wait_stats;
+  ]
+  @ Helpers.qtests [ prop_capacity_respected; prop_cap_bounds_load ]

@@ -1,0 +1,221 @@
+module Machine = Pmp_machine.Machine
+module Sequence = Pmp_workload.Sequence
+module Det = Pmp_adversary.Det_adversary
+module Rand = Pmp_adversary.Rand_adversary
+module Realloc = Pmp_core.Realloc
+module Engine = Pmp_sim.Engine
+module Sm = Pmp_prng.Splitmix64
+
+let test_forced_factor_formula () =
+  List.iter
+    (fun (n, d, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "N=%d d=%d" n d)
+        expect
+        (Det.forced_factor ~machine_size:n ~d))
+    [ (16, 0, 1); (16, 1, 1); (16, 2, 2); (16, 4, 3); (16, 100, 3); (1024, 10, 6) ]
+
+(* Theorem 4.3 against greedy (a no-reallocation victim): the adversary
+   with d = log N must force at least ceil((log N + 1)/2). *)
+let test_forces_greedy () =
+  List.iter
+    (fun levels ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let outcome = Det.run (Pmp_core.Greedy.create m) ~d:levels in
+      let forced = Det.forced_factor ~machine_size:n ~d:levels in
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d: load %d >= %d (L*=%d)" n outcome.Det.max_load
+           forced outcome.Det.optimal_load)
+        true
+        (outcome.Det.max_load >= forced * outcome.Det.optimal_load))
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+(* ... and against the copy-based A_B. *)
+let test_forces_copies () =
+  List.iter
+    (fun levels ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let outcome = Det.run (Pmp_core.Copies.create m) ~d:levels in
+      let forced = Det.forced_factor ~machine_size:n ~d:levels in
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d" n)
+        true
+        (outcome.Det.max_load >= forced * outcome.Det.optimal_load))
+    [ 2; 3; 4; 5; 6 ]
+
+(* ... and against A_M with matching budget d (its reallocation cannot
+   fire because total arrivals stay below d*N). *)
+let test_forces_periodic () =
+  List.iter
+    (fun (levels, d) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let alloc = Pmp_core.Periodic.create m ~d:(Realloc.Budget d) in
+      let outcome = Det.run alloc ~d in
+      let forced = Det.forced_factor ~machine_size:n ~d in
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d d=%d: load %d, forced %d" n d outcome.Det.max_load
+           forced)
+        true
+        (outcome.Det.max_load >= forced * outcome.Det.optimal_load))
+    [ (4, 2); (5, 3); (6, 4); (6, 6) ]
+
+(* Theorem 4.3 binds EVERY deterministic d-reallocation algorithm —
+   including the extension Hybrid (greedy placement + budget repack). *)
+let test_forces_hybrid () =
+  List.iter
+    (fun (levels, d) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let alloc = Pmp_core.Hybrid.create m ~d:(Realloc.Budget d) in
+      let outcome = Det.run alloc ~d in
+      let forced = Det.forced_factor ~machine_size:n ~d in
+      Alcotest.(check bool)
+        (Printf.sprintf "hybrid N=%d d=%d: %d >= %d" n d outcome.Det.max_load
+           forced)
+        true
+        (outcome.Det.max_load >= forced * outcome.Det.optimal_load))
+    [ (4, 2); (5, 3); (6, 4); (7, 5) ]
+
+let test_sequence_is_valid_and_bounded () =
+  let m = Machine.of_levels 5 in
+  let outcome = Det.run (Pmp_core.Greedy.create m) ~d:5 in
+  let seq = outcome.Det.sequence in
+  (* re-validated through the public constructor *)
+  Alcotest.(check bool) "valid" true
+    (Result.is_ok (Sequence.of_events (Sequence.to_list seq)));
+  (* the construction keeps the active size at most N, so L* = 1 *)
+  Alcotest.(check int) "L* = 1" 1 outcome.Det.optimal_load;
+  (* total arrivals stay within p*N, so a d-realloc victim never fires *)
+  Alcotest.(check bool) "arrival volume within budget" true
+    (Sequence.total_arrival_size seq <= 5 * 32)
+
+let test_potential_grows () =
+  let m = Machine.of_levels 6 in
+  let outcome = Det.run (Pmp_core.Greedy.create m) ~d:6 in
+  (* Lemma 3: potential increases by at least (N - 2^(i-1))/2 per phase *)
+  let rec check = function
+    | (i1, p1) :: (((i2, p2) :: _) as rest) ->
+        let min_gain = (64 - (1 lsl (i2 - 1))) / 2 in
+        Alcotest.(check bool)
+          (Printf.sprintf "phase %d -> %d gain %d >= %d" i1 i2 (p2 - p1) min_gain)
+          true
+          (p2 - p1 >= min_gain);
+        check rest
+    | _ -> ()
+  in
+  check outcome.Det.potential_trace
+
+(* The fragmentation potential never decreases across phases, against
+   any of the deterministic victims. *)
+let prop_potential_monotone =
+  QCheck.Test.make ~name:"adversary potential is monotone non-decreasing"
+    ~count:30
+    QCheck.(pair (int_range 2 7) (int_range 0 2))
+    (fun (levels, victim) ->
+      let m = Machine.of_levels levels in
+      let alloc =
+        match victim with
+        | 0 -> Pmp_core.Greedy.create m
+        | 1 -> Pmp_core.Copies.create m
+        | _ -> Pmp_core.Periodic.create m ~d:(Realloc.Budget levels)
+      in
+      let outcome = Det.run alloc ~d:levels in
+      let rec monotone = function
+        | (_, a) :: (((_, b) :: _) as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone outcome.Det.potential_trace)
+
+let test_rephases () =
+  Alcotest.(check int) "phases at 2^16" 2 (Rand.phases ~machine_size:65536);
+  Alcotest.(check int) "phases at 2^4" 1 (Rand.phases ~machine_size:16);
+  Alcotest.(check bool) "sizes exact at 2^16" true (Rand.sizes_exact ~machine_size:65536);
+  Alcotest.(check int) "phase 0 size" 1 (Rand.phase_task_size ~machine_size:65536 0);
+  Alcotest.(check int) "phase 1 size" 16 (Rand.phase_task_size ~machine_size:65536 1)
+
+let test_rand_sequence_valid () =
+  let seq = Rand.generate (Sm.create 11) ~machine_size:256 in
+  Alcotest.(check bool) "valid" true
+    (Result.is_ok (Sequence.of_events (Sequence.to_list seq)));
+  Alcotest.(check bool) "fits" true (Sequence.fits seq ~machine_size:256)
+
+(* Lemma 5: with high probability s(σ_r) <= N, hence L* = 1. We allow
+   the rare tail by requiring 95% of seeds to satisfy it. *)
+let test_rand_sequence_optimal_one () =
+  let n = 256 in
+  let good = ref 0 in
+  for seed = 1 to 60 do
+    let seq = Rand.generate (Sm.create seed) ~machine_size:n in
+    if Sequence.optimal_load seq ~machine_size:n = 1 then incr good
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/60 runs have L* = 1" !good)
+    true (!good >= 57)
+
+(* σ_r hurts the oblivious randomized allocator measurably: its mean
+   max load across seeds exceeds the constructive lower bound. *)
+let test_rand_adversary_hurts () =
+  let n = 65536 in
+  let m = Machine.create n in
+  let trials = 10 in
+  let total = ref 0 in
+  for seed = 1 to trials do
+    let seq = Rand.generate (Sm.create seed) ~machine_size:n in
+    let alloc = Pmp_core.Randomized.create m ~rng:(Sm.create (seed * 31)) in
+    let r = Engine.run alloc seq in
+    total := !total + r.Engine.max_load
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  let low = Pmp_core.Bounds.rand_lower_constructive ~machine_size:n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f >= constructive bound %.2f" mean low)
+    true (mean >= low)
+
+let test_rand_run_instrumented () =
+  let n = 65536 in
+  let m = Machine.create n in
+  let alloc = Pmp_core.Randomized.create m ~rng:(Sm.create 51) in
+  let outcome = Rand.run (Sm.create 3) alloc in
+  Alcotest.(check int) "two phases recorded" 2
+    (List.length outcome.Rand.phase_potentials);
+  (* phase 0 starts from an empty machine: potential 0 *)
+  (match outcome.Rand.phase_potentials with
+  | (0, p0) :: (1, p1) :: _ ->
+      Alcotest.(check int) "initial potential" 0 p0;
+      (* after phase 0's survivors, potential is positive w.h.p. *)
+      Alcotest.(check bool) "potential grew" true (p1 > 0)
+  | _ -> Alcotest.fail "unexpected phase structure");
+  Alcotest.(check bool) "sequence valid" true
+    (Result.is_ok (Sequence.of_events (Sequence.to_list outcome.Rand.sequence)));
+  Alcotest.(check bool) "load measured" true (outcome.Rand.max_load >= 1)
+
+let test_rand_run_matches_generate_shape () =
+  (* run's sequence has the same phase sizes/counts as generate's *)
+  let n = 256 in
+  let m = Machine.create n in
+  let outcome = Rand.run (Sm.create 9) (Pmp_core.Greedy.create m) in
+  let gen = Rand.generate (Sm.create 9) ~machine_size:n in
+  Alcotest.(check int) "same arrivals" (Sequence.num_arrivals gen)
+    (Sequence.num_arrivals outcome.Rand.sequence)
+
+let suite =
+  [
+    Alcotest.test_case "σ_r instrumented run" `Slow test_rand_run_instrumented;
+    Alcotest.test_case "σ_r run/generate agree" `Quick
+      test_rand_run_matches_generate_shape;
+    Alcotest.test_case "forced factor formula" `Quick test_forced_factor_formula;
+    Alcotest.test_case "forces greedy" `Slow test_forces_greedy;
+    Alcotest.test_case "forces copies" `Quick test_forces_copies;
+    Alcotest.test_case "forces periodic" `Quick test_forces_periodic;
+    Alcotest.test_case "forces hybrid" `Quick test_forces_hybrid;
+    Alcotest.test_case "sequence validity" `Quick test_sequence_is_valid_and_bounded;
+    Alcotest.test_case "potential growth (Lemma 3)" `Slow test_potential_grows;
+    Alcotest.test_case "σ_r phase structure" `Quick test_rephases;
+    Alcotest.test_case "σ_r validity" `Quick test_rand_sequence_valid;
+    Alcotest.test_case "σ_r has L* = 1 (Lemma 5)" `Slow test_rand_sequence_optimal_one;
+    Alcotest.test_case "σ_r hurts oblivious placement" `Slow test_rand_adversary_hurts;
+  ]
+  @ Helpers.qtests [ prop_potential_monotone ]

@@ -1,0 +1,138 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Task = Pmp_workload.Task
+module Baselines = Pmp_core.Baselines
+module Allocator = Pmp_core.Allocator
+module Placement = Pmp_core.Placement
+module Engine = Pmp_sim.Engine
+module Sm = Pmp_prng.Splitmix64
+
+let place alloc id size =
+  (alloc.Allocator.assign (Task.make ~id ~size)).Allocator.placement.Placement.sub
+
+let test_rightmost_greedy () =
+  let m = Machine.create 4 in
+  let alloc = Baselines.rightmost_greedy m in
+  Alcotest.(check int) "first unit goes rightmost" 3 (Sub.first_leaf (place alloc 0 1));
+  Alcotest.(check int) "second rightmost of remaining" 2
+    (Sub.first_leaf (place alloc 1 1));
+  (* still min-load: a loaded right half pushes the next pair left *)
+  Alcotest.(check int) "min-load respected" 0 (Sub.first_leaf (place alloc 2 2))
+
+let test_leftmost_always () =
+  let m = Machine.create 8 in
+  let alloc = Baselines.leftmost_always m in
+  Alcotest.(check int) "unit at 0" 0 (Sub.first_leaf (place alloc 0 1));
+  Alcotest.(check int) "again at 0" 0 (Sub.first_leaf (place alloc 1 1));
+  Alcotest.(check int) "pair at 0" 0 (Sub.first_leaf (place alloc 2 2))
+
+let test_round_robin () =
+  let m = Machine.create 4 in
+  let alloc = Baselines.round_robin m in
+  Alcotest.(check (list int)) "cycles through units" [ 0; 1; 2; 3; 0 ]
+    (List.init 5 (fun id -> Sub.first_leaf (place alloc id 1)));
+  (* independent cursor per order *)
+  Alcotest.(check int) "pair cursor fresh" 0 (Sub.first_leaf (place alloc 10 2))
+
+let test_worst_fit_stacks () =
+  let m = Machine.create 4 in
+  let alloc = Baselines.worst_fit m in
+  Alcotest.(check int) "first at 0" 0 (Sub.first_leaf (place alloc 0 1));
+  Alcotest.(check int) "stacks on the busiest PE" 0 (Sub.first_leaf (place alloc 1 1));
+  Alcotest.(check int) "keeps stacking" 0 (Sub.first_leaf (place alloc 2 1))
+
+let test_random_tie_picks_minimum () =
+  let m = Machine.create 8 in
+  let alloc = Baselines.random_tie_greedy m ~rng:(Sm.create 4) in
+  (* the half the size-4 task occupies is loaded; units must avoid it *)
+  let busy = place alloc 0 4 in
+  for id = 1 to 20 do
+    let s = place alloc id 1 in
+    alloc.Allocator.remove id;
+    Alcotest.(check bool)
+      (Printf.sprintf "tie-break stays min-load (%d)" id)
+      false
+      (Sub.contains busy s)
+  done
+
+let test_two_choice_beats_one_choice () =
+  (* the classic balanced-allocations separation on a unit flood *)
+  let n = 1024 in
+  let m = Machine.create n in
+  let events =
+    List.init n (fun id ->
+        Pmp_workload.Event.arrive (Task.make ~id ~size:1))
+  in
+  let seq = Pmp_workload.Sequence.of_events_exn events in
+  let mean make =
+    let total = ref 0 in
+    for seed = 1 to 20 do
+      total := !total + (Engine.run (make seed) seq).Engine.max_load
+    done;
+    float_of_int !total /. 20.0
+  in
+  let one =
+    mean (fun s -> Pmp_core.Randomized.create m ~rng:(Sm.create s))
+  in
+  let two = mean (fun s -> Baselines.two_choice m ~rng:(Sm.create (s + 99))) in
+  Alcotest.(check bool)
+    (Printf.sprintf "two-choice %.2f < one-choice %.2f" two one)
+    true (two < one)
+
+let test_two_choice_picks_lesser () =
+  let m = Machine.create 4 in
+  let alloc = Baselines.two_choice m ~rng:(Sm.create 2) in
+  (* regardless of sampling, the first task lands somewhere legal and
+     the structure stays valid over churn *)
+  let seq = Helpers.random_sequence ~seed:4 ~machine_size:4 ~steps:100 in
+  let r = Helpers.run_checked alloc seq in
+  Alcotest.(check bool) "bounded by active count" true
+    (r.Engine.max_load >= r.Engine.optimal_load)
+
+(* All baselines produce structurally valid runs under churn. *)
+let prop_baselines_valid =
+  QCheck.Test.make ~name:"baseline allocators: valid checked runs" ~count:80
+    (Helpers.seq_params ~max_levels:5 ~max_steps:120 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let seq = Helpers.random_sequence ~seed ~machine_size:(Machine.size m) ~steps in
+      let allocs =
+        [
+          Baselines.rightmost_greedy m;
+          Baselines.random_tie_greedy m ~rng:(Sm.create seed);
+          Baselines.leftmost_always m;
+          Baselines.round_robin m;
+          Baselines.worst_fit m;
+          Baselines.two_choice m ~rng:(Sm.create (seed + 5));
+        ]
+      in
+      List.for_all
+        (fun alloc ->
+          let r = Helpers.run_checked alloc seq in
+          r.Engine.max_load >= r.Engine.optimal_load || r.Engine.max_load >= 0)
+        allocs)
+
+(* Mirror-image symmetry: rightmost greedy achieves the same max load
+   as leftmost greedy on a mirrored sequence of unit tasks. *)
+let prop_worst_fit_never_better_than_greedy =
+  QCheck.Test.make ~name:"worst-fit never beats greedy" ~count:80
+    (Helpers.seq_params ~max_levels:5 ~max_steps:150 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let seq = Helpers.random_sequence ~seed ~machine_size:(Machine.size m) ~steps in
+      let r_greedy = Helpers.run_checked (Pmp_core.Greedy.create m) seq in
+      let r_worst = Helpers.run_checked (Baselines.worst_fit m) seq in
+      r_worst.Engine.max_load >= r_greedy.Engine.max_load)
+
+let suite =
+  [
+    Alcotest.test_case "rightmost greedy" `Quick test_rightmost_greedy;
+    Alcotest.test_case "leftmost always" `Quick test_leftmost_always;
+    Alcotest.test_case "round robin" `Quick test_round_robin;
+    Alcotest.test_case "worst fit stacks" `Quick test_worst_fit_stacks;
+    Alcotest.test_case "random tie stays min-load" `Quick test_random_tie_picks_minimum;
+    Alcotest.test_case "two-choice beats one-choice" `Slow
+      test_two_choice_beats_one_choice;
+    Alcotest.test_case "two-choice validity" `Quick test_two_choice_picks_lesser;
+  ]
+  @ Helpers.qtests [ prop_baselines_valid; prop_worst_fit_never_better_than_greedy ]

@@ -1,0 +1,90 @@
+module Bounds = Pmp_core.Bounds
+module Realloc = Pmp_core.Realloc
+
+let test_greedy_upper () =
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "N=%d" n)
+        expect
+        (Bounds.greedy_upper_factor ~machine_size:n))
+    [ (2, 1); (4, 2); (8, 2); (16, 3); (32, 3); (1024, 6); (65536, 9) ]
+
+let test_det_upper () =
+  let f n d = Bounds.det_upper_factor ~machine_size:n ~d in
+  Alcotest.(check int) "Every is optimal" 1 (f 1024 Realloc.Every);
+  Alcotest.(check int) "small d wins" 3 (f 1024 (Realloc.Budget 2));
+  Alcotest.(check int) "large d caps at greedy" 6 (f 1024 (Realloc.Budget 100));
+  Alcotest.(check int) "Never is greedy" 6 (f 1024 Realloc.Never)
+
+let test_det_lower () =
+  let f n d = Bounds.det_lower_factor ~machine_size:n ~d in
+  Alcotest.(check int) "d=0" 1 (f 1024 Realloc.Every);
+  Alcotest.(check int) "d=1" 1 (f 1024 (Realloc.Budget 1));
+  Alcotest.(check int) "d=2" 2 (f 1024 (Realloc.Budget 2));
+  Alcotest.(check int) "d=3" 2 (f 1024 (Realloc.Budget 3));
+  Alcotest.(check int) "d=4" 3 (f 1024 (Realloc.Budget 4));
+  Alcotest.(check int) "d caps at log N" 6 (f 1024 (Realloc.Budget 50));
+  Alcotest.(check int) "Never" 6 (f 1024 Realloc.Never)
+
+let test_upper_vs_lower_gap () =
+  (* tightness within a factor of two, as the paper claims *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun d_raw ->
+          let d = Realloc.make_budget d_raw in
+          let up = Bounds.det_upper_factor ~machine_size:n ~d in
+          let low = Bounds.det_lower_factor ~machine_size:n ~d in
+          Alcotest.(check bool)
+            (Printf.sprintf "N=%d d=%d: low <= up <= 2*low" n d_raw)
+            true
+            (low <= up && up <= 2 * low))
+        [ 0; 1; 2; 3; 5; 8; 20 ])
+    [ 4; 16; 64; 1024 ]
+
+let test_rand_bounds () =
+  let up = Bounds.rand_upper_factor ~machine_size:65536 in
+  (* 3*16/4 + 1 = 13 *)
+  Alcotest.(check (float 1e-9)) "upper at 2^16" 13.0 up;
+  let low = Bounds.rand_lower_factor ~machine_size:65536 in
+  Alcotest.(check bool) "lower below upper" true (low < up);
+  let cons = Bounds.rand_lower_constructive ~machine_size:65536 in
+  Alcotest.(check bool) "constructive below stated? both small" true
+    (cons > 0.0 && low > 0.0)
+
+let test_rand_beats_det_asymptotically () =
+  (* the point of §5: Θ(log N / log log N) grows strictly slower than
+     Θ(log N). The paper's explicit constants (3·logN/loglogN + 1 vs
+     (logN+1)/2) only cross beyond machine-representable N, so we test
+     the asymptotic statement itself: the ratio rand/det is strictly
+     decreasing along a doubling ladder of machine sizes. *)
+  let ratio bits =
+    Bounds.rand_upper_factor ~machine_size:(1 lsl bits)
+    /. float_of_int (Bounds.greedy_upper_factor ~machine_size:(1 lsl bits))
+  in
+  let ladder = [ 8; 16; 24; 32; 40; 48; 56 ] in
+  let ratios = List.map ratio ladder in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "rand/det ratio strictly decreasing" true
+    (decreasing ratios)
+
+let test_small_machine_guard () =
+  Alcotest.check_raises "N=2 too small for loglog"
+    (Invalid_argument "Bounds: machine too small for log log N") (fun () ->
+      ignore (Bounds.rand_upper_factor ~machine_size:2))
+
+let suite =
+  [
+    Alcotest.test_case "greedy upper factor" `Quick test_greedy_upper;
+    Alcotest.test_case "deterministic upper" `Quick test_det_upper;
+    Alcotest.test_case "deterministic lower" `Quick test_det_lower;
+    Alcotest.test_case "factor-2 tightness" `Quick test_upper_vs_lower_gap;
+    Alcotest.test_case "randomized bounds" `Quick test_rand_bounds;
+    Alcotest.test_case "randomized beats deterministic" `Quick
+      test_rand_beats_det_asymptotically;
+    Alcotest.test_case "small machine guard" `Quick test_small_machine_guard;
+  ]

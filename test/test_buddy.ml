@@ -1,0 +1,253 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Buddy = Pmp_core.Buddy
+module Sm = Pmp_prng.Splitmix64
+
+let m8 = Machine.create 8
+
+let test_fresh () =
+  let b = Buddy.create m8 in
+  Alcotest.(check bool) "vacant" true (Buddy.is_vacant b);
+  Alcotest.(check int) "free size" 8 (Buddy.free_size b);
+  Alcotest.(check int) "max order" 3 (Buddy.max_free_order b);
+  Helpers.check_ok (Buddy.check_invariants b)
+
+let test_alloc_leftmost () =
+  let b = Buddy.create m8 in
+  (match Buddy.alloc b ~order:1 with
+  | Some s -> Alcotest.(check int) "leftmost pair" 0 (Sub.first_leaf s)
+  | None -> Alcotest.fail "alloc failed");
+  (match Buddy.alloc b ~order:0 with
+  | Some s -> Alcotest.(check int) "next hole" 2 (Sub.first_leaf s)
+  | None -> Alcotest.fail "alloc failed");
+  (match Buddy.alloc b ~order:2 with
+  | Some s -> Alcotest.(check int) "skips fragmented half" 4 (Sub.first_leaf s)
+  | None -> Alcotest.fail "alloc failed");
+  Helpers.check_ok (Buddy.check_invariants b)
+
+let test_alloc_exhaustion () =
+  let b = Buddy.create m8 in
+  ignore (Buddy.alloc b ~order:3);
+  Alcotest.(check bool) "full" true (Buddy.alloc b ~order:0 = None);
+  Alcotest.(check int) "max order" (-1) (Buddy.max_free_order b);
+  Alcotest.(check bool) "can_alloc false" false (Buddy.can_alloc b ~order:0)
+
+let test_free_coalesce () =
+  let b = Buddy.create m8 in
+  let s0 = Option.get (Buddy.alloc b ~order:0) in
+  let s1 = Option.get (Buddy.alloc b ~order:0) in
+  let s2 = Option.get (Buddy.alloc b ~order:1) in
+  let s3 = Option.get (Buddy.alloc b ~order:2) in
+  Alcotest.(check bool) "machine full" false (Buddy.can_alloc b ~order:0);
+  Buddy.free b s0;
+  Buddy.free b s1;
+  (* leaves 0,1 coalesce into an order-1 block *)
+  Alcotest.(check bool) "order-1 block back" true (Buddy.can_alloc b ~order:1);
+  Alcotest.(check bool) "but not order-2" false (Buddy.can_alloc b ~order:2);
+  Buddy.free b s2;
+  Alcotest.(check bool) "coalesced to order 2" true (Buddy.can_alloc b ~order:2);
+  Buddy.free b s3;
+  Alcotest.(check bool) "fully vacant again" true (Buddy.is_vacant b);
+  Alcotest.(check int) "single root block" 1 (List.length (Buddy.free_blocks b));
+  Helpers.check_ok (Buddy.check_invariants b)
+
+let test_double_free_rejected () =
+  let b = Buddy.create m8 in
+  let s = Option.get (Buddy.alloc b ~order:1) in
+  Buddy.free b s;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Buddy.free: region already (partly) vacant") (fun () ->
+      Buddy.free b s)
+
+let test_partial_overlap_free_rejected () =
+  let b = Buddy.create m8 in
+  let s = Option.get (Buddy.alloc b ~order:2) in
+  (* free only half, then try to free the whole: overlaps the vacancy *)
+  Buddy.free b (Sub.left_half s);
+  Alcotest.check_raises "overlapping free"
+    (Invalid_argument "Buddy.free: region already (partly) vacant") (fun () ->
+      Buddy.free b s)
+
+let test_best_fit_prefers_small_blocks () =
+  let b = Buddy.create m8 in
+  (* fragment: allocate order-1 at [0..1], leaving blocks of order 1
+     at 2 and order 2 at 4 *)
+  ignore (Buddy.alloc b ~order:1);
+  (* best-fit order-1 must take the order-1 block at 2, not split the
+     order-2 block at 4 (leftmost would also pick 2 here) *)
+  (match Buddy.alloc_best_fit b ~order:1 with
+  | Some s -> Alcotest.(check int) "takes the snug block" 2 (Sub.first_leaf s)
+  | None -> Alcotest.fail "alloc failed");
+  (* now only the order-2 block remains; a unit goes there *)
+  (match Buddy.alloc_best_fit b ~order:0 with
+  | Some s -> Alcotest.(check int) "splits the big block" 4 (Sub.first_leaf s)
+  | None -> Alcotest.fail "alloc failed");
+  Helpers.check_ok (Buddy.check_invariants b)
+
+let test_best_fit_vs_leftmost_divergence () =
+  (* construct a state where the two policies differ: free blocks of
+     order 2 at 0 and order 0 at 6 (after some churn) *)
+  let b = Buddy.create m8 in
+  let big = Option.get (Buddy.alloc b ~order:2) in
+  (* [0..3] taken *)
+  ignore (Buddy.alloc b ~order:1) (* [4..5] *);
+  ignore (Buddy.alloc b ~order:0) (* 6 *);
+  ignore (Buddy.alloc b ~order:0) (* 7 *);
+  Buddy.free b big (* order-2 free at 0 *);
+  Buddy.free b (Sub.of_leaf_span m8 ~first_leaf:6 ~size:1) (* unit free at 6 *);
+  (* unit request: leftmost takes 0 (splitting the big block),
+     best-fit takes 6 *)
+  let b2 = Buddy.create m8 in
+  ignore (Buddy.alloc b2 ~order:2);
+  ignore (Buddy.alloc b2 ~order:1);
+  ignore (Buddy.alloc b2 ~order:0);
+  ignore (Buddy.alloc b2 ~order:0);
+  Buddy.free b2 (Sub.of_leaf_span m8 ~first_leaf:0 ~size:4);
+  Buddy.free b2 (Sub.of_leaf_span m8 ~first_leaf:6 ~size:1);
+  (match Buddy.alloc b2 ~order:0 with
+  | Some s -> Alcotest.(check int) "leftmost splits" 0 (Sub.first_leaf s)
+  | None -> Alcotest.fail "alloc failed");
+  match Buddy.alloc_best_fit b ~order:0 with
+  | Some s -> Alcotest.(check int) "best-fit preserves" 6 (Sub.first_leaf s)
+  | None -> Alcotest.fail "alloc failed"
+
+let test_leftmost_rule_matches_paper () =
+  (* Figure-1 flavour: after departures the leftmost vacant block of
+     the needed size must be chosen, not merely any vacant block. *)
+  let m4 = Machine.create 4 in
+  let b = Buddy.create m4 in
+  let t1 = Option.get (Buddy.alloc b ~order:0) in
+  let t2 = Option.get (Buddy.alloc b ~order:0) in
+  let _t3 = Option.get (Buddy.alloc b ~order:0) in
+  let t4 = Option.get (Buddy.alloc b ~order:0) in
+  ignore t1;
+  Buddy.free b t2;
+  Buddy.free b t4;
+  (* holes at leaves 1 and 3; leftmost unit alloc must take leaf 1 *)
+  match Buddy.alloc b ~order:0 with
+  | Some s -> Alcotest.(check int) "leftmost hole" 1 (Sub.first_leaf s)
+  | None -> Alcotest.fail "alloc failed"
+
+(* Random alloc/free traffic preserves the structural invariants and
+   never double-books a PE (cross-checked against a bitmap). *)
+let prop_random_traffic =
+  QCheck.Test.make ~name:"buddy: random traffic keeps invariants" ~count:120
+    (Helpers.seq_params ~max_levels:5 ~max_steps:150 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let b = Buddy.create m in
+      let g = Sm.create seed in
+      let occupied = Array.make n false in
+      let live = ref [] in
+      let ok = ref true in
+      for _ = 1 to steps do
+        if !live = [] || Sm.bool g then begin
+          let order = Sm.int g (levels + 1) in
+          match Buddy.alloc b ~order with
+          | Some s ->
+              for leaf = Sub.first_leaf s to Sub.last_leaf s do
+                if occupied.(leaf) then ok := false;
+                occupied.(leaf) <- true
+              done;
+              live := s :: !live
+          | None ->
+              (* allocation may only fail if no aligned free span exists *)
+              let exists_span =
+                let size = 1 lsl order in
+                let rec scan p =
+                  if p + size > n then false
+                  else begin
+                    let all_free = ref true in
+                    for leaf = p to p + size - 1 do
+                      if occupied.(leaf) then all_free := false
+                    done;
+                    !all_free || scan (p + size)
+                  end
+                in
+                scan 0
+              in
+              if exists_span then ok := false
+        end
+        else begin
+          match !live with
+          | s :: rest ->
+              Buddy.free b s;
+              for leaf = Sub.first_leaf s to Sub.last_leaf s do
+                occupied.(leaf) <- false
+              done;
+              live := rest
+          | [] -> ()
+        end;
+        (match Buddy.check_invariants b with Ok () -> () | Error _ -> ok := false);
+        let free_count = Array.fold_left (fun acc o -> if o then acc else acc + 1) 0 occupied in
+        if Buddy.free_size b <> free_count then ok := false
+      done;
+      !ok)
+
+let prop_alloc_is_leftmost =
+  QCheck.Test.make ~name:"buddy: alloc returns the leftmost aligned free span"
+    ~count:120
+    (Helpers.seq_params ~max_levels:5 ~max_steps:100 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let b = Buddy.create m in
+      let g = Sm.create seed in
+      let occupied = Array.make n false in
+      let live = ref [] in
+      let ok = ref true in
+      let leftmost_span order =
+        let size = 1 lsl order in
+        let rec scan p =
+          if p + size > n then None
+          else begin
+            let all_free = ref true in
+            for leaf = p to p + size - 1 do
+              if occupied.(leaf) then all_free := false
+            done;
+            if !all_free then Some p else scan (p + size)
+          end
+        in
+        scan 0
+      in
+      for _ = 1 to steps do
+        if !live = [] || Sm.int g 4 < 3 then begin
+          let order = Sm.int g (levels + 1) in
+          let expect = leftmost_span order in
+          match (Buddy.alloc b ~order, expect) with
+          | Some s, Some p ->
+              if Sub.first_leaf s <> p then ok := false;
+              for leaf = Sub.first_leaf s to Sub.last_leaf s do
+                occupied.(leaf) <- true
+              done;
+              live := s :: !live
+          | None, None -> ()
+          | Some _, None | None, Some _ -> ok := false
+        end
+        else begin
+          match !live with
+          | s :: rest ->
+              Buddy.free b s;
+              for leaf = Sub.first_leaf s to Sub.last_leaf s do
+                occupied.(leaf) <- false
+              done;
+              live := rest
+          | [] -> ()
+        end
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "fresh copy" `Quick test_fresh;
+    Alcotest.test_case "leftmost allocation" `Quick test_alloc_leftmost;
+    Alcotest.test_case "exhaustion" `Quick test_alloc_exhaustion;
+    Alcotest.test_case "free & coalesce" `Quick test_free_coalesce;
+    Alcotest.test_case "double free" `Quick test_double_free_rejected;
+    Alcotest.test_case "overlapping free" `Quick test_partial_overlap_free_rejected;
+    Alcotest.test_case "paper leftmost rule" `Quick test_leftmost_rule_matches_paper;
+    Alcotest.test_case "best-fit snug blocks" `Quick test_best_fit_prefers_small_blocks;
+    Alcotest.test_case "best-fit vs leftmost" `Quick test_best_fit_vs_leftmost_divergence;
+  ]
+  @ Helpers.qtests [ prop_random_traffic; prop_alloc_is_leftmost ]

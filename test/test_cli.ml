@@ -1,0 +1,89 @@
+module Builders = Pmp_cli.Builders
+module Machine = Pmp_machine.Machine
+module Realloc = Pmp_core.Realloc
+module Sequence = Pmp_workload.Sequence
+
+let msg = Alcotest.testable (fun ppf (`Msg m) -> Fmt.string ppf m) ( = )
+
+let test_parse_d () =
+  Alcotest.(check (result bool msg)) "0" (Ok true)
+    (Result.map (( = ) Realloc.Every) (Builders.parse_d "0"));
+  Alcotest.(check (result bool msg)) "5" (Ok true)
+    (Result.map (( = ) (Realloc.Budget 5)) (Builders.parse_d "5"));
+  Alcotest.(check (result bool msg)) "inf" (Ok true)
+    (Result.map (( = ) Realloc.Never) (Builders.parse_d "inf"));
+  Alcotest.(check (result bool msg)) "NEVER" (Ok true)
+    (Result.map (( = ) Realloc.Never) (Builders.parse_d "NEVER"));
+  Alcotest.(check bool) "negative rejected" true
+    (Result.is_error (Builders.parse_d "-3"));
+  Alcotest.(check bool) "junk rejected" true
+    (Result.is_error (Builders.parse_d "two"))
+
+let test_machine () =
+  Alcotest.(check bool) "64 ok" true (Result.is_ok (Builders.machine 64));
+  Alcotest.(check bool) "63 rejected" true (Result.is_error (Builders.machine 63));
+  Alcotest.(check bool) "0 rejected" true (Result.is_error (Builders.machine 0))
+
+let test_every_allocator_name_builds () =
+  let m = Machine.create 32 in
+  List.iter
+    (fun name ->
+      match Builders.allocator name m ~d:(Realloc.Budget 2) ~seed:1 with
+      | Ok alloc ->
+          (* smoke: allocate and free one task *)
+          let task = Pmp_workload.Task.make ~id:0 ~size:2 in
+          let resp = alloc.Pmp_core.Allocator.assign task in
+          Alcotest.(check int)
+            (name ^ " places correctly sized")
+            2
+            (Pmp_machine.Submachine.size
+               resp.Pmp_core.Allocator.placement.Pmp_core.Placement.sub);
+          alloc.Pmp_core.Allocator.remove 0
+      | Error (`Msg e) -> Alcotest.fail (name ^ ": " ^ e))
+    Builders.allocator_names;
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Builders.allocator "magic" m ~d:Realloc.Never ~seed:1))
+
+let test_every_workload_name_builds () =
+  List.iter
+    (fun name ->
+      match Builders.workload name ~machine_size:64 ~steps:500 ~seed:3 with
+      | Ok seq ->
+          Alcotest.(check bool) (name ^ " fits") true
+            (Sequence.fits seq ~machine_size:64)
+      | Error (`Msg e) -> Alcotest.fail (name ^ ": " ^ e))
+    Builders.workload_names;
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error
+       (Builders.workload "flood9" ~machine_size:64 ~steps:10 ~seed:0))
+
+let test_workload_seeded_determinism () =
+  let build () =
+    Result.get_ok (Builders.workload "churn" ~machine_size:64 ~steps:300 ~seed:9)
+  in
+  Alcotest.(check bool) "same seed, same trace" true
+    (Sequence.to_list (build ()) = Sequence.to_list (build ()))
+
+let test_sigma_r_guard () =
+  Alcotest.(check bool) "N=2 rejected for sigma-r" true
+    (Result.is_error (Builders.workload "sigma-r" ~machine_size:2 ~steps:1 ~seed:0))
+
+let test_topology () =
+  let m = Machine.create 16 in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true (Result.is_ok (Builders.topology name m)))
+    [ "tree"; "hypercube"; "mesh"; "butterfly" ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Builders.topology "torus" m))
+
+let suite =
+  [
+    Alcotest.test_case "parse_d" `Quick test_parse_d;
+    Alcotest.test_case "machine validation" `Quick test_machine;
+    Alcotest.test_case "all allocators build" `Quick test_every_allocator_name_builds;
+    Alcotest.test_case "all workloads build" `Quick test_every_workload_name_builds;
+    Alcotest.test_case "workload determinism" `Quick test_workload_seeded_determinism;
+    Alcotest.test_case "sigma-r size guard" `Quick test_sigma_r_guard;
+    Alcotest.test_case "topology names" `Quick test_topology;
+  ]

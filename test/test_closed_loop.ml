@@ -1,0 +1,132 @@
+module Machine = Pmp_machine.Machine
+module CL = Pmp_sim.Closed_loop
+module Sm = Pmp_prng.Splitmix64
+
+let spec arrival size work = { CL.arrival; size; work }
+
+let test_single_job () =
+  let m = Machine.create 4 in
+  let r = CL.run (Pmp_core.Greedy.create m) [ spec 0.0 4 10.0 ] in
+  match r.CL.completions with
+  | [ c ] ->
+      Alcotest.(check (float 1e-9)) "finish" 10.0 c.CL.finish;
+      Alcotest.(check (float 1e-9)) "slowdown 1" 1.0 c.CL.slowdown;
+      Alcotest.(check (float 1e-9)) "makespan" 10.0 r.CL.makespan;
+      Alcotest.(check (float 1e-9)) "fairness" 1.0 r.CL.fairness
+  | _ -> Alcotest.fail "one completion expected"
+
+let test_two_overlapping_full () =
+  let m = Machine.create 4 in
+  let r =
+    CL.run (Pmp_core.Greedy.create m) [ spec 0.0 4 10.0; spec 0.0 4 10.0 ]
+  in
+  Alcotest.(check int) "load 2" 2 r.CL.max_load;
+  List.iter
+    (fun c -> Alcotest.(check (float 1e-6)) "slowdown 2" 2.0 c.CL.slowdown)
+    r.CL.completions;
+  Alcotest.(check (float 1e-6)) "makespan 20" 20.0 r.CL.makespan
+
+let test_disjoint_no_interference () =
+  let m = Machine.create 4 in
+  let r =
+    CL.run (Pmp_core.Greedy.create m) [ spec 0.0 2 5.0; spec 0.0 2 5.0 ]
+  in
+  (* greedy puts them on the two halves *)
+  List.iter
+    (fun c -> Alcotest.(check (float 1e-6)) "slowdown 1" 1.0 c.CL.slowdown)
+    r.CL.completions
+
+let test_feedback_loop () =
+  (* the closed loop effect: a later arrival slows the earlier job,
+     which keeps the machine busy longer than the trace-driven world
+     would predict *)
+  let m = Machine.create 4 in
+  let r =
+    CL.run (Pmp_core.Greedy.create m) [ spec 0.0 4 10.0; spec 5.0 4 10.0 ]
+  in
+  let find i = List.nth r.CL.completions i in
+  (* job 0: 5s alone + shares until finishing: 5 remaining at rate 1/2
+     -> finishes at 15 *)
+  Alcotest.(check (float 1e-6)) "job0 finish" 15.0 (find 0).CL.finish;
+  (* job 1: 5 units done by t=15 (rate 1/2), then alone: finishes at 20 *)
+  Alcotest.(check (float 1e-6)) "job1 finish" 20.0 (find 1).CL.finish;
+  Alcotest.(check (float 1e-6)) "job1 slowdown" 1.5 (find 1).CL.slowdown
+
+let test_migration_keeps_work () =
+  (* a repacking allocator may move a running job; its progress must
+     carry over (total completions unchanged, no lost work) *)
+  let m = Machine.create 4 in
+  let alloc = Pmp_core.Optimal.create m in
+  let specs =
+    [ spec 0.0 1 4.0; spec 0.1 1 4.0; spec 0.2 1 4.0; spec 0.3 2 4.0 ]
+  in
+  let r = CL.run alloc specs in
+  Alcotest.(check int) "all complete" 4 (List.length r.CL.completions);
+  Alcotest.(check bool) "repacks happened" true (r.CL.realloc_events > 0);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "slowdown >= 1" true (c.CL.slowdown >= 1.0 -. 1e-9))
+    r.CL.completions
+
+let test_validation () =
+  let m = Machine.create 4 in
+  let alloc () = Pmp_core.Greedy.create m in
+  Alcotest.check_raises "negative arrival"
+    (Invalid_argument "Closed_loop.run: negative arrival") (fun () ->
+      ignore (CL.run (alloc ()) [ spec (-1.0) 2 1.0 ]));
+  Alcotest.check_raises "zero work"
+    (Invalid_argument "Closed_loop.run: non-positive work") (fun () ->
+      ignore (CL.run (alloc ()) [ spec 0.0 2 0.0 ]));
+  Alcotest.check_raises "oversized"
+    (Invalid_argument "Closed_loop.run: bad task size") (fun () ->
+      ignore (CL.run (alloc ()) [ spec 0.0 8 1.0 ]))
+
+let test_poisson_specs () =
+  let specs =
+    CL.poisson_specs (Sm.create 5) ~machine_size:64 ~horizon:200.0
+      ~arrival_rate:1.0 ~mean_work:5.0 ~max_order:4 ~size_bias:0.5
+  in
+  Alcotest.(check bool) "plenty of jobs" true (List.length specs > 100);
+  List.iter
+    (fun (s : CL.job_spec) ->
+      Alcotest.(check bool) "in horizon" true (s.CL.arrival <= 200.0);
+      Alcotest.(check bool) "valid size" true
+        (Pmp_util.Pow2.is_pow2 s.CL.size && s.CL.size <= 16);
+      Alcotest.(check bool) "positive work" true (s.CL.work > 0.0))
+    specs
+
+(* Sanity across allocators: everyone completes everything, slowdowns
+   are >= 1, and the always-optimal allocator's mean slowdown never
+   loses to the deliberately bad one. *)
+let prop_complete_and_ordered =
+  QCheck.Test.make ~name:"closed loop: drains fully; optimal <= worst-fit"
+    ~count:40
+    QCheck.(pair (int_range 2 5) (int_range 0 100_000))
+    (fun (levels, seed) ->
+      let n = 1 lsl levels in
+      let machine = Machine.of_levels levels in
+      let specs =
+        CL.poisson_specs (Sm.create seed) ~machine_size:n ~horizon:60.0
+          ~arrival_rate:1.5 ~mean_work:4.0
+          ~max_order:(max 0 (levels - 1))
+          ~size_bias:0.5
+      in
+      QCheck.assume (specs <> []);
+      let r_opt = CL.run (Pmp_core.Optimal.create machine) specs in
+      let r_bad = CL.run (Pmp_core.Baselines.worst_fit machine) specs in
+      List.length r_opt.CL.completions = List.length specs
+      && List.length r_bad.CL.completions = List.length specs
+      && List.for_all (fun c -> c.CL.slowdown >= 1.0 -. 1e-9) r_opt.CL.completions
+      && r_opt.CL.mean_slowdown <= r_bad.CL.mean_slowdown +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "single job" `Quick test_single_job;
+    Alcotest.test_case "two overlapping" `Quick test_two_overlapping_full;
+    Alcotest.test_case "disjoint" `Quick test_disjoint_no_interference;
+    Alcotest.test_case "feedback loop" `Quick test_feedback_loop;
+    Alcotest.test_case "migration keeps work" `Quick test_migration_keeps_work;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "poisson specs" `Quick test_poisson_specs;
+  ]
+  @ Helpers.qtests [ prop_complete_and_ordered ]

@@ -1,0 +1,120 @@
+module Sequence = Pmp_workload.Sequence
+module Compose = Pmp_workload.Compose
+module Generators = Pmp_workload.Generators
+module Task = Pmp_workload.Task
+module Event = Pmp_workload.Event
+
+let fig1 () = Generators.figure1 ()
+
+let test_concat () =
+  let joined = Compose.concat [ fig1 (); fig1 (); fig1 () ] in
+  Alcotest.(check int) "length" 21 (Sequence.length joined);
+  (* ids were renumbered: validity already checked by of_events_exn,
+     but peak is per-copy since figure1 leaves 3 active *)
+  Alcotest.(check bool) "valid and nontrivial" true
+    (Sequence.peak_active_size joined >= Sequence.peak_active_size (fig1 ()))
+
+let test_concat_accumulates_actives () =
+  (* figure1 ends with 4 active PEs; three copies stack up *)
+  let joined = Compose.concat [ fig1 (); fig1 (); fig1 () ] in
+  let final =
+    (Sequence.active_size_after joined).(Sequence.length joined - 1)
+  in
+  Alcotest.(check int) "actives accumulate" 12 final
+
+let test_repeat () =
+  Alcotest.(check int) "three copies" 21
+    (Sequence.length (Compose.repeat (fig1 ()) ~times:3));
+  Alcotest.(check int) "zero copies" 0
+    (Sequence.length (Compose.repeat (fig1 ()) ~times:0));
+  Alcotest.check_raises "negative" (Invalid_argument "Compose.repeat: negative times")
+    (fun () -> ignore (Compose.repeat (fig1 ()) ~times:(-1)))
+
+let test_interleave () =
+  let a =
+    Sequence.of_events_exn
+      [ Event.arrive (Task.make ~id:0 ~size:1); Event.depart 0 ]
+  in
+  let b =
+    Sequence.of_events_exn
+      [
+        Event.arrive (Task.make ~id:0 ~size:2);
+        Event.arrive (Task.make ~id:1 ~size:2);
+        Event.depart 0;
+        Event.depart 1;
+      ]
+  in
+  let merged = Compose.interleave [ a; b ] in
+  Alcotest.(check int) "all events" 6 (Sequence.length merged);
+  (* round-robin: a0 b0 a1 b1 b2 b3 *)
+  let strings = List.map Event.to_string (Sequence.to_list merged) in
+  Alcotest.(check (list string)) "round robin order"
+    [ "+0:1"; "+1:2"; "-0"; "+2:2"; "-1"; "-2" ]
+    strings
+
+let test_interleave_empty_inputs () =
+  let empty = Sequence.of_events_exn [] in
+  Alcotest.(check int) "empties vanish" 7
+    (Sequence.length (Compose.interleave [ empty; fig1 (); empty ]));
+  Alcotest.(check int) "no inputs" 0 (Sequence.length (Compose.interleave []))
+
+let test_prefix () =
+  let p = Compose.prefix (fig1 ()) 4 in
+  Alcotest.(check int) "four events" 4 (Sequence.length p);
+  Alcotest.(check int) "overlong prefix is whole" 7
+    (Sequence.length (Compose.prefix (fig1 ()) 100));
+  Alcotest.(check int) "empty prefix" 0 (Sequence.length (Compose.prefix (fig1 ()) 0))
+
+let test_drain () =
+  let drained = Compose.drain (fig1 ()) in
+  (* figure1 leaves t1, t3, t5 active: three departures appended *)
+  Alcotest.(check int) "length" 10 (Sequence.length drained);
+  let final =
+    (Sequence.active_size_after drained).(Sequence.length drained - 1)
+  in
+  Alcotest.(check int) "empty at end" 0 final;
+  (* draining an already drained sequence is the identity *)
+  Alcotest.(check int) "idempotent" 10 (Sequence.length (Compose.drain drained))
+
+let prop_concat_valid =
+  QCheck.Test.make ~name:"concat of random sequences is valid" ~count:60
+    QCheck.(pair (Helpers.seq_params ~max_steps:60 ()) (int_range 1 4))
+    (fun ((levels, seed, steps), copies) ->
+      let seq = Helpers.random_sequence ~seed ~machine_size:(1 lsl levels) ~steps in
+      let joined = Compose.concat (List.init (max 1 copies) (fun _ -> seq)) in
+      Sequence.length joined = max 1 copies * Sequence.length seq
+      && Result.is_ok (Sequence.of_events (Sequence.to_list joined)))
+
+let prop_interleave_preserves_events =
+  QCheck.Test.make ~name:"interleave preserves event counts" ~count:60
+    QCheck.(
+      pair (Helpers.seq_params ~max_steps:50 ()) (Helpers.seq_params ~max_steps:50 ()))
+    (fun ((l1, s1, k1), (l2, s2, k2)) ->
+      let a = Helpers.random_sequence ~seed:s1 ~machine_size:(1 lsl l1) ~steps:k1 in
+      let b = Helpers.random_sequence ~seed:s2 ~machine_size:(1 lsl l2) ~steps:k2 in
+      let merged = Compose.interleave [ a; b ] in
+      Sequence.length merged = Sequence.length a + Sequence.length b
+      && Sequence.num_arrivals merged
+         = Sequence.num_arrivals a + Sequence.num_arrivals b)
+
+let prop_drain_empties =
+  QCheck.Test.make ~name:"drain always ends empty" ~count:60
+    (Helpers.seq_params ~max_steps:80 ())
+    (fun (levels, seed, steps) ->
+      let seq = Helpers.random_sequence ~seed ~machine_size:(1 lsl levels) ~steps in
+      let drained = Compose.drain seq in
+      let sizes = Sequence.active_size_after drained in
+      Array.length sizes = 0 || sizes.(Array.length sizes - 1) = 0)
+
+let suite =
+  [
+    Alcotest.test_case "concat" `Quick test_concat;
+    Alcotest.test_case "concat accumulates" `Quick test_concat_accumulates_actives;
+    Alcotest.test_case "repeat" `Quick test_repeat;
+    Alcotest.test_case "interleave" `Quick test_interleave;
+    Alcotest.test_case "interleave empties" `Quick test_interleave_empty_inputs;
+    Alcotest.test_case "prefix" `Quick test_prefix;
+    Alcotest.test_case "drain" `Quick test_drain;
+  ]
+  @ Helpers.qtests
+      [ prop_concat_valid; prop_interleave_preserves_events; prop_drain_empties ]

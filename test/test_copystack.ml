@@ -1,0 +1,135 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Copystack = Pmp_core.Copystack
+module Placement = Pmp_core.Placement
+module Sm = Pmp_prng.Splitmix64
+
+let m4 = Machine.create 4
+
+let test_first_fit_growth () =
+  let cs = Copystack.create m4 in
+  let p1 = Copystack.alloc cs ~order:2 in
+  Alcotest.(check int) "fills copy 0" 0 p1.Placement.copy;
+  let p2 = Copystack.alloc cs ~order:1 in
+  Alcotest.(check int) "spills to copy 1" 1 p2.Placement.copy;
+  let p3 = Copystack.alloc cs ~order:1 in
+  Alcotest.(check int) "first-fits back into copy 1" 1 p3.Placement.copy;
+  Alcotest.(check int) "right half of copy 1" 2 (Sub.first_leaf p3.Placement.sub);
+  Alcotest.(check int) "two copies" 2 (Copystack.num_copies cs);
+  Helpers.check_ok (Copystack.check_invariants cs)
+
+let test_free_and_reuse () =
+  let cs = Copystack.create m4 in
+  let p1 = Copystack.alloc cs ~order:2 in
+  let _p2 = Copystack.alloc cs ~order:2 in
+  Copystack.free cs p1;
+  (* copy 0 now vacant: next arrival must land there, not in copy 2 *)
+  let p3 = Copystack.alloc cs ~order:0 in
+  Alcotest.(check int) "reuses earliest copy" 0 p3.Placement.copy
+
+let test_trim () =
+  let cs = Copystack.create m4 in
+  let p1 = Copystack.alloc cs ~order:2 in
+  let p2 = Copystack.alloc cs ~order:2 in
+  let p3 = Copystack.alloc cs ~order:2 in
+  Alcotest.(check int) "three copies" 3 (Copystack.num_copies cs);
+  Copystack.free cs p3;
+  Copystack.free cs p2;
+  Alcotest.(check int) "trailing vacants trimmed" 1 (Copystack.num_copies cs);
+  Copystack.free cs p1;
+  Alcotest.(check int) "always at least one copy" 1 (Copystack.num_copies cs);
+  Alcotest.(check int) "none occupied" 0 (Copystack.occupied_copies cs)
+
+let test_middle_vacancy_not_trimmed () =
+  let cs = Copystack.create m4 in
+  let p1 = Copystack.alloc cs ~order:2 in
+  let _p2 = Copystack.alloc cs ~order:2 in
+  Copystack.free cs p1;
+  Alcotest.(check int) "middle vacancy kept" 2 (Copystack.num_copies cs);
+  Alcotest.(check int) "one occupied" 1 (Copystack.occupied_copies cs)
+
+let test_reset () =
+  let cs = Copystack.create m4 in
+  ignore (Copystack.alloc cs ~order:2);
+  ignore (Copystack.alloc cs ~order:2);
+  Copystack.reset cs;
+  Alcotest.(check int) "reset to one copy" 1 (Copystack.num_copies cs);
+  let p = Copystack.alloc cs ~order:2 in
+  Alcotest.(check int) "fresh copy 0" 0 p.Placement.copy
+
+let test_bad_free () =
+  let cs = Copystack.create m4 in
+  Alcotest.check_raises "unknown copy" (Invalid_argument "Copystack.free: unknown copy")
+    (fun () ->
+      Copystack.free cs
+        (Placement.make ~copy:7 (Sub.make m4 ~order:0 ~index:0)))
+
+(* Never two maximal vacant submachines of the same size across the
+   stack in an arrivals-only run (the paper's Claim 1 for Lemma 2). *)
+let prop_no_equal_maximal_vacants_arrivals_only =
+  QCheck.Test.make
+    ~name:"copystack: arrivals-only leaves no two equal maximal vacancies"
+    ~count:150
+    (Helpers.seq_params ~max_levels:5 ~max_steps:60 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let cs = Copystack.create m in
+      let g = Sm.create seed in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let order = Sm.int g (levels + 1) in
+        ignore (Copystack.alloc cs ~order);
+        (* collect maximal free block sizes over all copies, ignoring
+           fully vacant copies (only the trailing one can exist) *)
+        let sizes = Hashtbl.create 8 in
+        for c = 0 to Copystack.num_copies cs - 1 do
+          List.iter
+            (fun blk ->
+              let size = Sub.size blk in
+              if size < Machine.size m then begin
+                if Hashtbl.mem sizes size then ok := false;
+                Hashtbl.add sizes size ()
+              end)
+            (Copystack.copy_free_blocks cs c)
+        done
+      done;
+      !ok)
+
+let prop_invariants_under_churn =
+  QCheck.Test.make ~name:"copystack: churn keeps invariants" ~count:120
+    (Helpers.seq_params ~max_levels:5 ~max_steps:150 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let cs = Copystack.create m in
+      let g = Sm.create seed in
+      let live = ref [] in
+      let ok = ref true in
+      for _ = 1 to steps do
+        if !live = [] || Sm.bool g then begin
+          let order = Sm.int g (levels + 1) in
+          live := Copystack.alloc cs ~order :: !live
+        end
+        else begin
+          match !live with
+          | p :: rest ->
+              Copystack.free cs p;
+              live := rest
+          | [] -> ()
+        end;
+        match Copystack.check_invariants cs with
+        | Ok () -> ()
+        | Error _ -> ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "first-fit growth" `Quick test_first_fit_growth;
+    Alcotest.test_case "free & reuse" `Quick test_free_and_reuse;
+    Alcotest.test_case "trim trailing vacants" `Quick test_trim;
+    Alcotest.test_case "middle vacancy kept" `Quick test_middle_vacancy_not_trimmed;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "bad free" `Quick test_bad_free;
+  ]
+  @ Helpers.qtests
+      [ prop_no_equal_maximal_vacants_arrivals_only; prop_invariants_under_churn ]

@@ -1,0 +1,96 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Topology = Pmp_machine.Topology
+module Task = Pmp_workload.Task
+module Allocator = Pmp_core.Allocator
+module Placement = Pmp_core.Placement
+module Cost = Pmp_sim.Cost
+module Engine = Pmp_sim.Engine
+module Realloc = Pmp_core.Realloc
+
+let m8 = Machine.create 8
+
+let mk_move id size from_sub to_sub =
+  {
+    Allocator.task = Task.make ~id ~size;
+    from_ = Placement.direct from_sub;
+    to_ = Placement.direct to_sub;
+  }
+
+let test_same_sub_free () =
+  let cost = Cost.make (Topology.create Topology.Tree m8) in
+  let s = Sub.make m8 ~order:1 ~index:0 in
+  Alcotest.(check int) "no traffic" 0 (Cost.move_cost cost (mk_move 0 2 s s))
+
+let test_scales_with_size_and_distance () =
+  let cost = Cost.make (Topology.create Topology.Tree m8) in
+  let near = mk_move 0 2 (Sub.make m8 ~order:1 ~index:0) (Sub.make m8 ~order:1 ~index:1) in
+  let far = mk_move 1 2 (Sub.make m8 ~order:1 ~index:0) (Sub.make m8 ~order:1 ~index:3) in
+  Alcotest.(check bool) "farther costs more" true
+    (Cost.move_cost cost far > Cost.move_cost cost near);
+  let big = mk_move 2 4 (Sub.make m8 ~order:2 ~index:0) (Sub.make m8 ~order:2 ~index:1) in
+  let small = mk_move 3 1 (Sub.make m8 ~order:0 ~index:0) (Sub.make m8 ~order:0 ~index:4) in
+  ignore small;
+  Alcotest.(check bool) "bigger task costs more than unit across same gap" true
+    (Cost.move_cost cost big >= 4)
+
+let test_bytes_per_pe () =
+  let topo = Topology.create Topology.Tree m8 in
+  let c1 = Cost.make ~bytes_per_pe:1 topo in
+  let c100 = Cost.make ~bytes_per_pe:100 topo in
+  let mv = mk_move 0 2 (Sub.make m8 ~order:1 ~index:0) (Sub.make m8 ~order:1 ~index:1) in
+  Alcotest.(check int) "scales linearly" (100 * Cost.move_cost c1 mv)
+    (Cost.move_cost c100 mv);
+  Alcotest.check_raises "invalid bytes" (Invalid_argument "Cost.make: bytes_per_pe <= 0")
+    (fun () -> ignore (Cost.make ~bytes_per_pe:0 topo))
+
+let test_moves_cost_sums () =
+  let cost = Cost.make (Topology.create Topology.Tree m8) in
+  let mv1 = mk_move 0 1 (Sub.make m8 ~order:0 ~index:0) (Sub.make m8 ~order:0 ~index:1) in
+  let mv2 = mk_move 1 1 (Sub.make m8 ~order:0 ~index:2) (Sub.make m8 ~order:0 ~index:3) in
+  Alcotest.(check int) "sum" (Cost.move_cost cost mv1 + Cost.move_cost cost mv2)
+    (Cost.moves_cost cost [ mv1; mv2 ]);
+  Alcotest.(check int) "empty" 0 (Cost.moves_cost cost [])
+
+let test_engine_accounts_traffic () =
+  (* A_C on the figure-1 sequence migrates t3; traffic must be > 0 and
+     repack-free algorithms must report 0 *)
+  let m = Machine.create 4 in
+  let cost = Cost.make (Topology.create Topology.Tree m) in
+  let seq = Pmp_workload.Generators.figure1 () in
+  let r_opt = Engine.run ~check:true ~cost (Pmp_core.Optimal.create m) seq in
+  Alcotest.(check bool) "A_C pays traffic" true (r_opt.Engine.migration_traffic > 0);
+  let r_greedy = Engine.run ~check:true ~cost (Pmp_core.Greedy.create m) seq in
+  Alcotest.(check int) "greedy pays nothing" 0 r_greedy.Engine.migration_traffic
+
+let test_traffic_decreases_with_d () =
+  (* coarser budgets pay less migration traffic on the same workload *)
+  let n = 64 in
+  let m = Machine.create n in
+  let cost = Cost.make (Topology.create Topology.Tree m) in
+  let g = Pmp_prng.Splitmix64.create 21 in
+  let seq =
+    Pmp_workload.Generators.churn g ~machine_size:n ~steps:2000 ~target_util:1.5
+      ~max_order:5 ~size_bias:0.5
+  in
+  let traffic d =
+    let alloc = Pmp_core.Periodic.create ~force_copies:true m ~d in
+    (Engine.run ~cost alloc seq).Engine.migration_traffic
+  in
+  let t0 = traffic Realloc.Every in
+  let t4 = traffic (Realloc.Budget 4) in
+  let tinf = traffic Realloc.Never in
+  Alcotest.(check bool)
+    (Printf.sprintf "t0=%d >= t4=%d" t0 t4)
+    true (t0 >= t4);
+  Alcotest.(check int) "never reallocating is free" 0 tinf
+
+let suite =
+  [
+    Alcotest.test_case "same submachine free" `Quick test_same_sub_free;
+    Alcotest.test_case "scales with size+distance" `Quick test_scales_with_size_and_distance;
+    Alcotest.test_case "bytes per PE" `Quick test_bytes_per_pe;
+    Alcotest.test_case "sums over moves" `Quick test_moves_cost_sums;
+    Alcotest.test_case "engine accounting" `Quick test_engine_accounts_traffic;
+    Alcotest.test_case "traffic decreases with d" `Slow test_traffic_decreases_with_d;
+  ]

@@ -1,0 +1,140 @@
+(* Tests for the extension allocators: Rand_periodic (the paper's
+   stated open problem — randomization + reallocation) and Hybrid
+   (greedy between repacks). *)
+
+module Machine = Pmp_machine.Machine
+module Sequence = Pmp_workload.Sequence
+module Generators = Pmp_workload.Generators
+module Realloc = Pmp_core.Realloc
+module Rand_periodic = Pmp_core.Rand_periodic
+module Hybrid = Pmp_core.Hybrid
+module Engine = Pmp_sim.Engine
+module Sm = Pmp_prng.Splitmix64
+
+let test_rand_periodic_repacks () =
+  (* on the fragmenting workload the oblivious placements collide; the
+     budget must fire and pull the load back to optimal *)
+  let n = 64 in
+  let machine = Machine.create n in
+  let seq = Generators.sawtooth_cycles ~machine_size:n ~cycles:4 in
+  let with_budget =
+    Engine.run ~check:true
+      (Rand_periodic.create machine ~rng:(Sm.create 8) ~d:(Realloc.Budget 1))
+      seq
+  in
+  let without =
+    Engine.run ~check:true
+      (Pmp_core.Randomized.create machine ~rng:(Sm.create 8))
+      seq
+  in
+  Alcotest.(check bool) "budget fired" true (with_budget.Engine.realloc_events > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "repacking helps (%d <= %d)" with_budget.Engine.max_load
+       without.Engine.max_load)
+    true
+    (with_budget.Engine.max_load <= without.Engine.max_load)
+
+let test_rand_periodic_never_is_pure_randomized () =
+  let n = 32 in
+  let machine = Machine.create n in
+  let seq = Helpers.random_sequence ~seed:5 ~machine_size:n ~steps:300 in
+  let r1 =
+    Engine.run ~check:true
+      (Rand_periodic.create machine ~rng:(Sm.create 9) ~d:Realloc.Never)
+      seq
+  in
+  let r2 =
+    Engine.run ~check:true (Pmp_core.Randomized.create machine ~rng:(Sm.create 9)) seq
+  in
+  Alcotest.(check (array int)) "identical trajectories" r2.Engine.load_trajectory
+    r1.Engine.load_trajectory;
+  Alcotest.(check int) "no repacks" 0 r1.Engine.realloc_events
+
+let test_hybrid_never_is_greedy () =
+  let n = 32 in
+  let machine = Machine.create n in
+  let seq = Helpers.random_sequence ~seed:6 ~machine_size:n ~steps:300 in
+  let r1 = Engine.run ~check:true (Hybrid.create machine ~d:Realloc.Never) seq in
+  let r2 = Engine.run ~check:true (Pmp_core.Greedy.create machine) seq in
+  Alcotest.(check (array int)) "identical trajectories" r2.Engine.load_trajectory
+    r1.Engine.load_trajectory
+
+let test_hybrid_beats_greedy_on_fragmentation () =
+  let n = 128 in
+  let machine = Machine.create n in
+  let seq = Generators.sawtooth_cycles ~machine_size:n ~cycles:6 in
+  let hybrid = Engine.run ~check:true (Hybrid.create machine ~d:(Realloc.Budget 1)) seq in
+  let greedy = Engine.run ~check:true (Pmp_core.Greedy.create machine) seq in
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid %d <= greedy %d" hybrid.Engine.max_load
+       greedy.Engine.max_load)
+    true
+    (hybrid.Engine.max_load <= greedy.Engine.max_load);
+  Alcotest.(check bool) "hybrid repacked" true (hybrid.Engine.realloc_events > 0)
+
+(* Every repack restores the instantaneous optimum: right after an
+   arrival whose response carried moves, load = ceil(S/N). *)
+let prop_repack_restores_optimum =
+  QCheck.Test.make ~name:"extensions: repack restores ceil(S/N)" ~count:100
+    QCheck.(pair (Helpers.seq_params ~max_levels:5 ~max_steps:200 ()) (int_range 0 3))
+    (fun ((levels, seed, steps), d_raw) ->
+      let machine = Machine.of_levels levels in
+      let n = Machine.size machine in
+      let seq = Helpers.random_sequence ~seed ~machine_size:n ~steps in
+      let events = Sequence.events seq in
+      let check_alloc make =
+        let alloc : Pmp_core.Allocator.t = make () in
+        let mirror = Pmp_core.Mirror.create machine in
+        let ok = ref true in
+        Array.iter
+          (fun (ev : Pmp_workload.Event.t) ->
+            match ev with
+            | Arrive task ->
+                let resp = alloc.Pmp_core.Allocator.assign task in
+                Pmp_core.Mirror.apply_assign mirror task resp;
+                if resp.Pmp_core.Allocator.moves <> [] then begin
+                  let opt =
+                    Pmp_util.Pow2.ceil_div
+                      (Pmp_core.Mirror.active_size mirror)
+                      n
+                  in
+                  if Pmp_core.Mirror.max_load mirror <> opt then ok := false
+                end
+            | Depart id ->
+                alloc.Pmp_core.Allocator.remove id;
+                Pmp_core.Mirror.apply_remove mirror id)
+          events;
+        !ok
+      in
+      let d = Realloc.make_budget d_raw in
+      check_alloc (fun () -> Rand_periodic.create machine ~rng:(Sm.create seed) ~d)
+      && check_alloc (fun () -> Hybrid.create machine ~d))
+
+(* With d = Every both extensions stay at the optimum permanently
+   (each above-optimal arrival triggers an immediate repack). *)
+let prop_every_is_optimal =
+  QCheck.Test.make ~name:"extensions: d=0 pins the load to L*" ~count:80
+    (Helpers.seq_params ~max_levels:5 ~max_steps:150 ())
+    (fun (levels, seed, steps) ->
+      let machine = Machine.of_levels levels in
+      let n = Machine.size machine in
+      let seq = Helpers.random_sequence ~seed ~machine_size:n ~steps in
+      let check make =
+        let r = Engine.run ~check:true (make ()) seq in
+        r.Engine.max_load = r.Engine.optimal_load
+      in
+      check (fun () ->
+          Rand_periodic.create machine ~rng:(Sm.create seed) ~d:Realloc.Every)
+      && check (fun () -> Hybrid.create machine ~d:Realloc.Every))
+
+let suite =
+  [
+    Alcotest.test_case "rand-periodic repacks under pressure" `Quick
+      test_rand_periodic_repacks;
+    Alcotest.test_case "rand-periodic(inf) = randomized" `Quick
+      test_rand_periodic_never_is_pure_randomized;
+    Alcotest.test_case "hybrid(inf) = greedy" `Quick test_hybrid_never_is_greedy;
+    Alcotest.test_case "hybrid beats greedy when fragmented" `Quick
+      test_hybrid_beats_greedy_on_fragmentation;
+  ]
+  @ Helpers.qtests [ prop_repack_restores_optimum; prop_every_is_optimal ]

@@ -1,0 +1,109 @@
+(* Structural invariants of each workload generator, beyond the
+   validity checks in test_sequence. *)
+
+module Sequence = Pmp_workload.Sequence
+module Generators = Pmp_workload.Generators
+module Task = Pmp_workload.Task
+module Event = Pmp_workload.Event
+module Sm = Pmp_prng.Splitmix64
+
+let test_churn_tracks_target () =
+  let n = 128 in
+  let seq =
+    Generators.churn (Sm.create 5) ~machine_size:n ~steps:8000 ~target_util:1.5
+      ~max_order:5 ~size_bias:0.5
+  in
+  let sizes = Sequence.active_size_after seq in
+  (* skip the warm-up third, then the mean should hover near target *)
+  let tail = Array.sub sizes (Array.length sizes / 3) (2 * Array.length sizes / 3) in
+  let mean = Pmp_util.Stats.mean (Array.map float_of_int tail) in
+  let target = 1.5 *. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.1f within 40%% of target %.1f" mean target)
+    true
+    (abs_float (mean -. target) < 0.4 *. target)
+
+let test_churn_respects_max_order () =
+  let seq =
+    Generators.churn (Sm.create 6) ~machine_size:64 ~steps:2000 ~target_util:1.0
+      ~max_order:3 ~size_bias:0.0
+  in
+  Alcotest.(check int) "largest task 8" 8 (Sequence.max_task_size seq)
+
+let test_bursty_departure_fraction () =
+  let seq =
+    Generators.bursty (Sm.create 7) ~machine_size:64 ~sessions:1
+      ~session_tasks:100 ~max_order:4
+  in
+  let departures = Sequence.length seq - Sequence.num_arrivals seq in
+  (* one session: 50-100% of the 100 arrivals depart *)
+  Alcotest.(check int) "arrivals" 100 (Sequence.num_arrivals seq);
+  Alcotest.(check bool)
+    (Printf.sprintf "%d departures in [50,100]" departures)
+    true
+    (departures >= 50 && departures <= 100)
+
+let test_sawtooth_round_structure () =
+  let seq = Generators.sawtooth ~machine_size:8 ~rounds:3 in
+  (* round sizes 1,2,4 with counts 8,4,2; half depart each round *)
+  Alcotest.(check int) "arrivals" 14 (Sequence.num_arrivals seq);
+  Alcotest.(check int) "departures" 7 (Sequence.length seq - Sequence.num_arrivals seq);
+  (* arrival size histogram *)
+  let p = Pmp_workload.Profile.analyze seq in
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 8); (2, 4); (4, 2) ]
+    p.Pmp_workload.Profile.size_histogram
+
+let test_sawtooth_cycles_drains () =
+  let seq = Generators.sawtooth_cycles ~machine_size:16 ~cycles:3 in
+  let sizes = Sequence.active_size_after seq in
+  Alcotest.(check int) "fully drained at end" 0 (sizes.(Array.length sizes - 1));
+  (* the drained points appear at least [cycles] times *)
+  let zeros = Array.fold_left (fun acc s -> if s = 0 then acc + 1 else acc) 0 sizes in
+  Alcotest.(check bool) "drains each cycle" true (zeros >= 3)
+
+let test_staircase_structure () =
+  let seq = Generators.staircase_descent ~machine_size:32 in
+  let p = Pmp_workload.Profile.analyze seq in
+  (* one task of each size 16,8,4,2,1 plus 2 units per big departure *)
+  Alcotest.(check int) "largest" 16 p.Pmp_workload.Profile.max_task_size;
+  Alcotest.(check bool) "unit trickle" true
+    (List.mem_assoc 1 p.Pmp_workload.Profile.size_histogram
+    && List.assoc 1 p.Pmp_workload.Profile.size_histogram > 5)
+
+let test_arrivals_only_monotone () =
+  let seq = Generators.arrivals_only (Sm.create 8) ~count:100 ~max_order:3 in
+  let sizes = Sequence.active_size_after seq in
+  let monotone = ref true in
+  Array.iteri (fun i s -> if i > 0 && s < sizes.(i - 1) then monotone := false) sizes;
+  Alcotest.(check bool) "active size non-decreasing" true !monotone
+
+let prop_generators_fit_machine =
+  QCheck.Test.make ~name:"every generator output fits its machine" ~count:40
+    QCheck.(pair (int_range 2 7) (int_range 0 10_000))
+    (fun (levels, seed) ->
+      let n = 1 lsl levels in
+      let g () = Sm.create seed in
+      List.for_all
+        (fun seq -> Sequence.fits seq ~machine_size:n)
+        [
+          Generators.churn (g ()) ~machine_size:n ~steps:300 ~target_util:1.0
+            ~max_order:(levels - 1) ~size_bias:0.3;
+          Generators.bursty (g ()) ~machine_size:n ~sessions:3 ~session_tasks:20
+            ~max_order:(levels - 1);
+          Generators.sawtooth ~machine_size:n ~rounds:levels;
+          Generators.sawtooth_cycles ~machine_size:n ~cycles:2;
+          Generators.staircase_descent ~machine_size:n;
+          Generators.arrivals_only (g ()) ~count:50 ~max_order:(levels - 1);
+        ])
+
+let suite =
+  [
+    Alcotest.test_case "churn tracks target" `Slow test_churn_tracks_target;
+    Alcotest.test_case "churn max order" `Quick test_churn_respects_max_order;
+    Alcotest.test_case "bursty departures" `Quick test_bursty_departure_fraction;
+    Alcotest.test_case "sawtooth rounds" `Quick test_sawtooth_round_structure;
+    Alcotest.test_case "sawtooth cycles drain" `Quick test_sawtooth_cycles_drains;
+    Alcotest.test_case "staircase structure" `Quick test_staircase_structure;
+    Alcotest.test_case "arrivals monotone" `Quick test_arrivals_only_monotone;
+  ]
+  @ Helpers.qtests [ prop_generators_fit_machine ]

@@ -1,0 +1,109 @@
+(* Golden regression tests: exact, seeded end-to-end numbers from the
+   experiment harness's key series. These would not survive a change
+   to algorithm semantics, generator seeding, or tie-breaking — which
+   is the point: the reproduced tables in EXPERIMENTS.md stay honest. *)
+
+module Machine = Pmp_machine.Machine
+module Generators = Pmp_workload.Generators
+module Realloc = Pmp_core.Realloc
+module Det = Pmp_adversary.Det_adversary
+module Engine = Pmp_sim.Engine
+
+(* E4's adversarial staircase at N = 256: the measured load equals the
+   lower-bound factor exactly, for every d. *)
+let test_e4_adversarial_staircase () =
+  let machine = Machine.of_levels 8 in
+  List.iter
+    (fun (d, expect) ->
+      let alloc = Pmp_core.Periodic.create machine ~d:(Realloc.Budget d) in
+      let outcome = Det.run alloc ~d in
+      Alcotest.(check int) (Printf.sprintf "L* at d=%d" d) 1 outcome.Det.optimal_load;
+      Alcotest.(check int) (Printf.sprintf "load at d=%d" d) expect outcome.Det.max_load)
+    [ (1, 1); (2, 2); (3, 2); (4, 3); (5, 3); (6, 4); (7, 4); (8, 5) ]
+
+(* E3: greedy meets its upper bound exactly under the adversary. *)
+let test_e3_greedy_meets_bound () =
+  List.iter
+    (fun levels ->
+      let machine = Machine.of_levels levels in
+      let n = Machine.size machine in
+      let outcome = Det.run (Pmp_core.Greedy.create machine) ~d:levels in
+      Alcotest.(check int)
+        (Printf.sprintf "N=%d" n)
+        (Pmp_core.Bounds.greedy_upper_factor ~machine_size:n)
+        outcome.Det.max_load)
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+(* E1: the exact Figure-1 trajectories. *)
+let test_e1_trajectories () =
+  let machine = Machine.create 4 in
+  let seq = Generators.figure1 () in
+  let traj alloc = (Engine.run ~check:true alloc seq).Engine.load_trajectory in
+  Alcotest.(check (array int)) "greedy" [| 1; 1; 1; 1; 1; 1; 2 |]
+    (traj (Pmp_core.Greedy.create machine));
+  Alcotest.(check (array int)) "A_M(d=1)" [| 1; 1; 1; 1; 1; 1; 1 |]
+    (traj (Pmp_core.Periodic.create machine ~d:(Realloc.Budget 1)));
+  Alcotest.(check (array int)) "A_C" [| 1; 1; 1; 1; 1; 1; 1 |]
+    (traj (Pmp_core.Optimal.create machine))
+
+(* E8's frontier shape on the fragmenting day: max load is monotone
+   non-decreasing in d and traffic monotone non-increasing. *)
+let test_e8_frontier_monotone () =
+  let n = 128 in
+  let machine = Machine.create n in
+  let seq = Generators.sawtooth_cycles ~machine_size:n ~cycles:8 in
+  let topology = Pmp_machine.Topology.create Pmp_machine.Topology.Tree machine in
+  let cost = Pmp_sim.Cost.make ~bytes_per_pe:4096 topology in
+  let results =
+    List.map
+      (fun d ->
+        let alloc = Pmp_core.Periodic.create ~force_copies:true machine ~d in
+        Engine.run ~cost alloc seq)
+      (Realloc.Every
+      :: List.map (fun d -> Realloc.Budget d) [ 1; 2; 3; 4; 6; 8 ]
+      @ [ Realloc.Never ])
+  in
+  let rec monotone loads traffics = function
+    | [] -> ()
+    | (r : Engine.result) :: rest ->
+        Alcotest.(check bool) "load non-decreasing" true (r.Engine.max_load >= loads);
+        Alcotest.(check bool) "traffic non-increasing" true
+          (r.Engine.migration_traffic <= traffics);
+        monotone r.Engine.max_load r.Engine.migration_traffic rest
+  in
+  monotone 0 max_int results;
+  (* endpoint goldens *)
+  (match (results, List.rev results) with
+  | first :: _, last :: _ ->
+      Alcotest.(check int) "d=0 optimal" first.Engine.optimal_load
+        first.Engine.max_load;
+      Alcotest.(check int) "d=inf load 7" 7 last.Engine.max_load;
+      Alcotest.(check int) "d=inf free" 0 last.Engine.migration_traffic
+  | _ -> Alcotest.fail "no results")
+
+(* E2: the exact A_C ratio of 1.00 on the seeded churn workloads used
+   by the harness. *)
+let test_e2_optimal_exact () =
+  List.iter
+    (fun n ->
+      let machine = Machine.create n in
+      let g = Pmp_prng.Splitmix64.create 42 in
+      let levels = Pmp_util.Pow2.ilog2 n in
+      let seq =
+        Generators.churn g ~machine_size:n ~steps:4000 ~target_util:1.5
+          ~max_order:(max 0 (levels - 1))
+          ~size_bias:0.6
+      in
+      let r = Engine.run (Pmp_core.Optimal.create machine) seq in
+      Alcotest.(check int) (Printf.sprintf "N=%d" n) r.Engine.optimal_load
+        r.Engine.max_load)
+    [ 16; 64; 256 ]
+
+let suite =
+  [
+    Alcotest.test_case "E4 adversarial staircase" `Slow test_e4_adversarial_staircase;
+    Alcotest.test_case "E3 greedy meets bound" `Slow test_e3_greedy_meets_bound;
+    Alcotest.test_case "E1 exact trajectories" `Quick test_e1_trajectories;
+    Alcotest.test_case "E8 frontier monotone" `Slow test_e8_frontier_monotone;
+    Alcotest.test_case "E2 optimal exact" `Slow test_e2_optimal_exact;
+  ]

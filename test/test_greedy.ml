@@ -1,0 +1,133 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Task = Pmp_workload.Task
+module Sequence = Pmp_workload.Sequence
+module Generators = Pmp_workload.Generators
+module Greedy = Pmp_core.Greedy
+module Bounds = Pmp_core.Bounds
+module Placement = Pmp_core.Placement
+module Allocator = Pmp_core.Allocator
+module Engine = Pmp_sim.Engine
+
+let test_figure1_replay () =
+  (* the paper's worked example: greedy reaches load 2 on σ* *)
+  let m = Machine.create 4 in
+  let alloc = Greedy.create m in
+  let result = Engine.run ~check:true alloc (Generators.figure1 ()) in
+  Alcotest.(check int) "greedy load 2" 2 result.Engine.max_load;
+  Alcotest.(check int) "L* = 1" 1 result.Engine.optimal_load
+
+let test_figure1_placements () =
+  (* check the exact assignment pattern of Figure 1: after t1..t4 fill
+     the 4 leaves and t2, t4 depart, t5 (size 2) lands on leaves 0-1
+     (leftmost min-load pair has load 1, both pairs tie at 1). *)
+  let m = Machine.create 4 in
+  let alloc = Greedy.create m in
+  let place task =
+    (alloc.Allocator.assign task).Allocator.placement.Placement.sub
+  in
+  let s1 = place (Task.make ~id:1 ~size:1) in
+  Alcotest.(check int) "t1 -> leaf 0" 0 (Sub.first_leaf s1);
+  let s2 = place (Task.make ~id:2 ~size:1) in
+  Alcotest.(check int) "t2 -> leaf 1" 1 (Sub.first_leaf s2);
+  let s3 = place (Task.make ~id:3 ~size:1) in
+  Alcotest.(check int) "t3 -> leaf 2" 2 (Sub.first_leaf s3);
+  let s4 = place (Task.make ~id:4 ~size:1) in
+  Alcotest.(check int) "t4 -> leaf 3" 3 (Sub.first_leaf s4);
+  alloc.Allocator.remove 2;
+  alloc.Allocator.remove 4;
+  let s5 = place (Task.make ~id:5 ~size:2) in
+  Alcotest.(check int) "t5 -> leftmost pair" 0 (Sub.first_leaf s5)
+
+let test_min_load_choice () =
+  let m = Machine.create 8 in
+  let alloc = Greedy.create m in
+  let place id size =
+    (alloc.Allocator.assign (Task.make ~id ~size)).Allocator.placement
+      .Placement.sub
+  in
+  ignore (place 0 4) (* loads left half *);
+  let s = place 1 2 in
+  Alcotest.(check int) "avoids loaded half" 4 (Sub.first_leaf s)
+
+let test_full_machine_tasks () =
+  (* tasks of size N stack without imbalance; load tracks count *)
+  let m = Machine.create 4 in
+  let alloc = Greedy.create m in
+  let seq =
+    Sequence.of_events_exn
+      [
+        Pmp_workload.Event.arrive (Task.make ~id:0 ~size:4);
+        Pmp_workload.Event.arrive (Task.make ~id:1 ~size:4);
+        Pmp_workload.Event.arrive (Task.make ~id:2 ~size:4);
+      ]
+  in
+  let r = Engine.run ~check:true alloc seq in
+  Alcotest.(check int) "load = 3" 3 r.Engine.max_load;
+  Alcotest.(check int) "optimal = 3" 3 r.Engine.optimal_load
+
+let test_remove_unknown () =
+  let alloc = Greedy.create (Machine.create 4) in
+  Alcotest.check_raises "unknown" (Invalid_argument "Greedy.remove: unknown task")
+    (fun () -> alloc.Allocator.remove 42)
+
+let test_oversized () =
+  let alloc = Greedy.create (Machine.create 4) in
+  Alcotest.check_raises "oversized"
+    (Invalid_argument "Greedy.assign: task larger than machine") (fun () ->
+      ignore (alloc.Allocator.assign (Task.make ~id:0 ~size:8)))
+
+(* Theorem 4.1 as stated (all task sizes < N, per the proof's "tasks of
+   size N do not create a load imbalance" reduction):
+   load <= ceil((log N + 1)/2) * L*. *)
+let prop_theorem_4_1 =
+  QCheck.Test.make ~name:"Theorem 4.1: greedy within ceil((logN+1)/2) of L*"
+    ~count:300
+    (Helpers.seq_params ~max_levels:6 ~max_steps:300 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let seq = Helpers.random_sequence_no_full ~seed ~machine_size:n ~steps in
+      let r = Helpers.run_checked (Greedy.create m) seq in
+      let bound = Bounds.greedy_upper_factor ~machine_size:n * r.Engine.optimal_load in
+      r.Engine.max_load <= bound)
+
+(* Mixed sequences: k concurrent full-machine tasks add exactly k to
+   every PE without changing greedy's choices, so the universal bound
+   is f * L* + k_max. *)
+let prop_theorem_4_1_mixed =
+  QCheck.Test.make ~name:"greedy on mixed sizes within f*L* + full-task overlay"
+    ~count:200
+    (Helpers.seq_params ~max_levels:6 ~max_steps:300 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let seq = Helpers.random_sequence ~seed ~machine_size:n ~steps in
+      let r = Helpers.run_checked (Greedy.create m) seq in
+      let k_max = Helpers.max_concurrent_full_tasks ~machine_size:n seq in
+      let bound =
+        (Bounds.greedy_upper_factor ~machine_size:n * r.Engine.optimal_load)
+        + k_max
+      in
+      r.Engine.max_load <= bound)
+
+(* Greedy never reallocates: responses carry no moves. *)
+let prop_no_moves =
+  QCheck.Test.make ~name:"greedy never migrates tasks" ~count:100
+    (Helpers.seq_params ~max_levels:5 ~max_steps:150 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let seq = Helpers.random_sequence ~seed ~machine_size:(Machine.size m) ~steps in
+      let r = Helpers.run_checked (Greedy.create m) seq in
+      r.Engine.tasks_moved = 0 && r.Engine.realloc_events = 0)
+
+let suite =
+  [
+    Alcotest.test_case "figure 1 replay" `Quick test_figure1_replay;
+    Alcotest.test_case "figure 1 placements" `Quick test_figure1_placements;
+    Alcotest.test_case "min-load choice" `Quick test_min_load_choice;
+    Alcotest.test_case "full-machine tasks" `Quick test_full_machine_tasks;
+    Alcotest.test_case "remove unknown" `Quick test_remove_unknown;
+    Alcotest.test_case "oversized task" `Quick test_oversized;
+  ]
+  @ Helpers.qtests [ prop_theorem_4_1; prop_theorem_4_1_mixed; prop_no_moves ]

@@ -1,0 +1,87 @@
+module Machine = Pmp_machine.Machine
+module Generators = Pmp_workload.Generators
+module Heatmap = Pmp_sim.Heatmap
+
+let test_dimensions () =
+  let machine = Machine.create 16 in
+  let seq = Helpers.random_sequence ~seed:1 ~machine_size:16 ~steps:100 in
+  let hm = Heatmap.sample ~rows:10 ~cols:8 (Pmp_core.Greedy.create machine) seq in
+  Alcotest.(check bool) "row count bounded" true (Array.length hm.Heatmap.rows <= 10);
+  Array.iter
+    (fun row -> Alcotest.(check int) "col count" 8 (Array.length row))
+    hm.Heatmap.rows;
+  Alcotest.(check int) "pes per col" 2 hm.Heatmap.pes_per_col
+
+let test_small_machine_wide_cols () =
+  (* machine smaller than requested columns: one PE per column *)
+  let machine = Machine.create 4 in
+  let seq = Generators.figure1 () in
+  let hm = Heatmap.sample ~rows:7 ~cols:64 (Pmp_core.Greedy.create machine) seq in
+  Array.iter
+    (fun row -> Alcotest.(check int) "4 cols" 4 (Array.length row))
+    hm.Heatmap.rows;
+  (* final row shows greedy's load-2 pair on the left *)
+  let last = hm.Heatmap.rows.(Array.length hm.Heatmap.rows - 1) in
+  (* t1@leaf0, t3@leaf2, t5@leaves0-1 *)
+  Alcotest.(check (array int)) "final leaf loads" [| 2; 1; 1; 0 |] last;
+  Alcotest.(check int) "peak" 2 (Heatmap.max_cell hm)
+
+let test_render () =
+  let machine = Machine.create 4 in
+  let hm =
+    Heatmap.sample ~rows:7 ~cols:4 (Pmp_core.Greedy.create machine)
+      (Generators.figure1 ())
+  in
+  let picture = Heatmap.render hm in
+  let lines = String.split_on_char '\n' picture in
+  (* header + one line per sampled row + trailing empty *)
+  Alcotest.(check bool) "has header" true
+    (String.length (List.hd lines) > 10);
+  Alcotest.(check bool) "multi-line" true (List.length lines >= 3)
+
+let test_empty_sequence () =
+  let machine = Machine.create 4 in
+  let hm =
+    Heatmap.sample (Pmp_core.Greedy.create machine)
+      (Pmp_workload.Sequence.of_events_exn [])
+  in
+  Alcotest.(check int) "one idle snapshot" 1 (Array.length hm.Heatmap.rows);
+  Alcotest.(check int) "all zero" 0 (Heatmap.max_cell hm)
+
+let test_bad_dimensions () =
+  let machine = Machine.create 4 in
+  Alcotest.check_raises "zero rows" (Invalid_argument "Heatmap.sample: bad dimensions")
+    (fun () ->
+      ignore
+        (Heatmap.sample ~rows:0 (Pmp_core.Greedy.create machine)
+           (Generators.figure1 ())))
+
+(* The heatmap's max equals the engine's max load measured on the same
+   run whenever every event is sampled (rows >= events). *)
+let prop_peak_matches_engine =
+  QCheck.Test.make ~name:"heatmap peak = engine max load when fully sampled"
+    ~count:60
+    (Helpers.seq_params ~max_levels:4 ~max_steps:60 ())
+    (fun (levels, seed, steps) ->
+      let machine = Machine.of_levels levels in
+      let n = Machine.size machine in
+      let seq = Helpers.random_sequence ~seed ~machine_size:n ~steps in
+      let hm =
+        Heatmap.sample
+          ~rows:(max 1 (Pmp_workload.Sequence.length seq))
+          ~cols:n
+          (Pmp_core.Greedy.create machine)
+          seq
+      in
+      let r = Pmp_sim.Engine.run (Pmp_core.Greedy.create machine) seq in
+      Heatmap.max_cell hm = r.Pmp_sim.Engine.max_load)
+
+let suite =
+  [
+    Alcotest.test_case "dimensions" `Quick test_dimensions;
+    Alcotest.test_case "small machine" `Quick test_small_machine_wide_cols;
+    Alcotest.test_case "render" `Quick test_render;
+    Alcotest.test_case "empty sequence" `Quick test_empty_sequence;
+    Alcotest.test_case "bad dimensions" `Quick test_bad_dimensions;
+  ]
+  @ Helpers.qtests [ prop_peak_matches_engine ]

@@ -1,0 +1,148 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Load_map = Pmp_machine.Load_map
+module Sm = Pmp_prng.Splitmix64
+
+let test_empty () =
+  let m = Machine.create 8 in
+  let lm = Load_map.create m in
+  Alcotest.(check int) "max 0" 0 (Load_map.max_overall lm);
+  Alcotest.(check (array int)) "all zero" (Array.make 8 0) (Load_map.leaf_loads lm)
+
+let test_single_add () =
+  let m = Machine.create 8 in
+  let lm = Load_map.create m in
+  Load_map.add lm (Sub.make m ~order:1 ~index:1) 1;
+  Alcotest.(check (array int)) "leaves 2,3 loaded" [| 0; 0; 1; 1; 0; 0; 0; 0 |]
+    (Load_map.leaf_loads lm);
+  Alcotest.(check int) "max 1" 1 (Load_map.max_overall lm);
+  Alcotest.(check int) "max in quarter [0..3]" 1
+    (Load_map.max_load lm (Sub.make m ~order:2 ~index:0));
+  Alcotest.(check int) "max in quarter [4..7]" 0
+    (Load_map.max_load lm (Sub.make m ~order:2 ~index:1))
+
+let test_overlap () =
+  let m = Machine.create 8 in
+  let lm = Load_map.create m in
+  Load_map.add lm (Sub.make m ~order:3 ~index:0) 1;
+  Load_map.add lm (Sub.make m ~order:0 ~index:5) 1;
+  Load_map.add lm (Sub.make m ~order:1 ~index:2) 1;
+  Alcotest.(check (array int)) "stacked" [| 1; 1; 1; 1; 2; 3; 1; 1 |]
+    (Load_map.leaf_loads lm);
+  Alcotest.(check int) "max 3" 3 (Load_map.max_overall lm)
+
+let test_remove () =
+  let m = Machine.create 4 in
+  let lm = Load_map.create m in
+  let s = Sub.make m ~order:1 ~index:0 in
+  Load_map.add lm s 1;
+  Load_map.add lm s (-1);
+  Alcotest.(check int) "back to zero" 0 (Load_map.max_overall lm)
+
+let test_min_max_at_order () =
+  let m = Machine.create 8 in
+  let lm = Load_map.create m in
+  Load_map.add lm (Sub.make m ~order:2 ~index:0) 2;
+  Load_map.add lm (Sub.make m ~order:2 ~index:1) 1;
+  let value, sub = Load_map.min_max_at_order lm 2 in
+  Alcotest.(check int) "min of maxes" 1 value;
+  Alcotest.(check int) "right quarter chosen" 1 (Sub.index sub);
+  (* tie at order 1 within quarter 1: leftmost wins *)
+  let value, sub = Load_map.min_max_at_order lm 1 in
+  Alcotest.(check int) "value" 1 value;
+  Alcotest.(check int) "leftmost tie-break" 2 (Sub.index sub)
+
+let test_loads_at_order () =
+  let m = Machine.create 8 in
+  let lm = Load_map.create m in
+  Load_map.add lm (Sub.make m ~order:0 ~index:3) 5;
+  Alcotest.(check (array int)) "order 1 view" [| 0; 5; 0; 0 |]
+    (Load_map.loads_at_order lm 1);
+  Alcotest.(check (array int)) "order 3 view" [| 5 |] (Load_map.loads_at_order lm 3)
+
+let test_clear () =
+  let m = Machine.create 4 in
+  let lm = Load_map.create m in
+  Load_map.add lm (Sub.root m) 7;
+  Load_map.clear lm;
+  Alcotest.(check int) "cleared" 0 (Load_map.max_overall lm)
+
+(* Randomised cross-check against the naive reference. *)
+let prop_matches_naive =
+  QCheck.Test.make ~name:"load map = naive loads under random updates" ~count:150
+    (Helpers.seq_params ~max_levels:5 ~max_steps:120 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let lm = Load_map.create m in
+      let naive = Helpers.Naive_loads.create n in
+      let g = Sm.create seed in
+      let live = ref [] in
+      let ok = ref true in
+      for _ = 1 to steps do
+        if !live = [] || Sm.bool g then begin
+          let order = Sm.int g (levels + 1) in
+          let index = Sm.int g (Sub.count_at_order m order) in
+          let s = Sub.make m ~order ~index in
+          Load_map.add lm s 1;
+          Helpers.Naive_loads.add naive s 1;
+          live := s :: !live
+        end
+        else begin
+          match !live with
+          | s :: rest ->
+              Load_map.add lm s (-1);
+              Helpers.Naive_loads.add naive s (-1);
+              live := rest
+          | [] -> ()
+        end;
+        (* compare every submachine's max and the global view *)
+        if Load_map.max_overall lm <> Helpers.Naive_loads.max_overall naive then
+          ok := false;
+        for order = 0 to levels do
+          List.iter
+            (fun s ->
+              if Load_map.max_load lm s <> Helpers.Naive_loads.max_in naive s then
+                ok := false)
+            (Sub.all_at_order m order)
+        done
+      done;
+      !ok && Load_map.leaf_loads lm = naive.Helpers.Naive_loads.loads)
+
+let prop_min_max_consistent =
+  QCheck.Test.make ~name:"min_max_at_order agrees with loads_at_order" ~count:150
+    (Helpers.seq_params ~max_levels:6 ~max_steps:80 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let lm = Load_map.create m in
+      let g = Sm.create seed in
+      for _ = 1 to steps do
+        let order = Sm.int g (levels + 1) in
+        let index = Sm.int g (Sub.count_at_order m order) in
+        Load_map.add lm (Sub.make m ~order ~index) 1
+      done;
+      let ok = ref true in
+      for order = 0 to levels do
+        let value, sub = Load_map.min_max_at_order lm order in
+        let view = Load_map.loads_at_order lm order in
+        let naive_min = Array.fold_left min view.(0) view in
+        if value <> naive_min then ok := false;
+        (* leftmost: no smaller index attains the minimum *)
+        Array.iteri
+          (fun i v -> if i < Sub.index sub && v = naive_min then ok := false)
+          view;
+        if view.(Sub.index sub) <> naive_min then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "single add" `Quick test_single_add;
+    Alcotest.test_case "overlapping adds" `Quick test_overlap;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "min_max_at_order" `Quick test_min_max_at_order;
+    Alcotest.test_case "loads_at_order" `Quick test_loads_at_order;
+    Alcotest.test_case "clear" `Quick test_clear;
+  ]
+  @ Helpers.qtests [ prop_matches_naive; prop_min_max_consistent ]

@@ -1,0 +1,132 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+
+let test_create () =
+  let m = Machine.create 16 in
+  Alcotest.(check int) "size" 16 (Machine.size m);
+  Alcotest.(check int) "levels" 4 (Machine.levels m);
+  Alcotest.check_raises "non-pow2"
+    (Invalid_argument "Machine.create: size must be a positive power of two")
+    (fun () -> ignore (Machine.create 12));
+  Alcotest.(check int) "of_levels" 32 (Machine.size (Machine.of_levels 5))
+
+let test_greedy_threshold () =
+  (* ceil ((log N + 1) / 2) *)
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "N=%d" n)
+        expect
+        (Machine.greedy_threshold (Machine.create n)))
+    [ (2, 1); (4, 2); (8, 2); (16, 3); (64, 4); (1024, 6) ]
+
+let m16 = Machine.create 16
+
+let test_sub_make () =
+  let s = Sub.make m16 ~order:2 ~index:1 in
+  Alcotest.(check int) "size" 4 (Sub.size s);
+  Alcotest.(check int) "first" 4 (Sub.first_leaf s);
+  Alcotest.(check int) "last" 7 (Sub.last_leaf s);
+  Alcotest.check_raises "bad order" (Invalid_argument "Submachine.make: bad order")
+    (fun () -> ignore (Sub.make m16 ~order:5 ~index:0));
+  Alcotest.check_raises "bad index" (Invalid_argument "Submachine.make: bad index")
+    (fun () -> ignore (Sub.make m16 ~order:2 ~index:4))
+
+let test_of_leaf_span () =
+  let s = Sub.of_leaf_span m16 ~first_leaf:8 ~size:8 in
+  Alcotest.(check int) "order" 3 (Sub.order s);
+  Alcotest.(check int) "index" 1 (Sub.index s);
+  Alcotest.check_raises "unaligned"
+    (Invalid_argument "Submachine.of_leaf_span: unaligned span") (fun () ->
+      ignore (Sub.of_leaf_span m16 ~first_leaf:2 ~size:4))
+
+let test_containment () =
+  let whole = Sub.root m16 in
+  let quarter = Sub.make m16 ~order:2 ~index:2 in
+  let leaf = Sub.make m16 ~order:0 ~index:9 in
+  Alcotest.(check bool) "root contains quarter" true (Sub.contains whole quarter);
+  Alcotest.(check bool) "quarter contains leaf 9" true (Sub.contains quarter leaf);
+  Alcotest.(check bool) "quarter excludes leaf 3" false
+    (Sub.contains quarter (Sub.make m16 ~order:0 ~index:3));
+  Alcotest.(check bool) "no upward containment" false (Sub.contains quarter whole);
+  Alcotest.(check bool) "self-containment" true (Sub.contains quarter quarter);
+  Alcotest.(check bool) "contains_leaf" true (Sub.contains_leaf quarter 11);
+  Alcotest.(check bool) "not contains_leaf" false (Sub.contains_leaf quarter 12)
+
+let test_family () =
+  let s = Sub.make m16 ~order:2 ~index:1 in
+  Alcotest.(check bool) "parent" true
+    (match Sub.parent m16 s with
+    | Some p -> Sub.order p = 3 && Sub.index p = 0
+    | None -> false);
+  Alcotest.(check bool) "root has no parent" true (Sub.parent m16 (Sub.root m16) = None);
+  let l = Sub.left_half s and r = Sub.right_half s in
+  Alcotest.(check int) "left first" 4 (Sub.first_leaf l);
+  Alcotest.(check int) "right first" 6 (Sub.first_leaf r);
+  Alcotest.check_raises "halving a PE"
+    (Invalid_argument "Submachine.left_half: single PE") (fun () ->
+      ignore (Sub.left_half (Sub.make m16 ~order:0 ~index:0)))
+
+let test_enumeration () =
+  Alcotest.(check int) "count order 0" 16 (Sub.count_at_order m16 0);
+  Alcotest.(check int) "count order 4" 1 (Sub.count_at_order m16 4);
+  let subs = Sub.all_at_order m16 2 in
+  Alcotest.(check int) "four quarters" 4 (List.length subs);
+  Alcotest.(check (list int)) "leftmost first" [ 0; 4; 8; 12 ]
+    (List.map Sub.first_leaf subs)
+
+let test_hops () =
+  let leaf i = Sub.make m16 ~order:0 ~index:i in
+  Alcotest.(check int) "self" 0 (Sub.hops m16 (leaf 3) (leaf 3));
+  Alcotest.(check int) "siblings" 2 (Sub.hops m16 (leaf 0) (leaf 1));
+  Alcotest.(check int) "across root" 8 (Sub.hops m16 (leaf 0) (leaf 15));
+  (* submachine root sits higher in the tree: quarter [0..3] to leaf 4 *)
+  let quarter = Sub.make m16 ~order:2 ~index:0 in
+  Alcotest.(check int) "quarter to adjacent leaf" 4 (Sub.hops m16 quarter (leaf 4));
+  Alcotest.(check int) "symmetric" (Sub.hops m16 (leaf 4) quarter)
+    (Sub.hops m16 quarter (leaf 4))
+
+let test_ordering () =
+  let big = Sub.make m16 ~order:3 ~index:0 in
+  let small_left = Sub.make m16 ~order:1 ~index:0 in
+  let small_right = Sub.make m16 ~order:1 ~index:5 in
+  Alcotest.(check bool) "bigger first" true (Sub.compare big small_left < 0);
+  Alcotest.(check bool) "leftmost first among equals" true
+    (Sub.compare small_left small_right < 0);
+  Alcotest.(check bool) "equal" true (Sub.compare big big = 0)
+
+let prop_hops_metric =
+  QCheck.Test.make ~name:"tree hops: symmetric, zero iff equal" ~count:300
+    QCheck.(triple (int_range 1 6) (int_range 0 1000) (int_range 0 1000))
+    (fun (levels, a, b) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let la = Sub.make m ~order:0 ~index:(a mod n) in
+      let lb = Sub.make m ~order:0 ~index:(b mod n) in
+      let d = Sub.hops m la lb and d' = Sub.hops m lb la in
+      d = d' && (d = 0) = (a mod n = b mod n) && d <= 2 * levels)
+
+let prop_span_roundtrip =
+  QCheck.Test.make ~name:"of_leaf_span o (first_leaf, size) = id" ~count:300
+    QCheck.(triple (int_range 1 8) (int_range 0 8) (int_range 0 255))
+    (fun (levels, order, index) ->
+      QCheck.assume (order <= levels);
+      let m = Machine.of_levels levels in
+      let count = Sub.count_at_order m order in
+      let s = Sub.make m ~order ~index:(index mod count) in
+      let s' = Sub.of_leaf_span m ~first_leaf:(Sub.first_leaf s) ~size:(Sub.size s) in
+      Sub.equal s s')
+
+let suite =
+  [
+    Alcotest.test_case "machine create" `Quick test_create;
+    Alcotest.test_case "greedy threshold" `Quick test_greedy_threshold;
+    Alcotest.test_case "submachine make" `Quick test_sub_make;
+    Alcotest.test_case "of_leaf_span" `Quick test_of_leaf_span;
+    Alcotest.test_case "containment" `Quick test_containment;
+    Alcotest.test_case "parent/halves" `Quick test_family;
+    Alcotest.test_case "enumeration" `Quick test_enumeration;
+    Alcotest.test_case "hops" `Quick test_hops;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+  ]
+  @ Helpers.qtests [ prop_hops_metric; prop_span_roundtrip ]

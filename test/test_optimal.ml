@@ -1,0 +1,70 @@
+module Machine = Pmp_machine.Machine
+module Sequence = Pmp_workload.Sequence
+module Generators = Pmp_workload.Generators
+module Optimal = Pmp_core.Optimal
+module Engine = Pmp_sim.Engine
+
+(* Theorem 3.1: A_C achieves exactly L*. The paper's proof shape:
+   after every arrival the load equals ceil(S/N) exactly; departures
+   only ever decrease load (they cannot be blamed on the allocator,
+   which repacks at the next arrival). *)
+let prop_theorem_3_1 =
+  QCheck.Test.make ~name:"Theorem 3.1: A_C = optimal load at every arrival"
+    ~count:150
+    (Helpers.seq_params ~max_levels:6 ~max_steps:120 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let seq = Helpers.random_sequence ~seed ~machine_size:(Machine.size m) ~steps in
+      let r = Helpers.run_checked (Optimal.create m) seq in
+      let events = Pmp_workload.Sequence.events seq in
+      let ok = ref (r.Engine.max_load = r.Engine.optimal_load) in
+      let prev = ref 0 in
+      Array.iteri
+        (fun i load ->
+          begin
+            match events.(i) with
+            | Pmp_workload.Event.Arrive _ ->
+                (* exactly the instantaneous optimum *)
+                if load <> r.Engine.opt_trajectory.(i) then ok := false
+            | Pmp_workload.Event.Depart _ ->
+                if load > !prev then ok := false
+          end;
+          prev := load)
+        r.Engine.load_trajectory;
+      !ok)
+
+let test_figure1 () =
+  (* the 1-reallocation example of the paper: repacking achieves 1 *)
+  let m = Machine.create 4 in
+  let r = Engine.run ~check:true (Optimal.create m) (Generators.figure1 ()) in
+  Alcotest.(check int) "optimal load 1" 1 r.Engine.max_load
+
+let test_realloc_counted () =
+  let m = Machine.create 4 in
+  let r = Engine.run ~check:true (Optimal.create m) (Generators.figure1 ()) in
+  (* 5 arrivals -> 5 repacks *)
+  Alcotest.(check int) "one repack per arrival" 5 r.Engine.realloc_events
+
+let test_moves_reported () =
+  let m = Machine.create 4 in
+  let r = Engine.run ~check:true (Optimal.create m) (Generators.figure1 ()) in
+  (* t3 must migrate when t5 arrives (the paper's example) *)
+  Alcotest.(check bool) "some task migrated" true (r.Engine.tasks_moved > 0)
+
+let prop_sawtooth_optimal =
+  QCheck.Test.make ~name:"A_C optimal on sawtooth fragmentation" ~count:20
+    QCheck.(int_range 2 8)
+    (fun levels ->
+      let n = 1 lsl levels in
+      let seq = Generators.sawtooth ~machine_size:n ~rounds:levels in
+      let m = Machine.of_levels levels in
+      let r = Helpers.run_checked (Optimal.create m) seq in
+      r.Engine.max_load = r.Engine.optimal_load)
+
+let suite =
+  [
+    Alcotest.test_case "figure 1: repack wins" `Quick test_figure1;
+    Alcotest.test_case "realloc events counted" `Quick test_realloc_counted;
+    Alcotest.test_case "migrations reported" `Quick test_moves_reported;
+  ]
+  @ Helpers.qtests [ prop_theorem_3_1; prop_sawtooth_optimal ]

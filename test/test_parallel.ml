@@ -1,0 +1,61 @@
+module Parallel = Pmp_util.Parallel
+
+let test_map_order () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * x) xs)
+    (Parallel.map ~workers:4 (fun x -> x * x) xs)
+
+let test_map_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~workers:4 Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ]
+    (Parallel.map ~workers:4 Fun.id [ 7 ])
+
+let test_workers_one_inline () =
+  Alcotest.(check (list int)) "sequential fallback" [ 2; 4 ]
+    (Parallel.map ~workers:1 (fun x -> 2 * x) [ 1; 2 ])
+
+let test_bad_workers () =
+  Alcotest.check_raises "zero workers" (Invalid_argument "Parallel.map: workers < 1")
+    (fun () -> ignore (Parallel.map ~workers:0 Fun.id [ 1 ]))
+
+let test_exception_propagates () =
+  Alcotest.check_raises "job exception" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.map ~workers:3
+           (fun x -> if x = 5 then failwith "boom" else x)
+           (List.init 20 Fun.id)))
+
+let test_map_array () =
+  let xs = Array.init 50 Fun.id in
+  Alcotest.(check (array int)) "array variant" (Array.map succ xs)
+    (Parallel.map_array ~workers:3 succ xs)
+
+let test_parallel_simulation_determinism () =
+  (* the harness pattern: seeds -> independent simulations. Parallel
+     and sequential evaluation must agree exactly. *)
+  let job seed =
+    let machine = Pmp_machine.Machine.create 64 in
+    let seq = Helpers.random_sequence ~seed ~machine_size:64 ~steps:300 in
+    (Pmp_sim.Engine.run (Pmp_core.Greedy.create machine) seq)
+      .Pmp_sim.Engine.max_load
+  in
+  let seeds = List.init 16 (fun i -> i * 13) in
+  Alcotest.(check (list int)) "same results"
+    (List.map job seeds)
+    (Parallel.map ~workers:4 job seeds)
+
+let test_default_workers_positive () =
+  Alcotest.(check bool) "at least one" true (Parallel.num_workers () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "order preserved" `Quick test_map_order;
+    Alcotest.test_case "empty/singleton" `Quick test_map_empty_and_single;
+    Alcotest.test_case "workers=1 inline" `Quick test_workers_one_inline;
+    Alcotest.test_case "bad workers" `Quick test_bad_workers;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "map_array" `Quick test_map_array;
+    Alcotest.test_case "parallel simulation determinism" `Quick
+      test_parallel_simulation_determinism;
+    Alcotest.test_case "default workers" `Quick test_default_workers_positive;
+  ]

@@ -1,0 +1,182 @@
+module Machine = Pmp_machine.Machine
+module Sequence = Pmp_workload.Sequence
+module Generators = Pmp_workload.Generators
+module Periodic = Pmp_core.Periodic
+module Realloc = Pmp_core.Realloc
+module Bounds = Pmp_core.Bounds
+module Engine = Pmp_sim.Engine
+
+let test_realloc_param () =
+  Alcotest.(check bool) "0 is Every" true (Realloc.make_budget 0 = Realloc.Every);
+  Alcotest.(check bool) "3 is Budget" true (Realloc.make_budget 3 = Realloc.Budget 3);
+  Alcotest.check_raises "negative" (Invalid_argument "Realloc.make_budget: negative d")
+    (fun () -> ignore (Realloc.make_budget (-1)));
+  Alcotest.(check (option int)) "threshold Every" (Some 0)
+    (Realloc.threshold_size Realloc.Every ~machine_size:8);
+  Alcotest.(check (option int)) "threshold Budget" (Some 16)
+    (Realloc.threshold_size (Realloc.Budget 2) ~machine_size:8);
+  Alcotest.(check (option int)) "threshold Never" None
+    (Realloc.threshold_size Realloc.Never ~machine_size:8);
+  Alcotest.(check string) "to_string" "inf" (Realloc.to_string Realloc.Never)
+
+let test_greedy_delegation () =
+  (* d >= ceil((logN+1)/2) switches to pure greedy: never reallocates *)
+  let m = Machine.create 16 in
+  (* threshold is 3 *)
+  let alloc = Periodic.create m ~d:(Realloc.Budget 3) in
+  let seq = Generators.sawtooth ~machine_size:16 ~rounds:4 in
+  let r = Engine.run ~check:true alloc seq in
+  Alcotest.(check int) "no repacks in greedy regime" 0 r.Engine.realloc_events
+
+let test_budget_triggers () =
+  let m = Machine.create 4 in
+  let alloc = Periodic.create m ~d:(Realloc.Budget 1) in
+  (* the paper's worked example: the budget (4 arrived PEs >= d*N = 4)
+     is spent at t5's arrival, relocating t3 so t5 fits — load 1, one
+     reallocation, exactly as §2 describes *)
+  let r = Engine.run ~check:true alloc (Generators.figure1 ()) in
+  Alcotest.(check int) "one repack" 1 r.Engine.realloc_events;
+  Alcotest.(check int) "achieves optimal on σ*" 1 r.Engine.max_load
+
+let test_every_matches_optimal () =
+  let m = Machine.create 8 in
+  let seq =
+    Helpers.random_sequence ~seed:7 ~machine_size:8 ~steps:120
+  in
+  let r_every =
+    Engine.run ~check:true (Periodic.create m ~d:Realloc.Every) seq
+  in
+  let r_opt = Engine.run ~check:true (Pmp_core.Optimal.create m) seq in
+  Alcotest.(check int) "d=0 equals A_C" r_opt.Engine.max_load r_every.Engine.max_load;
+  Alcotest.(check int) "and equals L*" r_every.Engine.optimal_load
+    r_every.Engine.max_load
+
+let test_force_copies () =
+  let m = Machine.create 16 in
+  let alloc = Periodic.create ~force_copies:true m ~d:(Realloc.Budget 3) in
+  let seq = Generators.sawtooth ~machine_size:16 ~rounds:4 in
+  let r = Engine.run ~check:true alloc seq in
+  (* forced copy branch with finite budget does repack eventually *)
+  Alcotest.(check bool) "copy branch reallocates" true (r.Engine.realloc_events >= 1)
+
+let test_eager_vs_lazy_on_figure1 () =
+  let m = Machine.create 4 in
+  let seq = Generators.figure1 () in
+  (* lazy holds the budget until t5 needs it -> optimal *)
+  let lazy_r =
+    Engine.run ~check:true (Periodic.create m ~d:(Realloc.Budget 1)) seq
+  in
+  Alcotest.(check int) "lazy optimal" 1 lazy_r.Engine.max_load;
+  (* eager burns it at t4, so t5 finds a fragmented machine -> load 2 *)
+  let eager_r =
+    Engine.run ~check:true (Periodic.create ~eager:true m ~d:(Realloc.Budget 1)) seq
+  in
+  Alcotest.(check int) "eager pays" 2 eager_r.Engine.max_load;
+  Alcotest.(check int) "eager repacked at t4" 1 eager_r.Engine.realloc_events
+
+(* Eager spending still satisfies Theorem 4.2. *)
+let prop_eager_within_bound =
+  QCheck.Test.make ~name:"eager A_M still within the Theorem 4.2 bound"
+    ~count:150
+    QCheck.(
+      pair
+        (Helpers.seq_params ~max_levels:6 ~max_steps:200 ())
+        (int_range 0 8))
+    (fun ((levels, seed, steps), d_raw) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let d = Realloc.make_budget d_raw in
+      let seq = Helpers.random_sequence_no_full ~seed ~machine_size:n ~steps in
+      let r = Helpers.run_checked (Periodic.create ~eager:true m ~d) seq in
+      let bound = Bounds.det_upper_factor ~machine_size:n ~d * r.Engine.optimal_load in
+      r.Engine.max_load <= bound)
+
+(* Theorem 4.2: load <= min{d+1, ceil((logN+1)/2)} * L* for every d,
+   on sequences with all task sizes < N (the greedy branch inherits
+   Theorem 4.1's size-N reduction). *)
+let prop_theorem_4_2 =
+  QCheck.Test.make
+    ~name:"Theorem 4.2: A_M within min{d+1, ceil((logN+1)/2)} of L*" ~count:250
+    QCheck.(
+      pair
+        (Helpers.seq_params ~max_levels:6 ~max_steps:200 ())
+        (int_range 0 8))
+    (fun ((levels, seed, steps), d_raw) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let d = Realloc.make_budget d_raw in
+      let seq = Helpers.random_sequence_no_full ~seed ~machine_size:n ~steps in
+      let r = Helpers.run_checked (Periodic.create m ~d) seq in
+      let bound = Bounds.det_upper_factor ~machine_size:n ~d * r.Engine.optimal_load in
+      r.Engine.max_load <= bound)
+
+(* The copy-based branch's bound L* + d holds on arbitrary sequences,
+   full-machine tasks included (the Lemma 2 argument covers them). *)
+let prop_copy_branch_bound =
+  QCheck.Test.make ~name:"A_M copy branch: load <= L* + d on any sequence"
+    ~count:200
+    QCheck.(
+      pair
+        (Helpers.seq_params ~max_levels:6 ~max_steps:200 ())
+        (int_range 0 8))
+    (fun ((levels, seed, steps), d_raw) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let d = Realloc.make_budget d_raw in
+      let seq = Helpers.random_sequence ~seed ~machine_size:n ~steps in
+      let r =
+        Helpers.run_checked (Periodic.create ~force_copies:true m ~d) seq
+      in
+      match d with
+      | Realloc.Never -> true
+      | Realloc.Every | Realloc.Budget _ ->
+          r.Engine.max_load <= r.Engine.optimal_load + d_raw)
+
+(* The d = Never copy branch is exactly A_B. *)
+let prop_never_is_copies =
+  QCheck.Test.make ~name:"forced copies with d=inf behaves as A_B" ~count:80
+    (Helpers.seq_params ~max_levels:5 ~max_steps:120 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let seq = Helpers.random_sequence ~seed ~machine_size:(Machine.size m) ~steps in
+      let r1 =
+        Helpers.run_checked (Periodic.create ~force_copies:true m ~d:Realloc.Never) seq
+      in
+      let r2 = Helpers.run_checked (Pmp_core.Copies.create m) seq in
+      r1.Engine.max_load = r2.Engine.max_load
+      && r1.Engine.load_trajectory = r2.Engine.load_trajectory)
+
+(* Monotonicity in spirit: more reallocation budget never hurts the
+   worst observed load by more than the theory gap. We check the
+   concrete, always-true fact that d=0 is optimal while d=Never is
+   within its own bound. *)
+let prop_budget_extremes =
+  QCheck.Test.make ~name:"budget extremes: d=0 optimal, d=inf bounded" ~count:80
+    (Helpers.seq_params ~max_levels:5 ~max_steps:150 ())
+    (fun (levels, seed, steps) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let seq = Helpers.random_sequence_no_full ~seed ~machine_size:n ~steps in
+      let r0 = Helpers.run_checked (Periodic.create m ~d:Realloc.Every) seq in
+      let rinf = Helpers.run_checked (Periodic.create m ~d:Realloc.Never) seq in
+      r0.Engine.max_load = r0.Engine.optimal_load
+      && rinf.Engine.max_load
+         <= Bounds.greedy_upper_factor ~machine_size:n * rinf.Engine.optimal_load)
+
+let suite =
+  [
+    Alcotest.test_case "realloc parameter" `Quick test_realloc_param;
+    Alcotest.test_case "greedy delegation" `Quick test_greedy_delegation;
+    Alcotest.test_case "budget triggers repack" `Quick test_budget_triggers;
+    Alcotest.test_case "d=0 matches A_C" `Quick test_every_matches_optimal;
+    Alcotest.test_case "force_copies" `Quick test_force_copies;
+    Alcotest.test_case "eager vs lazy budget" `Quick test_eager_vs_lazy_on_figure1;
+  ]
+  @ Helpers.qtests
+      [
+        prop_theorem_4_2;
+        prop_eager_within_bound;
+        prop_copy_branch_bound;
+        prop_never_is_copies;
+        prop_budget_extremes;
+      ]

@@ -1,0 +1,78 @@
+open Pmp_util
+
+let test_is_pow2 () =
+  List.iter
+    (fun (n, expect) -> Alcotest.(check bool) (string_of_int n) expect (Pow2.is_pow2 n))
+    [ (1, true); (2, true); (4, true); (1024, true); (0, false); (-4, false);
+      (3, false); (6, false); (1023, false); (max_int, false) ]
+
+let test_ilog2 () =
+  List.iter
+    (fun (n, expect) -> Alcotest.(check int) (string_of_int n) expect (Pow2.ilog2 n))
+    [ (1, 0); (2, 1); (8, 3); (65536, 16) ];
+  Alcotest.check_raises "non-pow2" (Invalid_argument "Pow2.ilog2: not a power of two")
+    (fun () -> ignore (Pow2.ilog2 12))
+
+let test_floor_ceil_log2 () =
+  List.iter
+    (fun (n, fl, ce) ->
+      Alcotest.(check int) (Printf.sprintf "floor %d" n) fl (Pow2.floor_log2 n);
+      Alcotest.(check int) (Printf.sprintf "ceil %d" n) ce (Pow2.ceil_log2 n))
+    [ (1, 0, 0); (2, 1, 1); (3, 1, 2); (5, 2, 3); (8, 3, 3); (9, 3, 4); (1000, 9, 10) ]
+
+let test_pow2 () =
+  Alcotest.(check int) "2^0" 1 (Pow2.pow2 0);
+  Alcotest.(check int) "2^10" 1024 (Pow2.pow2 10);
+  Alcotest.check_raises "negative" (Invalid_argument "Pow2.pow2: out of range")
+    (fun () -> ignore (Pow2.pow2 (-1)))
+
+let test_ceil_div () =
+  List.iter
+    (fun (a, b, expect) ->
+      Alcotest.(check int) (Printf.sprintf "%d/%d" a b) expect (Pow2.ceil_div a b))
+    [ (0, 4, 0); (1, 4, 1); (4, 4, 1); (5, 4, 2); (8, 4, 2); (9, 4, 3) ]
+
+let test_round () =
+  List.iter
+    (fun (n, up, down, near) ->
+      Alcotest.(check int) (Printf.sprintf "up %d" n) up (Pow2.round_up_pow2 n);
+      Alcotest.(check int) (Printf.sprintf "down %d" n) down (Pow2.round_down_pow2 n);
+      Alcotest.(check int) (Printf.sprintf "near %d" n) near (Pow2.round_nearest_pow2 n))
+    [ (1, 1, 1, 1); (2, 2, 2, 2); (3, 4, 2, 4); (5, 8, 4, 4); (6, 8, 4, 8);
+      (7, 8, 4, 8); (100, 128, 64, 128); (96, 128, 64, 128); (95, 128, 64, 64) ]
+
+let test_is_aligned () =
+  Alcotest.(check bool) "0 mod 8" true (Pow2.is_aligned 0 8);
+  Alcotest.(check bool) "8 mod 8" true (Pow2.is_aligned 8 8);
+  Alcotest.(check bool) "12 mod 8" false (Pow2.is_aligned 12 8);
+  Alcotest.(check bool) "12 mod 4" true (Pow2.is_aligned 12 4)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"pow2 o ilog2 = id on powers of two" ~count:200
+    QCheck.(int_range 0 40)
+    (fun x -> Pmp_util.Pow2.ilog2 (Pmp_util.Pow2.pow2 x) = x)
+
+let prop_ceil_div =
+  QCheck.Test.make ~name:"ceil_div matches float ceiling" ~count:500
+    QCheck.(pair (int_range 0 100000) (int_range 1 1000))
+    (fun (a, b) ->
+      Pow2.ceil_div a b = int_of_float (ceil (float_of_int a /. float_of_int b)))
+
+let prop_round_bounds =
+  QCheck.Test.make ~name:"round_up >= n >= round_down, both powers" ~count:500
+    QCheck.(int_range 1 1_000_000)
+    (fun n ->
+      let up = Pow2.round_up_pow2 n and down = Pow2.round_down_pow2 n in
+      Pow2.is_pow2 up && Pow2.is_pow2 down && down <= n && n <= up)
+
+let suite =
+  [
+    Alcotest.test_case "is_pow2" `Quick test_is_pow2;
+    Alcotest.test_case "ilog2" `Quick test_ilog2;
+    Alcotest.test_case "floor/ceil log2" `Quick test_floor_ceil_log2;
+    Alcotest.test_case "pow2" `Quick test_pow2;
+    Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+    Alcotest.test_case "rounding" `Quick test_round;
+    Alcotest.test_case "is_aligned" `Quick test_is_aligned;
+  ]
+  @ Helpers.qtests [ prop_roundtrip; prop_ceil_div; prop_round_bounds ]

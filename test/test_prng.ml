@@ -1,0 +1,181 @@
+module Sm = Pmp_prng.Splitmix64
+module Dist = Pmp_prng.Dist
+
+let test_determinism () =
+  let a = Sm.create 42 and b = Sm.create 42 in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Sm.next_int64 a) (Sm.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Sm.create 1 and b = Sm.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sm.next_int64 a <> Sm.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_copy_independent () =
+  let a = Sm.create 7 in
+  ignore (Sm.next_int64 a);
+  let b = Sm.copy a in
+  Alcotest.(check int64) "copy continues identically" (Sm.next_int64 a) (Sm.next_int64 b);
+  ignore (Sm.next_int64 a);
+  (* advancing a does not advance b *)
+  let a' = Sm.copy a in
+  Alcotest.(check bool) "desynchronised" true (Sm.next_int64 a' <> Sm.next_int64 b |> fun _ -> true)
+
+let test_split () =
+  let a = Sm.create 9 in
+  let b = Sm.split a in
+  let xs = List.init 20 (fun _ -> Sm.bits30 a) in
+  let ys = List.init 20 (fun _ -> Sm.bits30 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let g = Sm.create 3 in
+  for _ = 1 to 1000 do
+    let v = Sm.int g 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix64.int: bound <= 0")
+    (fun () -> ignore (Sm.int g 0))
+
+let test_int_coverage () =
+  let g = Sm.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Sm.int g 5) <- true
+  done;
+  Array.iteri
+    (fun i hit -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true hit)
+    seen
+
+let test_float_range () =
+  let g = Sm.create 5 in
+  for _ = 1 to 1000 do
+    let v = Sm.float g 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bernoulli_extremes () =
+  let g = Sm.create 6 in
+  Alcotest.(check bool) "p=0" false (Sm.bernoulli g 0.0);
+  Alcotest.(check bool) "p=1" true (Sm.bernoulli g 1.0)
+
+let test_bernoulli_rate () =
+  let g = Sm.create 8 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Sm.bernoulli g 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_uniform_int () =
+  let g = Sm.create 12 in
+  for _ = 1 to 200 do
+    let v = Dist.uniform_int g ~lo:(-3) ~hi:4 in
+    Alcotest.(check bool) "range" true (v >= -3 && v <= 4)
+  done;
+  Alcotest.(check int) "degenerate" 5 (Dist.uniform_int g ~lo:5 ~hi:5)
+
+let test_exponential_mean () =
+  let g = Sm.create 13 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Dist.exponential g ~rate:2.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true (abs_float (mean -. 0.5) < 0.03)
+
+let test_geometric_support () =
+  let g = Sm.create 14 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "non-negative" true (Dist.geometric g ~p:0.4 >= 0)
+  done;
+  Alcotest.(check int) "p=1 is always 0" 0 (Dist.geometric g ~p:1.0)
+
+let test_poisson_mean () =
+  let g = Sm.create 15 in
+  let n = 10_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Dist.poisson g ~lambda:3.0
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool) "mean near lambda" true (abs_float (mean -. 3.0) < 0.15)
+
+let test_zipf_skew () =
+  let g = Sm.create 16 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 5000 do
+    let r = Dist.zipf g ~n:10 ~s:1.2 in
+    Alcotest.(check bool) "in range" true (r >= 1 && r <= 10);
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most popular" true (counts.(1) > counts.(5));
+  Alcotest.(check bool) "rank 1 beats rank 10" true (counts.(1) > counts.(10))
+
+let test_pow2_size () =
+  let g = Sm.create 17 in
+  for _ = 1 to 500 do
+    let s = Dist.pow2_size g ~max_order:5 ~bias:0.7 in
+    Alcotest.(check bool) "power of two <= 32" true
+      (Pmp_util.Pow2.is_pow2 s && s <= 32)
+  done;
+  (* strong bias concentrates on size 1 *)
+  let small = ref 0 in
+  for _ = 1 to 1000 do
+    if Dist.pow2_size g ~max_order:5 ~bias:5.0 = 1 then incr small
+  done;
+  Alcotest.(check bool) "bias favours small" true (!small > 900)
+
+let test_bootstrap_ci () =
+  let g = Sm.create 31 in
+  let xs = Array.init 200 (fun i -> float_of_int (i mod 10)) in
+  let lo, hi = Pmp_prng.Resample.mean_ci g xs () in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. 200.0 in
+  Alcotest.(check bool) "contains the mean" true (lo <= mean && mean <= hi);
+  Alcotest.(check bool) "nontrivial width" true (hi > lo);
+  (* a wider-confidence interval is at least as wide *)
+  let lo99, hi99 = Pmp_prng.Resample.mean_ci (Sm.create 31) xs ~confidence:0.99 () in
+  Alcotest.(check bool) "99% at least as wide" true (hi99 -. lo99 >= hi -. lo -. 1e-9);
+  (* degenerate cases *)
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "singleton" (5.0, 5.0)
+    (Pmp_prng.Resample.mean_ci g [| 5.0 |] ());
+  Alcotest.check_raises "empty" (Invalid_argument "Resample.mean_ci: empty sample")
+    (fun () -> ignore (Pmp_prng.Resample.mean_ci g [||] ()))
+
+let prop_int_uniformish =
+  QCheck.Test.make ~name:"Splitmix64.int stays in bounds" ~count:500
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Sm.create seed in
+      let v = Sm.int g bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    Alcotest.test_case "split" `Quick test_split;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int coverage" `Quick test_int_coverage;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli rate" `Slow test_bernoulli_rate;
+    Alcotest.test_case "uniform_int" `Quick test_uniform_int;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "geometric support" `Quick test_geometric_support;
+    Alcotest.test_case "poisson mean" `Slow test_poisson_mean;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "pow2_size" `Quick test_pow2_size;
+    Alcotest.test_case "bootstrap CI" `Quick test_bootstrap_ci;
+  ]
+  @ Helpers.qtests [ prop_int_uniformish ]

@@ -1,0 +1,55 @@
+module Task = Pmp_workload.Task
+module Event = Pmp_workload.Event
+module Sequence = Pmp_workload.Sequence
+module Profile = Pmp_workload.Profile
+module Generators = Pmp_workload.Generators
+
+let test_figure1_profile () =
+  let p = Profile.analyze (Generators.figure1 ()) in
+  Alcotest.(check int) "events" 7 p.Profile.events;
+  Alcotest.(check int) "arrivals" 5 p.Profile.arrivals;
+  Alcotest.(check int) "departures" 2 p.Profile.departures;
+  Alcotest.(check int) "peak" 4 p.Profile.peak_active_size;
+  Alcotest.(check int) "total volume" 6 p.Profile.total_arrival_size;
+  Alcotest.(check int) "largest" 2 p.Profile.max_task_size;
+  Alcotest.(check int) "still active" 3 p.Profile.never_departed;
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 4); (2, 1) ]
+    p.Profile.size_histogram;
+  (* t2 lives events 1->4 (3), t4 lives 3->5 (2): mean 2.5 *)
+  Alcotest.(check (float 1e-9)) "mean lifetime" 2.5 p.Profile.mean_lifetime;
+  Alcotest.(check int) "L* on 4" 1 (Profile.optimal_load p ~machine_size:4)
+
+let test_empty_profile () =
+  let p = Profile.analyze (Sequence.of_events_exn []) in
+  Alcotest.(check int) "no events" 0 p.Profile.events;
+  Alcotest.(check (float 1e-9)) "mean active 0" 0.0 p.Profile.mean_active_size;
+  Alcotest.(check (float 1e-9)) "mean lifetime 0" 0.0 p.Profile.mean_lifetime
+
+let test_table_renders () =
+  let p = Profile.analyze (Generators.figure1 ()) in
+  let rendered = Pmp_util.Table.render (Profile.to_table p ~machine_size:4) in
+  Alcotest.(check bool) "non-empty" true (String.length rendered > 100)
+
+let prop_profile_consistent =
+  QCheck.Test.make ~name:"profile agrees with sequence accessors" ~count:100
+    (Helpers.seq_params ())
+    (fun (levels, seed, steps) ->
+      let seq = Helpers.random_sequence ~seed ~machine_size:(1 lsl levels) ~steps in
+      let p = Profile.analyze seq in
+      p.Profile.events = Sequence.length seq
+      && p.Profile.arrivals = Sequence.num_arrivals seq
+      && p.Profile.departures = Sequence.length seq - Sequence.num_arrivals seq
+      && p.Profile.peak_active_size = Sequence.peak_active_size seq
+      && p.Profile.total_arrival_size = Sequence.total_arrival_size seq
+      && p.Profile.max_task_size = Sequence.max_task_size seq
+      && p.Profile.arrivals
+         = List.fold_left ( + ) 0 (List.map snd p.Profile.size_histogram)
+      && p.Profile.never_departed = p.Profile.arrivals - p.Profile.departures)
+
+let suite =
+  [
+    Alcotest.test_case "figure 1 profile" `Quick test_figure1_profile;
+    Alcotest.test_case "empty profile" `Quick test_empty_profile;
+    Alcotest.test_case "table renders" `Quick test_table_renders;
+  ]
+  @ Helpers.qtests [ prop_profile_consistent ]

@@ -1,0 +1,116 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Task = Pmp_workload.Task
+module Repack = Pmp_core.Repack
+module Placement = Pmp_core.Placement
+module Sm = Pmp_prng.Splitmix64
+
+let tasks_of_sizes sizes = List.mapi (fun id size -> Task.make ~id ~size) sizes
+
+let test_empty () =
+  let m = Machine.create 8 in
+  Alcotest.(check int) "no copies" 0 (Repack.copies_needed m [])
+
+let test_perfect_fill () =
+  let m = Machine.create 8 in
+  (* total 16 on an 8-PE machine: exactly 2 copies *)
+  let tasks = tasks_of_sizes [ 4; 4; 2; 2; 2; 1; 1 ] in
+  Alcotest.(check int) "ceil(16/8)" 2 (Repack.copies_needed m tasks)
+
+let test_lemma1_examples () =
+  let m = Machine.create 4 in
+  List.iter
+    (fun (sizes, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "sizes %s"
+           (String.concat "," (List.map string_of_int sizes)))
+        expect
+        (Repack.copies_needed m (tasks_of_sizes sizes)))
+    [
+      ([ 1 ], 1);
+      ([ 4 ], 1);
+      ([ 4; 1 ], 2);
+      ([ 2; 2 ], 1);
+      ([ 2; 2; 1 ], 2);
+      ([ 1; 1; 1; 1; 1 ], 2);
+      ([ 4; 4; 4 ], 3);
+    ]
+
+let test_decreasing_first_fit_order () =
+  let m = Machine.create 4 in
+  let tasks = tasks_of_sizes [ 1; 2; 1 ] in
+  let _, table = Repack.pack m tasks in
+  (* the size-2 task packs first at the leftmost block of copy 0 *)
+  let p_big = Hashtbl.find table 1 in
+  Alcotest.(check int) "big task leftmost" 0 (Sub.first_leaf p_big.Placement.sub);
+  Alcotest.(check int) "big task copy 0" 0 p_big.Placement.copy;
+  (* unit tasks follow, tie broken by id *)
+  let p0 = Hashtbl.find table 0 and p2 = Hashtbl.find table 2 in
+  Alcotest.(check int) "t0 next" 2 (Sub.first_leaf p0.Placement.sub);
+  Alcotest.(check int) "t2 last" 3 (Sub.first_leaf p2.Placement.sub)
+
+let test_oversized_rejected () =
+  let m = Machine.create 4 in
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Repack.pack: task larger than machine") (fun () ->
+      ignore (Repack.pack m (tasks_of_sizes [ 8 ])))
+
+(* Lemma 1: the packing always uses exactly ceil(S/N) copies. *)
+let prop_lemma1 =
+  QCheck.Test.make ~name:"Lemma 1: A_R uses exactly ceil(S/N) copies" ~count:300
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_range 1 60) (int_range 0 6)))
+    (fun (levels, orders) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let sizes = List.map (fun o -> 1 lsl min o levels) orders in
+      let tasks = tasks_of_sizes sizes in
+      let total = List.fold_left ( + ) 0 sizes in
+      Repack.copies_needed m tasks = Pmp_util.Pow2.ceil_div total n)
+
+(* Placements must be disjoint within each copy and sized correctly. *)
+let prop_disjoint_placements =
+  QCheck.Test.make ~name:"A_R placements are disjoint per copy" ~count:200
+    QCheck.(pair (int_range 1 5) (list_of_size Gen.(int_range 1 40) (int_range 0 5)))
+    (fun (levels, orders) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let sizes = List.map (fun o -> 1 lsl min o levels) orders in
+      let tasks = tasks_of_sizes sizes in
+      let _, table = Repack.pack m tasks in
+      let seen = Hashtbl.create 64 in
+      let ok = ref (Hashtbl.length table = List.length tasks) in
+      Hashtbl.iter
+        (fun id (p : Placement.t) ->
+          let task = List.nth tasks id in
+          if Sub.size p.Placement.sub <> task.Task.size then ok := false;
+          for leaf = Sub.first_leaf p.Placement.sub to Sub.last_leaf p.Placement.sub do
+            let key = (p.Placement.copy * n) + leaf in
+            if Hashtbl.mem seen key then ok := false;
+            Hashtbl.add seen key ()
+          done)
+        table;
+      !ok)
+
+(* Determinism: packing the same multiset twice gives identical tables. *)
+let prop_deterministic =
+  QCheck.Test.make ~name:"A_R is deterministic" ~count:100
+    QCheck.(pair (int_range 1 5) (list_of_size Gen.(int_range 1 30) (int_range 0 5)))
+    (fun (levels, orders) ->
+      let m = Machine.of_levels levels in
+      let sizes = List.map (fun o -> 1 lsl min o levels) orders in
+      let tasks = tasks_of_sizes sizes in
+      let _, t1 = Repack.pack m tasks in
+      let _, t2 = Repack.pack m tasks in
+      Hashtbl.fold
+        (fun id p acc -> acc && Placement.equal p (Hashtbl.find t2 id))
+        t1 true)
+
+let suite =
+  [
+    Alcotest.test_case "empty set" `Quick test_empty;
+    Alcotest.test_case "perfect fill" `Quick test_perfect_fill;
+    Alcotest.test_case "Lemma 1 examples" `Quick test_lemma1_examples;
+    Alcotest.test_case "decreasing first-fit order" `Quick test_decreasing_first_fit_order;
+    Alcotest.test_case "oversized task" `Quick test_oversized_rejected;
+  ]
+  @ Helpers.qtests [ prop_lemma1; prop_disjoint_placements; prop_deterministic ]

@@ -1,0 +1,133 @@
+module Svg = Pmp_report.Svg
+module Chart = Pmp_report.Chart
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_svg_document () =
+  let svg = Svg.create ~width:100 ~height:50 in
+  Svg.line svg ~x1:0.0 ~y1:0.0 ~x2:10.0 ~y2:10.0 ~color:"red" ();
+  Svg.circle svg ~cx:5.0 ~cy:5.0 ~r:2.0 ~fill:"blue";
+  Svg.rect svg ~x:1.0 ~y:1.0 ~w:3.0 ~h:4.0 ~fill:"none" ();
+  Svg.text svg ~x:0.0 ~y:12.0 "hello";
+  let doc = Svg.render svg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains doc needle))
+    [
+      "<?xml version=\"1.0\"";
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"100\" height=\"50\"";
+      "<line"; "<circle"; "<rect"; ">hello</text>"; "</svg>";
+    ]
+
+let test_svg_escaping () =
+  let svg = Svg.create ~width:10 ~height:10 in
+  Svg.text svg ~x:0.0 ~y:0.0 "a<b & \"c\">";
+  let doc = Svg.render svg in
+  Alcotest.(check bool) "escaped" true
+    (contains doc "a&lt;b &amp; &quot;c&quot;&gt;");
+  Alcotest.(check bool) "no raw <b" false (contains doc ">a<b")
+
+let test_svg_validation () =
+  Alcotest.check_raises "bad dims" (Invalid_argument "Svg.create: bad dimensions")
+    (fun () -> ignore (Svg.create ~width:0 ~height:10))
+
+let test_polyline_needs_two_points () =
+  let svg = Svg.create ~width:10 ~height:10 in
+  Svg.polyline svg ~points:[ (1.0, 1.0) ] ~color:"red" ();
+  Alcotest.(check bool) "single point skipped" false
+    (contains (Svg.render svg) "<polyline")
+
+let series label points =
+  { Chart.label; points; color = "#1f77b4"; step = false }
+
+let test_chart_basic () =
+  let doc =
+    Chart.render ~title:"Tradeoff" ~x_label:"d" ~y_label:"load"
+      [ series "measured" [ (0.0, 1.0); (1.0, 2.0); (2.0, 3.0) ] ]
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("has " ^ needle) true (contains doc needle))
+    [ "Tradeoff"; ">d</text>"; ">load</text>"; "<polyline"; "measured" ]
+
+let test_chart_step_series () =
+  let straight =
+    Chart.render ~title:"t" ~x_label:"x" ~y_label:"y"
+      [ { (series "s" [ (0.0, 0.0); (1.0, 1.0) ]) with Chart.step = false } ]
+  in
+  let stepped =
+    Chart.render ~title:"t" ~x_label:"x" ~y_label:"y"
+      [ { (series "s" [ (0.0, 0.0); (1.0, 1.0) ]) with Chart.step = true } ]
+  in
+  Alcotest.(check bool) "step adds intermediate points" true
+    (String.length stepped > String.length straight)
+
+let test_chart_empty () =
+  let doc = Chart.render ~title:"empty" ~x_label:"x" ~y_label:"y" [] in
+  Alcotest.(check bool) "still a document" true (contains doc "</svg>");
+  Alcotest.(check bool) "title shown" true (contains doc "empty")
+
+let test_chart_deterministic () =
+  let mk () =
+    Chart.render ~title:"t" ~x_label:"x" ~y_label:"y"
+      [ series "s" [ (1.0, 4.0); (2.0, 2.0); (5.0, 9.0) ] ]
+  in
+  Alcotest.(check string) "byte identical" (mk ()) (mk ())
+
+let test_chart_save () =
+  let path = Filename.temp_file "pmp_chart" ".svg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Chart.save ~title:"t" ~x_label:"x" ~y_label:"y" ~path
+        [ series "s" [ (0.0, 1.0); (1.0, 0.0) ] ];
+      let contents = In_channel.with_open_text path In_channel.input_all in
+      Alcotest.(check bool) "written" true (contains contents "</svg>"))
+
+let test_heatgrid_basic () =
+  let rows = [| [| 0; 1 |]; [| 2; 4 |] |] in
+  let doc = Pmp_report.Heatgrid.render ~title:"loads" ~rows () in
+  Alcotest.(check bool) "document" true (contains doc "</svg>");
+  Alcotest.(check bool) "title" true (contains doc "loads");
+  (* peak cell fully saturated, zero cell white *)
+  Alcotest.(check bool) "red peak" true (contains doc "#ff0000");
+  Alcotest.(check bool) "white zero" true (contains doc "#ffffff");
+  Alcotest.(check bool) "legend mentions peak" true (contains doc "load 4")
+
+let test_heatgrid_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Heatgrid.render: empty grid")
+    (fun () -> ignore (Pmp_report.Heatgrid.render ~title:"t" ~rows:[||] ()));
+  Alcotest.check_raises "ragged" (Invalid_argument "Heatgrid.render: ragged grid")
+    (fun () ->
+      ignore
+        (Pmp_report.Heatgrid.render ~title:"t" ~rows:[| [| 1 |]; [| 1; 2 |] |] ()))
+
+let test_heatgrid_of_heatmap () =
+  let machine = Pmp_machine.Machine.create 4 in
+  let hm =
+    Pmp_sim.Heatmap.sample ~rows:7 ~cols:4
+      (Pmp_core.Greedy.create machine)
+      (Pmp_workload.Generators.figure1 ())
+  in
+  let doc = Pmp_report.Heatgrid.of_heatmap ~title:"figure 1" hm in
+  Alcotest.(check bool) "renders" true (contains doc "figure 1");
+  Alcotest.(check bool) "peak 2" true (contains doc "load 2")
+
+let suite =
+  [
+    Alcotest.test_case "heatgrid basic" `Quick test_heatgrid_basic;
+    Alcotest.test_case "heatgrid validation" `Quick test_heatgrid_validation;
+    Alcotest.test_case "heatgrid from heatmap" `Quick test_heatgrid_of_heatmap;
+    Alcotest.test_case "svg document" `Quick test_svg_document;
+    Alcotest.test_case "svg escaping" `Quick test_svg_escaping;
+    Alcotest.test_case "svg validation" `Quick test_svg_validation;
+    Alcotest.test_case "polyline arity" `Quick test_polyline_needs_two_points;
+    Alcotest.test_case "chart basic" `Quick test_chart_basic;
+    Alcotest.test_case "chart step" `Quick test_chart_step_series;
+    Alcotest.test_case "chart empty" `Quick test_chart_empty;
+    Alcotest.test_case "chart deterministic" `Quick test_chart_deterministic;
+    Alcotest.test_case "chart save" `Quick test_chart_save;
+  ]

@@ -1,0 +1,137 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Routing = Pmp_machine.Routing
+
+let m8 = Machine.create 8
+let leaf i = Sub.make m8 ~order:0 ~index:i
+
+let test_num_links () =
+  Alcotest.(check int) "2N-2" 14 (Routing.num_links m8);
+  Alcotest.(check int) "N=2" 2 (Routing.num_links (Machine.create 2))
+
+let test_path_structure () =
+  Alcotest.(check int) "self" 0 (List.length (Routing.path m8 (leaf 3) (leaf 3)));
+  (* siblings: two links through the shared parent *)
+  Alcotest.(check int) "siblings" 2 (List.length (Routing.path m8 (leaf 0) (leaf 1)));
+  (* opposite corners: up 3, down 3 *)
+  Alcotest.(check int) "diameter" 6 (List.length (Routing.path m8 (leaf 0) (leaf 7)))
+
+let test_path_matches_hops () =
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      Alcotest.(check int)
+        (Printf.sprintf "hops %d-%d" i j)
+        (Sub.hops m8 (leaf i) (leaf j))
+        (List.length (Routing.path m8 (leaf i) (leaf j)))
+    done
+  done
+
+let test_path_submachines () =
+  (* quarter [0..3] to leaf 4: root of quarter is at depth 1 *)
+  let quarter = Sub.make m8 ~order:2 ~index:0 in
+  Alcotest.(check int) "mixed levels" 4
+    (List.length (Routing.path m8 quarter (leaf 4)))
+
+let test_congestion_basic () =
+  let transfers =
+    [
+      { Routing.src = leaf 0; dst = leaf 1; bytes = 10 };
+      { Routing.src = leaf 0; dst = leaf 1; bytes = 5 };
+    ]
+  in
+  let p = Routing.congestion m8 transfers in
+  Alcotest.(check int) "bottleneck accumulates" 15 (Routing.max_link_bytes p);
+  Alcotest.(check int) "total = bytes*hops" 30 (Routing.total_bytes p)
+
+let test_congestion_disjoint_paths () =
+  (* transfers in separate subtrees do not contend *)
+  let transfers =
+    [
+      { Routing.src = leaf 0; dst = leaf 1; bytes = 10 };
+      { Routing.src = leaf 6; dst = leaf 7; bytes = 10 };
+    ]
+  in
+  let p = Routing.congestion m8 transfers in
+  Alcotest.(check int) "no shared link" 10 (Routing.max_link_bytes p)
+
+let test_congestion_root_contention () =
+  (* two cross-machine transfers share the two root links *)
+  let transfers =
+    [
+      { Routing.src = leaf 0; dst = leaf 4; bytes = 10 };
+      { Routing.src = leaf 1; dst = leaf 5; bytes = 10 };
+    ]
+  in
+  let p = Routing.congestion m8 transfers in
+  Alcotest.(check int) "root bottleneck" 20 (Routing.max_link_bytes p)
+
+let test_makespan () =
+  let p =
+    Routing.congestion m8 [ { Routing.src = leaf 0; dst = leaf 4; bytes = 100 } ]
+  in
+  Alcotest.(check (float 1e-9)) "bottleneck/bw" 10.0
+    (Routing.makespan p ~link_bandwidth:10.0);
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Routing.makespan: bad bandwidth") (fun () ->
+      ignore (Routing.makespan p ~link_bandwidth:0.0));
+  let empty = Routing.congestion m8 [] in
+  Alcotest.(check (float 1e-9)) "empty batch" 0.0
+    (Routing.makespan empty ~link_bandwidth:1.0)
+
+(* Path length always equals Submachine.hops for arbitrary pairs. *)
+let prop_path_length =
+  QCheck.Test.make ~name:"routing: |path| = hops for any submachine pair"
+    ~count:300
+    QCheck.(
+      quad (int_range 1 7) (int_range 0 7) (int_range 0 1000) (int_range 0 1000))
+    (fun (levels, order_raw, i_raw, j_raw) ->
+      let m = Machine.of_levels levels in
+      let order_a = order_raw mod (levels + 1) in
+      let order_b = (order_raw + 1) mod (levels + 1) in
+      let a = Sub.make m ~order:order_a ~index:(i_raw mod Sub.count_at_order m order_a) in
+      let b = Sub.make m ~order:order_b ~index:(j_raw mod Sub.count_at_order m order_b) in
+      List.length (Routing.path m a b) = Sub.hops m a b)
+
+(* Conservation: total bytes over links = sum over transfers of
+   bytes * hops. *)
+let prop_conservation =
+  QCheck.Test.make ~name:"routing: link totals conserve bytes*hops" ~count:200
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size Gen.(int_range 1 20)
+           (triple (int_range 0 1000) (int_range 0 1000) (int_range 0 100))))
+    (fun (levels, specs) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let transfers =
+        List.map
+          (fun (i, j, bytes) ->
+            {
+              Routing.src = Sub.make m ~order:0 ~index:(i mod n);
+              dst = Sub.make m ~order:0 ~index:(j mod n);
+              bytes;
+            })
+          specs
+      in
+      let p = Routing.congestion m transfers in
+      let expected =
+        List.fold_left
+          (fun acc t ->
+            acc + (t.Routing.bytes * Sub.hops m t.Routing.src t.Routing.dst))
+          0 transfers
+      in
+      Routing.total_bytes p = expected
+      && Routing.max_link_bytes p <= expected)
+
+let suite =
+  [
+    Alcotest.test_case "num links" `Quick test_num_links;
+    Alcotest.test_case "path structure" `Quick test_path_structure;
+    Alcotest.test_case "path = hops" `Quick test_path_matches_hops;
+    Alcotest.test_case "submachine paths" `Quick test_path_submachines;
+    Alcotest.test_case "congestion accumulates" `Quick test_congestion_basic;
+    Alcotest.test_case "disjoint paths" `Quick test_congestion_disjoint_paths;
+    Alcotest.test_case "root contention" `Quick test_congestion_root_contention;
+    Alcotest.test_case "makespan" `Quick test_makespan;
+  ]
+  @ Helpers.qtests [ prop_path_length; prop_conservation ]

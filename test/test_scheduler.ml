@@ -1,0 +1,180 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Task = Pmp_workload.Task
+module Scheduler = Pmp_sim.Scheduler
+
+let job id size order index work m =
+  {
+    Scheduler.task = Task.make ~id ~size;
+    sub = Sub.make m ~order ~index;
+    work;
+  }
+
+let test_lone_job () =
+  let m = Machine.create 4 in
+  let completions = Scheduler.simulate m [ job 0 4 2 0 10.0 m ] in
+  match completions with
+  | [ c ] ->
+      Alcotest.(check (float 1e-9)) "no slowdown alone" 1.0 c.Scheduler.slowdown;
+      Alcotest.(check (float 1e-9)) "finishes at work" 10.0 c.Scheduler.finish_time
+  | _ -> Alcotest.fail "expected one completion"
+
+let test_two_overlapping () =
+  let m = Machine.create 4 in
+  (* two full-machine jobs time-share: each runs at rate 1/2 *)
+  let completions =
+    Scheduler.simulate m [ job 0 4 2 0 10.0 m; job 1 4 2 0 10.0 m ]
+  in
+  Alcotest.(check int) "both complete" 2 (List.length completions);
+  List.iter
+    (fun c ->
+      Alcotest.(check (float 1e-6)) "slowdown 2" 2.0 c.Scheduler.slowdown)
+    completions
+
+let test_disjoint_no_interference () =
+  let m = Machine.create 4 in
+  let completions =
+    Scheduler.simulate m [ job 0 2 1 0 5.0 m; job 1 2 1 1 5.0 m ]
+  in
+  List.iter
+    (fun c -> Alcotest.(check (float 1e-6)) "no slowdown" 1.0 c.Scheduler.slowdown)
+    completions
+
+let test_rate_recovers_after_completion () =
+  let m = Machine.create 4 in
+  (* a short job shares with a long one; the long one speeds up after
+     the short one leaves: finish < 2*work but > work *)
+  let completions =
+    Scheduler.simulate m [ job 0 4 2 0 2.0 m; job 1 4 2 0 10.0 m ]
+  in
+  let long = List.find (fun c -> c.Scheduler.job.Scheduler.task.Task.id = 1) completions in
+  (* short finishes at 4.0 (rate 1/2); long has 8 units left, runs alone:
+     finish = 4 + 8 = 12, slowdown 1.2 *)
+  Alcotest.(check (float 1e-6)) "long job finish" 12.0 long.Scheduler.finish_time;
+  Alcotest.(check (float 1e-6)) "long job slowdown" 1.2 long.Scheduler.slowdown
+
+let test_partial_overlap () =
+  let m = Machine.create 4 in
+  (* job on leaves 0-1, another on leaves 0-3: bottleneck PE 0 has both *)
+  let completions =
+    Scheduler.simulate m [ job 0 2 1 0 6.0 m; job 1 4 2 0 6.0 m ]
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "both slowed" true (c.Scheduler.slowdown > 1.0))
+    completions
+
+let test_slowdown_tracks_peak_load () =
+  (* the paper's §2 claim: worst slowdown proportional to max PE load *)
+  let m = Machine.create 8 in
+  let jobs = List.init 5 (fun id -> job id 8 3 0 4.0 m) in
+  let completions = Scheduler.simulate m jobs in
+  let worst = Scheduler.max_slowdown completions in
+  (* 5 equal jobs sharing everything: every one completes at 5x *)
+  Alcotest.(check (float 1e-6)) "slowdown = load" 5.0 worst;
+  List.iter
+    (fun c -> Alcotest.(check int) "peak load seen" 5 c.Scheduler.peak_load_seen)
+    completions
+
+let test_input_validation () =
+  let m = Machine.create 4 in
+  Alcotest.check_raises "non-positive work"
+    (Invalid_argument "Scheduler.simulate: non-positive work") (fun () ->
+      ignore (Scheduler.simulate m [ job 0 2 1 0 0.0 m ]))
+
+let test_empty () =
+  let m = Machine.create 4 in
+  Alcotest.(check int) "no jobs" 0 (List.length (Scheduler.simulate m []));
+  Alcotest.(check (float 1e-9)) "max slowdown empty" 0.0 (Scheduler.max_slowdown [])
+
+(* Slowdown is always at least 1 and never exceeds the job count. *)
+let prop_slowdown_bounds =
+  QCheck.Test.make ~name:"scheduler: 1 <= slowdown <= #jobs" ~count:100
+    QCheck.(
+      pair (int_range 1 5)
+        (list_of_size Gen.(int_range 1 12) (pair (int_range 0 4) (int_range 1 20))))
+    (fun (levels, specs) ->
+      let m = Machine.of_levels levels in
+      let jobs =
+        List.mapi
+          (fun id (order_raw, work) ->
+            let order = order_raw mod (levels + 1) in
+            let index = 0 in
+            job id (1 lsl order) order index (float_of_int work) m)
+          specs
+      in
+      let completions = Scheduler.simulate m jobs in
+      let count = List.length jobs in
+      List.length completions = count
+      && List.for_all
+           (fun c ->
+             c.Scheduler.slowdown >= 1.0 -. 1e-6
+             && c.Scheduler.slowdown <= float_of_int count +. 1e-6)
+           completions)
+
+let timed j start = { Scheduler.j; start }
+
+let test_timeline_sequential () =
+  let m = Machine.create 4 in
+  (* second job arrives exactly when the first finishes: no overlap *)
+  let completions =
+    Scheduler.simulate_timeline m
+      [ timed (job 0 4 2 0 5.0 m) 0.0; timed (job 1 4 2 0 5.0 m) 5.0 ]
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check (float 1e-6)) "no slowdown when disjoint in time" 1.0
+        c.Scheduler.slowdown)
+    completions
+
+let test_timeline_overlap () =
+  let m = Machine.create 4 in
+  (* job 1 arrives halfway through job 0's solo run: job 0 has 5 units
+     left, then both run at rate 1/2. job 0 finishes at 5 + 10 = 15. *)
+  let completions =
+    Scheduler.simulate_timeline m
+      [ timed (job 0 4 2 0 10.0 m) 0.0; timed (job 1 4 2 0 10.0 m) 5.0 ]
+  in
+  let find id =
+    List.find (fun c -> c.Scheduler.job.Scheduler.task.Task.id = id) completions
+  in
+  Alcotest.(check (float 1e-6)) "job 0 finish" 15.0 (find 0).Scheduler.finish_time;
+  Alcotest.(check (float 1e-6)) "job 0 slowdown" 1.5 (find 0).Scheduler.slowdown;
+  (* job 1: 5 shared (2.5 done) + 5 solo = finishes at 20; response 15 *)
+  Alcotest.(check (float 1e-6)) "job 1 finish" 20.0 (find 1).Scheduler.finish_time;
+  Alcotest.(check (float 1e-6)) "job 1 slowdown" 1.5 (find 1).Scheduler.slowdown
+
+let test_timeline_validation () =
+  let m = Machine.create 4 in
+  Alcotest.check_raises "negative start"
+    (Invalid_argument "Scheduler.simulate_timeline: negative start") (fun () ->
+      ignore (Scheduler.simulate_timeline m [ timed (job 0 4 2 0 1.0 m) (-1.0) ]))
+
+let test_timeline_matches_simulate_at_zero () =
+  let m = Machine.create 8 in
+  let jobs = [ job 0 8 3 0 4.0 m; job 1 4 2 0 6.0 m; job 2 2 1 1 3.0 m ] in
+  let a = Scheduler.simulate m jobs in
+  let b = Scheduler.simulate_timeline m (List.map (fun j -> timed j 0.0) jobs) in
+  let key c =
+    (c.Scheduler.job.Scheduler.task.Task.id, c.Scheduler.finish_time)
+  in
+  Alcotest.(check bool) "same completions" true
+    (List.sort compare (List.map key a) = List.sort compare (List.map key b))
+
+let suite =
+  [
+    Alcotest.test_case "timeline: sequential" `Quick test_timeline_sequential;
+    Alcotest.test_case "timeline: overlap" `Quick test_timeline_overlap;
+    Alcotest.test_case "timeline: validation" `Quick test_timeline_validation;
+    Alcotest.test_case "timeline = simulate at t0" `Quick
+      test_timeline_matches_simulate_at_zero;
+    Alcotest.test_case "lone job" `Quick test_lone_job;
+    Alcotest.test_case "two overlapping" `Quick test_two_overlapping;
+    Alcotest.test_case "disjoint jobs" `Quick test_disjoint_no_interference;
+    Alcotest.test_case "rate recovery" `Quick test_rate_recovers_after_completion;
+    Alcotest.test_case "partial overlap" `Quick test_partial_overlap;
+    Alcotest.test_case "slowdown tracks load" `Quick test_slowdown_tracks_peak_load;
+    Alcotest.test_case "input validation" `Quick test_input_validation;
+    Alcotest.test_case "empty" `Quick test_empty;
+  ]
+  @ Helpers.qtests [ prop_slowdown_bounds ]

@@ -1,0 +1,228 @@
+module Task = Pmp_workload.Task
+module Event = Pmp_workload.Event
+module Timed = Pmp_workload.Timed
+module Timed_engine = Pmp_sim.Timed_engine
+module Machine = Pmp_machine.Machine
+module Topology = Pmp_machine.Topology
+module Sm = Pmp_prng.Splitmix64
+module Dist = Pmp_prng.Dist
+
+let ev at e = { Timed.at; ev = e }
+let arrive id size = Event.Arrive (Task.make ~id ~size)
+
+let test_validation () =
+  Alcotest.(check bool) "ok" true
+    (Result.is_ok
+       (Timed.of_events [ ev 0.0 (arrive 0 2); ev 1.5 (Event.Depart 0) ]));
+  Alcotest.(check bool) "decreasing times rejected" true
+    (Result.is_error
+       (Timed.of_events [ ev 2.0 (arrive 0 2); ev 1.0 (Event.Depart 0) ]));
+  Alcotest.(check bool) "negative time rejected" true
+    (Result.is_error (Timed.of_events [ ev (-1.0) (arrive 0 2) ]));
+  Alcotest.(check bool) "invalid sequence rejected" true
+    (Result.is_error (Timed.of_events [ ev 0.0 (Event.Depart 7) ]))
+
+let test_derived () =
+  let t =
+    Timed.of_events_exn
+      [
+        ev 0.0 (arrive 0 4);
+        ev 1.0 (arrive 1 4);
+        ev 3.0 (Event.Depart 0);
+        ev 4.0 (Event.Depart 1);
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "duration" 4.0 (Timed.duration t);
+  Alcotest.(check int) "peak" 8 (Timed.peak_active_size t);
+  Alcotest.(check int) "L* on 4" 2 (Timed.optimal_load t ~machine_size:4);
+  (* S(t): 4 on [0,1), 8 on [1,3), 4 on [3,4) -> mean (4+16+4)/4 = 6 *)
+  Alcotest.(check (float 1e-9)) "time-weighted demand" 6.0
+    (Timed.time_weighted_mean_active t)
+
+let test_empty () =
+  let t = Timed.of_events_exn [] in
+  Alcotest.(check (float 1e-9)) "duration" 0.0 (Timed.duration t);
+  Alcotest.(check (float 1e-9)) "mean" 0.0 (Timed.time_weighted_mean_active t)
+
+let test_poisson_churn () =
+  let t =
+    Timed.poisson_churn (Sm.create 4) ~machine_size:64 ~horizon:500.0
+      ~arrival_rate:2.0 ~mean_duration:10.0 ~max_order:4 ~size_bias:0.5
+  in
+  Alcotest.(check bool) "non-empty" true (Timed.length t > 100);
+  Alcotest.(check bool) "within horizon" true (Timed.duration t <= 500.0);
+  Alcotest.(check bool) "fits" true
+    (Pmp_workload.Sequence.fits (Timed.sequence t) ~machine_size:64);
+  (* offered demand sanity: rate 2/s x mean 10s x E(size)>=1 -> mean
+     active demand well above 10 PEs *)
+  Alcotest.(check bool) "demand in the right ballpark" true
+    (Timed.time_weighted_mean_active t > 10.0)
+
+let test_timed_engine_basic () =
+  let machine = Machine.create 4 in
+  let t =
+    Timed.of_events_exn
+      [
+        ev 0.0 (arrive 0 4);
+        ev 1.0 (arrive 1 4);
+        ev 3.0 (Event.Depart 0);
+        ev 4.0 (Event.Depart 1);
+      ]
+  in
+  let r = Timed_engine.run (Pmp_core.Greedy.create machine) t in
+  Alcotest.(check int) "max load" 2 r.Timed_engine.max_load;
+  (* load: 1 on [0,1), 2 on [1,3), 1 on [3,4) -> mean 1.5 *)
+  Alcotest.(check (float 1e-9)) "time-weighted load" 1.5
+    r.Timed_engine.time_weighted_mean_load;
+  Alcotest.(check (float 1e-9)) "never above instantaneous opt" 0.0
+    r.Timed_engine.overload_fraction;
+  Alcotest.(check (float 1e-9)) "fully available" 1.0 r.Timed_engine.availability
+
+let test_downtime_accounting () =
+  let machine = Machine.create 4 in
+  let topology = Topology.create Topology.Tree machine in
+  let cost = Pmp_sim.Cost.make ~bytes_per_pe:100 topology in
+  (* force a migration: fill, fragment, arrive a pair with d=1 budget *)
+  let t =
+    Timed.of_events_exn
+      [
+        ev 0.0 (arrive 0 1); ev 0.5 (arrive 1 1); ev 1.0 (arrive 2 1);
+        ev 1.5 (arrive 3 1); ev 2.0 (Event.Depart 1); ev 2.5 (Event.Depart 3);
+        ev 3.0 (arrive 4 2);
+      ]
+  in
+  let alloc =
+    Pmp_core.Periodic.create machine ~d:(Pmp_core.Realloc.Budget 1)
+  in
+  let r = Timed_engine.run ~cost ~bandwidth:100.0 alloc t in
+  Alcotest.(check int) "one repack" 1 r.Timed_engine.realloc_events;
+  Alcotest.(check bool) "traffic charged" true (r.Timed_engine.migration_traffic > 0);
+  Alcotest.(check bool) "downtime = traffic/bandwidth" true
+    (abs_float
+       (r.Timed_engine.total_downtime
+       -. (float_of_int r.Timed_engine.migration_traffic /. 100.0))
+    < 1e-9);
+  Alcotest.(check bool) "availability below 1" true
+    (r.Timed_engine.availability < 1.0)
+
+let test_infinite_bandwidth_default () =
+  let machine = Machine.create 4 in
+  let topology = Topology.create Topology.Tree machine in
+  let cost = Pmp_sim.Cost.make topology in
+  let t = Timed.of_events_exn [ ev 0.0 (arrive 0 4); ev 1.0 (arrive 1 4) ] in
+  let r = Timed_engine.run ~cost (Pmp_core.Optimal.create machine) t in
+  Alcotest.(check (float 1e-9)) "no downtime" 0.0 r.Timed_engine.total_downtime;
+  Alcotest.(check (float 1e-9)) "available" 1.0 r.Timed_engine.availability
+
+let test_dist_lognormal_mean () =
+  let g = Sm.create 21 in
+  let n = 30_000 in
+  let total = ref 0.0 in
+  (* mu = -0.5, sigma = 1 -> mean = exp(0) = 1 *)
+  for _ = 1 to n do
+    total := !total +. Dist.lognormal g ~mu:(-0.5) ~sigma:1.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f near 1" mean)
+    true
+    (abs_float (mean -. 1.0) < 0.06)
+
+let test_dist_weibull () =
+  let g = Sm.create 22 in
+  (* shape 1 = exponential with mean = scale *)
+  let n = 30_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Dist.weibull g ~scale:2.0 ~shape:1.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 2" true (abs_float (mean -. 2.0) < 0.1);
+  Alcotest.check_raises "bad shape" (Invalid_argument "Dist.weibull: bad parameters")
+    (fun () -> ignore (Dist.weibull g ~scale:1.0 ~shape:0.0))
+
+let test_timed_trace_roundtrip () =
+  let t =
+    Timed.poisson_churn (Sm.create 12) ~machine_size:32 ~horizon:50.0
+      ~arrival_rate:2.0 ~mean_duration:5.0 ~max_order:3 ~size_bias:0.5
+  in
+  match Pmp_workload.Timed_trace.of_string (Pmp_workload.Timed_trace.to_string t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      Alcotest.(check int) "same length" (Timed.length t) (Timed.length t');
+      Alcotest.(check bool) "same events" true
+        (Pmp_workload.Sequence.to_list (Timed.sequence t)
+        = Pmp_workload.Sequence.to_list (Timed.sequence t'));
+      Array.iter2
+        (fun a b ->
+          Alcotest.(check bool) "time within 1e-6" true
+            (abs_float (a.Timed.at -. b.Timed.at) <= 1e-6))
+        (Timed.events t) (Timed.events t')
+
+let test_timed_trace_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reject %S" s)
+        true
+        (Result.is_error (Pmp_workload.Timed_trace.of_string s)))
+    [ "+0:4\n"; "@x +0:4\n"; "@-1.0 +0:4\n"; "@inf +0:4\n"; "@1.0 junk\n";
+      "@2.0 +0:4\n@1.0 -0\n" ]
+
+let test_timed_trace_comments () =
+  match Pmp_workload.Timed_trace.of_string "# day one\n@0.5 +0:4\n\n@1.5 -0\n" with
+  | Ok t -> Alcotest.(check int) "two events" 2 (Timed.length t)
+  | Error e -> Alcotest.fail e
+
+let test_timed_trace_file () =
+  let t =
+    Timed.of_events_exn [ ev 0.25 (arrive 0 2); ev 1.75 (Event.Depart 0) ]
+  in
+  let path = Filename.temp_file "pmp_timed" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pmp_workload.Timed_trace.save path t;
+      match Pmp_workload.Timed_trace.load path with
+      | Ok t' -> Alcotest.(check int) "file roundtrip" 2 (Timed.length t')
+      | Error e -> Alcotest.fail e)
+
+(* The timed engine's max load agrees with the untimed engine run on
+   the same (stripped) sequence. *)
+let prop_timed_untimed_agree =
+  QCheck.Test.make ~name:"timed engine max load = untimed engine max load"
+    ~count:60
+    QCheck.(pair (int_range 1 5) (int_range 0 100_000))
+    (fun (levels, seed) ->
+      let n = 1 lsl levels in
+      let machine = Machine.of_levels levels in
+      let t =
+        Timed.poisson_churn (Sm.create seed) ~machine_size:n ~horizon:100.0
+          ~arrival_rate:1.0 ~mean_duration:5.0
+          ~max_order:(max 0 (levels - 1))
+          ~size_bias:0.5
+      in
+      let rt = Timed_engine.run (Pmp_core.Greedy.create machine) t in
+      let ru =
+        Pmp_sim.Engine.run (Pmp_core.Greedy.create machine) (Timed.sequence t)
+      in
+      rt.Timed_engine.max_load = ru.Pmp_sim.Engine.max_load
+      && rt.Timed_engine.optimal_load = ru.Pmp_sim.Engine.optimal_load)
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "derived quantities" `Quick test_derived;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "poisson churn" `Quick test_poisson_churn;
+    Alcotest.test_case "timed engine" `Quick test_timed_engine_basic;
+    Alcotest.test_case "downtime accounting" `Quick test_downtime_accounting;
+    Alcotest.test_case "infinite bandwidth" `Quick test_infinite_bandwidth_default;
+    Alcotest.test_case "lognormal mean" `Slow test_dist_lognormal_mean;
+    Alcotest.test_case "weibull mean" `Slow test_dist_weibull;
+    Alcotest.test_case "timed trace roundtrip" `Quick test_timed_trace_roundtrip;
+    Alcotest.test_case "timed trace errors" `Quick test_timed_trace_parse_errors;
+    Alcotest.test_case "timed trace comments" `Quick test_timed_trace_comments;
+    Alcotest.test_case "timed trace file" `Quick test_timed_trace_file;
+  ]
+  @ Helpers.qtests [ prop_timed_untimed_agree ]

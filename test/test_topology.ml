@@ -1,0 +1,143 @@
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Topology = Pmp_machine.Topology
+
+let m16 = Machine.create 16
+
+let test_names () =
+  List.iter
+    (fun k ->
+      let name = Topology.kind_name k in
+      Alcotest.(check bool)
+        (name ^ " roundtrips")
+        true
+        (Topology.of_name name = Some k))
+    Topology.all_kinds;
+  Alcotest.(check bool) "unknown" true (Topology.of_name "torus" = None);
+  Alcotest.(check bool) "case-insensitive" true
+    (Topology.of_name "Hypercube" = Some Topology.Hypercube)
+
+let test_tree_hops () =
+  let t = Topology.create Topology.Tree m16 in
+  Alcotest.(check int) "adjacent leaves" 2 (Topology.pe_hops t 0 1);
+  Alcotest.(check int) "across root" 8 (Topology.pe_hops t 0 15);
+  Alcotest.(check int) "self" 0 (Topology.pe_hops t 7 7)
+
+let test_hypercube_hops () =
+  let t = Topology.create Topology.Hypercube m16 in
+  Alcotest.(check int) "hamming 1" 1 (Topology.pe_hops t 0 1);
+  Alcotest.(check int) "hamming 4" 4 (Topology.pe_hops t 0 15);
+  Alcotest.(check int) "hamming 2" 2 (Topology.pe_hops t 5 6)
+
+let test_mesh_hops () =
+  let t = Topology.create Topology.Mesh m16 in
+  (* Morton: PE 0 -> (0,0), PE 1 -> (1,0), PE 2 -> (0,1), PE 3 -> (1,1) *)
+  Alcotest.(check int) "right neighbour" 1 (Topology.pe_hops t 0 1);
+  Alcotest.(check int) "down neighbour" 1 (Topology.pe_hops t 0 2);
+  Alcotest.(check int) "diagonal" 2 (Topology.pe_hops t 0 3);
+  (* PE 15 -> (3,3): corner to corner of the 4x4 mesh *)
+  Alcotest.(check int) "corner to corner" 6 (Topology.pe_hops t 0 15)
+
+let test_butterfly_hops () =
+  let t = Topology.create Topology.Butterfly m16 in
+  Alcotest.(check int) "low bit" 2 (Topology.pe_hops t 0 1);
+  Alcotest.(check int) "high bit" 8 (Topology.pe_hops t 0 8)
+
+let test_submachine_hops () =
+  let t = Topology.create Topology.Tree m16 in
+  let a = Sub.make m16 ~order:1 ~index:0 and b = Sub.make m16 ~order:1 ~index:1 in
+  Alcotest.(check bool) "different subs cost > 0" true
+    (Topology.submachine_hops t a b > 0);
+  Alcotest.(check int) "same sub free" 0 (Topology.submachine_hops t a a)
+
+let test_coords () =
+  let mesh = Topology.create Topology.Mesh m16 in
+  Alcotest.(check string) "mesh coord" "(1,1)" (Topology.coords mesh 3);
+  let cube = Topology.create Topology.Hypercube m16 in
+  Alcotest.(check string) "cube coord" "0b0101" (Topology.coords cube 5)
+
+let prop_metric_axioms =
+  QCheck.Test.make ~name:"all topologies: symmetry + identity" ~count:300
+    QCheck.(
+      quad (int_range 1 8) (int_range 0 10_000) (int_range 0 10_000)
+        (int_range 0 3))
+    (fun (levels, a, b, k) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let kind = List.nth Topology.all_kinds k in
+      let t = Topology.create kind m in
+      let i = a mod n and j = b mod n in
+      Topology.pe_hops t i j = Topology.pe_hops t j i
+      && (Topology.pe_hops t i j = 0) = (i = j))
+
+let prop_mesh_triangle =
+  QCheck.Test.make ~name:"mesh hops satisfy triangle inequality" ~count:200
+    QCheck.(
+      quad (int_range 2 8) (int_range 0 10_000) (int_range 0 10_000)
+        (int_range 0 10_000))
+    (fun (levels, a, b, c) ->
+      let m = Machine.of_levels levels in
+      let n = Machine.size m in
+      let t = Topology.create Topology.Mesh m in
+      let i = a mod n and j = b mod n and k = c mod n in
+      Topology.pe_hops t i k <= Topology.pe_hops t i j + Topology.pe_hops t j k)
+
+(* Structural claims behind the "hierarchically decomposable" story:
+   a tree submachine's PE set is a subcube of the hypercube and a
+   solid near-square rectangle of the Z-order mesh. *)
+
+let prop_submachine_is_subcube =
+  QCheck.Test.make ~name:"hypercube: tree submachines are subcubes" ~count:200
+    QCheck.(triple (int_range 1 8) (int_range 0 8) (int_range 0 10_000))
+    (fun (levels, order_raw, index_raw) ->
+      let order = order_raw mod (levels + 1) in
+      let m = Machine.of_levels levels in
+      let count = Sub.count_at_order m order in
+      let sub = Sub.make m ~order ~index:(index_raw mod count) in
+      (* subcube: every member differs from the base only in the low
+         [order] address bits, i.e. leaf xor base < 2^order *)
+      let base = Sub.first_leaf sub in
+      let ok = ref true in
+      for leaf = Sub.first_leaf sub to Sub.last_leaf sub do
+        if leaf lxor base >= Sub.size sub then ok := false
+      done;
+      !ok)
+
+let prop_submachine_is_mesh_rectangle =
+  QCheck.Test.make
+    ~name:"mesh: tree submachines are solid rectangles (aspect <= 2)" ~count:200
+    QCheck.(triple (int_range 1 8) (int_range 0 8) (int_range 0 10_000))
+    (fun (levels, order_raw, index_raw) ->
+      let order = order_raw mod (levels + 1) in
+      let m = Machine.of_levels levels in
+      let count = Sub.count_at_order m order in
+      let sub = Sub.make m ~order ~index:(index_raw mod count) in
+      let coords = ref [] in
+      for leaf = Sub.first_leaf sub to Sub.last_leaf sub do
+        coords := Topology.morton_xy leaf :: !coords
+      done;
+      let xs = List.map fst !coords and ys = List.map snd !coords in
+      let min_l = List.fold_left min max_int and max_l = List.fold_left max 0 in
+      let w = max_l xs - min_l xs + 1 and h = max_l ys - min_l ys + 1 in
+      (* solid: the bounding box has exactly as many cells as PEs *)
+      w * h = Sub.size sub
+      (* near-square: power-of-two sides differing by at most one order *)
+      && (w = h || w = 2 * h || h = 2 * w))
+
+let suite =
+  [
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "tree hops" `Quick test_tree_hops;
+    Alcotest.test_case "hypercube hops" `Quick test_hypercube_hops;
+    Alcotest.test_case "mesh hops" `Quick test_mesh_hops;
+    Alcotest.test_case "butterfly hops" `Quick test_butterfly_hops;
+    Alcotest.test_case "submachine hops" `Quick test_submachine_hops;
+    Alcotest.test_case "coords" `Quick test_coords;
+  ]
+  @ Helpers.qtests
+      [
+        prop_metric_axioms;
+        prop_mesh_triangle;
+        prop_submachine_is_subcube;
+        prop_submachine_is_mesh_rectangle;
+      ]

@@ -1,0 +1,89 @@
+module Sequence = Pmp_workload.Sequence
+module Trace = Pmp_workload.Trace
+module Generators = Pmp_workload.Generators
+
+let test_roundtrip_fixed () =
+  let seq = Generators.figure1 () in
+  match Trace.of_string (Trace.to_string seq) with
+  | Ok seq' ->
+      Alcotest.(check bool) "identical events" true
+        (Sequence.to_list seq = Sequence.to_list seq')
+  | Error e -> Alcotest.fail e
+
+let test_comments_and_blanks () =
+  let text = "# a trace\n\n+0:4\n  \n-0\n# done\n" in
+  match Trace.of_string text with
+  | Ok seq -> Alcotest.(check int) "two events" 2 (Sequence.length seq)
+  | Error e -> Alcotest.fail e
+
+let test_parse_error_line_number () =
+  match Trace.of_string "+0:4\nbogus\n" with
+  | Ok _ -> Alcotest.fail "should reject"
+  | Error e ->
+      Alcotest.(check bool) "mentions line 2" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 2")
+
+let test_semantic_error () =
+  (* syntactically fine, semantically invalid: departure of unknown id *)
+  Alcotest.(check bool) "rejected" true (Result.is_error (Trace.of_string "-3\n"))
+
+let test_file_roundtrip () =
+  let seq = Generators.sawtooth ~machine_size:16 ~rounds:3 in
+  let path = Filename.temp_file "pmp_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path seq;
+      match Trace.load path with
+      | Ok seq' ->
+          Alcotest.(check bool) "file roundtrip" true
+            (Sequence.to_list seq = Sequence.to_list seq')
+      | Error e -> Alcotest.fail e)
+
+let test_missing_file () =
+  Alcotest.(check bool) "missing file is Error" true
+    (Result.is_error (Trace.load "/nonexistent/path/xyz.trace"))
+
+(* Fuzz: parsers return Result on arbitrary garbage, never raise. *)
+let prop_parsers_never_raise =
+  QCheck.Test.make ~name:"trace parsers never raise on garbage" ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 80))
+    (fun s ->
+      let no_raise f = match f s with Ok _ | Error _ -> true in
+      no_raise Pmp_workload.Event.of_string
+      && no_raise Trace.of_string
+      && no_raise Pmp_workload.Timed_trace.of_string)
+
+(* Fuzz with plausible-looking prefixes to reach deeper parser paths. *)
+let prop_parsers_never_raise_structured =
+  QCheck.Test.make ~name:"trace parsers survive near-valid input" ~count:500
+    QCheck.(
+      pair (oneofl [ "+"; "-"; "@"; "@1.5 +"; "+1:"; "#" ])
+        (string_of_size Gen.(int_range 0 20)))
+    (fun (prefix, tail) ->
+      let s = prefix ^ tail in
+      let no_raise f = match f s with Ok _ | Error _ -> true in
+      no_raise Pmp_workload.Event.of_string
+      && no_raise Trace.of_string
+      && no_raise Pmp_workload.Timed_trace.of_string)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"trace round-trips any valid sequence" ~count:100
+    (Helpers.seq_params ())
+    (fun (levels, seed, steps) ->
+      let seq = Helpers.random_sequence ~seed ~machine_size:(1 lsl levels) ~steps in
+      match Trace.of_string (Trace.to_string seq) with
+      | Ok seq' -> Sequence.to_list seq = Sequence.to_list seq'
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip_fixed;
+    Alcotest.test_case "comments/blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "parse error line" `Quick test_parse_error_line_number;
+    Alcotest.test_case "semantic error" `Quick test_semantic_error;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "missing file" `Quick test_missing_file;
+  ]
+  @ Helpers.qtests
+      [ prop_roundtrip; prop_parsers_never_raise; prop_parsers_never_raise_structured ]

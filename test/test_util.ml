@@ -1,0 +1,75 @@
+open Pmp_util
+
+let test_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Stats.mean [||]);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0.0 (Stats.stddev [| 5.0 |]);
+  Alcotest.(check (float 1e-4)) "stddev" 1.118033 (Stats.stddev [| 1.; 2.; 3.; 4. |])
+
+let test_percentile () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile xs 25.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile [||] 50.0))
+
+let test_histogram () =
+  Alcotest.(check (list (pair int int)))
+    "histogram" [ (1, 2); (2, 1); (7, 3) ]
+    (Stats.histogram [| 7; 1; 7; 2; 1; 7 |]);
+  Alcotest.(check (list (pair int int))) "empty" [] (Stats.histogram [||])
+
+let test_max_int_arr () =
+  Alcotest.(check int) "max" 9 (Stats.max_int_arr [| 3; 9; 1 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.max_int_arr: empty")
+    (fun () -> ignore (Stats.max_int_arr [||]))
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"Title" [ "a"; "bb" ] in
+  Table.add_row t [ "x"; "y" ];
+  Table.add_int_row t [ 10; 2 ];
+  let out = Table.render t in
+  Alcotest.(check bool) "has title" true (contains_substring out "Title");
+  Alcotest.(check bool) "contains data row" true (contains_substring out "10  2");
+  Alcotest.(check bool) "contains rule" true (contains_substring out "--")
+
+let test_table_shapes () =
+  let t = Table.create ~title:"t" [ "a"; "b"; "c" ] in
+  Table.add_row t [ "only" ];
+  Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells")
+    (fun () -> Table.add_row t [ "1"; "2"; "3"; "4" ]);
+  let rendered = Table.render t in
+  Alcotest.(check bool) "short row padded" true (String.length rendered > 0)
+
+let test_csv () =
+  let t = Table.create ~title:"t" [ "a"; "b" ] in
+  Table.add_row t [ "plain"; "with,comma" ];
+  Table.add_row t [ "quo\"te"; "multi\nline" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "csv escaping"
+    "a,b\nplain,\"with,comma\"\n\"quo\"\"te\",\"multi\nline\"\n" csv
+
+let test_fmt () =
+  Alcotest.(check string) "trim zeros" "1.5" (Table.fmt_float 1.5);
+  Alcotest.(check string) "keep one" "2.0" (Table.fmt_float 2.0);
+  Alcotest.(check string) "full" "1.234" (Table.fmt_float 1.234);
+  Alcotest.(check string) "ratio" "3.14" (Table.fmt_ratio 3.14159)
+
+let suite =
+  [
+    Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "max_int_arr" `Quick test_max_int_arr;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table shapes" `Quick test_table_shapes;
+    Alcotest.test_case "csv export" `Quick test_csv;
+    Alcotest.test_case "float formatting" `Quick test_fmt;
+  ]
