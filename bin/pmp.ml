@@ -38,8 +38,48 @@ let steps_arg =
   Arg.(value & opt int 4000 & info [ "steps" ] ~docv:"K" ~doc)
 
 let check_arg =
-  let doc = "Run the engine in checked mode (validates every response)." in
-  Arg.(value & flag & info [ "check" ] ~doc)
+  let doc =
+    "Validation mode. $(b,--check) (or $(b,--check=basic)) cross-checks \
+     every allocator response against an independent mirror. \
+     $(b,--check=oracle) additionally holds the run to the allocator's \
+     theorem envelope — the T3.1/T4.1/T4.2 load bound, the \
+     d-reallocation budget, and the copy-packing invariant — and, on a \
+     violation, shrinks the offending trace to a minimal counterexample."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "basic") (some string) None
+    & info [ "check" ] ~docv:"MODE" ~doc)
+
+(* The three validation modes --check parses to. *)
+type check_mode = Check_off | Check_basic | Check_oracle
+
+let parse_check = function
+  | None -> Ok Check_off
+  | Some "basic" -> Ok Check_basic
+  | Some "oracle" -> Ok Check_oracle
+  | Some other ->
+      Error (`Msg (Printf.sprintf "unknown check mode %S (basic|oracle)" other))
+
+(* In oracle mode, audit the whole sequence first (with trace shrinking
+   on failure) before handing over to whatever the subcommand wanted to
+   measure. [make] must build a fresh, deterministic allocator. *)
+let oracle_gate mode name machine ~d ~make seq =
+  match mode with
+  | Check_off | Check_basic -> Ok ()
+  | Check_oracle -> begin
+      match Builders.oracle_spec name machine ~d with
+      | Error _ as e -> e
+      | Ok spec -> begin
+          match Pmp_oracle.Oracle.check spec ~make seq with
+          | Ok () -> Ok ()
+          | Error cex ->
+              Error
+                (`Msg
+                   (Format.asprintf "oracle violation for %s:@.%a" name
+                      Pmp_oracle.Oracle.pp_counterexample cex))
+        end
+    end
 
 let heatmap_arg =
   let doc = "Also print an ASCII per-PE load heatmap over time." in
@@ -89,15 +129,22 @@ let print_result (r : Engine.result) =
 (* subcommands                                                         *)
 
 let run_cmd =
-  let action machine_size alloc_name workload_name steps seed d_str check topo
-      heatmap =
+  let action machine_size alloc_name workload_name steps seed d_str check_str
+      topo heatmap =
     let* machine = Builders.machine machine_size in
     let* d = Builders.parse_d d_str in
+    let* mode = parse_check check_str in
     let* alloc = Builders.allocator alloc_name machine ~d ~seed in
     let* seq = Builders.workload workload_name ~machine_size ~steps ~seed in
     let* topology = Builders.topology topo machine in
+    let make () =
+      match Builders.allocator alloc_name machine ~d ~seed with
+      | Ok a -> a
+      | Error (`Msg e) -> invalid_arg e
+    in
+    let* () = oracle_gate mode alloc_name machine ~d ~make seq in
     let cost = Pmp_sim.Cost.make topology in
-    let r = Engine.run ~check ~cost alloc seq in
+    let r = Engine.run ~check:(mode <> Check_off) ~cost alloc seq in
     print_result r;
     if heatmap then begin
       (* re-run a fresh allocator of the same kind for the picture *)
@@ -121,8 +168,9 @@ let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc)
 
 let sweep_cmd =
-  let action machine_size workload_name steps seed check csv =
+  let action machine_size workload_name steps seed check_str csv =
     let* machine = Builders.machine machine_size in
+    let* mode = parse_check check_str in
     let* seq = Builders.workload workload_name ~machine_size ~steps ~seed in
     let table =
       Table.create
@@ -140,7 +188,24 @@ let sweep_cmd =
     List.iter
       (fun d ->
         let alloc = Pmp_core.Periodic.create ~force_copies:true machine ~d in
-        let r = Engine.run ~check alloc seq in
+        (* the forced copy branch keeps the packing invariant at every
+           d; its provable envelope on arbitrary sequences is L* + d *)
+        let oracle =
+          match mode with
+          | Check_off | Check_basic -> None
+          | Check_oracle ->
+              Some
+                {
+                  Pmp_oracle.Oracle.bound =
+                    (match d with
+                    | Realloc.Every -> Pmp_oracle.Oracle.Within_plus 0
+                    | Realloc.Budget b -> Pmp_oracle.Oracle.Within_plus b
+                    | Realloc.Never -> Pmp_oracle.Oracle.Unbounded);
+                  budget = Some d;
+                  disjoint_copies = true;
+                }
+        in
+        let r = Engine.run ~check:(mode <> Check_off) ?oracle alloc seq in
         Table.add_row table
           [
             Realloc.to_string d;
@@ -316,9 +381,10 @@ let trace_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
 
 let replay_cmd =
-  let action machine_size alloc_name seed d_str check path =
+  let action machine_size alloc_name seed d_str check_str path =
     let* machine = Builders.machine machine_size in
     let* d = Builders.parse_d d_str in
+    let* mode = parse_check check_str in
     let* alloc = Builders.allocator alloc_name machine ~d ~seed in
     let* seq =
       match Trace.load path with Ok s -> Ok s | Error e -> Error (`Msg e)
@@ -326,7 +392,13 @@ let replay_cmd =
     if not (Sequence.fits seq ~machine_size) then
       Error (`Msg "trace contains tasks larger than the machine")
     else begin
-      print_result (Engine.run ~check alloc seq);
+      let make () =
+        match Builders.allocator alloc_name machine ~d ~seed with
+        | Ok a -> a
+        | Error (`Msg e) -> invalid_arg e
+      in
+      let* () = oracle_gate mode alloc_name machine ~d ~make seq in
+      print_result (Engine.run ~check:(mode <> Check_off) alloc seq);
       Ok ()
     end
   in

@@ -91,3 +91,71 @@ let topology name m =
   match Topology.of_name name with
   | Some kind -> Ok (Topology.create kind m)
   | None -> Error (`Msg (Printf.sprintf "unknown topology %S" name))
+
+(* Which theorem envelope the oracle should hold each allocator to.
+   Allocators outside the paper's theorems (baselines, ablations, the
+   randomized family whose bounds hold only in expectation) get the
+   structural/accounting checks without a load bound. *)
+let oracle_spec name m ~d =
+  let module Oracle = Pmp_oracle.Oracle in
+  let machine_size = Machine.size m in
+  let greedy_factor = Pmp_core.Bounds.greedy_upper_factor ~machine_size in
+  match name with
+  | "optimal" ->
+      (* T3.1: A_C repacks on every arrival and achieves exactly L*. *)
+      Ok
+        {
+          Oracle.bound = Oracle.Exact;
+          budget = Some Realloc.Every;
+          disjoint_copies = true;
+        }
+  | "greedy" ->
+      (* T4.1; greedy never reallocates, so its budget is d = inf. *)
+      Ok
+        {
+          Oracle.bound = Oracle.Within_factor greedy_factor;
+          budget = Some Realloc.Never;
+          disjoint_copies = false;
+        }
+  | "copies" ->
+      (* A_B first-fits into copies and never reallocates; Lemma 2
+         keeps it within the greedy factor. *)
+      Ok
+        {
+          Oracle.bound = Oracle.Within_factor greedy_factor;
+          budget = Some Realloc.Never;
+          disjoint_copies = true;
+        }
+  | "periodic" ->
+      (* T4.2. The d >= ceil((log N + 1)/2) regime delegates to pure
+         greedy, which stacks everything on copy 0. *)
+      let delegates = Pmp_core.Realloc.exceeds_greedy_threshold d m in
+      Ok
+        {
+          Oracle.bound =
+            Oracle.Within_factor
+              (Pmp_core.Bounds.det_upper_factor ~machine_size ~d);
+          budget = Some d;
+          disjoint_copies = not delegates;
+        }
+  | "hybrid" | "rand-periodic" ->
+      (* open-problem extensions: budgeted repacks, no proven bound *)
+      Ok
+        { Oracle.bound = Oracle.Unbounded; budget = Some d; disjoint_copies = false }
+  | "copies-bestfit" ->
+      (* best-fit ablation: packing invariant holds, Lemma 2 does not *)
+      Ok
+        {
+          Oracle.bound = Oracle.Unbounded;
+          budget = Some Realloc.Never;
+          disjoint_copies = true;
+        }
+  | "randomized" | "two-choice" | "greedy-rightmost" | "greedy-random-tie"
+  | "leftmost-always" | "round-robin" | "worst-fit" ->
+      Ok
+        {
+          Oracle.bound = Oracle.Unbounded;
+          budget = Some Realloc.Never;
+          disjoint_copies = false;
+        }
+  | other -> Error (`Msg (Printf.sprintf "no oracle spec for allocator %S" other))

@@ -37,3 +37,15 @@ val workload :
     staircase, sigma-r) ignore it. *)
 
 val topology : string -> Pmp_machine.Machine.t -> Pmp_machine.Topology.t result
+
+val oracle_spec :
+  string ->
+  Pmp_machine.Machine.t ->
+  d:Pmp_core.Realloc.t ->
+  Pmp_oracle.Oracle.spec result
+(** The conformance envelope [--check=oracle] holds an allocator to:
+    the theorem load bound where one exists ([optimal] -> T3.1 exact,
+    [greedy]/[copies] -> T4.1 factor, [periodic] -> T4.2 factor), the
+    d-reallocation budget, and the copy-disjointness packing invariant
+    for copy-stack allocators. Baselines and the randomized family get
+    structural and budget checks only. *)

@@ -19,7 +19,7 @@ let sub_in_machine machine sub =
   && Sub.first_leaf sub >= 0
   && Sub.last_leaf sub < Pmp_machine.Machine.size machine
 
-let check_response alloc task resp =
+let check_response ?active alloc task resp =
   let check_one what (task : Task.t) (p : Placement.t) =
     if Sub.size p.sub <> task.Task.size then
       Error
@@ -32,12 +32,30 @@ let check_response alloc task resp =
   match check_one "placement" task resp.placement with
   | Error _ as e -> e
   | Ok () ->
+      let seen_ids = Hashtbl.create 8 in
+      let check_move mv =
+        let id = mv.task.Task.id in
+        if id = task.Task.id then
+          Error
+            (Printf.sprintf "move: arriving task %d listed among the moves" id)
+        else if Hashtbl.mem seen_ids id then
+          Error (Printf.sprintf "move: task %d moved twice in one response" id)
+        else begin
+          Hashtbl.add seen_ids id ();
+          match active with
+          | Some is_active when not (is_active id) ->
+              Error (Printf.sprintf "move: task %d is not currently active" id)
+          | Some _ | None -> begin
+              match check_one "move source" mv.task mv.from_ with
+              | Error _ as e -> e
+              | Ok () -> check_one "move" mv.task mv.to_
+            end
+        end
+      in
       let rec moves = function
         | [] -> Ok ()
         | mv :: rest -> begin
-            match check_one "move" mv.task mv.to_ with
-            | Error _ as e -> e
-            | Ok () -> moves rest
+            match check_move mv with Error _ as e -> e | Ok () -> moves rest
           end
       in
       moves resp.moves

@@ -42,8 +42,13 @@ type t = {
 }
 
 val check_response :
+  ?active:(Pmp_workload.Task.id -> bool) ->
   t -> Pmp_workload.Task.t -> response -> (unit, string) result
 (** Structural validity of a response: the placement's submachine has
-    exactly the task's size and lies inside the machine, and every move
-    preserves its task's size. Used by the simulator in checked mode
-    and by the test suite. *)
+    exactly the task's size and lies inside the machine; every move
+    preserves its task's size and both its source and destination lie
+    inside the machine; no task is moved twice and the arriving task is
+    never listed as a move. When [active] is given, moves of ids for
+    which it returns [false] (departed or never-seen tasks) are also
+    rejected. Used by the simulator in checked mode, the conformance
+    oracle, and the test suite. *)

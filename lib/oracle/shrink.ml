@@ -1,0 +1,125 @@
+module Task = Pmp_workload.Task
+module Event = Pmp_workload.Event
+module Sequence = Pmp_workload.Sequence
+
+(* The shrink state is the original event array plus a keep-mask and a
+   per-event size override for arrivals. Materialisation drops masked
+   events and any departure whose arrival is masked, so every candidate
+   the predicate sees is a well-formed sequence by construction. *)
+
+type state = {
+  events : Event.t array;
+  keep : bool array;
+  size_of : (Task.id, int) Hashtbl.t; (* current (possibly halved) sizes *)
+}
+
+let materialize st =
+  let arrived = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iteri
+    (fun i (ev : Event.t) ->
+      if st.keep.(i) then begin
+        match ev with
+        | Arrive task ->
+            let size =
+              match Hashtbl.find_opt st.size_of task.Task.id with
+              | Some s -> s
+              | None -> task.Task.size
+            in
+            Hashtbl.add arrived task.Task.id ();
+            out := Event.Arrive (Task.make ~id:task.Task.id ~size) :: !out
+        | Depart id ->
+            if Hashtbl.mem arrived id then out := Event.Depart id :: !out
+      end)
+    st.events;
+  match Sequence.of_events (List.rev !out) with
+  | Ok seq -> Some seq
+  | Error _ -> None
+
+let shrink_count ~fails seq counter =
+  let events = Sequence.events seq in
+  let n = Array.length events in
+  let st = { events; keep = Array.make n true; size_of = Hashtbl.create 16 } in
+  let still_fails () =
+    incr counter;
+    match materialize st with Some cand -> fails cand | None -> false
+  in
+  if n = 0 || not (fails seq) then seq
+  else begin
+    (* One sweep at a given chunk width: try masking each window of
+       currently-kept events; keep the mask if the failure survives. *)
+    let try_remove_window lo hi =
+      let saved = Array.sub st.keep lo (hi - lo) in
+      let any = ref false in
+      for i = lo to hi - 1 do
+        if st.keep.(i) then begin
+          any := true;
+          st.keep.(i) <- false
+        end
+      done;
+      if not !any then false
+      else if still_fails () then true
+      else begin
+        Array.blit saved 0 st.keep lo (hi - lo);
+        false
+      end
+    in
+    let removal_pass () =
+      let changed = ref false in
+      let width = ref (max 1 (n / 2)) in
+      while !width >= 1 do
+        let i = ref 0 in
+        while !i < n do
+          if try_remove_window !i (min n (!i + !width)) then changed := true;
+          i := !i + !width
+        done;
+        width := (if !width = 1 then 0 else max 1 (!width / 2))
+      done;
+      !changed
+    in
+    (* Halve the size of one surviving arrival at a time. *)
+    let size_pass () =
+      let changed = ref false in
+      Array.iteri
+        (fun i (ev : Event.t) ->
+          match ev with
+          | Depart _ -> ()
+          | Arrive task ->
+              if st.keep.(i) then begin
+                let id = task.Task.id in
+                let current =
+                  match Hashtbl.find_opt st.size_of id with
+                  | Some s -> s
+                  | None -> task.Task.size
+                in
+                let continue = ref (current > 1) in
+                while !continue do
+                  let cur =
+                    match Hashtbl.find_opt st.size_of id with
+                    | Some s -> s
+                    | None -> task.Task.size
+                  in
+                  if cur <= 1 then continue := false
+                  else begin
+                    Hashtbl.replace st.size_of id (cur / 2);
+                    if still_fails () then changed := true
+                    else begin
+                      Hashtbl.replace st.size_of id cur;
+                      continue := false
+                    end
+                  end
+                done
+              end)
+        st.events;
+      !changed
+    in
+    let progress = ref true in
+    while !progress do
+      let removed = removal_pass () in
+      let resized = size_pass () in
+      progress := removed || resized
+    done;
+    match materialize st with Some seq -> seq | None -> seq
+  end
+
+let minimize ~fails seq = shrink_count ~fails seq (ref 0)

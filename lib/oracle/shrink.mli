@@ -1,0 +1,27 @@
+(** Delta-debugging minimisation of violating event traces.
+
+    When the conformance oracle catches an allocator breaking an
+    invariant on a long random sequence, the raw trace is useless for
+    debugging — thousands of arrivals and departures, one of which
+    matters. This module shrinks such a trace while preserving the
+    failure: it removes events (a departure can always go alone; an
+    arrival takes its own departure with it, so every candidate stays a
+    well-formed sequence) and then halves task sizes, until the trace
+    is 1-minimal — no single remaining event can be dropped and no
+    single size halved without losing the violation. *)
+
+val minimize :
+  fails:(Pmp_workload.Sequence.t -> bool) ->
+  Pmp_workload.Sequence.t ->
+  Pmp_workload.Sequence.t
+(** [minimize ~fails seq] returns a minimal subsequence of [seq] on
+    which [fails] still holds. [fails] must hold on [seq] itself
+    (otherwise [seq] is returned unchanged) and must be deterministic —
+    the shrinker replays candidates many times. Removal is attempted in
+    halving chunks first (classic ddmin sweep), then event by event,
+    then task sizes are halved; the whole cycle repeats to a fixpoint. *)
+
+val shrink_count : fails:(Pmp_workload.Sequence.t -> bool) ->
+  Pmp_workload.Sequence.t -> int ref -> Pmp_workload.Sequence.t
+(** Like {!minimize} but also counts the number of candidate replays in
+    the given cell — exposed for tests and for reporting shrink cost. *)

@@ -4,6 +4,7 @@ module Task = Pmp_workload.Task
 module Event = Pmp_workload.Event
 module Allocator = Pmp_core.Allocator
 module Mirror = Pmp_core.Mirror
+module Oracle = Pmp_oracle.Oracle
 
 type result = {
   allocator_name : string;
@@ -20,12 +21,24 @@ type result = {
   final_leaf_loads : int array;
 }
 
-let run ?(check = false) ?cost (alloc : Allocator.t) seq =
+let run ?(check = false) ?oracle ?cost (alloc : Allocator.t) seq =
   let n = Machine.size alloc.machine in
   if not (Sequence.fits seq ~machine_size:n) then
     invalid_arg "Engine.run: sequence has tasks larger than the machine";
   let events = Sequence.events seq in
   let mirror = Mirror.create alloc.machine in
+  let observer = Option.map (fun spec -> Oracle.Observer.create spec alloc) oracle in
+  let observe f =
+    match observer with
+    | None -> ()
+    | Some obs -> begin
+        match f obs with
+        | Ok () -> ()
+        | Error v ->
+            invalid_arg
+              (Format.asprintf "Engine.run: oracle: %a" Oracle.pp_violation v)
+      end
+  in
   let load_trajectory = Array.make (Array.length events) 0 in
   let opt_trajectory = Array.make (Array.length events) 0 in
   let tasks_moved = ref 0 and traffic = ref 0 in
@@ -42,14 +55,17 @@ let run ?(check = false) ?cost (alloc : Allocator.t) seq =
         | Arrive task ->
             let resp = alloc.assign task in
             if check then begin
-              match Allocator.check_response alloc task resp with
+              let active id = Mirror.placement mirror id <> None in
+              match Allocator.check_response ~active alloc task resp with
               | Ok () -> ()
               | Error e -> invalid_arg ("Engine.run: bad response: " ^ e)
             end;
+            observe (fun obs -> Oracle.Observer.observe_assign obs task resp);
             Mirror.apply_assign mirror task resp;
             account_moves resp.moves
         | Depart id ->
             alloc.remove id;
+            observe (fun obs -> Oracle.Observer.observe_remove obs id);
             Mirror.apply_remove mirror id
       end;
       if check then begin

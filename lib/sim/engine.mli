@@ -25,11 +25,16 @@ type result = {
 }
 
 val run :
-  ?check:bool -> ?cost:Cost.t -> Pmp_core.Allocator.t ->
-  Pmp_workload.Sequence.t -> result
+  ?check:bool -> ?oracle:Pmp_oracle.Oracle.spec -> ?cost:Cost.t ->
+  Pmp_core.Allocator.t -> Pmp_workload.Sequence.t -> result
 (** Run a {e fresh} allocator over the sequence from its beginning.
+    With [~oracle:spec] a {!Pmp_oracle.Oracle.Observer} audits every
+    response against the spec's theorem bound, reallocation budget and
+    structural invariants, failing fast on the first violation (use
+    {!Pmp_oracle.Oracle.check} instead when a shrunk counterexample is
+    wanted — the engine cannot replay the allocator from scratch).
     @raise Invalid_argument if the sequence does not fit the machine
-    or (in checked mode) the allocator misbehaves. *)
+    or (in checked or oracle mode) the allocator misbehaves. *)
 
 val max_ratio_over_time : result -> float
 (** Peak of [load(τ) / max 1 opt(τ)] — a finer competitive measure

@@ -11,6 +11,22 @@ module Sequence = Pmp_workload.Sequence
 
 let qtests cases = List.map QCheck_alcotest.to_alcotest cases
 
+(* Run a seeded boolean property, logging the splitmix64 seed whenever
+   it fails or raises. qcheck prints its own counterexample, but that
+   is the *generated tuple*; this line is the one-stop value to paste
+   into [Sm.create] to replay the exact PRNG stream outside the
+   harness. *)
+let with_seed ?(label = "prop") seed f =
+  match f (Sm.create seed) with
+  | true -> true
+  | false ->
+      Printf.eprintf "[%s] failing splitmix64 seed = %d\n%!" label seed;
+      false
+  | exception e ->
+      Printf.eprintf "[%s] splitmix64 seed = %d raised: %s\n%!" label seed
+        (Printexc.to_string e);
+      raise e
+
 (* Deterministically build a valid random sequence from (seed, steps):
    each step is an arrival of a random power-of-two size <= N (biased
    small) or the departure of a random active task. *)

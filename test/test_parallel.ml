@@ -47,6 +47,51 @@ let test_parallel_simulation_determinism () =
 let test_default_workers_positive () =
   Alcotest.(check bool) "at least one" true (Parallel.num_workers () >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* qcheck properties over map_array                                    *)
+
+let params =
+  QCheck.make
+    ~print:(fun (seed, len, workers) ->
+      Printf.sprintf "seed=%d len=%d workers=%d" seed len workers)
+    QCheck.Gen.(triple (int_range 0 1_000_000) (int_range 0 300) (int_range 1 8))
+
+let prop_map_array_matches_sequential =
+  QCheck.Test.make ~name:"map_array agrees with Array.map" ~count:200 params
+    (fun (seed, len, workers) ->
+      Helpers.with_seed ~label:"map_array" seed (fun g ->
+          let xs = Array.init len (fun _ -> Pmp_prng.Splitmix64.int g 10_000) in
+          let f x = (x * 37) land 0xffff in
+          Parallel.map_array ~workers f xs = Array.map f xs))
+
+let prop_map_array_poisoned_index =
+  QCheck.Test.make ~name:"map_array propagates a poisoned job's exception"
+    ~count:100
+    (QCheck.make
+       ~print:(fun (seed, len, workers) ->
+         Printf.sprintf "seed=%d len=%d workers=%d" seed len workers)
+       QCheck.Gen.(
+         triple (int_range 0 1_000_000) (int_range 1 200) (int_range 1 8)))
+    (fun (seed, len, workers) ->
+      Helpers.with_seed ~label:"map_array-poison" seed (fun g ->
+          let bad = Pmp_prng.Splitmix64.int g len in
+          match
+            Parallel.map_array ~workers
+              (fun i -> if i = bad then failwith "poisoned" else i)
+              (Array.init len Fun.id)
+          with
+          | _ -> false
+          | exception Failure msg -> msg = "poisoned"))
+
+let prop_map_array_edges =
+  QCheck.Test.make ~name:"map_array: workers=1 and empty-array edges" ~count:60
+    params
+    (fun (seed, len, _workers) ->
+      Helpers.with_seed ~label:"map_array-edges" seed (fun g ->
+          let xs = Array.init len (fun _ -> Pmp_prng.Splitmix64.int g 1_000) in
+          Parallel.map_array ~workers:1 succ xs = Array.map succ xs
+          && Parallel.map_array ~workers:7 succ [||] = [||]))
+
 let suite =
   [
     Alcotest.test_case "order preserved" `Quick test_map_order;
@@ -59,3 +104,9 @@ let suite =
       test_parallel_simulation_determinism;
     Alcotest.test_case "default workers" `Quick test_default_workers_positive;
   ]
+  @ Helpers.qtests
+      [
+        prop_map_array_matches_sequential;
+        prop_map_array_poisoned_index;
+        prop_map_array_edges;
+      ]
