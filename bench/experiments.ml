@@ -873,10 +873,62 @@ let e18 () =
      accepts everyone and pays in thread load, the quantity the rest of\n\
      this repository studies.\n\n"
 
+(* E20 — telemetry: where A_M's repack bursts come from. One shared
+   probe per run, handed both to the allocator (which times its repacks
+   at the source) and to the engine (which attributes the bursts to the
+   triggering arrivals), so the table below is the d-reallocation
+   tradeoff of E4/E8 re-read in cost terms: fewer, larger bursts as d
+   grows. *)
+let e20 () =
+  header "E20" "telemetry — repack-burst attribution for A_M, d in {1,2,4}";
+  let module Probe = Pmp_telemetry.Probe in
+  let n = 256 in
+  let machine = Machine.create n in
+  let seq =
+    Generators.churn (Sm.create 42) ~machine_size:n ~steps:3000
+      ~target_util:2.5 ~max_order:7 ~size_bias:0.6
+  in
+  let topology = Topology.create Topology.Tree machine in
+  let cost = Pmp_sim.Cost.make topology in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "A_M repack bursts: churn on N = %d (%d events)" n
+           (Sequence.length seq))
+      [
+        "d"; "repacks"; "moved"; "max burst"; "traffic"; "max load";
+        "repack ms"; "assign ms";
+      ]
+  in
+  List.iter
+    (fun d_raw ->
+      let d = Realloc.Budget d_raw in
+      let probe = Probe.create () in
+      let alloc = Pmp_core.Periodic.create ~force_copies:true ~probe machine ~d in
+      let r = run ~cost ~telemetry:probe alloc seq in
+      Table.add_row table
+        [
+          string_of_int d_raw;
+          string_of_int (Probe.repacks probe);
+          string_of_int (Probe.tasks_moved probe);
+          string_of_int (Probe.repack_moves_max probe);
+          string_of_int (Probe.migration_traffic probe);
+          string_of_int r.Engine.max_load;
+          Table.fmt_float (Probe.repack_seconds probe *. 1e3);
+          Table.fmt_float (Probe.assign_seconds probe *. 1e3);
+        ])
+    [ 1; 2; 4 ];
+  Table.print table;
+  print_endline
+    "the probe shared between allocator and engine splits the budgeted\n\
+     allocator's cost into its two currencies: repack time (bursty,\n\
+     fewer bursts as d rises) and assign time (steady). Traffic is the\n\
+     tree-distance cost model of E5.\n"
+
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18);
+    ("e18", e18); ("e20", e20);
   ]

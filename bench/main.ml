@@ -6,7 +6,15 @@
      dune exec bench/main.exe perf         # micro-benchmarks only *)
 
 let usage () =
-  print_endline "usage: main.exe [e1..e11 | experiments | perf]";
+  (* derive the id range from the registry so it can't go stale *)
+  let range =
+    match (Experiments.all, List.rev Experiments.all) with
+    | (first, _) :: _, (last, _) :: _ when first <> last ->
+        Printf.sprintf "%s..%s" first last
+    | (only, _) :: _, _ -> only
+    | [], _ -> "<none>"
+  in
+  Printf.printf "usage: main.exe [%s | experiments | perf]\n" range;
   print_endline "experiments:";
   List.iter (fun (id, _) -> Printf.printf "  %s\n" id) Experiments.all
 

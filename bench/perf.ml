@@ -151,9 +151,123 @@ let run_and_print tests =
     tests;
   Pmp_util.Table.print table
 
+(* --- machine-readable telemetry export ---------------------------- *)
+
+module Probe = Pmp_telemetry.Probe
+module Mirror = Pmp_core.Mirror
+
+(* Replay the churn trace once per allocator with a live probe and a
+   per-event stopwatch, and dump everything a perf dashboard needs as
+   JSON: the per-event wall-clock and migration-traffic series, the
+   load series, GC allocation deltas, and the probe's counters. *)
+let telemetry_report ?(path = "BENCH_telemetry.json") () =
+  (* a smaller, hotter machine than the microbenchmarks: at 2.5x
+     oversubscription the periodic/hybrid allocators actually repack,
+     so the traffic series has something in it *)
+  let n = 256 in
+  let machine = Machine.create n in
+  let trace =
+    Sequence.events (Workloads.churn ~steps:2_000 ~target_util:2.5 n)
+  in
+  let topology = Pmp_machine.Topology.create Pmp_machine.Topology.Tree machine in
+  let cost = Pmp_sim.Cost.make topology in
+  let cases =
+    [
+      ("greedy", fun probe -> Pmp_core.Greedy.create ~probe machine);
+      ( "periodic_d2",
+        fun probe ->
+          Pmp_core.Periodic.create ~force_copies:true ~probe machine
+            ~d:(Realloc.Budget 2) );
+      ( "hybrid_d2",
+        fun probe -> Pmp_core.Hybrid.create ~probe machine ~d:(Realloc.Budget 2)
+      );
+    ]
+  in
+  let run_case (name, make) =
+    let probe = Probe.create () in
+    let alloc : Allocator.t = make probe in
+    let mirror = Mirror.create machine in
+    let k = Array.length trace in
+    let wall_us = Array.make k 0.0 in
+    let traffic = Array.make k 0 in
+    let load = Array.make k 0 in
+    let moved = ref 0 in
+    let gc0 = Gc.quick_stat () in
+    let t_start = Unix.gettimeofday () in
+    Array.iteri
+      (fun i ev ->
+        let t0 = Unix.gettimeofday () in
+        begin
+          match (ev : Event.t) with
+          | Arrive task ->
+              let resp = alloc.Allocator.assign task in
+              Mirror.apply_assign mirror task resp;
+              moved := !moved + List.length resp.Allocator.moves;
+              traffic.(i) <- Pmp_sim.Cost.moves_cost cost resp.Allocator.moves
+          | Depart id ->
+              alloc.Allocator.remove id;
+              Mirror.apply_remove mirror id
+        end;
+        wall_us.(i) <- (Unix.gettimeofday () -. t0) *. 1e6;
+        load.(i) <- Mirror.max_load mirror)
+      trace;
+    let wall_s = Unix.gettimeofday () -. t_start in
+    let gc1 = Gc.quick_stat () in
+    let sum_i a = Array.fold_left ( + ) 0 a in
+    let max_i a = Array.fold_left max 0 a in
+    let mean_load = float_of_int (sum_i load) /. float_of_int (max 1 k) in
+    let buf = Buffer.create 65536 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let series a fmt_one =
+      Buffer.add_char buf '[';
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          add "%s" (fmt_one v))
+        a;
+      Buffer.add_char buf ']'
+    in
+    add "    {\"allocator\":%S,\"events\":%d," name k;
+    add "\"wall_seconds\":%.6f," wall_s;
+    add "\"events_per_second\":%.1f," (float_of_int k /. max 1e-9 wall_s);
+    add "\"minor_words\":%.0f,\"major_words\":%.0f,\"promoted_words\":%.0f,"
+      (gc1.Gc.minor_words -. gc0.Gc.minor_words)
+      (gc1.Gc.major_words -. gc0.Gc.major_words)
+      (gc1.Gc.promoted_words -. gc0.Gc.promoted_words);
+    add "\"max_load\":%d,\"mean_load\":%.3f," (max_i load) mean_load;
+    add "\"repacks\":%d,\"tasks_moved\":%d,\"migration_traffic\":%d,"
+      (Probe.repacks probe) !moved (sum_i traffic);
+    add "\"max_repack_burst\":%d," (Probe.repack_moves_max probe);
+    add "\"assign_seconds\":%.6f,\"repack_seconds\":%.6f,"
+      (Probe.assign_seconds probe) (Probe.repack_seconds probe);
+    add "\"event_wall_us\":";
+    series wall_us (Printf.sprintf "%.2f");
+    add ",\"event_traffic\":";
+    series traffic (Printf.sprintf "%d");
+    add ",\"load\":";
+    series load (Printf.sprintf "%d");
+    add "}";
+    Buffer.contents buf
+  in
+  let oc = open_out path in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"suite\": \"pmp churn replay\",\n";
+  Printf.fprintf oc "  \"machine_size\": %d,\n" n;
+  output_string oc "  \"runs\": [\n";
+  List.iteri
+    (fun i case ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc (run_case case))
+    cases;
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d allocators x %d events)\n" path
+    (List.length cases) (Array.length trace)
+
 let run () =
   print_endline "=== perf: Bechamel micro-benchmarks ===";
   run_and_print bench_allocators;
   print_newline ();
   run_and_print bench_substrate;
-  print_newline ()
+  print_newline ();
+  telemetry_report ()

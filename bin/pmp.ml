@@ -85,6 +85,66 @@ let heatmap_arg =
   let doc = "Also print an ASCII per-PE load heatmap over time." in
   Arg.(value & flag & info [ "heatmap" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a structured per-event trace to $(docv): one record per \
+     arrival/departure plus one per repack burst, carrying task id, size, \
+     placement, loads, L* and the oracle verdict."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace format: $(b,jsonl) (one JSON object per line) or $(b,chrome) \
+     (trace-event array — open in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt string "jsonl" & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let metrics_arg =
+  let doc = "Print a Prometheus-style metrics dump after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let parse_trace_format = function
+  | "jsonl" -> Ok Pmp_telemetry.Tracer.Jsonl
+  | "chrome" -> Ok Pmp_telemetry.Tracer.Chrome
+  | other ->
+      Error (`Msg (Printf.sprintf "unknown trace format %S (jsonl|chrome)" other))
+
+(* Build the probe a subcommand asked for, run [f probe], then flush
+   the trace file and print the metrics dump. The probe stays noop
+   (near-zero overhead) unless --trace or --metrics was given. *)
+let with_telemetry ~trace ~format ~metrics f =
+  let ( let* ) = Result.bind in
+  let* fmt = parse_trace_format format in
+  match trace with
+  | None ->
+      let probe =
+        if metrics then Pmp_telemetry.Probe.create ()
+        else Pmp_telemetry.Probe.noop
+      in
+      let* r = f probe in
+      if metrics then print_string (Pmp_telemetry.Probe.snapshot probe);
+      Ok r
+  | Some path ->
+      let* oc =
+        match open_out path with
+        | oc -> Ok oc
+        | exception Sys_error e -> Error (`Msg ("cannot open trace file: " ^ e))
+      in
+      let tracer = Pmp_telemetry.Tracer.to_channel fmt oc in
+      let probe = Pmp_telemetry.Probe.create ~tracer () in
+      let finish () =
+        Pmp_telemetry.Tracer.close tracer;
+        close_out oc
+      in
+      let r = try f probe with e -> finish (); raise e in
+      finish ();
+      if metrics then print_string (Pmp_telemetry.Probe.snapshot probe);
+      (match r with
+      | Ok _ -> Printf.printf "trace written to %s\n" path
+      | Error _ -> ());
+      r
+
 let d_arg =
   let doc = "Reallocation parameter d (an integer, or 'inf')." in
   Arg.(value & opt string "2" & info [ "d" ] ~docv:"D" ~doc)
@@ -130,11 +190,10 @@ let print_result (r : Engine.result) =
 
 let run_cmd =
   let action machine_size alloc_name workload_name steps seed d_str check_str
-      topo heatmap =
+      topo heatmap trace trace_format metrics =
     let* machine = Builders.machine machine_size in
     let* d = Builders.parse_d d_str in
     let* mode = parse_check check_str in
-    let* alloc = Builders.allocator alloc_name machine ~d ~seed in
     let* seq = Builders.workload workload_name ~machine_size ~steps ~seed in
     let* topology = Builders.topology topo machine in
     let make () =
@@ -144,8 +203,25 @@ let run_cmd =
     in
     let* () = oracle_gate mode alloc_name machine ~d ~make seq in
     let cost = Pmp_sim.Cost.make topology in
-    let r = Engine.run ~check:(mode <> Check_off) ~cost alloc seq in
-    print_result r;
+    (* in oracle mode the measured run is also audited, so trace
+       records carry a per-event verdict (the gate above already
+       guarantees it passes) *)
+    let* oracle =
+      match mode with
+      | Check_off | Check_basic -> Ok None
+      | Check_oracle ->
+          Result.map Option.some (Builders.oracle_spec alloc_name machine ~d)
+    in
+    let* () =
+      with_telemetry ~trace ~format:trace_format ~metrics (fun probe ->
+          let* alloc = Builders.allocator ~probe alloc_name machine ~d ~seed in
+          let r =
+            Engine.run ~check:(mode <> Check_off) ?oracle ~cost
+              ~telemetry:probe alloc seq
+          in
+          print_result r;
+          Ok ())
+    in
     if heatmap then begin
       (* re-run a fresh allocator of the same kind for the picture *)
       let* alloc2 = Builders.allocator alloc_name machine ~d ~seed in
@@ -159,7 +235,8 @@ let run_cmd =
     Term.(
       term_result
         (const action $ machine_arg $ alloc_arg $ workload_arg $ steps_arg
-       $ seed_arg $ d_arg $ check_arg $ topology_arg $ heatmap_arg))
+       $ seed_arg $ d_arg $ check_arg $ topology_arg $ heatmap_arg $ trace_arg
+       $ trace_format_arg $ metrics_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one allocator over one workload.") term
 
@@ -381,11 +458,11 @@ let trace_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
 
 let replay_cmd =
-  let action machine_size alloc_name seed d_str check_str path =
+  let action machine_size alloc_name seed d_str check_str trace trace_format
+      metrics path =
     let* machine = Builders.machine machine_size in
     let* d = Builders.parse_d d_str in
     let* mode = parse_check check_str in
-    let* alloc = Builders.allocator alloc_name machine ~d ~seed in
     let* seq =
       match Trace.load path with Ok s -> Ok s | Error e -> Error (`Msg e)
     in
@@ -398,15 +475,25 @@ let replay_cmd =
         | Error (`Msg e) -> invalid_arg e
       in
       let* () = oracle_gate mode alloc_name machine ~d ~make seq in
-      print_result (Engine.run ~check:(mode <> Check_off) alloc seq);
-      Ok ()
+      let* oracle =
+        match mode with
+        | Check_off | Check_basic -> Ok None
+        | Check_oracle ->
+            Result.map Option.some (Builders.oracle_spec alloc_name machine ~d)
+      in
+      with_telemetry ~trace ~format:trace_format ~metrics (fun probe ->
+          let* alloc = Builders.allocator ~probe alloc_name machine ~d ~seed in
+          print_result
+            (Engine.run ~check:(mode <> Check_off) ?oracle ~telemetry:probe
+               alloc seq);
+          Ok ())
     end
   in
   let term =
     Term.(
       term_result
         (const action $ machine_arg $ alloc_arg $ seed_arg $ d_arg $ check_arg
-       $ trace_pos))
+       $ trace_arg $ trace_format_arg $ metrics_arg $ trace_pos))
   in
   Cmd.v (Cmd.info "replay" ~doc:"Run an allocator over a saved trace.") term
 

@@ -1,0 +1,111 @@
+(* Trace explorer: replay a JSONL telemetry trace (written by
+   `pmp run --trace=FILE`) through the report layer and render the
+   load-vs-L* timeline as an SVG, with repack bursts marked at the
+   event where they fired.
+
+     dune exec examples/trace_explorer.exe -- TRACE [OUT.svg]
+
+   Without arguments it generates its own demonstration trace first, so
+   it always has something to explore. *)
+
+module Tracer = Pmp_telemetry.Tracer
+module Probe = Pmp_telemetry.Probe
+module Chart = Pmp_report.Chart
+
+let demo_trace path =
+  let n = 128 in
+  let machine = Pmp_machine.Machine.create n in
+  let seq =
+    Pmp_workload.Generators.churn
+      (Pmp_prng.Splitmix64.create 42)
+      ~machine_size:n ~steps:2_000 ~target_util:2.5 ~max_order:6 ~size_bias:0.6
+  in
+  let topology =
+    Pmp_machine.Topology.create Pmp_machine.Topology.Tree machine
+  in
+  let cost = Pmp_sim.Cost.make topology in
+  let oc = open_out path in
+  let tracer = Tracer.to_channel Tracer.Jsonl oc in
+  let probe = Probe.create ~tracer () in
+  let alloc =
+    Pmp_core.Periodic.create ~force_copies:true ~probe machine
+      ~d:(Pmp_core.Realloc.Budget 2)
+  in
+  let _ = Pmp_sim.Engine.run ~cost ~telemetry:probe alloc seq in
+  Tracer.close tracer;
+  close_out oc;
+  Printf.printf "generated demonstration trace %s\n" path
+
+let explore ~trace_path ~out =
+  match Tracer.read_file trace_path with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  | Ok [] ->
+      Printf.eprintf "error: %s holds no records\n" trace_path;
+      exit 1
+  | Ok records ->
+      (* events on the x axis in sequence order; repack bursts become a
+         marker series pinned to the load curve at the burst's event *)
+      let load = ref [] and lstar = ref [] and repacks = ref [] in
+      let arrivals = ref 0 and departures = ref 0 and traffic = ref 0 in
+      List.iter
+        (fun (r : Tracer.record) ->
+          let x = float_of_int r.Tracer.seq in
+          match r.Tracer.kind with
+          | Tracer.Repack ->
+              repacks := (x, float_of_int r.Tracer.load) :: !repacks;
+              traffic := !traffic + r.Tracer.traffic
+          | Tracer.Arrive | Tracer.Depart ->
+              (match r.Tracer.kind with
+              | Tracer.Arrive -> incr arrivals
+              | _ -> incr departures);
+              load := (x, float_of_int r.Tracer.load) :: !load;
+              lstar := (x, float_of_int r.Tracer.lstar) :: !lstar)
+        records;
+      let series =
+        [
+          {
+            Chart.label = "machine load";
+            points = List.rev !load;
+            color = "#d62728";
+            step = true;
+          };
+          {
+            Chart.label = "optimal L*";
+            points = List.rev !lstar;
+            color = "#2ca02c";
+            step = true;
+          };
+          {
+            Chart.label = "repack bursts";
+            points = List.rev !repacks;
+            color = "#1f77b4";
+            step = false;
+          };
+        ]
+      in
+      Chart.save
+        ~title:
+          (Printf.sprintf "%s: %d events, %d repacks"
+             (Filename.basename trace_path)
+             (!arrivals + !departures)
+             (List.length !repacks))
+        ~x_label:"event" ~y_label:"load" ~path:out series;
+      Printf.printf "%s: %d arrivals, %d departures, %d repack bursts, %d traffic units\n"
+        trace_path !arrivals !departures
+        (List.length !repacks)
+        !traffic;
+      Printf.printf "wrote %s\n" out
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] ->
+      let trace_path = Filename.temp_file "pmp_demo" ".jsonl" in
+      demo_trace trace_path;
+      explore ~trace_path ~out:"trace_explorer.svg"
+  | [ _; trace_path ] -> explore ~trace_path ~out:"trace_explorer.svg"
+  | [ _; trace_path; out ] -> explore ~trace_path ~out
+  | _ ->
+      prerr_endline "usage: trace_explorer.exe [TRACE.jsonl [OUT.svg]]";
+      exit 1

@@ -25,19 +25,29 @@ let allocator_names =
     "leftmost-always"; "round-robin"; "worst-fit";
   ]
 
-let allocator name m ~d ~seed =
-  match name with
-  | "greedy" -> Ok (Pmp_core.Greedy.create m)
+(* The paper's algorithm names double as aliases: A_G is greedy, A_B
+   the copy first-fit, A_C the every-arrival repacker, A_M the
+   d-reallocation algorithm. *)
+let canonical = function
+  | "ag" | "a_g" -> "greedy"
+  | "ab" | "a_b" -> "copies"
+  | "ac" | "a_c" -> "optimal"
+  | "am" | "a_m" -> "periodic"
+  | name -> name
+
+let allocator ?probe name m ~d ~seed =
+  match canonical name with
+  | "greedy" -> Ok (Pmp_core.Greedy.create ?probe m)
   | "copies" -> Ok (Pmp_core.Copies.create m)
   | "copies-bestfit" ->
       Ok (Pmp_core.Copies.create ~fit:Pmp_core.Copystack.Best_fit m)
   | "optimal" -> Ok (Pmp_core.Optimal.create m)
-  | "periodic" -> Ok (Pmp_core.Periodic.create m ~d)
-  | "hybrid" -> Ok (Pmp_core.Hybrid.create m ~d)
+  | "periodic" -> Ok (Pmp_core.Periodic.create ?probe m ~d)
+  | "hybrid" -> Ok (Pmp_core.Hybrid.create ?probe m ~d)
   | "randomized" ->
       Ok (Pmp_core.Randomized.create m ~rng:(Sm.create (seed + 1)))
   | "rand-periodic" ->
-      Ok (Pmp_core.Rand_periodic.create m ~rng:(Sm.create (seed + 1)) ~d)
+      Ok (Pmp_core.Rand_periodic.create ?probe m ~rng:(Sm.create (seed + 1)) ~d)
   | "two-choice" ->
       Ok (Pmp_core.Baselines.two_choice m ~rng:(Sm.create (seed + 3)))
   | "greedy-rightmost" -> Ok (Pmp_core.Baselines.rightmost_greedy m)
@@ -100,7 +110,7 @@ let oracle_spec name m ~d =
   let module Oracle = Pmp_oracle.Oracle in
   let machine_size = Machine.size m in
   let greedy_factor = Pmp_core.Bounds.greedy_upper_factor ~machine_size in
-  match name with
+  match canonical name with
   | "optimal" ->
       (* T3.1: A_C repacks on every arrival and achieves exactly L*. *)
       Ok

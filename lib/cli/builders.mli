@@ -13,16 +13,21 @@ val machine : int -> Pmp_machine.Machine.t result
 (** Validates the power-of-two constraint. *)
 
 val allocator_names : string list
-(** Every name {!allocator} accepts. *)
+(** Every name {!allocator} accepts. The paper's algorithm names are
+    also accepted as aliases: [ag]/[a_g] for greedy, [ab]/[a_b] for
+    copies, [ac]/[a_c] for optimal, [am]/[a_m] for periodic. *)
 
 val allocator :
+  ?probe:Pmp_telemetry.Probe.t ->
   string ->
   Pmp_machine.Machine.t ->
   d:Pmp_core.Realloc.t ->
   seed:int ->
   Pmp_core.Allocator.t result
 (** Build a fresh allocator by CLI name. Randomized allocators derive
-    their stream from [seed]. *)
+    their stream from [seed]. [?probe] is threaded into allocators
+    that support source-side instrumentation (greedy, periodic,
+    hybrid, rand-periodic). *)
 
 val workload_names : string list
 

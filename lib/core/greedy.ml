@@ -1,13 +1,16 @@
 module Task = Pmp_workload.Task
 module Load_map = Pmp_machine.Load_map
+module Probe = Pmp_telemetry.Probe
 
-let create m : Allocator.t =
+let create ?(probe = Probe.noop) m : Allocator.t =
   let loads = Load_map.create m in
   let table : (Task.id, Task.t * Placement.t) Hashtbl.t = Hashtbl.create 64 in
   let assign (task : Task.t) =
     if task.size > Pmp_machine.Machine.size m then
       invalid_arg "Greedy.assign: task larger than machine";
+    let t0 = Probe.now probe in
     let _, sub = Load_map.min_max_at_order loads (Task.order task) in
+    Probe.record_placement probe ~elapsed:(Probe.now probe -. t0);
     Load_map.add loads sub 1;
     let placement = Placement.direct sub in
     Hashtbl.replace table task.id (task, placement);

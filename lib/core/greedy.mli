@@ -6,4 +6,7 @@
     the load never exceeds [ceil ((log N + 1) / 2) * L*]; Theorem 4.3
     shows this is tight within a factor of two. *)
 
-val create : Pmp_machine.Machine.t -> Allocator.t
+val create : ?probe:Pmp_telemetry.Probe.t -> Pmp_machine.Machine.t -> Allocator.t
+(** [?probe] (default {!Pmp_telemetry.Probe.noop}) times each
+    placement search ([record_placement]); greedy never repacks, so
+    that is its entire footprint. *)

@@ -1,7 +1,7 @@
-let create m ~d =
+let create ?probe m ~d =
   let choose loads ~order =
     snd (Pmp_machine.Load_map.min_max_at_order loads order)
   in
-  Repacking.create m
+  Repacking.create ?probe m
     ~name:(Printf.sprintf "hybrid(d=%s)" (Realloc.to_string d))
     ~d ~choose

@@ -10,4 +10,8 @@
     three interim disciplines — copies, greedy, oblivious random —
     under equal budgets. *)
 
-val create : Pmp_machine.Machine.t -> d:Realloc.t -> Allocator.t
+val create :
+  ?probe:Pmp_telemetry.Probe.t ->
+  Pmp_machine.Machine.t ->
+  d:Realloc.t ->
+  Allocator.t

@@ -1,6 +1,7 @@
 module Task = Pmp_workload.Task
+module Probe = Pmp_telemetry.Probe
 
-let copy_branch m ~d ~eager ~name : Allocator.t =
+let copy_branch m ~d ~eager ~name ~probe : Allocator.t =
   let table : (Task.id, Task.t * Placement.t) Hashtbl.t = Hashtbl.create 64 in
   let stack = ref (Copystack.create m) in
   let arrived_since_repack = ref 0 in
@@ -11,6 +12,7 @@ let copy_branch m ~d ~eager ~name : Allocator.t =
   (* Repack every active task plus the arriving one; returns the moves
      of previously-active tasks (the newcomer is not a "move"). *)
   let repack_with (task : Task.t) =
+    let t0 = Probe.now probe in
     let actives = Hashtbl.fold (fun _ (t, p) acc -> (t, p) :: acc) table [] in
     let new_stack, packed = Repack.pack m (task :: List.map fst actives) in
     stack := new_stack;
@@ -25,6 +27,8 @@ let copy_branch m ~d ~eager ~name : Allocator.t =
           else Some { Allocator.task = t; from_ = old_p; to_ = new_p })
         actives
     in
+    Probe.record_repack probe ~moves:(List.length moves)
+      ~elapsed:(Probe.now probe -. t0);
     (Hashtbl.find packed task.id, moves)
   in
   let assign (task : Task.t) =
@@ -62,8 +66,10 @@ let copy_branch m ~d ~eager ~name : Allocator.t =
     realloc_events = (fun () -> !reallocs);
   }
 
-let create ?(force_copies = false) ?(eager = false) m ~d =
+let create ?(force_copies = false) ?(eager = false) ?(probe = Probe.noop) m ~d =
   let name = Printf.sprintf "periodic(d=%s)" (Realloc.to_string d) in
   if (not force_copies) && Realloc.exceeds_greedy_threshold d m then
-    { (Greedy.create m) with Allocator.name = name ^ "=greedy" }
-  else copy_branch m ~d ~eager ~name:(if eager then name ^ ",eager" else name)
+    { (Greedy.create ~probe m) with Allocator.name = name ^ "=greedy" }
+  else
+    copy_branch m ~d ~eager ~probe
+      ~name:(if eager then name ^ ",eager" else name)

@@ -37,6 +37,10 @@
 val create :
   ?force_copies:bool ->
   ?eager:bool ->
+  ?probe:Pmp_telemetry.Probe.t ->
   Pmp_machine.Machine.t ->
   d:Realloc.t ->
   Allocator.t
+(** [?probe] (default {!Pmp_telemetry.Probe.noop}) receives one
+    [record_repack] per reallocation event, attributing repack
+    wall-clock and burst size at the source. *)

@@ -19,6 +19,7 @@
     empirically answering the open question at simulation scale. *)
 
 val create :
+  ?probe:Pmp_telemetry.Probe.t ->
   Pmp_machine.Machine.t ->
   rng:Pmp_prng.Splitmix64.t ->
   d:Realloc.t ->

@@ -1,7 +1,8 @@
 module Task = Pmp_workload.Task
 module Load_map = Pmp_machine.Load_map
+module Probe = Pmp_telemetry.Probe
 
-let create m ~name ~d ~choose : Allocator.t =
+let create ?(probe = Probe.noop) m ~name ~d ~choose : Allocator.t =
   let table : (Task.id, Task.t * Placement.t) Hashtbl.t = Hashtbl.create 64 in
   let loads = Load_map.create m in
   let active_size = ref 0 in
@@ -10,19 +11,25 @@ let create m ~name ~d ~choose : Allocator.t =
   let n = Pmp_machine.Machine.size m in
   let threshold = Realloc.threshold_size d ~machine_size:n in
   let repack_all () =
+    let t0 = Probe.now probe in
     let actives = Hashtbl.fold (fun _ (t, p) acc -> (t, p) :: acc) table [] in
     let _, packed = Repack.pack m (List.map fst actives) in
     incr reallocs;
     arrived_since_repack := 0;
     Load_map.clear loads;
-    List.filter_map
-      (fun ((t : Task.t), old_p) ->
-        let new_p = Hashtbl.find packed t.id in
-        Hashtbl.replace table t.id (t, new_p);
-        Load_map.add loads new_p.Placement.sub 1;
-        if Placement.equal old_p new_p then None
-        else Some { Allocator.task = t; from_ = old_p; to_ = new_p })
-      actives
+    let moves =
+      List.filter_map
+        (fun ((t : Task.t), old_p) ->
+          let new_p = Hashtbl.find packed t.id in
+          Hashtbl.replace table t.id (t, new_p);
+          Load_map.add loads new_p.Placement.sub 1;
+          if Placement.equal old_p new_p then None
+          else Some { Allocator.task = t; from_ = old_p; to_ = new_p })
+        actives
+    in
+    Probe.record_repack probe ~moves:(List.length moves)
+      ~elapsed:(Probe.now probe -. t0);
+    moves
   in
   let assign (task : Task.t) =
     if task.size > n then invalid_arg (name ^ ".assign: task larger than machine");

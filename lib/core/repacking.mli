@@ -16,6 +16,7 @@
     against the same budget discipline. *)
 
 val create :
+  ?probe:Pmp_telemetry.Probe.t ->
   Pmp_machine.Machine.t ->
   name:string ->
   d:Realloc.t ->
@@ -23,4 +24,6 @@ val create :
     (Pmp_machine.Load_map.t -> order:int -> Pmp_machine.Submachine.t) ->
   Allocator.t
 (** [choose loads ~order] must return a submachine of size [2{^order}]
-    inside the machine; the skeleton handles everything else. *)
+    inside the machine; the skeleton handles everything else. [?probe]
+    (default {!Pmp_telemetry.Probe.noop}) receives one [record_repack]
+    per reallocation event. *)

@@ -1,6 +1,7 @@
 module Machine = Pmp_machine.Machine
 module Task = Pmp_workload.Task
 module Mirror = Pmp_core.Mirror
+module Probe = Pmp_telemetry.Probe
 
 type job_spec = { arrival : float; size : int; work : float }
 
@@ -30,8 +31,14 @@ type live = {
   mutable remaining : float;
 }
 
-let run (alloc : Pmp_core.Allocator.t) specs =
+let run ?(telemetry = Probe.noop) (alloc : Pmp_core.Allocator.t) specs =
   let n = Machine.size alloc.machine in
+  let seq_no = ref 0 in
+  let next_seq () =
+    let s = !seq_no in
+    incr seq_no;
+    s
+  in
   List.iter
     (fun (s : job_spec) ->
       if s.arrival < 0.0 then invalid_arg "Closed_loop.run: negative arrival";
@@ -80,7 +87,9 @@ let run (alloc : Pmp_core.Allocator.t) specs =
       | [] -> assert false
       | (task, spec) :: rest ->
           pending := rest;
+          let t0 = Probe.now telemetry in
           let resp = alloc.assign task in
+          let dur = Probe.now telemetry -. t0 in
           Mirror.apply_assign mirror task resp;
           Hashtbl.replace running task.Task.id
             {
@@ -90,7 +99,18 @@ let run (alloc : Pmp_core.Allocator.t) specs =
               remaining = spec.work;
             };
           let load = Mirror.max_load mirror in
-          if load > !max_load then max_load := load);
+          if load > !max_load then max_load := load;
+          if Probe.enabled telemetry then
+            Probe.record_arrival telemetry ~seq:(next_seq ())
+              ~task:task.Task.id ~size:task.Task.size
+              ~placement:
+                (Format.asprintf "%a" Pmp_core.Placement.pp
+                   resp.Pmp_core.Allocator.placement)
+              ~moves:(List.length resp.Pmp_core.Allocator.moves) ~traffic:0
+              ~load
+              ~lstar:(Pmp_util.Pow2.ceil_div (Mirror.active_size mirror) n)
+              ~active:(Mirror.num_active mirror) ~ts:spec.arrival ~dur
+              ~oracle:"");
       step arrival_at
     end
     else begin
@@ -106,12 +126,16 @@ let run (alloc : Pmp_core.Allocator.t) specs =
           Hashtbl.remove running l.task.Task.id;
           alloc.remove l.task.Task.id;
           Mirror.apply_remove mirror l.task.Task.id;
+          let slowdown = (completion_at -. l.arrived) /. l.total_work in
+          Probe.record_completion telemetry ~seq:(next_seq ())
+            ~task:l.task.Task.id ~ts:completion_at ~slowdown
+            ~load:(Mirror.max_load mirror);
           completed :=
             {
               task = l.task;
               arrival = l.arrived;
               finish = completion_at;
-              slowdown = (completion_at -. l.arrived) /. l.total_work;
+              slowdown;
             }
             :: !completed)
         finished;

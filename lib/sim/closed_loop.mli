@@ -38,9 +38,15 @@ type result = {
   realloc_events : int;
 }
 
-val run : Pmp_core.Allocator.t -> job_spec list -> result
+val run :
+  ?telemetry:Pmp_telemetry.Probe.t ->
+  Pmp_core.Allocator.t ->
+  job_spec list ->
+  result
 (** Specs need not be sorted. Every job completes (the simulation runs
-    past the last arrival until the system drains).
+    past the last arrival until the system drains). With [~telemetry]
+    each admission and completion feeds the probe (slowdowns land in
+    the probe's slowdown histogram; trace records use simulated time).
     @raise Invalid_argument on negative arrivals, non-positive work,
     or sizes that are not powers of two or exceed the machine. *)
 

@@ -26,6 +26,7 @@ type result = {
 
 val run :
   ?check:bool -> ?oracle:Pmp_oracle.Oracle.spec -> ?cost:Cost.t ->
+  ?telemetry:Pmp_telemetry.Probe.t ->
   Pmp_core.Allocator.t -> Pmp_workload.Sequence.t -> result
 (** Run a {e fresh} allocator over the sequence from its beginning.
     With [~oracle:spec] a {!Pmp_oracle.Oracle.Observer} audits every
@@ -33,6 +34,12 @@ val run :
     structural invariants, failing fast on the first violation (use
     {!Pmp_oracle.Oracle.check} instead when a shrunk counterexample is
     wanted — the engine cannot replay the allocator from scratch).
+    With [~telemetry] (default {!Pmp_telemetry.Probe.noop}) every
+    event updates the probe's counters/gauges/histograms and span
+    timers and, when the probe carries a tracer, emits one structured
+    record per arrival/departure (plus one per repack burst) with the
+    task, placement, loads, L* and the oracle verdict; the probe may
+    be shared with the allocator so repacks are attributed end to end.
     @raise Invalid_argument if the sequence does not fit the machine
     or (in checked or oracle mode) the allocator misbehaves. *)
 

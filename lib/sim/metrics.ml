@@ -20,12 +20,14 @@ let summarize (r : Engine.result) =
     p99_load = (if Array.length traj = 0 then 0.0 else Stats.percentile traj 99.0);
     max_ratio = Engine.max_ratio_over_time r;
     end_ratio = r.ratio;
-    imbalance = (if mean_leaf <= 0.0 then 1.0 else max_leaf /. mean_leaf);
+    (* an all-idle machine has no imbalance to speak of — nan, not a
+       silent "perfectly balanced" 1.0 *)
+    imbalance = (if mean_leaf <= 0.0 then Float.nan else max_leaf /. mean_leaf);
   }
 
 let fragmentation (r : Engine.result) =
   let n = Array.length r.load_trajectory in
-  if n = 0 then 0.0
+  if n = 0 then Float.nan
   else begin
     let last_load = r.load_trajectory.(n - 1) in
     let last_opt = max 1 r.opt_trajectory.(n - 1) in

@@ -8,7 +8,9 @@ type summary = {
   end_ratio : float;  (** sequence-level [max_load / L*] *)
   imbalance : float;
       (** max PE load / mean PE load at the final state; 1.0 when
-          perfectly even or idle *)
+          perfectly even, [nan] when the machine ends all-idle (an
+          idle machine is not "perfectly balanced" — it has no balance
+          to measure) *)
 }
 
 val summarize : Engine.result -> summary
@@ -17,7 +19,7 @@ val fragmentation : Engine.result -> float
 (** Final-state fragmentation: the fraction of machine capacity that
     the maximum load overhangs the instantaneous optimum,
     [(max_load - opt) / max 1 opt] at the last event. 0 when the
-    allocator ends perfectly packed. *)
+    allocator ends perfectly packed; [nan] on an empty trajectory. *)
 
 val jain_fairness : float array -> float
 (** Jain's fairness index [(Σx)² / (n · Σx²)] over per-user slowdowns

@@ -1,6 +1,7 @@
 module Machine = Pmp_machine.Machine
 module Sub = Pmp_machine.Submachine
 module Load_map = Pmp_machine.Load_map
+module Probe = Pmp_telemetry.Probe
 
 type job = { task : Pmp_workload.Task.t; sub : Sub.t; work : float }
 
@@ -17,7 +18,7 @@ type live = {
   mutable peak : int;
 }
 
-let simulate m jobs =
+let simulate ?(telemetry = Probe.noop) m jobs =
   List.iter
     (fun j ->
       if j.work <= 0.0 then invalid_arg "Scheduler.simulate: non-positive work";
@@ -55,10 +56,14 @@ let simulate m jobs =
         let completed =
           List.fold_left
             (fun acc l ->
+              let slowdown = now /. l.j.work in
+              Probe.record_completion telemetry ~seq:(List.length acc)
+                ~task:l.j.task.Pmp_workload.Task.id ~ts:now ~slowdown
+                ~load:l.peak;
               {
                 job = l.j;
                 finish_time = now;
-                slowdown = now /. l.j.work;
+                slowdown;
                 peak_load_seen = l.peak;
               }
               :: acc)
@@ -77,7 +82,7 @@ type tlive = {
   mutable t_peak : int;
 }
 
-let simulate_timeline m timed =
+let simulate_timeline ?(telemetry = Probe.noop) m timed =
   List.iter
     (fun t ->
       if t.start < 0.0 then
@@ -137,10 +142,14 @@ let simulate_timeline m timed =
           let completed =
             List.fold_left
               (fun acc l ->
+                let slowdown = (next_completion -. l.started) /. l.lj.work in
+                Probe.record_completion telemetry ~seq:(List.length acc)
+                  ~task:l.lj.task.Pmp_workload.Task.id ~ts:next_completion
+                  ~slowdown ~load:l.t_peak;
                 {
                   job = l.lj;
                   finish_time = next_completion;
-                  slowdown = (next_completion -. l.started) /. l.lj.work;
+                  slowdown;
                   peak_load_seen = l.t_peak;
                 }
                 :: acc)

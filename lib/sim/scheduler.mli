@@ -27,15 +27,24 @@ type completion = {
   peak_load_seen : int;  (** max load over its PEs while running *)
 }
 
-val simulate : Pmp_machine.Machine.t -> job list -> completion list
+val simulate :
+  ?telemetry:Pmp_telemetry.Probe.t ->
+  Pmp_machine.Machine.t ->
+  job list ->
+  completion list
 (** All jobs start at time 0; returns completions in finishing order.
+    With [~telemetry] each completion is counted and its slowdown
+    observed in the probe's slowdown histogram.
     @raise Invalid_argument on non-positive work or jobs outside the
     machine. *)
 
 type timed_job = { j : job; start : float }
 
 val simulate_timeline :
-  Pmp_machine.Machine.t -> timed_job list -> completion list
+  ?telemetry:Pmp_telemetry.Probe.t ->
+  Pmp_machine.Machine.t ->
+  timed_job list ->
+  completion list
 (** Jobs arrive at their [start] times (which need not be sorted);
     rates readjust at every arrival and completion. A job's slowdown
     is its {e response time} [(finish - start) / work].

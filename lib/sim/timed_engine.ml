@@ -2,6 +2,7 @@ module Machine = Pmp_machine.Machine
 module Timed = Pmp_workload.Timed
 module Event = Pmp_workload.Event
 module Mirror = Pmp_core.Mirror
+module Probe = Pmp_telemetry.Probe
 
 type result = {
   allocator_name : string;
@@ -18,7 +19,8 @@ type result = {
   availability : float;
 }
 
-let run ?cost ?(bandwidth = infinity) (alloc : Pmp_core.Allocator.t) timed =
+let run ?cost ?(bandwidth = infinity) ?(telemetry = Probe.noop)
+    (alloc : Pmp_core.Allocator.t) timed =
   if bandwidth <= 0.0 then invalid_arg "Timed_engine.run: bandwidth <= 0";
   let n = Machine.size alloc.machine in
   if not (Pmp_workload.Sequence.fits (Timed.sequence timed) ~machine_size:n)
@@ -32,23 +34,48 @@ let run ?cost ?(bandwidth = infinity) (alloc : Pmp_core.Allocator.t) timed =
   let downtime = ref 0.0 in
   Array.iteri
     (fun i { Timed.at; ev } ->
+      (* trace records use the workload's own clock for [ts] (so the
+         Chrome view lines up with the simulated timeline) but wall
+         clock for [dur] — the span timers measure the allocator. *)
+      let t0 = Probe.now telemetry in
       begin
         match ev with
         | Event.Arrive task ->
             let resp = alloc.assign task in
+            let dur = Probe.now telemetry -. t0 in
             Mirror.apply_assign mirror task resp;
-            if resp.moves <> [] then begin
-              match cost with
-              | None -> ()
-              | Some model ->
-                  let bytes = Cost.moves_cost model resp.moves in
-                  traffic := !traffic + bytes;
-                  if bandwidth < infinity then
-                    downtime := !downtime +. (float_of_int bytes /. bandwidth)
-            end
+            let bytes =
+              if resp.moves = [] then 0
+              else begin
+                match cost with
+                | None -> 0
+                | Some model ->
+                    let bytes = Cost.moves_cost model resp.moves in
+                    traffic := !traffic + bytes;
+                    if bandwidth < infinity then
+                      downtime := !downtime +. (float_of_int bytes /. bandwidth);
+                    bytes
+              end
+            in
+            if Probe.enabled telemetry then
+              Probe.record_arrival telemetry ~seq:i ~task:task.Pmp_workload.Task.id
+                ~size:task.Pmp_workload.Task.size
+                ~placement:
+                  (Format.asprintf "%a" Pmp_core.Placement.pp
+                     resp.Pmp_core.Allocator.placement)
+                ~moves:(List.length resp.moves) ~traffic:bytes
+                ~load:(Mirror.max_load mirror)
+                ~lstar:(Pmp_util.Pow2.ceil_div (Mirror.active_size mirror) n)
+                ~active:(Mirror.num_active mirror) ~ts:at ~dur ~oracle:""
         | Event.Depart id ->
             alloc.remove id;
-            Mirror.apply_remove mirror id
+            let dur = Probe.now telemetry -. t0 in
+            Mirror.apply_remove mirror id;
+            if Probe.enabled telemetry then
+              Probe.record_departure telemetry ~seq:i ~task:id
+                ~load:(Mirror.max_load mirror)
+                ~lstar:(Pmp_util.Pow2.ceil_div (Mirror.active_size mirror) n)
+                ~active:(Mirror.num_active mirror) ~ts:at ~dur ~oracle:""
       end;
       let load = Mirror.max_load mirror in
       if load > !max_load then max_load := load;

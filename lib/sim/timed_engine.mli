@@ -31,10 +31,14 @@ type result = {
 val run :
   ?cost:Cost.t ->
   ?bandwidth:float ->
+  ?telemetry:Pmp_telemetry.Probe.t ->
   Pmp_core.Allocator.t ->
   Pmp_workload.Timed.t ->
   result
 (** [bandwidth] is in cost-units per time-unit (default: infinite, so
     downtime is 0 and availability 1 even when a cost model is given).
+    With [~telemetry] every event feeds the probe; trace records carry
+    the workload's simulated time as [ts], so a Chrome trace of a
+    timed run lines up with the simulated timeline.
     @raise Invalid_argument on non-positive bandwidth or a sequence
     that does not fit the machine. *)

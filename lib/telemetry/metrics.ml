@@ -1,0 +1,168 @@
+module Counter = struct
+  type t = { mutable value : int }
+
+  let make () = { value = 0 }
+  let inc t n = t.value <- t.value + n
+  let incr t = inc t 1
+  let value t = t.value
+end
+
+module Gauge = struct
+  type t = { mutable value : float; mutable max_seen : float }
+
+  let make () = { value = 0.0; max_seen = neg_infinity }
+
+  let set t v =
+    t.value <- v;
+    if v > t.max_seen then t.max_seen <- v
+
+  let value t = t.value
+  let max_seen t = if t.max_seen = neg_infinity then 0.0 else t.max_seen
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;
+    counts : int array;  (* one per bound plus the +Inf overflow *)
+    mutable count : int;
+    mutable sum : float;
+    mutable max_seen : float;
+  }
+
+  let make bounds =
+    let n = Array.length bounds in
+    if n = 0 then invalid_arg "Histogram.make: no buckets";
+    for i = 1 to n - 1 do
+      if bounds.(i) <= bounds.(i - 1) then
+        invalid_arg "Histogram.make: bounds not strictly increasing"
+    done;
+    {
+      bounds = Array.copy bounds;
+      counts = Array.make (n + 1) 0;
+      count = 0;
+      sum = 0.0;
+      max_seen = neg_infinity;
+    }
+
+  let observe t v =
+    let n = Array.length t.bounds in
+    let rec bucket i = if i >= n || v <= t.bounds.(i) then i else bucket (i + 1) in
+    t.counts.(bucket 0) <- t.counts.(bucket 0) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v > t.max_seen then t.max_seen <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let max_seen t = if t.max_seen = neg_infinity then 0.0 else t.max_seen
+
+  let buckets t =
+    let acc = ref 0 in
+    let finite =
+      Array.to_list
+        (Array.mapi
+           (fun i b ->
+             acc := !acc + t.counts.(i);
+             (b, !acc))
+           t.bounds)
+    in
+    finite @ [ (infinity, t.count) ]
+end
+
+module Span = struct
+  type t = { mutable total : float; mutable count : int; mutable max_seen : float }
+
+  let make () = { total = 0.0; count = 0; max_seen = 0.0 }
+
+  let add t seconds =
+    t.total <- t.total +. seconds;
+    t.count <- t.count + 1;
+    if seconds > t.max_seen then t.max_seen <- seconds
+
+  let count t = t.count
+  let total t = t.total
+  let max_seen t = t.max_seen
+end
+
+let log_bounds ~start ~ratio ~count =
+  if start <= 0.0 || ratio <= 1.0 || count <= 0 then
+    invalid_arg "Metrics.log_bounds: need start > 0, ratio > 1, count > 0";
+  Array.init count (fun i -> start *. (ratio ** float_of_int i))
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Histogram.t
+  | I_span of Span.t
+
+module Registry = struct
+  type t = { mutable entries : (string * string * instrument) list }
+  (* kept newest-first; [entries] reverses *)
+
+  let create () = { entries = [] }
+
+  let register t name help inst =
+    if List.exists (fun (n, _, _) -> n = name) t.entries then
+      invalid_arg (Printf.sprintf "Registry: duplicate instrument %S" name);
+    t.entries <- (name, help, inst) :: t.entries
+
+  let counter t ?(help = "") name =
+    let c = Counter.make () in
+    register t name help (I_counter c);
+    c
+
+  let gauge t ?(help = "") name =
+    let g = Gauge.make () in
+    register t name help (I_gauge g);
+    g
+
+  let histogram t ?(help = "") name bounds =
+    let h = Histogram.make bounds in
+    register t name help (I_histogram h);
+    h
+
+  let span t ?(help = "") name =
+    let s = Span.make () in
+    register t name help (I_span s);
+    s
+
+  let entries t = List.rev t.entries
+end
+
+(* Prometheus floats: integers render bare, everything else compactly
+   but deterministically. *)
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let fmt_bound b = if b = infinity then "+Inf" else fmt_float b
+
+let prometheus reg =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, help, inst) ->
+      if help <> "" then line "# HELP %s %s" name help;
+      match inst with
+      | I_counter c ->
+          line "# TYPE %s counter" name;
+          line "%s %d" name (Counter.value c)
+      | I_gauge g ->
+          line "# TYPE %s gauge" name;
+          line "%s %s" name (fmt_float (Gauge.value g));
+          line "%s_max %s" name (fmt_float (Gauge.max_seen g))
+      | I_histogram h ->
+          line "# TYPE %s histogram" name;
+          List.iter
+            (fun (le, cum) -> line "%s_bucket{le=\"%s\"} %d" name (fmt_bound le) cum)
+            (Histogram.buckets h);
+          line "%s_sum %s" name (fmt_float (Histogram.sum h));
+          line "%s_count %d" name (Histogram.count h)
+      | I_span s ->
+          line "# TYPE %s summary" name;
+          line "%s_sum %s" name (fmt_float (Span.total s));
+          line "%s_count %d" name (Span.count s);
+          line "%s_max %s" name (fmt_float (Span.max_seen s)))
+    (Registry.entries reg);
+  Buffer.contents buf

@@ -1,0 +1,104 @@
+(** Typed instruments and a named registry.
+
+    The four instrument kinds cover everything the simulators need to
+    expose: monotone totals ({!Counter}), last-value-plus-peak state
+    ({!Gauge}), distributions over log-spaced buckets ({!Histogram} —
+    loads and load ratios span orders of magnitude, so linear buckets
+    would waste resolution where it matters), and accumulated wall-clock
+    ({!Span}). Instruments are plain mutable records: updating one is a
+    handful of stores, no allocation, so probes can sit on hot paths.
+
+    A {!Registry} names instruments so a whole set can be rendered as a
+    Prometheus-style text snapshot ({!prometheus}). *)
+
+module Counter : sig
+  type t
+
+  val make : unit -> t
+  val inc : t -> int -> unit
+  val incr : t -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : unit -> t
+  val set : t -> float -> unit
+  val value : t -> float
+
+  val max_seen : t -> float
+  (** Largest value ever set; [0.0] before the first {!set}. *)
+end
+
+module Histogram : sig
+  type t
+
+  val make : float array -> t
+  (** [make bounds] with strictly increasing bucket upper bounds; an
+      implicit [+Inf] overflow bucket is always appended.
+      @raise Invalid_argument if [bounds] is empty or not increasing. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val max_seen : t -> float
+  (** Largest value observed; [0.0] before the first observation. *)
+
+  val buckets : t -> (float * int) list
+  (** Cumulative [(upper_bound, count)] pairs, Prometheus style; the
+      final pair's bound is [infinity]. *)
+end
+
+module Span : sig
+  type t
+
+  val make : unit -> t
+
+  val add : t -> float -> unit
+  (** Record one timed interval, in seconds. *)
+
+  val count : t -> int
+  val total : t -> float
+  val max_seen : t -> float
+end
+
+val log_bounds : start:float -> ratio:float -> count:int -> float array
+(** [log_bounds ~start ~ratio ~count] is
+    [[| start; start *. ratio; start *. ratio²; ... |]] of length
+    [count]. @raise Invalid_argument unless [start > 0], [ratio > 1]
+    and [count > 0]. *)
+
+(** {1 Registry} *)
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Histogram.t
+  | I_span of Span.t
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> ?help:string -> string -> Counter.t
+  val gauge : t -> ?help:string -> string -> Gauge.t
+
+  val histogram : t -> ?help:string -> string -> float array -> Histogram.t
+  (** See {!Histogram.make} for the bounds contract. *)
+
+  val span : t -> ?help:string -> string -> Span.t
+  (** Rendered as a Prometheus summary ([_sum]/[_count]/[_max]). *)
+
+  val entries : t -> (string * string * instrument) list
+  (** In registration order.
+      @raise Invalid_argument on duplicate registration (checked at
+      instrument-creation time). *)
+end
+
+val prometheus : Registry.t -> string
+(** Prometheus text-format dump of every registered instrument:
+    [# HELP]/[# TYPE] lines plus samples; histograms get [_bucket]
+    rows with [le] labels plus [_sum] and [_count]. *)

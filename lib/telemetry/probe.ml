@@ -1,0 +1,193 @@
+module M = Metrics
+
+type t = {
+  enabled : bool;
+  clock : unit -> float;
+  epoch : float;
+  registry : M.Registry.t;
+  tracer : Tracer.t option;
+  arrivals : M.Counter.t;
+  departures : M.Counter.t;
+  completions : M.Counter.t;
+  repacks : M.Counter.t;
+  tasks_moved : M.Counter.t;
+  migration_traffic : M.Counter.t;
+  load : M.Gauge.t;
+  lstar : M.Gauge.t;
+  active_tasks : M.Gauge.t;
+  load_hist : M.Histogram.t;
+  ratio_hist : M.Histogram.t;
+  repack_moves : M.Histogram.t;
+  slowdown_hist : M.Histogram.t;
+  assign_span : M.Span.t;
+  remove_span : M.Span.t;
+  repack_span : M.Span.t;
+  placement_span : M.Span.t;
+}
+
+let make ~enabled ~clock ~tracer =
+  let reg = M.Registry.create () in
+  let c = M.Registry.counter reg and g = M.Registry.gauge reg in
+  let h = M.Registry.histogram reg and s = M.Registry.span reg in
+  (* bind in sequence — record-field evaluation order is unspecified,
+     and the prometheus dump follows registration order *)
+  let arrivals = c ~help:"task arrivals handled" "pmp_arrivals_total" in
+  let departures = c ~help:"task departures handled" "pmp_departures_total" in
+  let completions =
+    c ~help:"jobs completed (closed-loop runs)" "pmp_completions_total"
+  in
+  let repacks = c ~help:"reallocation events" "pmp_repacks_total" in
+  let tasks_moved = c ~help:"tasks relocated by repacks" "pmp_tasks_moved_total" in
+  let migration_traffic =
+    c ~help:"migration traffic, cost-model units" "pmp_migration_traffic_total"
+  in
+  let load = g ~help:"current machine load (max PE load)" "pmp_load" in
+  let lstar = g ~help:"current optimal load ceil(S/N)" "pmp_optimal_load" in
+  let active_tasks = g ~help:"currently active tasks" "pmp_active_tasks" in
+  let load_hist =
+    h ~help:"machine load after each event" "pmp_load_distribution"
+      (M.log_bounds ~start:1.0 ~ratio:2.0 ~count:14)
+  in
+  let ratio_hist =
+    h ~help:"load / max(1, L*) after each event" "pmp_load_ratio"
+      (M.log_bounds ~start:1.0 ~ratio:(sqrt 2.0) ~count:12)
+  in
+  let repack_moves =
+    h ~help:"tasks moved per repack burst" "pmp_repack_moves"
+      (M.log_bounds ~start:1.0 ~ratio:2.0 ~count:14)
+  in
+  let slowdown_hist =
+    h ~help:"job slowdown at completion" "pmp_slowdown"
+      (M.log_bounds ~start:1.0 ~ratio:(sqrt 2.0) ~count:16)
+  in
+  let assign_span =
+    s ~help:"wall-clock inside allocator assign" "pmp_assign_duration_seconds"
+  in
+  let remove_span =
+    s ~help:"wall-clock inside allocator remove" "pmp_remove_duration_seconds"
+  in
+  let repack_span =
+    s ~help:"wall-clock inside repacks" "pmp_repack_duration_seconds"
+  in
+  let placement_span =
+    s ~help:"wall-clock inside placement search" "pmp_placement_duration_seconds"
+  in
+  {
+    enabled;
+    clock;
+    epoch = (if enabled then clock () else 0.0);
+    registry = reg;
+    tracer;
+    arrivals;
+    departures;
+    completions;
+    repacks;
+    tasks_moved;
+    migration_traffic;
+    load;
+    lstar;
+    active_tasks;
+    load_hist;
+    ratio_hist;
+    repack_moves;
+    slowdown_hist;
+    assign_span;
+    remove_span;
+    repack_span;
+    placement_span;
+  }
+
+let noop = make ~enabled:false ~clock:(fun () -> 0.0) ~tracer:None
+
+let create ?clock ?tracer () =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  make ~enabled:true ~clock ~tracer
+
+let enabled t = t.enabled
+let tracer t = t.tracer
+let registry t = t.registry
+let now t = if t.enabled then t.clock () else 0.0
+let elapsed t = if t.enabled then t.clock () -. t.epoch else 0.0
+let snapshot t = M.prometheus t.registry
+
+let record_arrival t ~seq ~task ~size ~placement ~moves ~traffic ~load ~lstar
+    ~active ~ts ~dur ~oracle =
+  if t.enabled then begin
+    M.Counter.incr t.arrivals;
+    if moves > 0 then M.Counter.inc t.tasks_moved moves;
+    if traffic > 0 then M.Counter.inc t.migration_traffic traffic;
+    let fload = float_of_int load in
+    M.Gauge.set t.load fload;
+    M.Gauge.set t.lstar (float_of_int lstar);
+    M.Gauge.set t.active_tasks (float_of_int active);
+    M.Histogram.observe t.load_hist fload;
+    M.Histogram.observe t.ratio_hist (fload /. float_of_int (max 1 lstar));
+    M.Span.add t.assign_span dur;
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+        let r =
+          {
+            Tracer.seq; kind = Tracer.Arrive; task; size; placement; moves;
+            traffic; load; lstar; active; ts; dur; oracle;
+          }
+        in
+        Tracer.emit tr r;
+        if moves > 0 then Tracer.emit tr { r with Tracer.kind = Tracer.Repack }
+  end
+
+let record_departure t ~seq ~task ~load ~lstar ~active ~ts ~dur ~oracle =
+  if t.enabled then begin
+    M.Counter.incr t.departures;
+    let fload = float_of_int load in
+    M.Gauge.set t.load fload;
+    M.Gauge.set t.lstar (float_of_int lstar);
+    M.Gauge.set t.active_tasks (float_of_int active);
+    M.Histogram.observe t.load_hist fload;
+    M.Histogram.observe t.ratio_hist (fload /. float_of_int (max 1 lstar));
+    M.Span.add t.remove_span dur;
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+        Tracer.emit tr
+          {
+            Tracer.seq; kind = Tracer.Depart; task; size = 0; placement = "";
+            moves = 0; traffic = 0; load; lstar; active; ts; dur; oracle;
+          }
+  end
+
+let record_completion t ~seq ~task ~ts ~slowdown ~load =
+  if t.enabled then begin
+    M.Counter.incr t.completions;
+    M.Histogram.observe t.slowdown_hist slowdown;
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+        Tracer.emit tr
+          {
+            Tracer.seq; kind = Tracer.Depart; task; size = 0; placement = "";
+            moves = 0; traffic = 0; load; lstar = 0; active = 0; ts;
+            dur = 0.0; oracle = "";
+          }
+  end
+
+let record_repack t ~moves ~elapsed =
+  if t.enabled then begin
+    M.Counter.incr t.repacks;
+    M.Histogram.observe t.repack_moves (float_of_int moves);
+    M.Span.add t.repack_span elapsed
+  end
+
+let record_placement t ~elapsed =
+  if t.enabled then M.Span.add t.placement_span elapsed
+
+let arrivals t = M.Counter.value t.arrivals
+let departures t = M.Counter.value t.departures
+let completions t = M.Counter.value t.completions
+let repacks t = M.Counter.value t.repacks
+let tasks_moved t = M.Counter.value t.tasks_moved
+let migration_traffic t = M.Counter.value t.migration_traffic
+let max_load_seen t = int_of_float (M.Gauge.max_seen t.load)
+let repack_moves_max t = int_of_float (M.Histogram.max_seen t.repack_moves)
+let assign_seconds t = M.Span.total t.assign_span
+let repack_seconds t = M.Span.total t.repack_span

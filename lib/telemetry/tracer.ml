@@ -1,0 +1,280 @@
+type format = Jsonl | Chrome
+
+type kind = Arrive | Depart | Repack
+
+type record = {
+  seq : int;
+  kind : kind;
+  task : int;
+  size : int;
+  placement : string;
+  moves : int;
+  traffic : int;
+  load : int;
+  lstar : int;
+  active : int;
+  ts : float;
+  dur : float;
+  oracle : string;
+}
+
+let kind_to_string = function
+  | Arrive -> "arrive"
+  | Depart -> "depart"
+  | Repack -> "repack"
+
+let kind_of_string = function
+  | "arrive" -> Ok Arrive
+  | "depart" -> Ok Depart
+  | "repack" -> Ok Repack
+  | other -> Error (Printf.sprintf "unknown record kind %S" other)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type t = {
+  format : format;
+  write : string -> unit;
+  mutable first : bool;  (* Chrome: comma placement *)
+  mutable closed : bool;
+}
+
+let make format write =
+  if format = Chrome then write "[\n";
+  { format; write; first = true; closed = false }
+
+let to_buffer format buf = make format (Buffer.add_string buf)
+let to_channel format oc = make format (output_string oc)
+
+(* Seconds with microsecond resolution; fixed width keeps the output
+   deterministic across float printing quirks. *)
+let fmt_s v = Printf.sprintf "%.6f" v
+let fmt_us v = Printf.sprintf "%.3f" (v *. 1e6)
+
+let jsonl_line r =
+  Printf.sprintf
+    {|{"seq":%d,"kind":"%s","task":%d,"size":%d,"placement":"%s","moves":%d,"traffic":%d,"load":%d,"lstar":%d,"active":%d,"ts":%s,"dur":%s,"oracle":"%s"}|}
+    r.seq (kind_to_string r.kind) r.task r.size (escape r.placement) r.moves
+    r.traffic r.load r.lstar r.active (fmt_s r.ts) (fmt_s r.dur)
+    (escape r.oracle)
+
+let chrome_args r =
+  Printf.sprintf
+    {|{"seq":%d,"task":%d,"size":%d,"placement":"%s","moves":%d,"traffic":%d,"load":%d,"lstar":%d,"active":%d,"oracle":"%s"}|}
+    r.seq r.task r.size (escape r.placement) r.moves r.traffic r.load r.lstar
+    r.active (escape r.oracle)
+
+let chrome_name r =
+  match r.kind with
+  | Arrive -> Printf.sprintf "arrive #%d (%d PE)" r.task r.size
+  | Depart -> Printf.sprintf "depart #%d" r.task
+  | Repack -> Printf.sprintf "repack x%d" r.moves
+
+let emit t r =
+  if t.closed then invalid_arg "Tracer.emit: sink is closed";
+  match t.format with
+  | Jsonl ->
+      t.write (jsonl_line r);
+      t.write "\n"
+  | Chrome ->
+      let sep () = if t.first then t.first <- false else t.write ",\n" in
+      let tid = if r.kind = Repack then 1 else 0 in
+      sep ();
+      t.write
+        (Printf.sprintf
+           {|{"name":"%s","cat":"%s","ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"args":%s}|}
+           (escape (chrome_name r))
+           (kind_to_string r.kind) tid (fmt_us r.ts) (fmt_us r.dur)
+           (chrome_args r));
+      sep ();
+      t.write
+        (Printf.sprintf
+           {|{"name":"machine","ph":"C","pid":0,"ts":%s,"args":{"load":%d,"lstar":%d,"active":%d}}|}
+           (fmt_us r.ts) r.load r.lstar r.active)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    if t.format = Chrome then t.write "\n]\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSONL parsing — a deliberately small parser for the flat objects
+   this module itself writes (string and number scalars only).        *)
+
+exception Bad of string
+
+type value = V_string of string | V_number of float
+
+let parse_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at column %d" msg !pos)) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some x when x = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = line.[!pos] in
+      incr pos;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !pos >= n then fail "dangling escape";
+        let e = line.[!pos] in
+        incr pos;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub line !pos 4 in
+            pos := !pos + 4;
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> fail "bad \\u escape"
+            in
+            (* traces are ASCII; anything else degrades to '?' *)
+            Buffer.add_char buf (if code < 0x80 then Char.chr code else '?')
+        | _ -> fail "unknown escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> V_string (parse_string ())
+    | Some ('-' | '0' .. '9') -> V_number (parse_number ())
+    | _ -> fail "expected a string or number"
+  in
+  expect '{';
+  skip_ws ();
+  let fields = ref [] in
+  (match peek () with
+  | Some '}' -> incr pos
+  | _ ->
+      let rec members () =
+        skip_ws ();
+        let key = parse_string () in
+        expect ':';
+        let v = parse_value () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            members ()
+        | Some '}' -> incr pos
+        | _ -> fail "expected ',' or '}'"
+      in
+      members ());
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  !fields
+
+let parse_line line =
+  match parse_object line with
+  | exception Bad msg -> Error msg
+  | fields -> begin
+      let str key d =
+        match List.assoc_opt key fields with
+        | Some (V_string s) -> s
+        | Some (V_number _) | None -> d
+      in
+      let num key d =
+        match List.assoc_opt key fields with
+        | Some (V_number f) -> f
+        | Some (V_string _) | None -> d
+      in
+      let int key d = int_of_float (num key (float_of_int d)) in
+      match kind_of_string (str "kind" "") with
+      | Error e -> Error e
+      | Ok kind ->
+          Ok
+            {
+              seq = int "seq" 0;
+              kind;
+              task = int "task" (-1);
+              size = int "size" 0;
+              placement = str "placement" "";
+              moves = int "moves" 0;
+              traffic = int "traffic" 0;
+              load = int "load" 0;
+              lstar = int "lstar" 0;
+              active = int "active" 0;
+              ts = num "ts" 0.0;
+              dur = num "dur" 0.0;
+              oracle = str "oracle" "";
+            }
+    end
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+      let lines = String.split_on_char '\n' contents in
+      let rec go lineno acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+            if String.trim line = "" then go (lineno + 1) acc rest
+            else begin
+              match parse_line (String.trim line) with
+              | Ok r -> go (lineno + 1) (r :: acc) rest
+              | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+            end
+      in
+      go 1 [] lines

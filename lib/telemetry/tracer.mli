@@ -1,0 +1,61 @@
+(** Structured per-event trace sink.
+
+    Every simulator event (arrival, departure, repack burst) becomes
+    one flat {!record}; a sink serialises records as they are emitted,
+    either as JSONL (one JSON object per line — greppable, streamable,
+    and parseable back with {!read_file} for offline analysis) or in
+    the Chrome trace-event array format, so a run opens directly in
+    [chrome://tracing] or Perfetto: arrivals/departures are complete
+    ("X") slices on track 0, repack bursts are slices on track 1, and
+    the machine load / L* / active-task gauges are emitted as counter
+    ("C") tracks.
+
+    Timestamps are supplied by the caller ([ts], seconds since the
+    start of the run; [dur], seconds spent inside the allocator), so
+    sinks are deterministic under a fake clock — the golden tests rely
+    on byte-identical output. *)
+
+type format = Jsonl | Chrome
+
+type kind = Arrive | Depart | Repack
+
+type record = {
+  seq : int;  (** event index within the run *)
+  kind : kind;
+  task : int;  (** task id; [-1] when not applicable *)
+  size : int;  (** task size in PEs; [0] when not applicable *)
+  placement : string;  (** rendered placement, [""] when n/a *)
+  moves : int;  (** tasks relocated by this event *)
+  traffic : int;  (** migration traffic of this event, cost-model units *)
+  load : int;  (** machine load after the event *)
+  lstar : int;  (** instantaneous optimal load after the event *)
+  active : int;  (** active tasks after the event *)
+  ts : float;  (** seconds since run start *)
+  dur : float;  (** seconds spent in the allocator for this event *)
+  oracle : string;  (** [""] no oracle, ["ok"], or the violation text *)
+}
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) result
+
+type t
+
+val to_buffer : format -> Buffer.t -> t
+val to_channel : format -> out_channel -> t
+
+val emit : t -> record -> unit
+(** @raise Invalid_argument after {!close}. *)
+
+val close : t -> unit
+(** Write the format trailer (the closing bracket of a Chrome trace).
+    Idempotent; does not close the underlying channel. *)
+
+(** {1 Reading JSONL traces back} *)
+
+val parse_line : string -> (record, string) result
+(** Parse one JSONL line. Unknown fields are ignored; missing fields
+    default ([task] to [-1], strings to [""], numbers to [0]). *)
+
+val read_file : string -> (record list, string) result
+(** Parse a whole JSONL trace, skipping blank lines; the error names
+    the first offending line. *)

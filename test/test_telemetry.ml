@@ -1,0 +1,237 @@
+(* Telemetry: the probe's counters against the engine's own accounting,
+   golden trace snapshots under a fake clock, the JSONL round-trip, and
+   the metrics/registry primitives. *)
+
+module Machine = Pmp_machine.Machine
+module Generators = Pmp_workload.Generators
+module Realloc = Pmp_core.Realloc
+module Engine = Pmp_sim.Engine
+module Metrics = Pmp_telemetry.Metrics
+module Probe = Pmp_telemetry.Probe
+module Tracer = Pmp_telemetry.Tracer
+
+(* --- instruments -------------------------------------------------- *)
+
+let test_log_bounds () =
+  let b = Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:4 in
+  Alcotest.(check (array (float 1e-9))) "doubling" [| 1.0; 2.0; 4.0; 8.0 |] b
+
+let test_histogram () =
+  let h = Metrics.Histogram.make (Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:3) in
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 1.0; 3.0; 100.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 104.5 (Metrics.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Metrics.Histogram.max_seen h);
+  (* cumulative buckets: le=1 -> 2, le=2 -> 2, le=4 -> 3, +Inf -> 4 *)
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "buckets"
+    [ (1.0, 2); (2.0, 2); (4.0, 3); (infinity, 4) ]
+    (Metrics.Histogram.buckets h)
+
+let test_registry_duplicate () =
+  let reg = Metrics.Registry.create () in
+  let _ = Metrics.Registry.counter reg "x_total" in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Registry: duplicate instrument \"x_total\"")
+    (fun () -> ignore (Metrics.Registry.counter reg "x_total"))
+
+let test_prometheus_dump () =
+  let reg = Metrics.Registry.create () in
+  let c = Metrics.Registry.counter reg ~help:"things" "t_total" in
+  let g = Metrics.Registry.gauge reg "t_gauge" in
+  Metrics.Counter.inc c 3;
+  Metrics.Gauge.set g 7.0;
+  Metrics.Gauge.set g 2.0;
+  let dump = Metrics.prometheus reg in
+  Alcotest.(check string) "text"
+    "# HELP t_total things\n# TYPE t_total counter\nt_total 3\n\
+     # TYPE t_gauge gauge\nt_gauge 2\nt_gauge_max 7\n"
+    dump
+
+(* --- probe vs engine accounting ----------------------------------- *)
+
+(* One probe shared by the allocator and the engine must agree with the
+   engine's own result record: repack counts, moved tasks, traffic, and
+   one arrival/departure recorded per event. *)
+let prop_counters_match_engine =
+  QCheck.Test.make ~count:60 ~name:"probe counters == Engine.result"
+    QCheck.(pair (Helpers.seq_params ~max_levels:5 ()) (int_range 1 4))
+    (fun ((levels, seed, steps), d) ->
+      let machine_size = 1 lsl levels in
+      let seq = Helpers.random_sequence ~seed ~machine_size ~steps in
+      let machine = Machine.create machine_size in
+      let probe = Probe.create ~clock:(fun () -> 0.0) () in
+      let alloc =
+        Pmp_core.Periodic.create ~force_copies:true ~probe machine
+          ~d:(Realloc.Budget d)
+      in
+      let topology = Pmp_machine.Topology.create Pmp_machine.Topology.Tree machine in
+      let cost = Pmp_sim.Cost.make topology in
+      let r = Engine.run ~check:true ~cost ~telemetry:probe alloc seq in
+      Probe.repacks probe = r.Engine.realloc_events
+      && Probe.tasks_moved probe = r.Engine.tasks_moved
+      && Probe.migration_traffic probe = r.Engine.migration_traffic
+      && Probe.arrivals probe + Probe.departures probe = r.Engine.events
+      && Probe.max_load_seen probe = r.Engine.max_load)
+
+(* --- golden snapshots under a constant clock ---------------------- *)
+
+let figure1_jsonl () =
+  let machine = Machine.create 4 in
+  let buf = Buffer.create 1024 in
+  let tracer = Tracer.to_buffer Tracer.Jsonl buf in
+  let probe = Probe.create ~clock:(fun () -> 0.0) ~tracer () in
+  let alloc = Pmp_core.Greedy.create ~probe machine in
+  let _ = Engine.run ~telemetry:probe alloc (Generators.figure1 ()) in
+  Tracer.close tracer;
+  Buffer.contents buf
+
+let expected_jsonl =
+  "{\"seq\":0,\"kind\":\"arrive\",\"task\":1,\"size\":1,\"placement\":\"copy0:[0..0]\",\"moves\":0,\"traffic\":0,\"load\":1,\"lstar\":1,\"active\":1,\"ts\":0.000000,\"dur\":0.000000,\"oracle\":\"\"}\n\
+   {\"seq\":1,\"kind\":\"arrive\",\"task\":2,\"size\":1,\"placement\":\"copy0:[1..1]\",\"moves\":0,\"traffic\":0,\"load\":1,\"lstar\":1,\"active\":2,\"ts\":0.000000,\"dur\":0.000000,\"oracle\":\"\"}\n\
+   {\"seq\":2,\"kind\":\"arrive\",\"task\":3,\"size\":1,\"placement\":\"copy0:[2..2]\",\"moves\":0,\"traffic\":0,\"load\":1,\"lstar\":1,\"active\":3,\"ts\":0.000000,\"dur\":0.000000,\"oracle\":\"\"}\n\
+   {\"seq\":3,\"kind\":\"arrive\",\"task\":4,\"size\":1,\"placement\":\"copy0:[3..3]\",\"moves\":0,\"traffic\":0,\"load\":1,\"lstar\":1,\"active\":4,\"ts\":0.000000,\"dur\":0.000000,\"oracle\":\"\"}\n\
+   {\"seq\":4,\"kind\":\"depart\",\"task\":2,\"size\":0,\"placement\":\"\",\"moves\":0,\"traffic\":0,\"load\":1,\"lstar\":1,\"active\":3,\"ts\":0.000000,\"dur\":0.000000,\"oracle\":\"\"}\n\
+   {\"seq\":5,\"kind\":\"depart\",\"task\":4,\"size\":0,\"placement\":\"\",\"moves\":0,\"traffic\":0,\"load\":1,\"lstar\":1,\"active\":2,\"ts\":0.000000,\"dur\":0.000000,\"oracle\":\"\"}\n\
+   {\"seq\":6,\"kind\":\"arrive\",\"task\":5,\"size\":2,\"placement\":\"copy0:[0..1]\",\"moves\":0,\"traffic\":0,\"load\":2,\"lstar\":1,\"active\":3,\"ts\":0.000000,\"dur\":0.000000,\"oracle\":\"\"}\n"
+
+let test_golden_jsonl () =
+  Alcotest.(check string) "figure1 JSONL" expected_jsonl (figure1_jsonl ())
+
+let test_golden_chrome () =
+  let machine = Machine.create 4 in
+  let buf = Buffer.create 1024 in
+  let tracer = Tracer.to_buffer Tracer.Chrome buf in
+  let probe = Probe.create ~clock:(fun () -> 0.0) ~tracer () in
+  let alloc = Pmp_core.Greedy.create ~probe machine in
+  let _ = Engine.run ~telemetry:probe alloc (Generators.figure1 ()) in
+  Tracer.close tracer;
+  Tracer.close tracer;
+  (* idempotent *)
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "array header" true (String.length s > 2 && s.[0] = '[');
+  Alcotest.(check string) "array trailer" "\n]\n"
+    (String.sub s (String.length s - 3) 3);
+  let prefix = "{\"name\":\"arrive #1 (1 PE)\",\"cat\":\"arrive\",\"ph\":\"X\"" in
+  Alcotest.(check string) "first slice" prefix
+    (String.sub s 2 (String.length prefix));
+  (* 7 X slices + 7 C counter samples between the brackets *)
+  let lines = String.split_on_char '\n' s in
+  let records =
+    List.filter (fun l -> String.length l > 0 && l.[0] = '{') lines
+  in
+  Alcotest.(check int) "record count" 14 (List.length records)
+
+(* --- JSONL round-trip --------------------------------------------- *)
+
+let test_jsonl_roundtrip () =
+  let path = Filename.temp_file "pmp_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (figure1_jsonl ());
+      close_out oc;
+      match Tracer.read_file path with
+      | Error e -> Alcotest.failf "read_file: %s" e
+      | Ok records ->
+          Alcotest.(check int) "count" 7 (List.length records);
+          let r0 = List.hd records in
+          Alcotest.(check string) "kind" "arrive" (Tracer.kind_to_string r0.Tracer.kind);
+          Alcotest.(check int) "task" 1 r0.Tracer.task;
+          Alcotest.(check int) "size" 1 r0.Tracer.size;
+          Alcotest.(check string) "placement" "copy0:[0..0]" r0.Tracer.placement;
+          let last = List.nth records 6 in
+          Alcotest.(check int) "final load" 2 last.Tracer.load;
+          Alcotest.(check int) "final active" 3 last.Tracer.active)
+
+let test_parse_line_errors () =
+  (match Tracer.parse_line "{\"seq\":1,\"kind\":\"arrive\"}" with
+  | Ok r -> Alcotest.(check int) "defaults task" (-1) r.Tracer.task
+  | Error e -> Alcotest.failf "minimal record rejected: %s" e);
+  match Tracer.parse_line "not json" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+(* --- the oracle verdict reaches the trace ------------------------- *)
+
+let test_oracle_verdict_in_trace () =
+  let machine = Machine.create 4 in
+  let buf = Buffer.create 1024 in
+  let tracer = Tracer.to_buffer Tracer.Jsonl buf in
+  let probe = Probe.create ~clock:(fun () -> 0.0) ~tracer () in
+  let alloc = Pmp_core.Greedy.create ~probe machine in
+  let spec =
+    {
+      Pmp_oracle.Oracle.bound = Pmp_oracle.Oracle.Exact;
+      budget = None;
+      disjoint_copies = false;
+    }
+  in
+  (* greedy is not optimal on figure1: the oracle must fire and the
+     violating event's record must carry the verdict *)
+  (match
+     Engine.run ~oracle:spec ~telemetry:probe alloc (Generators.figure1 ())
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected an oracle violation");
+  Tracer.close tracer;
+  let lines =
+    List.filter
+      (fun l -> String.length l > 0)
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  let last = List.nth lines (List.length lines - 1) in
+  match Tracer.parse_line last with
+  | Error e -> Alcotest.failf "last line unparseable: %s" e
+  | Ok r ->
+      Alcotest.(check bool) "verdict text present" true
+        (String.length r.Tracer.oracle > 0 && r.Tracer.oracle <> "ok")
+
+(* --- noop probe is inert ------------------------------------------ *)
+
+let test_noop_probe () =
+  let machine = Machine.create 8 in
+  let alloc = Pmp_core.Greedy.create machine in
+  let seq = Helpers.random_sequence ~seed:5 ~machine_size:8 ~steps:100 in
+  let r = Engine.run ~telemetry:Probe.noop alloc seq in
+  Alcotest.(check int) "events" 100 r.Engine.events;
+  Alcotest.(check int) "noop counted nothing" 0 (Probe.arrivals Probe.noop);
+  Alcotest.(check (float 0.0)) "noop clock" 0.0 (Probe.elapsed Probe.noop)
+
+(* --- satellite: metrics hazards ----------------------------------- *)
+
+let test_imbalance_all_idle_is_nan () =
+  let machine = Machine.create 8 in
+  let b = Pmp_workload.Sequence.Builder.create () in
+  let t = Pmp_workload.Sequence.Builder.arrive_fresh b ~size:2 in
+  Pmp_workload.Sequence.Builder.depart b t.Pmp_workload.Task.id;
+  let seq = Pmp_workload.Sequence.Builder.seal b in
+  let r = Engine.run (Pmp_core.Greedy.create machine) seq in
+  let s = Pmp_sim.Metrics.summarize r in
+  Alcotest.(check bool) "all-idle imbalance is nan" true
+    (Float.is_nan s.Pmp_sim.Metrics.imbalance)
+
+let test_fragmentation_empty_is_nan () =
+  let machine = Machine.create 8 in
+  let seq = Pmp_workload.Sequence.Builder.(seal (create ())) in
+  let r = Engine.run (Pmp_core.Greedy.create machine) seq in
+  Alcotest.(check bool) "empty trajectory is nan" true
+    (Float.is_nan (Pmp_sim.Metrics.fragmentation r))
+
+let suite =
+  [
+    Alcotest.test_case "log_bounds" `Quick test_log_bounds;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "registry duplicate" `Quick test_registry_duplicate;
+    Alcotest.test_case "prometheus dump" `Quick test_prometheus_dump;
+    Alcotest.test_case "golden jsonl" `Quick test_golden_jsonl;
+    Alcotest.test_case "golden chrome" `Quick test_golden_chrome;
+    Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "parse_line" `Quick test_parse_line_errors;
+    Alcotest.test_case "oracle verdict in trace" `Quick test_oracle_verdict_in_trace;
+    Alcotest.test_case "noop probe" `Quick test_noop_probe;
+    Alcotest.test_case "imbalance all-idle nan" `Quick test_imbalance_all_idle_is_nan;
+    Alcotest.test_case "fragmentation empty nan" `Quick test_fragmentation_empty_is_nan;
+  ]
+  @ Helpers.qtests [ prop_counters_match_engine ]
