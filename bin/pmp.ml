@@ -41,7 +41,11 @@ let check_arg =
   let doc =
     "Validation mode. $(b,--check) (or $(b,--check=basic)) cross-checks \
      every allocator response against an independent mirror. \
-     $(b,--check=oracle) additionally holds the run to the allocator's \
+     $(b,--check=index) additionally runs the allocator and the mirror \
+     over a differential load view: every load query is answered by the \
+     O(log N) index and cross-checked against the naive leaf scan, \
+     failing the run on the first divergence. \
+     $(b,--check=oracle) instead holds the run to the allocator's \
      theorem envelope — the T3.1/T4.1/T4.2 load bound, the \
      d-reallocation budget, and the copy-packing invariant — and, on a \
      violation, shrinks the offending trace to a minimal counterexample."
@@ -51,22 +55,32 @@ let check_arg =
     & opt ~vopt:(Some "basic") (some string) None
     & info [ "check" ] ~docv:"MODE" ~doc)
 
-(* The three validation modes --check parses to. *)
-type check_mode = Check_off | Check_basic | Check_oracle
+(* The validation modes --check parses to. *)
+type check_mode = Check_off | Check_basic | Check_index | Check_oracle
 
 let parse_check = function
   | None -> Ok Check_off
   | Some "basic" -> Ok Check_basic
+  | Some "index" -> Ok Check_index
   | Some "oracle" -> Ok Check_oracle
   | Some other ->
-      Error (`Msg (Printf.sprintf "unknown check mode %S (basic|oracle)" other))
+      Error
+        (`Msg
+           (Printf.sprintf "unknown check mode %S (basic|index|oracle)" other))
+
+(* In index mode both the allocator and the engine's mirror run the
+   Checked load view (index cross-checked against the scan on every
+   query); otherwise everything runs on the default indexed backend. *)
+let backend_of_mode = function
+  | Check_index -> Some Pmp_index.Load_view.Checked
+  | Check_off | Check_basic | Check_oracle -> None
 
 (* In oracle mode, audit the whole sequence first (with trace shrinking
    on failure) before handing over to whatever the subcommand wanted to
    measure. [make] must build a fresh, deterministic allocator. *)
 let oracle_gate mode name machine ~d ~make seq =
   match mode with
-  | Check_off | Check_basic -> Ok ()
+  | Check_off | Check_basic | Check_index -> Ok ()
   | Check_oracle -> begin
       match Builders.oracle_spec name machine ~d with
       | Error _ as e -> e
@@ -208,15 +222,18 @@ let run_cmd =
        guarantees it passes) *)
     let* oracle =
       match mode with
-      | Check_off | Check_basic -> Ok None
+      | Check_off | Check_basic | Check_index -> Ok None
       | Check_oracle ->
           Result.map Option.some (Builders.oracle_spec alloc_name machine ~d)
     in
+    let backend = backend_of_mode mode in
     let* () =
       with_telemetry ~trace ~format:trace_format ~metrics (fun probe ->
-          let* alloc = Builders.allocator ~probe alloc_name machine ~d ~seed in
+          let* alloc =
+            Builders.allocator ~probe ?backend alloc_name machine ~d ~seed
+          in
           let r =
-            Engine.run ~check:(mode <> Check_off) ?oracle ~cost
+            Engine.run ~check:(mode <> Check_off) ?backend ?oracle ~cost
               ~telemetry:probe alloc seq
           in
           print_result r;
@@ -269,7 +286,7 @@ let sweep_cmd =
            d; its provable envelope on arbitrary sequences is L* + d *)
         let oracle =
           match mode with
-          | Check_off | Check_basic -> None
+          | Check_off | Check_basic | Check_index -> None
           | Check_oracle ->
               Some
                 {
@@ -477,15 +494,18 @@ let replay_cmd =
       let* () = oracle_gate mode alloc_name machine ~d ~make seq in
       let* oracle =
         match mode with
-        | Check_off | Check_basic -> Ok None
+        | Check_off | Check_basic | Check_index -> Ok None
         | Check_oracle ->
             Result.map Option.some (Builders.oracle_spec alloc_name machine ~d)
       in
+      let backend = backend_of_mode mode in
       with_telemetry ~trace ~format:trace_format ~metrics (fun probe ->
-          let* alloc = Builders.allocator ~probe alloc_name machine ~d ~seed in
+          let* alloc =
+            Builders.allocator ~probe ?backend alloc_name machine ~d ~seed
+          in
           print_result
-            (Engine.run ~check:(mode <> Check_off) ?oracle ~telemetry:probe
-               alloc seq);
+            (Engine.run ~check:(mode <> Check_off) ?backend ?oracle
+               ~telemetry:probe alloc seq);
           Ok ())
     end
   in

@@ -1,19 +1,19 @@
 module Task = Pmp_workload.Task
 module Sub = Pmp_machine.Submachine
-module Load_map = Pmp_machine.Load_map
+module Load_view = Pmp_index.Load_view
 
-(* Shared skeleton: a load map plus a policy choosing the submachine
+(* Shared skeleton: a load view plus a policy choosing the submachine
    index for an arrival, given the per-submachine loads at its order. *)
-let make m ~name ~choose : Allocator.t =
-  let loads = Load_map.create m in
+let make ?backend m ~name ~choose : Allocator.t =
+  let loads = Load_view.create ?backend m in
   let table : (Task.id, Task.t * Placement.t) Hashtbl.t = Hashtbl.create 64 in
   let assign (task : Task.t) =
     if task.size > Pmp_machine.Machine.size m then
       invalid_arg (name ^ ".assign: task larger than machine");
     let order = Task.order task in
-    let index = choose ~order (Load_map.loads_at_order loads order) in
+    let index = choose ~order (Load_view.loads_at_order loads order) in
     let sub = Sub.make m ~order ~index in
-    Load_map.add loads sub 1;
+    Load_view.add loads sub 1;
     let placement = Placement.direct sub in
     Hashtbl.replace table task.id (task, placement);
     { Allocator.placement; moves = [] }
@@ -22,7 +22,7 @@ let make m ~name ~choose : Allocator.t =
     match Hashtbl.find_opt table id with
     | None -> invalid_arg (name ^ ".remove: unknown task")
     | Some (_, p) ->
-        Load_map.add loads p.sub (-1);
+        Load_view.add loads p.sub (-1);
         Hashtbl.remove table id
   in
   let placements () = Hashtbl.fold (fun _ tp acc -> tp :: acc) table [] in
@@ -38,15 +38,15 @@ let make m ~name ~choose : Allocator.t =
 let min_load arr = Array.fold_left min arr.(0) arr
 let max_load arr = Array.fold_left max arr.(0) arr
 
-let rightmost_greedy m =
+let rightmost_greedy ?backend m =
   let choose ~order:_ arr =
     let target = min_load arr in
     let rec find i = if arr.(i) = target then i else find (i - 1) in
     find (Array.length arr - 1)
   in
-  make m ~name:"greedy-rightmost" ~choose
+  make ?backend m ~name:"greedy-rightmost" ~choose
 
-let random_tie_greedy m ~rng =
+let random_tie_greedy ?backend m ~rng =
   let choose ~order:_ arr =
     let target = min_load arr in
     let candidates = ref [] in
@@ -54,12 +54,12 @@ let random_tie_greedy m ~rng =
     let cands = Array.of_list !candidates in
     cands.(Pmp_prng.Splitmix64.int rng (Array.length cands))
   in
-  make m ~name:"greedy-random-tie" ~choose
+  make ?backend m ~name:"greedy-random-tie" ~choose
 
-let leftmost_always m =
-  make m ~name:"leftmost-always" ~choose:(fun ~order:_ _ -> 0)
+let leftmost_always ?backend m =
+  make ?backend m ~name:"leftmost-always" ~choose:(fun ~order:_ _ -> 0)
 
-let round_robin m =
+let round_robin ?backend m =
   let cursors = Array.make (Pmp_machine.Machine.levels m + 1) 0 in
   let choose ~order arr =
     let slots = Array.length arr in
@@ -67,12 +67,12 @@ let round_robin m =
     cursors.(order) <- (index + 1) mod slots;
     index
   in
-  make m ~name:"round-robin" ~choose
+  make ?backend m ~name:"round-robin" ~choose
 
 (* Not built on [make]: sampling two candidates only needs two
    O(log N) subtree-max queries, not the full per-level load scan. *)
-let two_choice m ~rng : Allocator.t =
-  let loads = Load_map.create m in
+let two_choice ?backend m ~rng : Allocator.t =
+  let loads = Load_view.create ?backend m in
   let table : (Task.id, Task.t * Placement.t) Hashtbl.t = Hashtbl.create 64 in
   let assign (task : Task.t) =
     if task.size > Pmp_machine.Machine.size m then
@@ -82,11 +82,11 @@ let two_choice m ~rng : Allocator.t =
     let a = Pmp_prng.Splitmix64.int rng slots in
     let b = Pmp_prng.Splitmix64.int rng slots in
     let sub_of i = Sub.make m ~order ~index:i in
-    let la = Load_map.max_load loads (sub_of a)
-    and lb = Load_map.max_load loads (sub_of b) in
+    let la = Load_view.max_load loads (sub_of a)
+    and lb = Load_view.max_load loads (sub_of b) in
     let index = if la < lb then a else if lb < la then b else min a b in
     let sub = sub_of index in
-    Load_map.add loads sub 1;
+    Load_view.add loads sub 1;
     let placement = Placement.direct sub in
     Hashtbl.replace table task.id (task, placement);
     { Allocator.placement; moves = [] }
@@ -95,7 +95,7 @@ let two_choice m ~rng : Allocator.t =
     match Hashtbl.find_opt table id with
     | None -> invalid_arg "two-choice.remove: unknown task"
     | Some (_, p) ->
-        Load_map.add loads p.Placement.sub (-1);
+        Load_view.add loads p.Placement.sub (-1);
         Hashtbl.remove table id
   in
   let placements () = Hashtbl.fold (fun _ tp acc -> tp :: acc) table [] in
@@ -108,10 +108,10 @@ let two_choice m ~rng : Allocator.t =
     realloc_events = (fun () -> 0);
   }
 
-let worst_fit m =
+let worst_fit ?backend m =
   let choose ~order:_ arr =
     let target = max_load arr in
     let rec find i = if arr.(i) = target then i else find (i + 1) in
     find 0
   in
-  make m ~name:"worst-fit" ~choose
+  make ?backend m ~name:"worst-fit" ~choose

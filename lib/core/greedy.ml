@@ -1,17 +1,17 @@
 module Task = Pmp_workload.Task
-module Load_map = Pmp_machine.Load_map
+module Load_view = Pmp_index.Load_view
 module Probe = Pmp_telemetry.Probe
 
-let create ?(probe = Probe.noop) m : Allocator.t =
-  let loads = Load_map.create m in
+let create ?(probe = Probe.noop) ?(backend = Load_view.Indexed) m : Allocator.t =
+  let loads = Load_view.create ~backend m in
   let table : (Task.id, Task.t * Placement.t) Hashtbl.t = Hashtbl.create 64 in
   let assign (task : Task.t) =
     if task.size > Pmp_machine.Machine.size m then
       invalid_arg "Greedy.assign: task larger than machine";
     let t0 = Probe.now probe in
-    let _, sub = Load_map.min_max_at_order loads (Task.order task) in
+    let _, sub = Load_view.min_max_at_order loads (Task.order task) in
     Probe.record_placement probe ~elapsed:(Probe.now probe -. t0);
-    Load_map.add loads sub 1;
+    Load_view.add loads sub 1;
     let placement = Placement.direct sub in
     Hashtbl.replace table task.id (task, placement);
     { Allocator.placement; moves = [] }
@@ -20,7 +20,7 @@ let create ?(probe = Probe.noop) m : Allocator.t =
     match Hashtbl.find_opt table id with
     | None -> invalid_arg "Greedy.remove: unknown task"
     | Some (_, p) ->
-        Load_map.add loads p.sub (-1);
+        Load_view.add loads p.sub (-1);
         Hashtbl.remove table id
   in
   let placements () = Hashtbl.fold (fun _ tp acc -> tp :: acc) table [] in

@@ -6,7 +6,14 @@
     the load never exceeds [ceil ((log N + 1) / 2) * L*]; Theorem 4.3
     shows this is tight within a factor of two. *)
 
-val create : ?probe:Pmp_telemetry.Probe.t -> Pmp_machine.Machine.t -> Allocator.t
+val create :
+  ?probe:Pmp_telemetry.Probe.t ->
+  ?backend:Pmp_index.Load_view.backend ->
+  Pmp_machine.Machine.t ->
+  Allocator.t
 (** [?probe] (default {!Pmp_telemetry.Probe.noop}) times each
     placement search ([record_placement]); greedy never repacks, so
-    that is its entire footprint. *)
+    that is its entire footprint. [?backend] (default [Indexed])
+    selects the load-accounting implementation: the O(log N)
+    {!Pmp_index.Load_index}, the pre-index [Load_map] scan, or both
+    cross-checked ([--check=index]). *)

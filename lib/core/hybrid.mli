@@ -12,6 +12,7 @@
 
 val create :
   ?probe:Pmp_telemetry.Probe.t ->
+  ?backend:Pmp_index.Load_view.backend ->
   Pmp_machine.Machine.t ->
   d:Realloc.t ->
   Allocator.t

@@ -1,16 +1,21 @@
 module Task = Pmp_workload.Task
 module Sub = Pmp_machine.Submachine
-module Load_map = Pmp_machine.Load_map
+module Load_view = Pmp_index.Load_view
 
 type t = {
   m : Pmp_machine.Machine.t;
-  loads : Load_map.t;
+  loads : Load_view.t;
   table : (Task.id, Task.t * Placement.t) Hashtbl.t;
   mutable active_size : int;
 }
 
-let create m =
-  { m; loads = Load_map.create m; table = Hashtbl.create 64; active_size = 0 }
+let create ?backend m =
+  {
+    m;
+    loads = Load_view.create ?backend m;
+    table = Hashtbl.create 64;
+    active_size = 0;
+  }
 
 let machine t = t.m
 
@@ -21,8 +26,8 @@ let apply_move t (mv : Allocator.move) =
   | Some (task, current) ->
       if not (Placement.equal current mv.from_) then
         invalid_arg "Mirror.apply_assign: move disagrees on old placement";
-      Load_map.add t.loads current.Placement.sub (-1);
-      Load_map.add t.loads mv.to_.Placement.sub 1;
+      Load_view.add t.loads current.Placement.sub (-1);
+      Load_view.add t.loads mv.to_.Placement.sub 1;
       Hashtbl.replace t.table id (task, mv.to_)
 
 let apply_assign t (task : Task.t) (resp : Allocator.response) =
@@ -30,14 +35,14 @@ let apply_assign t (task : Task.t) (resp : Allocator.response) =
     invalid_arg "Mirror.apply_assign: task already active";
   List.iter (apply_move t) resp.moves;
   Hashtbl.replace t.table task.id (task, resp.placement);
-  Load_map.add t.loads resp.placement.Placement.sub 1;
+  Load_view.add t.loads resp.placement.Placement.sub 1;
   t.active_size <- t.active_size + task.size
 
 let apply_remove t id =
   match Hashtbl.find_opt t.table id with
   | None -> invalid_arg "Mirror.apply_remove: unknown task"
   | Some (task, p) ->
-      Load_map.add t.loads p.Placement.sub (-1);
+      Load_view.add t.loads p.Placement.sub (-1);
       Hashtbl.remove t.table id;
       t.active_size <- t.active_size - task.Task.size
 
@@ -48,8 +53,10 @@ let active t = Hashtbl.fold (fun _ tp acc -> tp :: acc) t.table []
 let num_active t = Hashtbl.length t.table
 let active_size t = t.active_size
 
-let max_load t = Load_map.max_overall t.loads
-let max_load_in t sub = Load_map.max_load t.loads sub
+let max_load t = Load_view.max_overall t.loads
+let max_load_in t sub = Load_view.max_load t.loads sub
+let imbalance t = Load_view.imbalance t.loads
+let loads_at_order t ~order = Load_view.loads_at_order t.loads order
 
 let assigned_size_in t sub =
   Hashtbl.fold
@@ -67,7 +74,7 @@ let tasks_inside t sub =
       if Sub.contains sub p.Placement.sub then task :: acc else acc)
     t.table []
 
-let leaf_loads t = Load_map.leaf_loads t.loads
+let leaf_loads t = Load_view.leaf_loads t.loads
 
 let check_against t (alloc : Allocator.t) =
   let theirs = alloc.placements () in

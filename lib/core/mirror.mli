@@ -5,12 +5,15 @@
     what every PE's load is — kept {e outside} the allocator, so that
     measurements can't be skewed by an allocator's own accounting bugs.
     A mirror is fed every response and departure and maintains the
-    task table plus a {!Pmp_machine.Load_map} (one increment per task
+    task table plus a {!Pmp_index.Load_view} (one increment per task
     per covered PE, matching the paper's load definition). *)
 
 type t
 
-val create : Pmp_machine.Machine.t -> t
+val create : ?backend:Pmp_index.Load_view.backend -> Pmp_machine.Machine.t -> t
+(** [?backend] (default [Indexed]) selects the load-accounting
+    implementation; [Checked] cross-checks every engine-side load
+    sample against the naive scan. *)
 
 val machine : t -> Pmp_machine.Machine.t
 
@@ -45,6 +48,14 @@ val assigned_size_in : t -> Pmp_machine.Submachine.t -> int
 
 val tasks_inside : t -> Pmp_machine.Submachine.t -> Pmp_workload.Task.t list
 (** Active tasks placed wholly inside the submachine. *)
+
+val imbalance : t -> float
+(** [max PE load /. mean PE load] over the whole machine, [O(1)] from
+    the load index; [nan] when the machine is idle. *)
+
+val loads_at_order : t -> order:int -> int array
+(** Max PE load of every aligned order-[x] window, leftmost first
+    (heatmap column sampling). *)
 
 val leaf_loads : t -> int array
 

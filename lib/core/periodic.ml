@@ -66,10 +66,11 @@ let copy_branch m ~d ~eager ~name ~probe : Allocator.t =
     realloc_events = (fun () -> !reallocs);
   }
 
-let create ?(force_copies = false) ?(eager = false) ?(probe = Probe.noop) m ~d =
+let create ?(force_copies = false) ?(eager = false) ?(probe = Probe.noop)
+    ?backend m ~d =
   let name = Printf.sprintf "periodic(d=%s)" (Realloc.to_string d) in
   if (not force_copies) && Realloc.exceeds_greedy_threshold d m then
-    { (Greedy.create ~probe m) with Allocator.name = name ^ "=greedy" }
+    { (Greedy.create ~probe ?backend m) with Allocator.name = name ^ "=greedy" }
   else
     copy_branch m ~d ~eager ~probe
       ~name:(if eager then name ^ ",eager" else name)

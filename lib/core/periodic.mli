@@ -38,6 +38,7 @@ val create :
   ?force_copies:bool ->
   ?eager:bool ->
   ?probe:Pmp_telemetry.Probe.t ->
+  ?backend:Pmp_index.Load_view.backend ->
   Pmp_machine.Machine.t ->
   d:Realloc.t ->
   Allocator.t

@@ -6,15 +6,19 @@ let pack m tasks =
     (fun (t : Task.t) ->
       if t.size > n then invalid_arg "Repack.pack: task larger than machine")
     tasks;
-  let sorted =
-    List.sort
-      (fun (a : Task.t) (b : Task.t) ->
-        match compare b.size a.size with 0 -> compare a.id b.id | c -> c)
-      tasks
-  in
+  (* first-fit decreasing over an array with a monomorphic comparator:
+     the repack loops of A_M/A_R call this on every budget-triggered
+     reallocation, and polymorphic-compare list sorting dominated the
+     profile before the allocation core rework *)
+  let sorted = Array.of_list tasks in
+  Array.sort
+    (fun (a : Task.t) (b : Task.t) ->
+      if b.size <> a.size then Int.compare b.size a.size
+      else Int.compare a.id b.id)
+    sorted;
   let stack = Copystack.create m in
-  let table = Hashtbl.create (List.length tasks) in
-  List.iter
+  let table = Hashtbl.create (Array.length sorted) in
+  Array.iter
     (fun (t : Task.t) ->
       let p = Copystack.alloc stack ~order:(Task.order t) in
       Hashtbl.replace table t.id p)

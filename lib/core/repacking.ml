@@ -1,10 +1,11 @@
 module Task = Pmp_workload.Task
-module Load_map = Pmp_machine.Load_map
+module Load_view = Pmp_index.Load_view
 module Probe = Pmp_telemetry.Probe
 
-let create ?(probe = Probe.noop) m ~name ~d ~choose : Allocator.t =
+let create ?(probe = Probe.noop) ?(backend = Load_view.Indexed) m ~name ~d
+    ~choose : Allocator.t =
   let table : (Task.id, Task.t * Placement.t) Hashtbl.t = Hashtbl.create 64 in
-  let loads = Load_map.create m in
+  let loads = Load_view.create ~backend m in
   let active_size = ref 0 in
   let arrived_since_repack = ref 0 in
   let reallocs = ref 0 in
@@ -16,13 +17,13 @@ let create ?(probe = Probe.noop) m ~name ~d ~choose : Allocator.t =
     let _, packed = Repack.pack m (List.map fst actives) in
     incr reallocs;
     arrived_since_repack := 0;
-    Load_map.clear loads;
+    Load_view.clear loads;
     let moves =
       List.filter_map
         (fun ((t : Task.t), old_p) ->
           let new_p = Hashtbl.find packed t.id in
           Hashtbl.replace table t.id (t, new_p);
-          Load_map.add loads new_p.Placement.sub 1;
+          Load_view.add loads new_p.Placement.sub 1;
           if Placement.equal old_p new_p then None
           else Some { Allocator.task = t; from_ = old_p; to_ = new_p })
         actives
@@ -38,14 +39,14 @@ let create ?(probe = Probe.noop) m ~name ~d ~choose : Allocator.t =
     active_size := !active_size + task.size;
     let sub = choose loads ~order in
     Hashtbl.replace table task.id (task, Placement.direct sub);
-    Load_map.add loads sub 1;
+    Load_view.add loads sub 1;
     let budget_open =
       match threshold with
       | Some limit -> !arrived_since_repack >= limit
       | None -> false
     in
     let above_optimal =
-      Load_map.max_overall loads > Pmp_util.Pow2.ceil_div !active_size n
+      Load_view.max_overall loads > Pmp_util.Pow2.ceil_div !active_size n
     in
     let moves =
       if budget_open && above_optimal then
@@ -63,7 +64,7 @@ let create ?(probe = Probe.noop) m ~name ~d ~choose : Allocator.t =
     match Hashtbl.find_opt table id with
     | None -> invalid_arg (name ^ ".remove: unknown task")
     | Some (task, p) ->
-        Load_map.add loads p.Placement.sub (-1);
+        Load_view.add loads p.Placement.sub (-1);
         active_size := !active_size - task.Task.size;
         Hashtbl.remove table id
   in

@@ -1,9 +1,10 @@
 (** Shared skeleton for allocators that combine an arbitrary online
     placement rule with lazily-spent reallocation budget.
 
-    The skeleton owns the task table, a {!Pmp_machine.Load_map}, and
-    the budget accounting; the placement rule only picks a submachine
-    for each arriving order given the current loads. Whenever an
+    The skeleton owns the task table, a {!Pmp_index.Load_view} (the
+    load-indexed machine view, backend selectable), and the budget
+    accounting; the placement rule only picks a submachine for each
+    arriving order given the current loads. Whenever an
     arrival leaves the machine above the instantaneous optimum
     [ceil(S/N)] {e and} the cumulative arrival volume since the last
     repack has reached [d * N], every active task is repacked with
@@ -17,11 +18,11 @@
 
 val create :
   ?probe:Pmp_telemetry.Probe.t ->
+  ?backend:Pmp_index.Load_view.backend ->
   Pmp_machine.Machine.t ->
   name:string ->
   d:Realloc.t ->
-  choose:
-    (Pmp_machine.Load_map.t -> order:int -> Pmp_machine.Submachine.t) ->
+  choose:(Pmp_index.Load_view.t -> order:int -> Pmp_machine.Submachine.t) ->
   Allocator.t
 (** [choose loads ~order] must return a submachine of size [2{^order}]
     inside the machine; the skeleton handles everything else. [?probe]

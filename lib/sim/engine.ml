@@ -21,15 +21,16 @@ type result = {
   tasks_moved : int;
   migration_traffic : int;
   final_leaf_loads : int array;
+  final_imbalance : float;
 }
 
-let run ?(check = false) ?oracle ?cost ?(telemetry = Probe.noop)
+let run ?(check = false) ?backend ?oracle ?cost ?(telemetry = Probe.noop)
     (alloc : Allocator.t) seq =
   let n = Machine.size alloc.machine in
   if not (Sequence.fits seq ~machine_size:n) then
     invalid_arg "Engine.run: sequence has tasks larger than the machine";
   let events = Sequence.events seq in
-  let mirror = Mirror.create alloc.machine in
+  let mirror = Mirror.create ?backend alloc.machine in
   let observer = Option.map (fun spec -> Oracle.Observer.create spec alloc) oracle in
   (* [""] = no oracle, ["ok"] = audited and passed; a violation emits
      its trace record (so the trace's last line carries the verdict)
@@ -149,6 +150,7 @@ let run ?(check = false) ?oracle ?cost ?(telemetry = Probe.noop)
     tasks_moved = !tasks_moved;
     migration_traffic = !traffic;
     final_leaf_loads = Mirror.leaf_loads mirror;
+    final_imbalance = Mirror.imbalance mirror;
   }
 
 let max_ratio_over_time r =

@@ -22,10 +22,16 @@ type result = {
   tasks_moved : int;
   migration_traffic : int;  (** per the cost model; 0 when none given *)
   final_leaf_loads : int array;
+  final_imbalance : float;
+      (** max PE load / mean PE load at the final state, sampled O(1)
+          from the mirror's load index; [nan] when all-idle *)
 }
 
 val run :
-  ?check:bool -> ?oracle:Pmp_oracle.Oracle.spec -> ?cost:Cost.t ->
+  ?check:bool ->
+  ?backend:Pmp_index.Load_view.backend ->
+  ?oracle:Pmp_oracle.Oracle.spec ->
+  ?cost:Cost.t ->
   ?telemetry:Pmp_telemetry.Probe.t ->
   Pmp_core.Allocator.t -> Pmp_workload.Sequence.t -> result
 (** Run a {e fresh} allocator over the sequence from its beginning.
@@ -34,6 +40,9 @@ val run :
     structural invariants, failing fast on the first violation (use
     {!Pmp_oracle.Oracle.check} instead when a shrunk counterexample is
     wanted — the engine cannot replay the allocator from scratch).
+    [?backend] selects the mirror's load-accounting implementation
+    ([Checked] cross-checks every load sample against the naive scan —
+    the [--check=index] mode).
     With [~telemetry] (default {!Pmp_telemetry.Probe.noop}) every
     event updates the probe's counters/gauges/histograms and span
     timers and, when the probe carries a tracer, emits one structured

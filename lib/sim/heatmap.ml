@@ -24,13 +24,23 @@ let sample ?(rows = 24) ?(cols = 64) (alloc : Pmp_core.Allocator.t) seq =
   let mirror = Mirror.create alloc.machine in
   let sampled = ref [] in
   let snapshot () =
-    let leaf = Mirror.leaf_loads mirror in
-    let row = Array.make n_cols 0 in
-    Array.iteri
-      (fun i load ->
-        let c = i / pes_per_col in
-        if load > row.(c) then row.(c) <- load)
-      leaf;
+    let row =
+      (* a power-of-two column width makes each column an aligned
+         window, so the row is one indexed max-per-window sweep *)
+      if Pmp_util.Pow2.is_pow2 pes_per_col && pes_per_col <= n then
+        Mirror.loads_at_order mirror
+          ~order:(Pmp_util.Pow2.ilog2 pes_per_col)
+      else begin
+        let leaf = Mirror.leaf_loads mirror in
+        let row = Array.make n_cols 0 in
+        Array.iteri
+          (fun i load ->
+            let c = i / pes_per_col in
+            if load > row.(c) then row.(c) <- load)
+          leaf;
+        row
+      end
+    in
     sampled := row :: !sampled
   in
   Array.iteri

@@ -11,18 +11,16 @@ type summary = {
 
 let summarize (r : Engine.result) =
   let traj = Array.map float_of_int r.load_trajectory in
-  let leafs = Array.map float_of_int r.final_leaf_loads in
-  let mean_leaf = Stats.mean leafs in
-  let max_leaf = if Array.length leafs = 0 then 0.0 else Array.fold_left max 0.0 leafs in
   {
     max_load = r.max_load;
     mean_load = Stats.mean traj;
     p99_load = (if Array.length traj = 0 then 0.0 else Stats.percentile traj 99.0);
     max_ratio = Engine.max_ratio_over_time r;
     end_ratio = r.ratio;
-    (* an all-idle machine has no imbalance to speak of — nan, not a
-       silent "perfectly balanced" 1.0 *)
-    imbalance = (if mean_leaf <= 0.0 then Float.nan else max_leaf /. mean_leaf);
+    (* O(1) from the mirror's load index; an all-idle machine has no
+       imbalance to speak of — nan, not a silent "perfectly balanced"
+       1.0 *)
+    imbalance = r.final_imbalance;
   }
 
 let fragmentation (r : Engine.result) =

@@ -17,6 +17,7 @@ type result = {
   migration_traffic : int;
   total_downtime : float;
   availability : float;
+  final_imbalance : float;
 }
 
 let run ?cost ?(bandwidth = infinity) ?(telemetry = Probe.noop)
@@ -105,4 +106,5 @@ let run ?cost ?(bandwidth = infinity) ?(telemetry = Probe.noop)
     availability =
       (if duration <= 0.0 then 1.0
        else max 0.0 (1.0 -. (!downtime /. duration)));
+    final_imbalance = Mirror.imbalance mirror;
   }

@@ -26,6 +26,9 @@ type result = {
   migration_traffic : int;
   total_downtime : float;
   availability : float;  (** [1 - downtime/duration]; 1.0 if duration 0 *)
+  final_imbalance : float;
+      (** max PE load / mean PE load at the final state, sampled O(1)
+          from the mirror's load index; [nan] when all-idle *)
 }
 
 val run :

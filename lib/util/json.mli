@@ -1,0 +1,37 @@
+(** Minimal JSON round-tripping for the bench harness's regression
+    baselines. Not a general-purpose JSON library: numbers are floats,
+    \u escapes above U+00FF are lossy, and there is no streaming. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val of_file : string -> t
+(** @raise Parse_error on malformed input.
+    @raise Sys_error when the file cannot be read. *)
+
+val to_string : ?indent:int -> t -> string
+(** [indent = 0] (the default) prints compactly on one line. *)
+
+val to_file : ?indent:int -> string -> t -> unit
+(** Pretty-prints (2-space indent by default) plus a trailing
+    newline. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] when absent or not an object. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [None] unless the number is integral. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -9,7 +9,30 @@ module Task = Pmp_workload.Task
 module Event = Pmp_workload.Event
 module Sequence = Pmp_workload.Sequence
 
-let qtests cases = List.map QCheck_alcotest.to_alcotest cases
+(* One PRNG seed for the whole qcheck layer, resolved once: QCHECK_SEED
+   pins it (CI sets QCHECK_SEED=42 so every run explores the same
+   cases), otherwise a fresh seed is drawn and printed for replay.
+   Each property gets its own state from the seed, so pinning is
+   independent of suite order. *)
+let qcheck_seed =
+  lazy
+    (let seed =
+       match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+       | Some s -> s
+       | None ->
+           Random.self_init ();
+           Random.int 1_000_000_000
+     in
+     Printf.printf "qcheck seed: %d (set QCHECK_SEED to pin)\n%!" seed;
+     seed)
+
+let qtests cases =
+  List.map
+    (fun c ->
+      QCheck_alcotest.to_alcotest
+        ~rand:(Random.State.make [| Lazy.force qcheck_seed |])
+        c)
+    cases
 
 (* Run a seeded boolean property, logging the splitmix64 seed whenever
    it fails or raises. qcheck prints its own counterexample, but that

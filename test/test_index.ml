@@ -1,0 +1,258 @@
+(* The load index (lib/index) against three references: hand-computed
+   fixtures for the lazy-propagation edge cases, the Load_map scan
+   (whose left-to-right DFS defines the leftmost tie-break the paper's
+   A_G depends on), and the naive per-PE table. *)
+
+module Machine = Pmp_machine.Machine
+module Sub = Pmp_machine.Submachine
+module Load_map = Pmp_machine.Load_map
+module Index = Pmp_index.Load_index
+module View = Pmp_index.Load_view
+module Sm = Pmp_prng.Splitmix64
+
+let sub m ~order ~index = Sub.make m ~order ~index
+
+(* --- unit fixtures ------------------------------------------------ *)
+
+let test_empty () =
+  let m = Machine.create 8 in
+  let ix = Index.create m in
+  Alcotest.(check int) "max 0" 0 (Index.max_load ix);
+  Alcotest.(check int) "total 0" 0 (Index.total_load ix);
+  Alcotest.(check (array int)) "all zero" (Array.make 8 0) (Index.leaf_loads ix);
+  Alcotest.(check bool) "imbalance nan" true
+    (Float.is_nan (Index.imbalance ix))
+
+let test_leftmost_tie_break () =
+  let m = Machine.create 8 in
+  let ix = Index.create m in
+  (* all zero: every order ties, index 0 must win *)
+  for order = 0 to 3 do
+    let _, s = Index.min_load_subtree ix ~order in
+    Alcotest.(check int)
+      (Printf.sprintf "all-zero tie at order %d" order)
+      0 (Sub.index s)
+  done;
+  (* load the left half: right half ties with itself, leftmost of the
+     right-half minima wins at each order *)
+  Index.range_add ix (sub m ~order:2 ~index:0) 2;
+  Index.range_add ix (sub m ~order:2 ~index:1) 1;
+  let v, s = Index.min_load_subtree ix ~order:1 in
+  Alcotest.(check int) "value" 1 v;
+  Alcotest.(check int) "leftmost of tied minima" 2 (Sub.index s);
+  (* and it matches the scan's DFS choice exactly *)
+  let lm = Load_map.create m in
+  Load_map.add lm (sub m ~order:2 ~index:0) 2;
+  Load_map.add lm (sub m ~order:2 ~index:1) 1;
+  let v', s' = Load_map.min_max_at_order lm 1 in
+  Alcotest.(check int) "scan value" v' v;
+  Alcotest.(check int) "scan index" (Sub.index s') (Sub.index s)
+
+let test_full_range_add () =
+  (* a whole-machine range add is pure lazy state at the root: every
+     query must still see it, at every order *)
+  let m = Machine.create 16 in
+  let ix = Index.create m in
+  Index.range_add ix (sub m ~order:0 ~index:3) 5;
+  Index.range_add ix (sub m ~order:4 ~index:0) 7;
+  Alcotest.(check int) "max = 12" 12 (Index.max_load ix);
+  for order = 0 to 4 do
+    let v, s = Index.min_load_subtree ix ~order in
+    let expect = if order = 4 then 12 else 7 in
+    Alcotest.(check int) (Printf.sprintf "min at order %d" order) expect v;
+    (* leaf 3 carries the +5, so below order 2 the leftmost window
+       avoiding it is index 0; at orders 2 and 3 every index-0 window
+       contains it and index 1 wins *)
+    let expect_idx = if order >= 2 then 1 else 0 in
+    if order < 4 then
+      Alcotest.(check int)
+        (Printf.sprintf "argmin at order %d" order)
+        expect_idx (Sub.index s)
+  done;
+  Index.range_add ix (sub m ~order:4 ~index:0) (-7);
+  Alcotest.(check int) "lifted" 5 (Index.max_load ix);
+  Alcotest.(check (array int)) "leaf view"
+    (Array.init 16 (fun i -> if i = 3 then 5 else 0))
+    (Index.leaf_loads ix)
+
+let test_single_leaf_windows () =
+  (* order-0 windows: min_load_subtree must find the exact leftmost
+     least-loaded PE even when the loads come from coarser range adds *)
+  let m = Machine.create 8 in
+  let ix = Index.create m in
+  Index.range_add ix (sub m ~order:3 ~index:0) 1;
+  Index.range_add ix (sub m ~order:1 ~index:0) 1;
+  Index.range_add ix (sub m ~order:0 ~index:5) 3;
+  let v, s = Index.min_load_subtree ix ~order:0 in
+  Alcotest.(check int) "min leaf load" 1 v;
+  Alcotest.(check int) "leftmost min leaf" 2 (Sub.index s);
+  Alcotest.(check int) "leaf 5 stacked" 4 (Index.leaf_load ix 5);
+  Alcotest.(check int) "max_load_in singleton" 4
+    (Index.max_load_in ix (sub m ~order:0 ~index:5))
+
+let test_n1_machine () =
+  let m = Machine.create 1 in
+  let ix = Index.create m in
+  Index.range_add ix (sub m ~order:0 ~index:0) 2;
+  Alcotest.(check int) "max" 2 (Index.max_load ix);
+  let v, s = Index.min_load_subtree ix ~order:0 in
+  Alcotest.(check int) "min" 2 v;
+  Alcotest.(check int) "index" 0 (Sub.index s)
+
+let test_clear () =
+  let m = Machine.create 8 in
+  let ix = Index.create m in
+  Index.range_add ix (sub m ~order:1 ~index:2) 4;
+  Index.range_add ix (sub m ~order:3 ~index:0) 1;
+  Index.clear ix;
+  Alcotest.(check int) "max 0" 0 (Index.max_load ix);
+  Alcotest.(check int) "total 0" 0 (Index.total_load ix);
+  Alcotest.(check (array int)) "zero" (Array.make 8 0) (Index.leaf_loads ix)
+
+let test_imbalance () =
+  let m = Machine.create 4 in
+  let ix = Index.create m in
+  Index.range_add ix (sub m ~order:2 ~index:0) 3;
+  Alcotest.(check (float 1e-9)) "uniform" 1.0 (Index.imbalance ix);
+  Index.range_add ix (sub m ~order:0 ~index:0) 1;
+  (* loads 4,3,3,3: max 4, mean 13/4 *)
+  Alcotest.(check (float 1e-9)) "skewed" (4.0 /. (13.0 /. 4.0))
+    (Index.imbalance ix)
+
+(* --- differential properties -------------------------------------- *)
+
+(* random aligned add/undo/clear traffic: an op either places one unit
+   of load on a random aligned window, removes a previously placed
+   one, or (rarely) clears everything *)
+let apply_ops ~levels ~seed ~steps f =
+  let g = Sm.create seed in
+  let placed = ref [] and count = ref 0 in
+  for _ = 1 to steps do
+    let roll = Sm.int g 10 in
+    if roll = 9 then begin
+      placed := [];
+      f `Clear
+    end
+    else if roll >= 6 && !placed <> [] then begin
+      let arr = Array.of_list !placed in
+      let i = Sm.int g (Array.length arr) in
+      let s = arr.(i) in
+      placed := List.filteri (fun j _ -> j <> i) !placed;
+      f (`Remove s)
+    end
+    else begin
+      let order = Sm.int g (levels + 1) in
+      let index = Sm.int g (1 lsl (levels - order)) in
+      incr count;
+      placed := (order, index) :: !placed;
+      f (`Add (order, index))
+    end
+  done
+
+let prop_index_matches_scan (levels, seed, steps) =
+  let n = 1 lsl levels in
+  let m = Machine.create n in
+  let ix = Index.create m in
+  let lm = Load_map.create m in
+  let g = Sm.create (seed lxor 0x5bf03635) in
+  let ok = ref true in
+  apply_ops ~levels ~seed ~steps (fun op ->
+      begin
+        match op with
+        | `Add (order, index) ->
+            Index.range_add ix (sub m ~order ~index) 1;
+            Load_map.add lm (sub m ~order ~index) 1
+        | `Remove (order, index) ->
+            Index.range_add ix (sub m ~order ~index) (-1);
+            Load_map.add lm (sub m ~order ~index) (-1)
+        | `Clear ->
+            Index.clear ix;
+            Load_map.clear lm
+      end;
+      if Index.max_load ix <> Load_map.max_overall lm then ok := false;
+      (* one random-order min-of-max per op: value AND leftmost window *)
+      let order = Sm.int g (levels + 1) in
+      let v, s = Index.min_load_subtree ix ~order in
+      let v', s' = Load_map.min_max_at_order lm order in
+      if v <> v' || Sub.index s <> Sub.index s' then ok := false);
+  !ok
+  && Index.leaf_loads ix = Load_map.leaf_loads lm
+  && Index.total_load ix = Array.fold_left ( + ) 0 (Load_map.leaf_loads lm)
+
+let prop_checked_view_no_divergence (levels, seed, steps) =
+  let n = 1 lsl levels in
+  let m = Machine.create n in
+  let lv = View.create ~backend:View.Checked m in
+  let g = Sm.create (seed lxor 0x2c1b3c6d) in
+  (* every query below runs on both backends inside the view and
+     raises Divergence on mismatch — the property is "it returns" *)
+  apply_ops ~levels ~seed ~steps (fun op ->
+      begin
+        match op with
+        | `Add (order, index) -> View.add lv (sub m ~order ~index) 1
+        | `Remove (order, index) -> View.add lv (sub m ~order ~index) (-1)
+        | `Clear -> View.clear lv
+      end;
+      ignore (View.max_overall lv);
+      ignore (View.min_max_at_order lv (Sm.int g (levels + 1)));
+      ignore (View.leaf_load lv (Sm.int g n));
+      ignore (View.imbalance lv));
+  ignore (View.loads_at_order lv (Sm.int g (levels + 1)));
+  ignore (View.leaf_loads lv);
+  true
+
+let prop_greedy_backends_agree (levels, seed, steps) =
+  (* the allocator-level statement: greedy on the index places every
+     task exactly where greedy on the scan does *)
+  let n = 1 lsl levels in
+  let m1 = Machine.create n and m2 = Machine.create n in
+  let a1 = Pmp_core.Greedy.create ~backend:View.Indexed m1 in
+  let a2 = Pmp_core.Greedy.create ~backend:View.Scan m2 in
+  let seq = Helpers.random_sequence ~seed ~machine_size:n ~steps in
+  let ok = ref true in
+  List.iter
+    (fun (ev : Pmp_workload.Event.t) ->
+      match ev with
+      | Arrive task ->
+          let r1 = a1.Pmp_core.Allocator.assign task in
+          let r2 = a2.Pmp_core.Allocator.assign task in
+          if
+            not
+              (Pmp_core.Placement.equal r1.Pmp_core.Allocator.placement
+                 r2.Pmp_core.Allocator.placement)
+          then ok := false
+      | Depart id ->
+          a1.Pmp_core.Allocator.remove id;
+          a2.Pmp_core.Allocator.remove id)
+    (Pmp_workload.Sequence.to_list seq);
+  !ok
+
+(* big-machine spot check: N = 2^16, fewer qcheck cases *)
+let prop_large_machine seed =
+  prop_index_matches_scan (16, seed, 60)
+
+let qsuite =
+  let params = Helpers.seq_params ~max_levels:8 ~max_steps:120 () in
+  [
+    QCheck.Test.make ~count:80 ~name:"index = scan (value and argmin)" params
+      prop_index_matches_scan;
+    QCheck.Test.make ~count:60 ~name:"checked view never diverges" params
+      prop_checked_view_no_divergence;
+    QCheck.Test.make ~count:60 ~name:"greedy: indexed = scan placements" params
+      prop_greedy_backends_agree;
+    QCheck.Test.make ~count:6 ~name:"index = scan at N=65536"
+      QCheck.(make ~print:string_of_int Gen.(int_range 0 1_000_000))
+      prop_large_machine;
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "leftmost tie-break" `Quick test_leftmost_tie_break;
+    Alcotest.test_case "full-range lazy add" `Quick test_full_range_add;
+    Alcotest.test_case "single-leaf windows" `Quick test_single_leaf_windows;
+    Alcotest.test_case "N=1 machine" `Quick test_n1_machine;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "imbalance" `Quick test_imbalance;
+  ]
+  @ Helpers.qtests qsuite
