@@ -7,7 +7,9 @@
      pmp gen       generate a workload trace file
      pmp replay    run an allocator over a saved trace
      pmp profile   describe a workload or trace
-     pmp bounds    print the paper's bounds for a machine size *)
+     pmp bounds    print the paper's bounds for a machine size
+     pmp serve     run the durable allocation daemon (pmpd)
+     pmp client    drive a running daemon over its wire protocol *)
 
 open Cmdliner
 
@@ -331,17 +333,7 @@ let console_cmd =
   let action machine_size alloc_name d_str cap =
     let* _ = Builders.machine machine_size in
     let* d = Builders.parse_d d_str in
-    let* policy =
-      match alloc_name with
-      | "greedy" -> Ok Pmp_cluster.Cluster.Greedy
-      | "copies" -> Ok Pmp_cluster.Cluster.Copies
-      | "optimal" -> Ok Pmp_cluster.Cluster.Optimal
-      | "periodic" -> Ok (Pmp_cluster.Cluster.Periodic d)
-      | "hybrid" -> Ok (Pmp_cluster.Cluster.Hybrid d)
-      | "randomized" -> Ok (Pmp_cluster.Cluster.Randomized 42)
-      | other ->
-          Error (`Msg (Printf.sprintf "console does not support allocator %S" other))
-    in
+    let* policy = Builders.cluster_policy alloc_name ~d ~seed:42 in
     let* cluster =
       Result.map_error
         (fun e -> `Msg e)
@@ -408,6 +400,178 @@ let console_cmd =
   Cmd.v
     (Cmd.info "console"
        ~doc:"Drive a live cluster from stdin (submit/finish/stats).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* pmpd: the durable allocation daemon and its client                  *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path to listen on (or connect to)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let host_arg =
+  let doc = "TCP address to listen on (or connect to)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let port_arg =
+  let doc = "TCP port to listen on (or connect to); 0 picks a free port." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let dir_arg =
+    let doc = "State directory for the WAL and snapshots (created)." in
+    Arg.(value & opt string "pmpd-state" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let cap_arg =
+    let doc =
+      "Admission capacity as a multiple of N (omit for the paper's real-time \
+       model)."
+    in
+    Arg.(value & opt (some float) None & info [ "cap" ] ~docv:"X" ~doc)
+  in
+  let fsync_arg =
+    let doc = "fsync the WAL every $(docv) mutations (0 disables fsync)." in
+    Arg.(value & opt int 1 & info [ "fsync-every" ] ~docv:"K" ~doc)
+  in
+  let snapshot_arg =
+    let doc = "Write a snapshot every $(docv) mutations (0 = on demand only)." in
+    Arg.(value & opt int 1024 & info [ "snapshot-every" ] ~docv:"K" ~doc)
+  in
+  let crash_arg =
+    let doc =
+      "Crash-injection test mode: raise a hard crash right after the \
+       $(docv)-th accepted mutation reaches the WAL (its response is never \
+       sent). The process exits with status 42; restarting against the same \
+       --dir must recover the exact pre-crash state."
+    in
+    Arg.(value & opt (some int) None & info [ "crash-after" ] ~docv:"K" ~doc)
+  in
+  let max_pending_arg =
+    let doc =
+      "Backpressure: requests parsed per connection per batch round."
+    in
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"K" ~doc)
+  in
+  let action machine_size alloc_name d_str seed cap dir socket host port
+      fsync_every snapshot_every crash_after max_pending =
+    let* _ = Builders.machine machine_size in
+    let* d = Builders.parse_d d_str in
+    let* policy = Builders.cluster_policy alloc_name ~d ~seed in
+    if max_pending < 1 then Error (`Msg "--max-pending must be at least 1")
+    else begin
+      let config =
+        {
+          Pmp_server.Server.machine_size;
+          policy;
+          admission_cap = cap;
+          dir;
+          fsync_every;
+          snapshot_every;
+          crash_after;
+          loop = { Pmp_server.Loop.default_config with max_pending };
+        }
+      in
+      let* server =
+        Result.map_error (fun e -> `Msg e) (Pmp_server.Server.create config)
+      in
+      let socket =
+        match (socket, port) with
+        | None, None -> Some (Filename.concat dir "pmp.sock")
+        | _ -> socket
+      in
+      let listeners =
+        (match socket with
+        | Some path ->
+            Printf.printf "listening on unix socket %s\n%!" path;
+            [ Pmp_server.Server.listen_unix path ]
+        | None -> [])
+        @
+        match port with
+        | Some port ->
+            let fd, bound =
+              Pmp_server.Server.listen_tcp ~host ~port
+            in
+            Printf.printf "listening on %s:%d\n%!" host bound;
+            [ fd ]
+        | None -> []
+      in
+      if Pmp_server.Server.recovered_ops server > 0 then
+        Printf.printf "recovered %d WAL records (seq %d)\n%!"
+          (Pmp_server.Server.recovered_ops server)
+          (Pmp_server.Server.seq server);
+      match Pmp_server.Server.serve server ~listeners with
+      | () -> Ok ()
+      | exception Pmp_server.Server.Crash ->
+          prerr_endline "crash injection tripped";
+          exit 42
+    end
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ machine_arg $ alloc_arg $ d_arg $ seed_arg $ cap_arg
+       $ dir_arg $ socket_arg $ host_arg $ port_arg $ fsync_arg $ snapshot_arg
+       $ crash_arg $ max_pending_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run pmpd: the cluster as a durable network daemon (WAL + snapshots \
+          + crash recovery).")
+    term
+
+let client_cmd =
+  let json_arg =
+    let doc = "Print raw JSON response lines instead of rendering them." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let action socket host port json =
+    let* conn =
+      Result.map_error
+        (fun e -> `Msg e)
+        (match (socket, port) with
+        | Some path, None -> Pmp_server.Client.connect_unix path
+        | None, Some port -> Pmp_server.Client.connect_tcp ~host ~port
+        | Some _, Some _ -> Error "give either --socket or --port, not both"
+        | None, None -> Error "give --socket or --port")
+    in
+    let print_response resp =
+      if json then
+        print_endline (Pmp_server.Protocol.encode_response resp)
+      else print_endline (Pmp_server.Protocol.render_response resp)
+    in
+    let rec loop () =
+      match In_channel.input_line stdin with
+      | None -> Ok ()
+      | Some line -> (
+          match Pmp_server.Protocol.request_of_command line with
+          | `Blank -> loop ()
+          | `Quit -> Ok ()
+          | `Error e ->
+              Printf.printf "error: %s\n%!" e;
+              loop ()
+          | `Request req -> (
+              match Pmp_server.Client.request conn req with
+              | Ok resp ->
+                  print_response resp;
+                  if req = Pmp_server.Protocol.Shutdown then Ok () else loop ()
+              | Error e ->
+                  (* a crashed daemon shows up here as a closed socket *)
+                  Printf.printf "connection error: %s\n%!" e;
+                  Ok ()))
+    in
+    let r = loop () in
+    Pmp_server.Client.close conn;
+    r
+  in
+  let term =
+    Term.(term_result (const action $ socket_arg $ host_arg $ port_arg $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Drive a running pmpd from stdin (submit/finish/query/stats/loads/\
+          metrics/snapshot/shutdown).")
     term
 
 let adversary_cmd =
@@ -715,7 +879,7 @@ let () =
     Cmd.group info
       [
         run_cmd; sweep_cmd; adversary_cmd; gen_cmd; replay_cmd; profile_cmd;
-        console_cmd; chart_cmd; bounds_cmd;
+        console_cmd; serve_cmd; client_cmd; chart_cmd; bounds_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -62,6 +62,20 @@ let allocator ?probe ?backend name m ~d ~seed =
   | "worst-fit" -> Ok (Pmp_core.Baselines.worst_fit ?backend m)
   | other -> Error (`Msg (Printf.sprintf "unknown allocator %S" other))
 
+(* The subset of allocator names the long-lived Cluster facade (and so
+   the console and the pmpd daemon) can run as a policy. *)
+let cluster_policy name ~d ~seed =
+  match canonical name with
+  | "greedy" -> Ok Pmp_cluster.Cluster.Greedy
+  | "copies" -> Ok Pmp_cluster.Cluster.Copies
+  | "optimal" -> Ok Pmp_cluster.Cluster.Optimal
+  | "periodic" -> Ok (Pmp_cluster.Cluster.Periodic d)
+  | "hybrid" -> Ok (Pmp_cluster.Cluster.Hybrid d)
+  | "randomized" -> Ok (Pmp_cluster.Cluster.Randomized seed)
+  | other ->
+      Error
+        (`Msg (Printf.sprintf "allocator %S cannot run as a cluster policy" other))
+
 let workload_names =
   [
     "churn"; "bursty"; "sawtooth"; "fragmenting"; "staircase"; "arrivals";

@@ -31,6 +31,15 @@ val allocator :
     hybrid, rand-periodic); [?backend] into the load-view-based ones
     ([Checked] is the [--check=index] differential mode). *)
 
+val cluster_policy :
+  string ->
+  d:Pmp_core.Realloc.t ->
+  seed:int ->
+  Pmp_cluster.Cluster.policy result
+(** Resolve an allocator name (aliases included) to a {!Pmp_cluster}
+    policy — the subset of allocators a long-lived cluster (the
+    console and the pmpd daemon) can run. *)
+
 val workload_names : string list
 
 val workload :

@@ -23,6 +23,7 @@ type queued_task = { task : Task.t }
 
 type t = {
   machine : Machine.t;
+  policy : policy;
   alloc : Allocator.t;
   mirror : Mirror.t;
   capacity : int option;  (** PEs; [None] = unlimited (real-time model) *)
@@ -58,6 +59,7 @@ let create ~machine_size ~policy ?(admission_cap = None) () =
         Ok
           {
             machine;
+            policy;
             alloc = build_allocator policy machine;
             mirror = Mirror.create machine;
             capacity =
@@ -186,3 +188,87 @@ let machine_size t = Machine.size t.machine
 
 let history t =
   Pmp_workload.Sequence.of_events_exn (List.rev t.rev_history)
+
+let events t = List.rev t.rev_history
+
+let queued_tasks t =
+  List.rev
+    (Queue.fold
+       (fun acc q -> (q.task.Task.id, q.task.Task.size) :: acc)
+       [] t.queue)
+
+let next_id t = t.next_id
+let policy t = t.policy
+let admission_capacity t = t.capacity
+
+(* Rebuild a cluster from externalised state (snapshot + WAL replay).
+   The allocator, mirror, peak load and migration count are all
+   deterministic functions of the event history for a fixed policy, so
+   they are reconstructed by replaying the events through the same code
+   path live traffic took; only the queue and the submit/complete
+   counters (which queued cancellations decouple from the history) are
+   taken from the caller. *)
+let restore ~machine_size ~policy ?(admission_cap = None) ~events:evs ~queued
+    ~next_id ~submitted ~completed () =
+  let ( let* ) = Result.bind in
+  let* t = create ~machine_size ~policy ~admission_cap () in
+  let* seq = Pmp_workload.Sequence.of_events evs in
+  if not (Pmp_workload.Sequence.fits seq ~machine_size) then
+    Error "history contains a task larger than the machine"
+  else begin
+    List.iter
+      (fun ev ->
+        match ev with
+        | Pmp_workload.Event.Arrive task -> ignore (place t task)
+        | Pmp_workload.Event.Depart id ->
+            t.alloc.Allocator.remove id;
+            Mirror.apply_remove t.mirror id;
+            t.rev_history <- Pmp_workload.Event.Depart id :: t.rev_history)
+      evs;
+    let used = Hashtbl.create 64 in
+    List.iter
+      (function
+        | Pmp_workload.Event.Arrive task -> Hashtbl.replace used task.Task.id ()
+        | Pmp_workload.Event.Depart _ -> ())
+      evs;
+    let queued_ok =
+      List.for_all
+        (fun (id, size) ->
+          let fresh = id >= 0 && not (Hashtbl.mem used id) in
+          Hashtbl.replace used id ();
+          fresh && Pmp_util.Pow2.is_pow2 size && size <= machine_size
+          && match t.capacity with Some cap -> size <= cap | None -> true)
+        queued
+    in
+    if not queued_ok then Error "queued tasks are inconsistent with the history"
+    else if queued <> [] && t.capacity = None then
+      Error "queued tasks without an admission capacity"
+    else if Hashtbl.fold (fun id () acc -> max acc id) used (-1) >= next_id then
+      Error "next id collides with a used task id"
+    else begin
+      List.iter
+        (fun (id, size) ->
+          let task = Task.make ~id ~size in
+          Queue.push { task } t.queue;
+          Hashtbl.replace t.queued_ids id ())
+        queued;
+      let departed =
+        List.length
+          (List.filter
+             (function Pmp_workload.Event.Depart _ -> true | _ -> false)
+             evs)
+      in
+      if completed < departed then
+        Error "completed count below the departures in the history"
+      else if
+        submitted - completed
+        <> Mirror.num_active t.mirror + Queue.length t.queue
+      then Error "submitted/completed counters do not balance the live tasks"
+      else begin
+        t.next_id <- next_id;
+        t.submitted <- submitted;
+        t.completed <- completed;
+        Ok t
+      end
+    end
+  end

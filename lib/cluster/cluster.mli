@@ -78,6 +78,44 @@ val stats : t -> stats
 val leaf_loads : t -> int array
 val machine_size : t -> int
 
+val events : t -> Pmp_workload.Event.t list
+(** The allocator-visible history as a plain event list, oldest first —
+    the same events {!history} validates into a sequence. This is the
+    externalisable state: together with {!queued_tasks}, {!next_id} and
+    the submit/complete counters it determines the cluster exactly (see
+    {!restore}). *)
+
+val queued_tasks : t -> (Pmp_workload.Task.id * int) list
+(** Queued [(id, size)] pairs in FIFO admission order. *)
+
+val next_id : t -> int
+(** The id the next submission will receive. *)
+
+val policy : t -> policy
+
+val admission_capacity : t -> int option
+(** The capacity in PEs ([cap *. machine_size] truncated), or [None]
+    for the paper's unlimited real-time model. *)
+
+val restore :
+  machine_size:int ->
+  policy:policy ->
+  ?admission_cap:float option ->
+  events:Pmp_workload.Event.t list ->
+  queued:(Pmp_workload.Task.id * int) list ->
+  next_id:int ->
+  submitted:int ->
+  completed:int ->
+  unit ->
+  (t, string) result
+(** Rebuild a cluster from externalised state: replays [events] through
+    a fresh allocator of [policy] (allocator internals, mirror, peak
+    load and migration counters are deterministic functions of the
+    history), then re-enqueues [queued] and installs the counters.
+    Errors if the history is not a valid sequence, a queued task
+    collides with a history id or violates the admission rules, or the
+    counters do not balance the live tasks. *)
+
 val history : t -> Pmp_workload.Sequence.t
 (** The traffic the {e allocator} has seen so far — admissions as
     arrivals (in admission order, so queued tasks appear when they were

@@ -1,0 +1,47 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let of_fd fd =
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect sockaddr =
+  (* a server that died mid-conversation must read as an [Error], not
+     a fatal SIGPIPE on our next send *)
+  Loop.ignore_sigpipe ();
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket domain SOCK_STREAM 0 in
+  match Unix.connect fd sockaddr with
+  | () -> Ok (of_fd fd)
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+
+let connect_unix path = connect (Unix.ADDR_UNIX path)
+
+let connect_tcp ~host ~port =
+  match Unix.inet_addr_of_string host with
+  | addr -> connect (Unix.ADDR_INET (addr, port))
+  | exception Failure _ -> Error (Printf.sprintf "bad host %S" host)
+
+let send t req =
+  match
+    output_string t.oc (Protocol.encode_request req);
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | () -> Ok ()
+  | exception Sys_error e -> Error e
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let receive t =
+  match input_line t.ic with
+  | line -> Protocol.decode_response line
+  | exception End_of_file -> Error "connection closed"
+  | exception Sys_error e -> Error e
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let request t req =
+  match send t req with Ok () -> receive t | Error _ as e -> e
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

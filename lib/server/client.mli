@@ -1,0 +1,22 @@
+(** A blocking client for the {!Protocol}.
+
+    One socket, synchronous {!request} or pipelined {!send}/{!receive}
+    (the server answers strictly in order). Used by [pmp client], the
+    examples and the end-to-end tests. *)
+
+type t
+
+val connect_unix : string -> (t, string) result
+val connect_tcp : host:string -> port:int -> (t, string) result
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and wait for its response. *)
+
+val send : t -> Protocol.request -> (unit, string) result
+(** Queue a request without waiting (flushes the socket). *)
+
+val receive : t -> (Protocol.response, string) result
+(** Read the next response; [Error] on a closed connection — which is
+    how a client observes a mid-stream server crash. *)
+
+val close : t -> unit

@@ -1,0 +1,189 @@
+type config = { max_pending : int; max_out : int }
+
+let default_config = { max_pending = 64; max_out = 1 lsl 20 }
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;  (** bytes read, not yet split into lines *)
+  mutable lines : string list;  (** complete lines awaiting processing *)
+  out : Buffer.t;  (** responses not yet written *)
+  mutable eof : bool;  (** peer closed its write side *)
+}
+
+(* Split [inbuf] on newlines, appending complete lines to [c.lines]
+   and keeping the unterminated remainder buffered. *)
+let harvest_lines c =
+  let s = Buffer.contents c.inbuf in
+  match String.rindex_opt s '\n' with
+  | None -> ()
+  | Some last ->
+      let complete = String.sub s 0 last in
+      Buffer.clear c.inbuf;
+      Buffer.add_substring c.inbuf s (last + 1) (String.length s - last - 1);
+      let fresh = String.split_on_char '\n' complete in
+      c.lines <- c.lines @ fresh
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Writes to a peer that vanished must surface as EPIPE (handled
+   per-connection below), not kill the process. *)
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()
+
+let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
+    ~listeners ~handle () =
+  ignore_sigpipe ();
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let stopping = ref false in
+  let drop c =
+    close_quietly c.fd;
+    Hashtbl.remove conns c.fd
+  in
+  let read_chunk = Bytes.create 65536 in
+  let pump_reads ready =
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt conns fd with
+        | None -> ()
+        | Some c -> (
+            match Unix.read fd read_chunk 0 (Bytes.length read_chunk) with
+            | 0 -> c.eof <- true
+            | n ->
+                Buffer.add_subbytes c.inbuf read_chunk 0 n;
+                harvest_lines c
+            | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> drop c
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()))
+      ready
+  in
+  let pump_writes ready =
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt conns fd with
+        | None -> ()
+        | Some c when Buffer.length c.out = 0 -> ()
+        | Some c -> (
+            let s = Buffer.contents c.out in
+            match Unix.write_substring fd s 0 (String.length s) with
+            | n ->
+                Buffer.clear c.out;
+                Buffer.add_substring c.out s n (String.length s - n)
+            | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> drop c
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()))
+      ready
+  in
+  let process_batch () =
+    (* take up to [max_pending] buffered lines from every connection,
+       in connection order, and apply them as one batch *)
+    let batch = ref [] in
+    Hashtbl.iter
+      (fun _ c ->
+        let rec take k =
+          if k > 0 then begin
+            match c.lines with
+            | [] -> ()
+            | line :: rest ->
+                c.lines <- rest;
+                batch := (c, line) :: !batch;
+                take (k - 1)
+          end
+        in
+        take config.max_pending)
+      conns;
+    let batch = List.rev !batch in
+    if batch <> [] then begin
+      on_batch (List.length batch);
+      List.iter
+        (fun (c, line) ->
+          let reply =
+            match handle line with
+            | `Reply r -> r
+            | `Stop r ->
+                stopping := true;
+                r
+          in
+          Buffer.add_string c.out reply;
+          Buffer.add_char c.out '\n')
+        batch
+    end
+  in
+  let finally () =
+    List.iter close_quietly listeners;
+    Hashtbl.iter (fun fd _ -> close_quietly fd) conns
+  in
+  Fun.protect ~finally (fun () ->
+      let listeners_open = ref true in
+      let rec go () =
+        process_batch ();
+        if !stopping && !listeners_open then begin
+          List.iter close_quietly listeners;
+          listeners_open := false
+        end;
+        (* drop connections that are fully drained and finished *)
+        let finished =
+          Hashtbl.fold
+            (fun _ c acc ->
+              if
+                Buffer.length c.out = 0 && c.lines = []
+                && (c.eof || !stopping)
+              then c :: acc
+              else acc)
+            conns []
+        in
+        List.iter drop finished;
+        if !stopping && Hashtbl.length conns = 0 then ()
+        else begin
+          let pending_lines =
+            Hashtbl.fold (fun _ c acc -> acc || c.lines <> []) conns false
+          in
+          let read_fds =
+            (if !listeners_open then listeners else [])
+            @ Hashtbl.fold
+                (fun fd c acc ->
+                  if
+                    (not c.eof) && (not !stopping)
+                    && Buffer.length c.out <= config.max_out
+                  then fd :: acc
+                  else acc)
+                conns []
+          in
+          let write_fds =
+            Hashtbl.fold
+              (fun fd c acc ->
+                if Buffer.length c.out > 0 then fd :: acc else acc)
+              conns []
+          in
+          if read_fds = [] && write_fds = [] && not pending_lines then ()
+          else begin
+            let timeout = if pending_lines then 0.0 else -1.0 in
+            let readable, writable, _ =
+              try Unix.select read_fds write_fds [] timeout
+              with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+            in
+            List.iter
+              (fun fd ->
+                if List.memq fd listeners then begin
+                  match Unix.accept fd with
+                  | client, _ ->
+                      Unix.set_nonblock client;
+                      on_accept ();
+                      Hashtbl.replace conns client
+                        {
+                          fd = client;
+                          inbuf = Buffer.create 256;
+                          lines = [];
+                          out = Buffer.create 256;
+                          eof = false;
+                        }
+                  | exception Unix.Unix_error _ -> ()
+                end)
+              readable;
+            pump_reads
+              (List.filter (fun fd -> not (List.memq fd listeners)) readable);
+            pump_writes writable;
+            go ()
+          end
+        end
+      in
+      go ())

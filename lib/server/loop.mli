@@ -1,0 +1,50 @@
+(** A single-threaded [Unix.select] event loop over line-delimited
+    streams.
+
+    The loop owns a set of pre-bound listening sockets (TCP and/or
+    Unix-domain — it never binds anything itself) and any number of
+    accepted connections, each with its own read buffer and pending
+    output. Requests are drained in {e batches}: every select round
+    harvests all complete lines currently buffered across all
+    connections, applies them in arrival order through [handle], and
+    queues the responses — so a burst of pipelined or concurrent
+    clients costs one round, not one syscall wakeup per request.
+
+    Backpressure is applied per connection on both sides: at most
+    [max_pending] requests are parsed from one connection per round
+    (excess stays in its buffer), and a connection whose unsent output
+    exceeds [max_out] bytes is removed from the read set until the
+    client drains it. Neither cap drops data.
+
+    [handle] returning [`Stop reply] (the [shutdown] op) makes this the
+    final round: listeners close, every queued response is flushed, and
+    [run] returns. Exceptions from [handle] (notably the server's
+    crash-injection trip) propagate immediately, abandoning all
+    buffers — exactly the crash semantics the WAL is there to cover. *)
+
+type config = {
+  max_pending : int;  (** requests parsed per connection per round *)
+  max_out : int;  (** bytes of queued output that pause reading *)
+}
+
+val default_config : config
+(** [max_pending = 64], [max_out = 1 lsl 20]. *)
+
+val ignore_sigpipe : unit -> unit
+(** Set [SIGPIPE] to ignore (no-op where unsupported). {!run} and the
+    {!Client} call this themselves. *)
+
+val run :
+  ?config:config ->
+  ?on_accept:(unit -> unit) ->
+  ?on_batch:(int -> unit) ->
+  listeners:Unix.file_descr list ->
+  handle:(string -> [ `Reply of string | `Stop of string ]) ->
+  unit ->
+  unit
+(** Serve until [`Stop]. Closes the listeners and every connection
+    before returning (also on exception). Lines handed to [handle]
+    have the trailing newline stripped; replies must not contain
+    newlines (one is appended on the wire). [SIGPIPE] is set to ignore
+    for the process, so writes to vanished peers surface as [EPIPE]
+    and drop only that connection. *)

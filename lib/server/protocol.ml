@@ -1,0 +1,273 @@
+module Json = Pmp_util.Json
+module Cluster = Pmp_cluster.Cluster
+
+type placement = { base : int; size : int; copy : int }
+
+type request =
+  | Submit of int
+  | Finish of int
+  | Query of int
+  | Stats
+  | Loads
+  | Metrics
+  | Snapshot
+  | Ping
+  | Shutdown
+
+let is_mutation = function
+  | Submit _ | Finish _ -> true
+  | Query _ | Stats | Loads | Metrics | Snapshot | Ping | Shutdown -> false
+
+type task_state = Active of placement | Queued_task | Unknown
+
+type response =
+  | Placed of int * placement
+  | Queued of int
+  | Finished
+  | State of int * task_state
+  | Stats_reply of Cluster.stats
+  | Loads_reply of int array
+  | Metrics_reply of string
+  | Snapshot_reply of string
+  | Pong
+  | Bye
+  | Error of string
+
+let placement_of_core (p : Pmp_core.Placement.t) =
+  {
+    base = Pmp_machine.Submachine.first_leaf p.Pmp_core.Placement.sub;
+    size = Pmp_machine.Submachine.size p.Pmp_core.Placement.sub;
+    copy = p.Pmp_core.Placement.copy;
+  }
+
+let num n = Json.Num (float_of_int n)
+
+let encode_request = function
+  | Submit size -> Json.to_string (Json.Obj [ ("op", Json.Str "submit"); ("size", num size) ])
+  | Finish id -> Json.to_string (Json.Obj [ ("op", Json.Str "finish"); ("id", num id) ])
+  | Query id -> Json.to_string (Json.Obj [ ("op", Json.Str "query"); ("id", num id) ])
+  | Stats -> {|{"op": "stats"}|}
+  | Loads -> {|{"op": "loads"}|}
+  | Metrics -> {|{"op": "metrics"}|}
+  | Snapshot -> {|{"op": "snapshot"}|}
+  | Ping -> {|{"op": "ping"}|}
+  | Shutdown -> {|{"op": "shutdown"}|}
+
+(* Field accessors that fail as [Error] rather than raising: the
+   server feeds these raw network bytes. *)
+let parse line =
+  match Json.of_string line with
+  | v -> Ok v
+  | exception Json.Parse_error e -> Result.Error ("bad json: " ^ e)
+
+let int_field v name =
+  match Option.bind (Json.member name v) Json.to_int with
+  | Some n -> Ok n
+  | None -> Result.Error (Printf.sprintf "missing integer field %S" name)
+
+let str_field v name =
+  match Option.bind (Json.member name v) Json.to_str with
+  | Some s -> Ok s
+  | None -> Result.Error (Printf.sprintf "missing string field %S" name)
+
+let ( let* ) = Result.bind
+
+let decode_request line =
+  let* v = parse line in
+  let* op = str_field v "op" in
+  match op with
+  | "submit" ->
+      let* size = int_field v "size" in
+      Ok (Submit size)
+  | "finish" ->
+      let* id = int_field v "id" in
+      Ok (Finish id)
+  | "query" ->
+      let* id = int_field v "id" in
+      Ok (Query id)
+  | "stats" -> Ok Stats
+  | "loads" -> Ok Loads
+  | "metrics" -> Ok Metrics
+  | "snapshot" -> Ok Snapshot
+  | "ping" -> Ok Ping
+  | "shutdown" -> Ok Shutdown
+  | other -> Result.Error (Printf.sprintf "unknown op %S" other)
+
+let ok_fields status rest =
+  Json.Obj (("ok", Json.Bool true) :: ("status", Json.Str status) :: rest)
+
+let placement_fields p =
+  [ ("base", num p.base); ("size", num p.size); ("copy", num p.copy) ]
+
+let stats_fields (s : Cluster.stats) =
+  [
+    ("submitted", num s.Cluster.submitted);
+    ("completed", num s.Cluster.completed);
+    ("queued_now", num s.Cluster.queued_now);
+    ("active_now", num s.Cluster.active_now);
+    ("active_size", num s.Cluster.active_size);
+    ("max_load", num s.Cluster.max_load);
+    ("peak_load", num s.Cluster.peak_load);
+    ("optimal_now", num s.Cluster.optimal_now);
+    ("reallocations", num s.Cluster.reallocations);
+    ("tasks_migrated", num s.Cluster.tasks_migrated);
+  ]
+
+let encode_response r =
+  Json.to_string
+    (match r with
+    | Placed (id, p) -> ok_fields "placed" (("id", num id) :: placement_fields p)
+    | Queued id -> ok_fields "queued" [ ("id", num id) ]
+    | Finished -> ok_fields "finished" []
+    | State (id, st) ->
+        ok_fields "state"
+          (("id", num id)
+          ::
+          (match st with
+          | Active p -> ("state", Json.Str "active") :: placement_fields p
+          | Queued_task -> [ ("state", Json.Str "queued") ]
+          | Unknown -> [ ("state", Json.Str "unknown") ]))
+    | Stats_reply s -> ok_fields "stats" (stats_fields s)
+    | Loads_reply loads ->
+        ok_fields "loads"
+          [ ("loads", Json.Arr (Array.to_list (Array.map (fun l -> num l) loads))) ]
+    | Metrics_reply text -> ok_fields "metrics" [ ("metrics", Json.Str text) ]
+    | Snapshot_reply path -> ok_fields "snapshot" [ ("path", Json.Str path) ]
+    | Pong -> ok_fields "pong" []
+    | Bye -> ok_fields "bye" []
+    | Error e -> Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str e) ])
+
+let decode_placement v =
+  let* base = int_field v "base" in
+  let* size = int_field v "size" in
+  let* copy = int_field v "copy" in
+  Ok { base; size; copy }
+
+let decode_response line =
+  let* v = parse line in
+  match Option.bind (Json.member "ok" v) (function
+    | Json.Bool b -> Some b
+    | _ -> None)
+  with
+  | None -> Result.Error "missing boolean field \"ok\""
+  | Some false -> (
+      match str_field v "error" with
+      | Ok e -> Ok (Error e)
+      | Result.Error _ -> Ok (Error "unspecified error"))
+  | Some true -> (
+      let* status = str_field v "status" in
+      match status with
+      | "placed" ->
+          let* id = int_field v "id" in
+          let* p = decode_placement v in
+          Ok (Placed (id, p))
+      | "queued" ->
+          let* id = int_field v "id" in
+          Ok (Queued id)
+      | "finished" -> Ok Finished
+      | "state" -> (
+          let* id = int_field v "id" in
+          let* st = str_field v "state" in
+          match st with
+          | "active" ->
+              let* p = decode_placement v in
+              Ok (State (id, Active p))
+          | "queued" -> Ok (State (id, Queued_task))
+          | "unknown" -> Ok (State (id, Unknown))
+          | other -> Result.Error (Printf.sprintf "unknown task state %S" other))
+      | "stats" ->
+          let field = int_field v in
+          let* submitted = field "submitted" in
+          let* completed = field "completed" in
+          let* queued_now = field "queued_now" in
+          let* active_now = field "active_now" in
+          let* active_size = field "active_size" in
+          let* max_load = field "max_load" in
+          let* peak_load = field "peak_load" in
+          let* optimal_now = field "optimal_now" in
+          let* reallocations = field "reallocations" in
+          let* tasks_migrated = field "tasks_migrated" in
+          Ok
+            (Stats_reply
+               {
+                 Cluster.submitted;
+                 completed;
+                 queued_now;
+                 active_now;
+                 active_size;
+                 max_load;
+                 peak_load;
+                 optimal_now;
+                 reallocations;
+                 tasks_migrated;
+               })
+      | "loads" -> (
+          match Option.bind (Json.member "loads" v) Json.to_list with
+          | None -> Result.Error "missing array field \"loads\""
+          | Some elems ->
+              let loads = List.filter_map Json.to_int elems in
+              if List.length loads <> List.length elems then
+                Result.Error "non-integer load entry"
+              else Ok (Loads_reply (Array.of_list loads)))
+      | "metrics" ->
+          let* text = str_field v "metrics" in
+          Ok (Metrics_reply text)
+      | "snapshot" ->
+          let* path = str_field v "path" in
+          Ok (Snapshot_reply path)
+      | "pong" -> Ok Pong
+      | "bye" -> Ok Bye
+      | other -> Result.Error (Printf.sprintf "unknown status %S" other))
+
+let request_of_command line =
+  let int_arg name v k =
+    match int_of_string_opt v with
+    | Some n -> `Request (k n)
+    | None -> `Error (Printf.sprintf "bad %s %S" name v)
+  in
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> `Blank
+  | [ "quit" ] | [ "exit" ] -> `Quit
+  | [ "submit"; size ] -> int_arg "size" size (fun n -> Submit n)
+  | [ "finish"; id ] -> int_arg "id" id (fun n -> Finish n)
+  | [ "query"; id ] -> int_arg "id" id (fun n -> Query n)
+  | [ "stats" ] -> `Request Stats
+  | [ "loads" ] -> `Request Loads
+  | [ "metrics" ] -> `Request Metrics
+  | [ "snapshot" ] -> `Request Snapshot
+  | [ "ping" ] -> `Request Ping
+  | [ "shutdown" ] -> `Request Shutdown
+  | _ ->
+      `Error
+        "commands: submit <size> | finish <id> | query <id> | stats | loads \
+         | metrics | snapshot | ping | shutdown | quit"
+
+let render_response = function
+  | Placed (id, p) ->
+      Printf.sprintf "placed %d at [%d..%d) copy %d" id p.base (p.base + p.size)
+        p.copy
+  | Queued id -> Printf.sprintf "queued %d" id
+  | Finished -> "finished"
+  | State (id, Active p) ->
+      Printf.sprintf "task %d active at [%d..%d) copy %d" id p.base
+        (p.base + p.size) p.copy
+  | State (id, Queued_task) -> Printf.sprintf "task %d queued" id
+  | State (id, Unknown) -> Printf.sprintf "task %d unknown" id
+  | Stats_reply s ->
+      Printf.sprintf
+        "submitted=%d completed=%d active=%d (size %d) queued=%d load=%d \
+         (peak %d, opt %d) reallocs=%d moved=%d"
+        s.Cluster.submitted s.Cluster.completed s.Cluster.active_now
+        s.Cluster.active_size s.Cluster.queued_now s.Cluster.max_load
+        s.Cluster.peak_load s.Cluster.optimal_now s.Cluster.reallocations
+        s.Cluster.tasks_migrated
+  | Loads_reply loads ->
+      String.concat " " (Array.to_list (Array.map string_of_int loads))
+  | Metrics_reply text -> text
+  | Snapshot_reply path -> "snapshot written to " ^ path
+  | Pong -> "pong"
+  | Bye -> "bye"
+  | Error e -> "error: " ^ e

@@ -1,0 +1,73 @@
+(** The pmpd wire protocol.
+
+    One request per line, one response per line, both single-line JSON
+    objects — trivially framable over any byte stream, pipelinable
+    (send many lines, read as many responses, in order), and parseable
+    with {!Pmp_util.Json} alone. Requests name an ["op"]; responses
+    always carry ["ok"] and, when [ok] is [true], a ["status"]
+    discriminator.
+
+    {v
+    -> {"op":"submit","size":8}
+    <- {"ok":true,"status":"placed","id":0,"base":16,"size":8,"copy":0}
+    -> {"op":"finish","id":0}
+    <- {"ok":true,"status":"finished"}
+    -> {"op":"submit","size":3}
+    <- {"ok":false,"error":"size must be a positive power of two"}
+    v} *)
+
+type placement = { base : int; size : int; copy : int }
+(** A task's home: the leaf span [[base, base + size)] in virtual copy
+    [copy] (see {!Pmp_core.Placement}). *)
+
+type request =
+  | Submit of int  (** submit a task of the given size *)
+  | Finish of int  (** complete (or cancel, if queued) a task by id *)
+  | Query of int  (** where does this task live? *)
+  | Stats
+  | Loads  (** per-PE load vector *)
+  | Metrics  (** Prometheus dump of the server registry *)
+  | Snapshot  (** force a snapshot now *)
+  | Ping
+  | Shutdown
+
+val is_mutation : request -> bool
+(** [Submit] and [Finish] mutate cluster state and are the only
+    requests the WAL records. *)
+
+type task_state = Active of placement | Queued_task | Unknown
+
+type response =
+  | Placed of int * placement
+  | Queued of int
+  | Finished
+  | State of int * task_state
+  | Stats_reply of Pmp_cluster.Cluster.stats
+  | Loads_reply of int array
+  | Metrics_reply of string
+  | Snapshot_reply of string  (** path of the snapshot written *)
+  | Pong
+  | Bye  (** acknowledges [Shutdown]; the connection then closes *)
+  | Error of string
+
+val placement_of_core : Pmp_core.Placement.t -> placement
+
+val encode_request : request -> string
+(** Single line, no trailing newline. *)
+
+val decode_request : string -> (request, string) result
+(** Never raises: malformed JSON, unknown ops and missing or mistyped
+    fields all come back as [Error]. *)
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val request_of_command :
+  string -> [ `Request of request | `Blank | `Quit | `Error of string ]
+(** Parse an interactive console command — [submit <size>],
+    [finish <id>], [query <id>], [stats], [loads], [metrics],
+    [snapshot], [ping], [shutdown] — into a request. [`Blank] on an
+    empty line, [`Quit] on [quit]/[exit]. *)
+
+val render_response : response -> string
+(** Human-readable one-line rendering for the interactive client. *)

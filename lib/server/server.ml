@@ -1,0 +1,395 @@
+module Cluster = Pmp_cluster.Cluster
+module Metrics = Pmp_telemetry.Metrics
+module Event = Pmp_workload.Event
+
+type config = {
+  machine_size : int;
+  policy : Cluster.policy;
+  admission_cap : float option;
+  dir : string;
+  fsync_every : int;
+  snapshot_every : int;
+  crash_after : int option;
+  loop : Loop.config;
+}
+
+let default_config ~machine_size ~policy ~dir =
+  {
+    machine_size;
+    policy;
+    admission_cap = None;
+    dir;
+    fsync_every = 1;
+    snapshot_every = 1024;
+    crash_after = None;
+    loop = Loop.default_config;
+  }
+
+exception Crash
+
+type instruments = {
+  c_requests : Metrics.Counter.t;
+  c_mutations : Metrics.Counter.t;
+  c_errors : Metrics.Counter.t;
+  c_batches : Metrics.Counter.t;
+  h_batch_size : Metrics.Histogram.t;
+  c_connections : Metrics.Counter.t;
+  c_fsyncs : Metrics.Counter.t;
+  c_snapshots : Metrics.Counter.t;
+  c_recoveries : Metrics.Counter.t;
+  c_recovered_ops : Metrics.Counter.t;
+  s_recovery : Metrics.Span.t;
+  s_snapshot : Metrics.Span.t;
+  g_active : Metrics.Gauge.t;
+  g_load : Metrics.Gauge.t;
+  g_queued : Metrics.Gauge.t;
+}
+
+let make_instruments reg =
+  let counter = Metrics.Registry.counter reg in
+  {
+    c_requests = counter ~help:"Requests handled" "pmpd_requests_total";
+    c_mutations =
+      counter ~help:"Accepted mutations (WAL records)" "pmpd_mutations_total";
+    c_errors = counter ~help:"Requests answered with an error" "pmpd_errors_total";
+    c_batches = counter ~help:"Select-round request batches" "pmpd_batches_total";
+    h_batch_size =
+      Metrics.Registry.histogram reg ~help:"Requests per batch"
+        "pmpd_batch_size"
+        (Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:12);
+    c_connections = counter ~help:"Connections accepted" "pmpd_connections_total";
+    c_fsyncs = counter ~help:"WAL fsyncs" "pmpd_fsyncs_total";
+    c_snapshots = counter ~help:"Snapshots written" "pmpd_snapshots_total";
+    c_recoveries =
+      counter ~help:"Startups that replayed durable state" "pmpd_recoveries_total";
+    c_recovered_ops =
+      counter ~help:"WAL records replayed at startup" "pmpd_recovered_ops_total";
+    s_recovery =
+      Metrics.Registry.span reg ~help:"Startup recovery time"
+        "pmpd_recovery_seconds";
+    s_snapshot =
+      Metrics.Registry.span reg ~help:"Snapshot write time"
+        "pmpd_snapshot_seconds";
+    g_active = Metrics.Registry.gauge reg ~help:"Active tasks" "pmpd_active_tasks";
+    g_load = Metrics.Registry.gauge reg ~help:"Current max PE load" "pmpd_max_load";
+    g_queued = Metrics.Registry.gauge reg ~help:"Queued tasks" "pmpd_queued_tasks";
+  }
+
+type t = {
+  config : config;
+  cluster : Cluster.t;
+  wal : Wal.t;
+  reg : Metrics.Registry.t;
+  ins : instruments;
+  mutable seq : int;  (** durable mutation count since genesis *)
+  mutable snap_seq : int;  (** seq covered by the latest snapshot *)
+  mutable fresh_mutations : int;  (** accepted by this process *)
+  recovered_ops : int;
+}
+
+let cluster t = t.cluster
+let seq t = t.seq
+let recovered_ops t = t.recovered_ops
+let registry t = t.reg
+let metrics t = Metrics.prometheus t.reg
+
+(* ------------------------------------------------------------------ *)
+(* recovery                                                            *)
+
+let ( let* ) = Result.bind
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+let build_allocator policy machine =
+  match (policy : Cluster.policy) with
+  | Cluster.Greedy -> Pmp_core.Greedy.create machine
+  | Cluster.Copies -> Pmp_core.Copies.create machine
+  | Cluster.Optimal -> Pmp_core.Optimal.create machine
+  | Cluster.Periodic d -> Pmp_core.Periodic.create machine ~d
+  | Cluster.Hybrid d -> Pmp_core.Hybrid.create machine ~d
+  | Cluster.Randomized seed ->
+      Pmp_core.Randomized.create machine ~rng:(Pmp_prng.Splitmix64.create seed)
+
+(* Bit-for-bit behavioural equality of two clusters: stats, loads,
+   queue, id counter, and the placement of every task either side has
+   ever admitted. *)
+let same_state a b =
+  let arrived c =
+    List.filter_map
+      (function Event.Arrive task -> Some task.Pmp_workload.Task.id | _ -> None)
+      (Cluster.events c)
+  in
+  if Cluster.stats a <> Cluster.stats b then Error "stats differ"
+  else if Cluster.leaf_loads a <> Cluster.leaf_loads b then Error "loads differ"
+  else if Cluster.queued_tasks a <> Cluster.queued_tasks b then
+    Error "queues differ"
+  else if Cluster.next_id a <> Cluster.next_id b then Error "next ids differ"
+  else begin
+    let mismatch =
+      List.find_opt
+        (fun id ->
+          match (Cluster.placement a id, Cluster.placement b id) with
+          | None, None -> false
+          | Some p, Some q -> not (Pmp_core.Placement.equal p q)
+          | _ -> true)
+        (arrived a @ arrived b)
+    in
+    match mismatch with
+    | None -> Ok ()
+    | Some id -> Error (Printf.sprintf "placement of task %d differs" id)
+  end
+
+(* The recovered state must prove itself: the history passes the
+   structural conformance oracle with a fresh allocator, and a fresh
+   replay of the externalised state reproduces the cluster exactly. *)
+let verify_recovery config cluster =
+  let machine = Pmp_machine.Machine.create config.machine_size in
+  let make () = build_allocator config.policy machine in
+  let* () =
+    match
+      Pmp_oracle.Oracle.run Pmp_oracle.Oracle.structural_only ~make
+        (Cluster.history cluster)
+    with
+    | Ok () -> Ok ()
+    | Error v ->
+        Error
+          (Format.asprintf "recovered history fails the oracle: %a"
+             Pmp_oracle.Oracle.pp_violation v)
+  in
+  let snap =
+    Snapshot.of_cluster ~seq:0 ~admission_cap:config.admission_cap cluster
+  in
+  let* replayed = Snapshot.restore snap in
+  match same_state cluster replayed with
+  | Ok () -> Ok ()
+  | Error e -> Error ("recovered state diverges from a fresh replay: " ^ e)
+
+let apply_op cluster (op : Wal.op) =
+  match op with
+  | Wal.Submit { id; size } -> (
+      match Cluster.submit cluster ~size with
+      | Ok (Cluster.Placed (id', _)) | Ok (Cluster.Queued id') ->
+          if id' = id then Ok ()
+          else
+            Error
+              (Printf.sprintf "wal submit expected id %d, cluster assigned %d"
+                 id id')
+      | Error e -> Error (Printf.sprintf "wal submit of size %d rejected: %s" size e))
+  | Wal.Finish { id } -> (
+      match Cluster.finish cluster id with
+      | Ok () -> Ok ()
+      | Error e -> Error (Printf.sprintf "wal finish of task %d rejected: %s" id e))
+
+let recover config =
+  let* snap =
+    match Snapshot.latest ~dir:config.dir with
+    | None -> Ok None
+    | Some (path, _) -> Result.map Option.some (Snapshot.load path)
+  in
+  let* cluster, snap_seq =
+    match snap with
+    | None ->
+        let* c =
+          Cluster.create ~machine_size:config.machine_size ~policy:config.policy
+            ~admission_cap:config.admission_cap ()
+        in
+        Ok (c, 0)
+    | Some s ->
+        if s.Snapshot.machine_size <> config.machine_size then
+          Error "snapshot machine size does not match the configuration"
+        else if
+          Snapshot.policy_to_string s.Snapshot.policy
+          <> Snapshot.policy_to_string config.policy
+        then Error "snapshot policy does not match the configuration"
+        else if s.Snapshot.admission_cap <> config.admission_cap then
+          Error "snapshot admission cap does not match the configuration"
+        else
+          let* c = Snapshot.restore s in
+          Ok (c, s.Snapshot.seq)
+  in
+  let* records = Wal.load (Filename.concat config.dir "wal.log") in
+  let tail = List.filter (fun (seq, _) -> seq > snap_seq) records in
+  let* last_seq =
+    List.fold_left
+      (fun acc (seq, op) ->
+        let* prev = acc in
+        if seq <> prev + 1 then
+          Error (Printf.sprintf "wal gap: expected seq %d, found %d" (prev + 1) seq)
+        else
+          let* () = apply_op cluster op in
+          Ok seq)
+      (Ok snap_seq) tail
+  in
+  let* () = verify_recovery config cluster in
+  Ok (cluster, last_seq, snap_seq, List.length tail, snap <> None)
+
+let update_gauges t =
+  let s = Cluster.stats t.cluster in
+  Metrics.Gauge.set t.ins.g_active (float_of_int s.Cluster.active_now);
+  Metrics.Gauge.set t.ins.g_load (float_of_int s.Cluster.max_load);
+  Metrics.Gauge.set t.ins.g_queued (float_of_int s.Cluster.queued_now)
+
+let create config =
+  if config.fsync_every < 0 || config.snapshot_every < 0 then
+    Error "fsync_every and snapshot_every must be non-negative"
+  else begin
+    mkdir_p config.dir;
+    let t0 = Unix.gettimeofday () in
+    let* cluster, seq, snap_seq, replayed, had_snapshot = recover config in
+    let reg = Metrics.Registry.create () in
+    let ins = make_instruments reg in
+    if replayed > 0 || had_snapshot then begin
+      Metrics.Counter.incr ins.c_recoveries;
+      Metrics.Counter.inc ins.c_recovered_ops replayed;
+      Metrics.Span.add ins.s_recovery (Unix.gettimeofday () -. t0)
+    end;
+    let wal = Wal.open_log (Filename.concat config.dir "wal.log") in
+    let t =
+      {
+        config;
+        cluster;
+        wal;
+        reg;
+        ins;
+        seq;
+        snap_seq;
+        fresh_mutations = 0;
+        recovered_ops = replayed;
+      }
+    in
+    update_gauges t;
+    Ok t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* request handling                                                    *)
+
+let snapshot_now t =
+  let t0 = Unix.gettimeofday () in
+  match
+    Snapshot.save ~dir:t.config.dir
+      (Snapshot.of_cluster ~seq:t.seq ~admission_cap:t.config.admission_cap
+         t.cluster)
+  with
+  | path ->
+      Wal.reset t.wal;
+      t.snap_seq <- t.seq;
+      Metrics.Counter.incr t.ins.c_snapshots;
+      Metrics.Span.add t.ins.s_snapshot (Unix.gettimeofday () -. t0);
+      Ok path
+  | exception Sys_error e -> Error e
+
+(* An accepted mutation: log it (flushing; fsync per policy), roll a
+   snapshot if due, trip crash injection — all before the response is
+   handed back for delivery. *)
+let committed t op response =
+  t.seq <- t.seq + 1;
+  t.fresh_mutations <- t.fresh_mutations + 1;
+  Metrics.Counter.incr t.ins.c_mutations;
+  Wal.append t.wal ~seq:t.seq op;
+  if t.config.fsync_every > 0 && t.seq mod t.config.fsync_every = 0 then begin
+    Wal.sync t.wal;
+    Metrics.Counter.incr t.ins.c_fsyncs
+  end;
+  if
+    t.config.snapshot_every > 0
+    && t.seq - t.snap_seq >= t.config.snapshot_every
+  then ignore (snapshot_now t);
+  update_gauges t;
+  (match t.config.crash_after with
+  | Some k when t.fresh_mutations >= k -> raise Crash
+  | _ -> ());
+  response
+
+let handle t (req : Protocol.request) : Protocol.response * bool =
+  Metrics.Counter.incr t.ins.c_requests;
+  let error e =
+    Metrics.Counter.incr t.ins.c_errors;
+    (Protocol.Error e, false)
+  in
+  match req with
+  | Protocol.Submit size -> (
+      match Cluster.submit t.cluster ~size with
+      | Ok (Cluster.Placed (id, p)) ->
+          ( committed t
+              (Wal.Submit { id; size })
+              (Protocol.Placed (id, Protocol.placement_of_core p)),
+            false )
+      | Ok (Cluster.Queued id) ->
+          (committed t (Wal.Submit { id; size }) (Protocol.Queued id), false)
+      | Error e -> error e)
+  | Protocol.Finish id -> (
+      match Cluster.finish t.cluster id with
+      | Ok () -> (committed t (Wal.Finish { id }) Protocol.Finished, false)
+      | Error e -> error e)
+  | Protocol.Query id ->
+      let state =
+        match Cluster.placement t.cluster id with
+        | Some p -> Protocol.Active (Protocol.placement_of_core p)
+        | None ->
+            if Cluster.is_queued t.cluster id then Protocol.Queued_task
+            else Protocol.Unknown
+      in
+      (Protocol.State (id, state), false)
+  | Protocol.Stats -> (Protocol.Stats_reply (Cluster.stats t.cluster), false)
+  | Protocol.Loads -> (Protocol.Loads_reply (Cluster.leaf_loads t.cluster), false)
+  | Protocol.Metrics -> (Protocol.Metrics_reply (metrics t), false)
+  | Protocol.Snapshot -> (
+      match snapshot_now t with
+      | Ok path -> (Protocol.Snapshot_reply path, false)
+      | Error e -> error e)
+  | Protocol.Ping -> (Protocol.Pong, false)
+  | Protocol.Shutdown -> (Protocol.Bye, true)
+
+let handle_line t line =
+  match Protocol.decode_request line with
+  | Error e ->
+      Metrics.Counter.incr t.ins.c_requests;
+      Metrics.Counter.incr t.ins.c_errors;
+      `Reply (Protocol.encode_response (Protocol.Error e))
+  | Ok req ->
+      let resp, stop = handle t req in
+      let wire = Protocol.encode_response resp in
+      if stop then `Stop wire else `Reply wire
+
+let close t =
+  (try Wal.sync t.wal with Unix.Unix_error _ | Sys_error _ -> ());
+  Wal.close t.wal
+
+(* ------------------------------------------------------------------ *)
+(* sockets                                                             *)
+
+let listen_unix path =
+  if Sys.file_exists path then Unix.unlink path;
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind fd (ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp ~host ~port =
+  let addr = Unix.inet_addr_of_string host in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  Unix.bind fd (ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  let bound =
+    match Unix.getsockname fd with
+    | ADDR_INET (_, p) -> p
+    | ADDR_UNIX _ -> port
+  in
+  (fd, bound)
+
+let serve t ~listeners =
+  Loop.run ~config:t.config.loop
+    ~on_accept:(fun () -> Metrics.Counter.incr t.ins.c_connections)
+    ~on_batch:(fun n ->
+      Metrics.Counter.incr t.ins.c_batches;
+      Metrics.Histogram.observe t.ins.h_batch_size (float_of_int n))
+    ~listeners ~handle:(handle_line t) ();
+  close t

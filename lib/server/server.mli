@@ -1,0 +1,96 @@
+(** pmpd: the durable allocation daemon.
+
+    Wraps a {!Pmp_cluster.Cluster} in the {!Protocol}, a {!Wal} and
+    periodic {!Snapshot}s, and serves it over TCP and/or Unix-domain
+    sockets through {!Loop}.
+
+    {b Durability contract.} Every acknowledged mutation is on the WAL
+    (flushed, and fsynced per [fsync_every]) before its response is
+    queued. On startup, {!create} loads the latest snapshot, replays
+    the WAL tail on top of it, cross-checks every replayed submission
+    against the id the original run acknowledged, and then audits the
+    whole recovered state: the event history must pass the structural
+    conformance oracle with a fresh allocator, and an independent
+    {!Pmp_cluster.Cluster.restore} replay of the recovered state must
+    reproduce the same loads, stats and placements bit for bit. A
+    recovery that cannot prove itself equal to the uninterrupted
+    execution refuses to start.
+
+    {b Crash injection.} With [crash_after = Some k], the [k]-th
+    mutation accepted by this process raises {!Crash} immediately after
+    it is durably logged and before its response is delivered — the
+    harshest acknowledged-but-unreported point. Tests and the CI smoke
+    job use it to prove recovery equals uninterrupted execution. *)
+
+type config = {
+  machine_size : int;
+  policy : Pmp_cluster.Cluster.policy;
+  admission_cap : float option;
+  dir : string;  (** state directory: WAL + snapshots (created) *)
+  fsync_every : int;  (** fsync the WAL every k mutations; 0 = never *)
+  snapshot_every : int;  (** snapshot every k mutations; 0 = only on demand *)
+  crash_after : int option;  (** crash-injection test mode *)
+  loop : Loop.config;
+}
+
+val default_config :
+  machine_size:int -> policy:Pmp_cluster.Cluster.policy -> dir:string -> config
+(** No admission cap, [fsync_every = 1], [snapshot_every = 1024], no
+    crash injection, {!Loop.default_config}. *)
+
+exception Crash
+(** Raised by the crash-injection trip; escapes {!serve} with all
+    buffers abandoned. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Create the state directory if needed, recover from whatever
+    snapshot and WAL it holds (an empty directory is a fresh cluster),
+    verify the recovery, and open the WAL for appending. *)
+
+val cluster : t -> Pmp_cluster.Cluster.t
+val seq : t -> int
+(** Mutations applied since genesis (the durable sequence number). *)
+
+val recovered_ops : t -> int
+(** WAL records replayed by {!create} (0 on a fresh start). *)
+
+val same_state : Pmp_cluster.Cluster.t -> Pmp_cluster.Cluster.t -> (unit, string) result
+(** Bit-for-bit behavioural equality of two clusters — stats, loads,
+    queue, id counter and every admitted task's placement. This is the
+    relation recovery is verified under (and the one the
+    crash-recovery tests assert). *)
+
+val registry : t -> Pmp_telemetry.Metrics.Registry.t
+val metrics : t -> string
+(** Prometheus dump of the server registry: requests, mutations,
+    batches, connections, fsyncs, snapshots, recoveries and spans. *)
+
+val handle : t -> Protocol.request -> Protocol.response * bool
+(** Apply one request; the boolean is [true] when the server should
+    stop ([Shutdown]). Mutations go through the WAL before returning.
+    @raise Crash when crash injection trips. *)
+
+val handle_line : t -> string -> [ `Reply of string | `Stop of string ]
+(** {!handle} on wire format — the {!Loop} handler. *)
+
+val snapshot_now : t -> (string, string) result
+(** Write a snapshot covering everything applied so far and rotate the
+    WAL; returns the path written. *)
+
+val close : t -> unit
+(** Fsync and close the WAL (no implicit final snapshot). *)
+
+val listen_unix : string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket path, replacing a stale
+    socket file if one exists. @raise Unix.Unix_error. *)
+
+val listen_tcp : host:string -> port:int -> Unix.file_descr * int
+(** Bind and listen on [host:port]; returns the bound port (useful
+    with [port = 0]). @raise Unix.Unix_error. *)
+
+val serve : t -> listeners:Unix.file_descr list -> unit
+(** Run the event loop until a [shutdown] request, then {!close}.
+    {!Crash} (and any other exception) escapes without closing the
+    WAL cleanly — which is the point. *)

@@ -1,0 +1,99 @@
+module Json = Pmp_util.Json
+
+type op = Submit of { id : int; size : int } | Finish of { id : int }
+
+let num n = Json.Num (float_of_int n)
+
+let op_to_json ~seq op =
+  Json.Obj
+    (("seq", num seq)
+    ::
+    (match op with
+    | Submit { id; size } ->
+        [ ("op", Json.Str "submit"); ("id", num id); ("size", num size) ]
+    | Finish { id } -> [ ("op", Json.Str "finish"); ("id", num id) ]))
+
+let int_field v name =
+  match Option.bind (Json.member name v) Json.to_int with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "missing integer field %S" name)
+
+let ( let* ) = Result.bind
+
+let op_of_json v =
+  let* seq = int_field v "seq" in
+  let* op =
+    match Option.bind (Json.member "op" v) Json.to_str with
+    | Some "submit" ->
+        let* id = int_field v "id" in
+        let* size = int_field v "size" in
+        Ok (Submit { id; size })
+    | Some "finish" ->
+        let* id = int_field v "id" in
+        Ok (Finish { id })
+    | Some other -> Error (Printf.sprintf "unknown wal op %S" other)
+    | None -> Error "missing string field \"op\""
+  in
+  Ok (seq, op)
+
+type t = { file : string; mutable oc : out_channel }
+
+let open_log file =
+  { file; oc = open_out_gen [ Open_append; Open_creat ] 0o644 file }
+
+let path t = t.file
+
+let append t ~seq op =
+  output_string t.oc (Json.to_string (op_to_json ~seq op));
+  output_char t.oc '\n';
+  (* flushed per record: an acknowledged mutation must at least reach
+     the OS before the response is written to the socket *)
+  flush t.oc
+
+let sync t =
+  flush t.oc;
+  Unix.fsync (Unix.descr_of_out_channel t.oc)
+
+let reset t =
+  close_out t.oc;
+  t.oc <- open_out_gen [ Open_trunc; Open_creat; Open_wronly ] 0o644 t.file
+
+let close t = close_out t.oc
+
+let load file =
+  if not (Sys.file_exists file) then Ok []
+  else begin
+    let ic = open_in_bin file in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match In_channel.input_line ic with
+            | Some l -> go (l :: acc)
+            | None -> List.rev acc
+          in
+          go [])
+    in
+    let n = List.length lines in
+    let rec parse i last_seq acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+          let record =
+            match Json.of_string line with
+            | v -> op_of_json v
+            | exception Json.Parse_error e -> Error ("bad json: " ^ e)
+          in
+          match record with
+          | Ok (seq, op) ->
+              if seq <= last_seq then
+                Error
+                  (Printf.sprintf "wal record %d: seq %d not increasing" (i + 1)
+                     seq)
+              else parse (i + 1) seq ((seq, op) :: acc) rest
+          | Error e ->
+              if i = n - 1 then Ok (List.rev acc) (* torn tail: drop *)
+              else Error (Printf.sprintf "wal record %d: %s" (i + 1) e))
+    in
+    parse 0 min_int [] lines
+  end

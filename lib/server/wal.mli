@@ -1,0 +1,50 @@
+(** The write-ahead log.
+
+    One JSON record per line, append-only: every accepted mutation is
+    logged (with its global sequence number and, for submissions, the
+    id the cluster assigned) before the response leaves the server, so
+    a restart can replay exactly the acknowledged history. The log is
+    rotated (truncated) whenever a {!Snapshot} covering its records is
+    durably written.
+
+    Loading tolerates a {e torn tail} — a final line cut short by a
+    crash mid-write parses as garbage and is dropped — but corruption
+    anywhere else is an error: silently skipping an interior record
+    would replay a history the cluster never served. *)
+
+type op =
+  | Submit of { id : int; size : int }
+      (** An accepted submission; [id] is the id the cluster assigned
+          (replay cross-checks it). Covers both placed and queued
+          outcomes — the queue is deterministic given the history. *)
+  | Finish of { id : int }
+      (** An accepted completion (or queued-task cancellation). *)
+
+val op_to_json : seq:int -> op -> Pmp_util.Json.t
+val op_of_json : Pmp_util.Json.t -> (int * op, string) result
+
+type t
+(** An open log, positioned for appending. *)
+
+val open_log : string -> t
+(** Opens (creating if absent) for append. @raise Sys_error. *)
+
+val path : t -> string
+
+val append : t -> seq:int -> op -> unit
+(** Append one record and flush it to the OS. Call {!sync} (or pass
+    every k-th mutation through it) to force it to stable storage. *)
+
+val sync : t -> unit
+(** fsync: flush the channel and force the file to disk. *)
+
+val reset : t -> unit
+(** Truncate to empty (after a snapshot made the prefix redundant). *)
+
+val close : t -> unit
+
+val load : string -> ((int * op) list, string) result
+(** All records in file order as [(seq, op)]. [Ok []] when the file
+    does not exist. A malformed {e final} line is dropped (torn write);
+    malformed interior lines and non-increasing sequence numbers are
+    errors. *)

@@ -47,6 +47,59 @@ let test_parallel_simulation_determinism () =
 let test_default_workers_positive () =
   Alcotest.(check bool) "at least one" true (Parallel.num_workers () >= 1)
 
+let test_more_workers_than_jobs () =
+  (* only [min workers n] domains are spawned; the surplus must not
+     change results or hang the join *)
+  Alcotest.(check (list int)) "3 jobs, 16 workers" [ 1; 4; 9 ]
+    (Parallel.map ~workers:16 (fun x -> x * x) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "1 job, 64 workers" [ 42 ]
+    (Parallel.map ~workers:64 (fun x -> x * 2) [ 21 ]);
+  Alcotest.(check (list int)) "empty, 32 workers" []
+    (Parallel.map ~workers:32 Fun.id [])
+
+let test_failure_ordering_sequential () =
+  (* workers=1 falls back to Array.map: evaluation is left-to-right,
+     so with several poisoned jobs the *first* one's exception is the
+     one that escapes, and no later job runs *)
+  let ran = ref [] in
+  (match
+     Parallel.map ~workers:1
+       (fun x ->
+         ran := x :: !ran;
+         if x >= 3 then failwith (Printf.sprintf "boom %d" x) else x)
+       [ 0; 1; 2; 3; 4; 5 ]
+   with
+  | _ -> Alcotest.fail "expected a failure"
+  | exception Failure msg -> Alcotest.(check string) "first poisoned job" "boom 3" msg);
+  Alcotest.(check (list int)) "later jobs never ran" [ 0; 1; 2; 3 ] (List.rev !ran)
+
+let prop_failure_is_a_poisoned_job =
+  (* with real parallelism the winner of the failure race is
+     nondeterministic, but it must always be one of the poisoned
+     jobs — never a healthy job's value or a foreign exception *)
+  QCheck.Test.make ~name:"propagated exception names a poisoned job" ~count:100
+    (QCheck.make
+       ~print:(fun (seed, len, workers) ->
+         Printf.sprintf "seed=%d len=%d workers=%d" seed len workers)
+       QCheck.Gen.(
+         triple (int_range 0 1_000_000) (int_range 2 200) (int_range 2 8)))
+    (fun (seed, len, workers) ->
+      Helpers.with_seed ~label:"failure-race" seed (fun g ->
+          let poisoned =
+            Array.init len (fun _ -> Pmp_prng.Splitmix64.int g 4 = 0)
+          in
+          poisoned.(Pmp_prng.Splitmix64.int g len) <- true;
+          match
+            Parallel.map_array ~workers
+              (fun i -> if poisoned.(i) then failwith (string_of_int i) else i)
+              (Array.init len Fun.id)
+          with
+          | _ -> false
+          | exception Failure msg -> (
+              match int_of_string_opt msg with
+              | Some i -> i >= 0 && i < len && poisoned.(i)
+              | None -> false)))
+
 (* ------------------------------------------------------------------ *)
 (* qcheck properties over map_array                                    *)
 
@@ -103,10 +156,14 @@ let suite =
     Alcotest.test_case "parallel simulation determinism" `Quick
       test_parallel_simulation_determinism;
     Alcotest.test_case "default workers" `Quick test_default_workers_positive;
+    Alcotest.test_case "more workers than jobs" `Quick test_more_workers_than_jobs;
+    Alcotest.test_case "failure ordering (sequential)" `Quick
+      test_failure_ordering_sequential;
   ]
   @ Helpers.qtests
       [
         prop_map_array_matches_sequential;
         prop_map_array_poisoned_index;
         prop_map_array_edges;
+        prop_failure_is_a_poisoned_job;
       ]

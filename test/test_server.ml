@@ -1,0 +1,660 @@
+(* The pmpd subsystem: wire protocol round-trips, WAL semantics
+   (including torn tails), snapshot round-trips, the Cluster.restore
+   equivalence property, and the headline crash-recovery property —
+   crash at a random point, restart, and the recovered daemon must be
+   bit-for-bit the cluster that never crashed. The socket tests run a
+   real server in a domain and talk to it over Unix and TCP sockets. *)
+
+module Sm = Pmp_prng.Splitmix64
+module Cluster = Pmp_cluster.Cluster
+module Protocol = Pmp_server.Protocol
+module Wal = Pmp_server.Wal
+module Snapshot = Pmp_server.Snapshot
+module Server = Pmp_server.Server
+module Client = Pmp_server.Client
+
+let get_ok ~ctx = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" ctx e
+
+(* --- temp state directories ------------------------------------- *)
+
+let temp_count = ref 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (ENOENT, _, _) -> ()
+
+let with_dir f =
+  incr temp_count;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmpd-test-%d-%d" (Unix.getpid ()) !temp_count)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- protocol ----------------------------------------------------- *)
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Protocol.Submit s) (int_range 0 1024);
+        map (fun i -> Protocol.Finish i) (int_range 0 100_000);
+        map (fun i -> Protocol.Query i) (int_range 0 100_000);
+        oneofl
+          [
+            Protocol.Stats; Protocol.Loads; Protocol.Metrics;
+            Protocol.Snapshot; Protocol.Ping; Protocol.Shutdown;
+          ];
+      ])
+
+let arb_request =
+  QCheck.make
+    ~print:(fun r -> Protocol.encode_request r)
+    gen_request
+
+let gen_placement =
+  QCheck.Gen.(
+    map
+      (fun (base, size, copy) -> { Protocol.base; size; copy })
+      (triple (int_range 0 1024) (int_range 1 1024) (int_range 0 16)))
+
+let gen_stats =
+  QCheck.Gen.(
+    map
+      (fun ((submitted, completed, queued_now, active_now, active_size),
+            (max_load, peak_load, optimal_now, reallocations, tasks_migrated))
+         ->
+        {
+          Cluster.submitted; completed; queued_now; active_now; active_size;
+          max_load; peak_load; optimal_now; reallocations; tasks_migrated;
+        })
+      (pair
+         (tup5 nat nat nat nat nat)
+         (tup5 nat nat nat nat nat)))
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        map
+          (fun (id, p) -> Protocol.Placed (id, p))
+          (pair (int_range 0 100_000) gen_placement);
+        map (fun id -> Protocol.Queued id) (int_range 0 100_000);
+        return Protocol.Finished;
+        map
+          (fun (id, st) -> Protocol.State (id, st))
+          (pair (int_range 0 100_000)
+             (oneof
+                [
+                  map (fun p -> Protocol.Active p) gen_placement;
+                  return Protocol.Queued_task; return Protocol.Unknown;
+                ]));
+        map (fun s -> Protocol.Stats_reply s) gen_stats;
+        map
+          (fun l -> Protocol.Loads_reply (Array.of_list l))
+          (list_size (int_range 0 64) nat);
+        (* metrics and errors carry arbitrary strings — newlines,
+           quotes and control bytes must survive the single-line
+           framing *)
+        map (fun s -> Protocol.Metrics_reply s) string;
+        map (fun s -> Protocol.Snapshot_reply s) string;
+        return Protocol.Pong;
+        return Protocol.Bye;
+        map (fun s -> Protocol.Error s) string;
+      ])
+
+let arb_response =
+  QCheck.make ~print:(fun r -> Protocol.encode_response r) gen_response
+
+let request_roundtrip =
+  QCheck.Test.make ~name:"request encode/decode round-trip" ~count:500
+    arb_request (fun r ->
+      Protocol.decode_request (Protocol.encode_request r) = Ok r)
+
+let response_roundtrip =
+  QCheck.Test.make ~name:"response encode/decode round-trip" ~count:500
+    arb_response (fun r ->
+      let line = Protocol.encode_response r in
+      (not (String.contains line '\n'))
+      && Protocol.decode_response line = Ok r)
+
+let test_decode_errors () =
+  let bad =
+    [
+      ""; "{"; "not json"; "[1,2]"; "42"; "null";
+      {|{"op":"warp"}|};
+      {|{"op":"submit"}|};
+      {|{"op":"submit","size":"big"}|};
+      {|{"op":"finish"}|};
+      {|{"noop":true}|};
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Protocol.decode_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decode_request accepted %S" line)
+    bad;
+  List.iter
+    (fun line ->
+      match Protocol.decode_response line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decode_response accepted %S" line)
+    (bad @ [ {|{"ok":true}|}; {|{"ok":true,"status":"warp"}|} ])
+
+let test_command_parsing () =
+  let req = Alcotest.testable (Fmt.of_to_string Protocol.encode_request) ( = ) in
+  let check_req cmd expected =
+    match Protocol.request_of_command cmd with
+    | `Request r -> Alcotest.check req cmd expected r
+    | _ -> Alcotest.failf "%S did not parse as a request" cmd
+  in
+  check_req "submit 8" (Protocol.Submit 8);
+  check_req "  submit   8  " (Protocol.Submit 8);
+  check_req "finish 3" (Protocol.Finish 3);
+  check_req "query 0" (Protocol.Query 0);
+  check_req "stats" Protocol.Stats;
+  check_req "loads" Protocol.Loads;
+  check_req "metrics" Protocol.Metrics;
+  check_req "snapshot" Protocol.Snapshot;
+  check_req "ping" Protocol.Ping;
+  check_req "shutdown" Protocol.Shutdown;
+  (match Protocol.request_of_command "" with
+  | `Blank -> ()
+  | _ -> Alcotest.fail "empty line should be `Blank");
+  (match Protocol.request_of_command "quit" with
+  | `Quit -> ()
+  | _ -> Alcotest.fail "quit should be `Quit");
+  List.iter
+    (fun cmd ->
+      match Protocol.request_of_command cmd with
+      | `Error _ -> ()
+      | _ -> Alcotest.failf "%S should be a parse error" cmd)
+    [ "submit"; "submit x"; "finish"; "warp 9"; "stats 1" ]
+
+(* --- WAL ---------------------------------------------------------- *)
+
+let sample_ops =
+  [
+    (1, Wal.Submit { id = 0; size = 8 });
+    (2, Wal.Submit { id = 1; size = 16 });
+    (3, Wal.Finish { id = 0 });
+    (4, Wal.Submit { id = 2; size = 1 });
+  ]
+
+let write_wal ?(name = "wal.log") dir records =
+  let path = Filename.concat dir name in
+  let w = Wal.open_log path in
+  List.iter (fun (seq, op) -> Wal.append w ~seq op) records;
+  Wal.close w;
+  path
+
+let check_load ~ctx path expected =
+  let got = get_ok ~ctx (Wal.load path) in
+  if got <> expected then
+    Alcotest.failf "%s: loaded %d records, wanted %d" ctx (List.length got)
+      (List.length expected)
+
+let test_wal_roundtrip () =
+  with_dir (fun dir ->
+      let path = write_wal dir sample_ops in
+      check_load ~ctx:"round-trip" path sample_ops;
+      (* appending after reopen continues the same log *)
+      let w = Wal.open_log path in
+      Wal.append w ~seq:5 (Wal.Finish { id = 2 });
+      Wal.sync w;
+      Wal.close w;
+      check_load ~ctx:"reopened" path
+        (sample_ops @ [ (5, Wal.Finish { id = 2 }) ]);
+      check_load ~ctx:"missing file" (Filename.concat dir "nope.log") [])
+
+let test_wal_torn_tail () =
+  with_dir (fun dir ->
+      let path = write_wal dir sample_ops in
+      (* a crash mid-append leaves a truncated final line *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc {|{"seq": 5,"op": "fin|};
+      close_out oc;
+      check_load ~ctx:"torn tail dropped" path sample_ops;
+      (* same, with the tear after the closing newline of a record *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "garbage\n";
+      close_out oc;
+      check_load ~ctx:"torn last line dropped" path sample_ops)
+
+let test_wal_interior_corruption () =
+  with_dir (fun dir ->
+      let path = write_wal dir [ List.hd sample_ops ] in
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "garbage\n";
+      output_string oc
+        (Pmp_util.Json.to_string ~indent:0
+           (Wal.op_to_json ~seq:2 (Wal.Finish { id = 0 }))
+        ^ "\n");
+      close_out oc;
+      (match Wal.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "interior corruption must not load");
+      (* non-increasing sequence numbers are corruption too *)
+      let path2 =
+        write_wal ~name:"seq.log" dir
+          [ (3, Wal.Finish { id = 0 }); (3, Wal.Finish { id = 1 });
+            (4, Wal.Finish { id = 2 }) ]
+      in
+      match Wal.load path2 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "non-increasing seq must not load")
+
+let test_wal_reset () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.open_log path in
+      List.iter (fun (seq, op) -> Wal.append w ~seq op) sample_ops;
+      Wal.reset w;
+      Wal.append w ~seq:9 (Wal.Finish { id = 1 });
+      Wal.close w;
+      check_load ~ctx:"after reset" path [ (9, Wal.Finish { id = 1 }) ])
+
+(* --- snapshots ---------------------------------------------------- *)
+
+let all_policies =
+  [
+    Cluster.Greedy; Cluster.Copies; Cluster.Optimal;
+    Cluster.Periodic (Pmp_core.Realloc.make_budget 0);
+    Cluster.Periodic (Pmp_core.Realloc.make_budget 3);
+    Cluster.Periodic Pmp_core.Realloc.Never;
+    Cluster.Hybrid (Pmp_core.Realloc.make_budget 2);
+    Cluster.Randomized 1337;
+  ]
+
+let test_policy_codec () =
+  List.iter
+    (fun p ->
+      let s = Snapshot.policy_to_string p in
+      match Snapshot.policy_of_string s with
+      | Ok p' when p = p' -> ()
+      | Ok _ -> Alcotest.failf "policy %S decoded to a different policy" s
+      | Error e -> Alcotest.failf "policy %S did not decode: %s" s e)
+    all_policies;
+  List.iter
+    (fun s ->
+      match Snapshot.policy_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "bad policy %S decoded" s)
+    [ ""; "warp"; "periodic"; "periodic:x"; "randomized:"; "periodic:-2" ]
+
+let drive_cluster g cluster ~steps =
+  for _ = 1 to steps do
+    let next = Cluster.next_id cluster in
+    if next = 0 || Sm.int g 3 < 2 then begin
+      let levels = Pmp_util.Pow2.ilog2 (Cluster.machine_size cluster) in
+      let order = Sm.int g (levels + 1) in
+      ignore (Cluster.submit cluster ~size:(1 lsl order))
+    end
+    else ignore (Cluster.finish cluster (Sm.int g next))
+  done
+
+let test_snapshot_roundtrip () =
+  with_dir (fun dir ->
+      let cluster =
+        get_ok ~ctx:"create"
+          (Cluster.create ~machine_size:32
+             ~policy:(Cluster.Periodic (Pmp_core.Realloc.make_budget 2))
+             ~admission_cap:(Some 1.5) ())
+      in
+      drive_cluster (Sm.create 7) cluster ~steps:120;
+      let snap = Snapshot.of_cluster ~seq:120 ~admission_cap:(Some 1.5) cluster in
+      let path = Snapshot.save ~dir snap in
+      let snap' = get_ok ~ctx:"load" (Snapshot.load path) in
+      Alcotest.(check int) "seq" snap.Snapshot.seq snap'.Snapshot.seq;
+      let restored = get_ok ~ctx:"restore" (Snapshot.restore snap') in
+      get_ok ~ctx:"same state" (Server.same_state cluster restored))
+
+let test_snapshot_latest () =
+  with_dir (fun dir ->
+      Alcotest.(check bool) "empty dir" true (Snapshot.latest ~dir = None);
+      let cluster =
+        get_ok ~ctx:"create"
+          (Cluster.create ~machine_size:8 ~policy:Cluster.Greedy ())
+      in
+      let save seq =
+        ignore (Snapshot.save ~dir (Snapshot.of_cluster ~seq ~admission_cap:None cluster))
+      in
+      save 3;
+      save 12;
+      save 7;
+      match Snapshot.latest ~dir with
+      | Some (_, 12) -> ()
+      | Some (_, seq) -> Alcotest.failf "latest picked seq %d, wanted 12" seq
+      | None -> Alcotest.fail "latest found nothing")
+
+(* --- Cluster.restore equivalence ---------------------------------- *)
+
+let policy_of_index i = List.nth all_policies (i mod List.length all_policies)
+
+let restore_equiv =
+  QCheck.Test.make ~name:"externalise/restore reproduces the cluster" ~count:60
+    (QCheck.make
+       ~print:(fun (levels, seed, steps, p, capped) ->
+         Printf.sprintf "levels=%d seed=%d steps=%d policy=%d capped=%b" levels
+           seed steps p capped)
+       QCheck.Gen.(
+         tup5 (int_range 1 5) (int_range 0 1_000_000) (int_range 1 150)
+           (int_range 0 100) bool))
+    (fun (levels, seed, steps, p, capped) ->
+      Helpers.with_seed ~label:"restore-equiv" seed (fun g ->
+          let machine_size = 1 lsl levels in
+          let policy = policy_of_index p in
+          let admission_cap = if capped then Some 1.25 else None in
+          let cluster =
+            Result.get_ok
+              (Cluster.create ~machine_size ~policy ~admission_cap ())
+          in
+          drive_cluster g cluster ~steps;
+          let restored =
+            Cluster.restore ~machine_size ~policy ~admission_cap
+              ~events:(Cluster.events cluster)
+              ~queued:(Cluster.queued_tasks cluster)
+              ~next_id:(Cluster.next_id cluster)
+              ~submitted:(Cluster.stats cluster).Cluster.submitted
+              ~completed:(Cluster.stats cluster).Cluster.completed ()
+          in
+          match restored with
+          | Error e -> Alcotest.failf "restore failed: %s" e
+          | Ok restored -> Server.same_state cluster restored = Ok ()))
+
+(* --- crash recovery ----------------------------------------------- *)
+
+(* A deterministic request script: mostly submissions and completions
+   (including completions of already-finished or queued ids — rejected
+   or cancelling, both must replay identically), with reads sprinkled
+   in to make sure they never perturb the durable state. *)
+let script g ~machine_size ~steps =
+  let levels = Pmp_util.Pow2.ilog2 machine_size in
+  let issued = ref 0 in
+  List.init steps (fun _ ->
+      match Sm.int g 10 with
+      | 0 | 1 | 2 | 3 | 4 ->
+          incr issued;
+          Protocol.Submit (1 lsl Sm.int g (levels + 1))
+      | 5 | 6 | 7 when !issued > 0 -> Protocol.Finish (Sm.int g !issued)
+      | 8 when !issued > 0 -> Protocol.Query (Sm.int g !issued)
+      | _ -> Protocol.Stats)
+
+let apply server reqs =
+  List.iter (fun r -> ignore (Server.handle server r)) reqs
+
+(* Feed [reqs] until the durable sequence number reaches [k] — the
+   reference for "what the crashed process had acknowledged". *)
+let rec apply_until_seq server k = function
+  | [] -> ()
+  | r :: rest ->
+      if Server.seq server < k then begin
+        ignore (Server.handle server r);
+        apply_until_seq server k rest
+      end
+
+let crash_recovery =
+  QCheck.Test.make
+    ~name:"recovery after an injected crash equals uninterrupted execution"
+    ~count:40
+    (QCheck.make
+       ~print:(fun (levels, seed, steps, p, crash_at, snap_every) ->
+         Printf.sprintf
+           "levels=%d seed=%d steps=%d policy=%d crash_at=%d snap_every=%d"
+           levels seed steps p crash_at snap_every)
+       QCheck.Gen.(
+         map
+           (fun ((levels, seed, steps, p), (crash_at, snap_every)) ->
+             (levels, seed, steps, p, crash_at, snap_every))
+           (pair
+              (tup4 (int_range 1 5) (int_range 0 1_000_000) (int_range 5 120)
+                 (int_range 0 100))
+              (pair (int_range 1 40) (int_range 0 7)))))
+    (fun (levels, seed, steps, p, crash_at, snap_every) ->
+      Helpers.with_seed ~label:"crash-recovery" seed (fun g ->
+          let machine_size = 1 lsl levels in
+          let policy = policy_of_index p in
+          let reqs = script g ~machine_size ~steps in
+          with_dir (fun dir_a ->
+              with_dir (fun dir_b ->
+                  let config dir crash_after =
+                    {
+                      (Server.default_config ~machine_size ~policy ~dir) with
+                      Server.admission_cap = Some 1.5;
+                      snapshot_every = snap_every;
+                      fsync_every = 0 (* channel flush is durability enough
+                                         for an in-process "crash" *);
+                      crash_after;
+                    }
+                  in
+                  let victim =
+                    Result.get_ok (Server.create (config dir_a (Some crash_at)))
+                  in
+                  let crashed =
+                    match apply victim reqs with
+                    | () -> false
+                    | exception Server.Crash -> true
+                  in
+                  (* abandon [victim] without closing: the WAL handle
+                     dies with the "process" *)
+                  let recovered =
+                    match Server.create (config dir_a None) with
+                    | Ok s -> s
+                    | Error e -> Alcotest.failf "recovery refused: %s" e
+                  in
+                  let reference =
+                    Result.get_ok (Server.create (config dir_b None))
+                  in
+                  if crashed then apply_until_seq reference crash_at reqs
+                  else apply reference reqs;
+                  if Server.seq recovered <> Server.seq reference then
+                    Alcotest.failf "recovered seq %d <> reference seq %d"
+                      (Server.seq recovered) (Server.seq reference);
+                  match
+                    Server.same_state (Server.cluster recovered)
+                      (Server.cluster reference)
+                  with
+                  | Ok () -> true
+                  | Error e -> Alcotest.failf "state diverged: %s" e))))
+
+let test_recovery_counts_ops () =
+  with_dir (fun dir ->
+      let config =
+        {
+          (Server.default_config ~machine_size:16 ~policy:Cluster.Greedy ~dir) with
+          Server.snapshot_every = 0;
+        }
+      in
+      let s = Result.get_ok (Server.create config) in
+      apply s
+        [ Protocol.Submit 4; Protocol.Submit 8; Protocol.Finish 0;
+          Protocol.Submit 2 ];
+      Server.close s;
+      let s' = Result.get_ok (Server.create config) in
+      Alcotest.(check int) "replayed ops" 4 (Server.recovered_ops s');
+      Alcotest.(check int) "seq" 4 (Server.seq s');
+      (* the metrics registry records the recovery *)
+      let dump = Server.metrics s' in
+      let contains needle =
+        let nl = String.length needle and dl = String.length dump in
+        let rec go i =
+          i + nl <= dl && (String.sub dump i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "recovery counter" true
+        (contains "pmpd_recoveries_total 1");
+      Server.close s')
+
+let test_recovery_rejects_config_mismatch () =
+  with_dir (fun dir ->
+      let config policy =
+        Server.default_config ~machine_size:16 ~policy ~dir
+      in
+      let s = Result.get_ok (Server.create (config Cluster.Greedy)) in
+      apply s [ Protocol.Submit 4; Protocol.Snapshot ];
+      Server.close s;
+      match Server.create (config Cluster.Copies) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "policy mismatch must refuse to start")
+
+(* --- sockets ------------------------------------------------------ *)
+
+let expect_placed ~ctx = function
+  | Ok (Protocol.Placed (id, _)) -> id
+  | Ok r -> Alcotest.failf "%s: unexpected reply %s" ctx (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "%s: %s" ctx e
+
+let run_session client =
+  let id0 = expect_placed ~ctx:"submit 8" (Client.request client (Protocol.Submit 8)) in
+  let _ = expect_placed ~ctx:"submit 4" (Client.request client (Protocol.Submit 4)) in
+  (match Client.request client (Protocol.Query id0) with
+  | Ok (Protocol.State (_, Protocol.Active _)) -> ()
+  | Ok r -> Alcotest.failf "query: unexpected reply %s" (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "query: %s" e);
+  (match Client.request client (Protocol.Finish id0) with
+  | Ok Protocol.Finished -> ()
+  | Ok r -> Alcotest.failf "finish: unexpected reply %s" (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "finish: %s" e);
+  (match Client.request client (Protocol.Submit 3) with
+  | Ok (Protocol.Error _) -> ()
+  | Ok r ->
+      Alcotest.failf "bad submit: unexpected reply %s" (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "bad submit: %s" e);
+  match Client.request client Protocol.Stats with
+  | Ok (Protocol.Stats_reply st) ->
+      Alcotest.(check int) "submitted" 2 st.Cluster.submitted;
+      Alcotest.(check int) "completed" 1 st.Cluster.completed
+  | Ok r -> Alcotest.failf "stats: unexpected reply %s" (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "stats: %s" e
+
+let shutdown_server client =
+  match Client.request client Protocol.Shutdown with
+  | Ok Protocol.Bye -> ()
+  | Ok r -> Alcotest.failf "shutdown: unexpected reply %s" (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "shutdown: %s" e
+
+let with_served config ~listener f =
+  let server = Result.get_ok (Server.create config) in
+  let domain = Domain.spawn (fun () -> Server.serve server ~listeners:[ listener ]) in
+  Fun.protect ~finally:(fun () -> Domain.join domain) f
+
+let test_unix_socket () =
+  with_dir (fun dir ->
+      let config = Server.default_config ~machine_size:64 ~policy:Cluster.Greedy ~dir in
+      let path = Filename.concat dir "pmp.sock" in
+      with_served config ~listener:(Server.listen_unix path) (fun () ->
+          let client = get_ok ~ctx:"connect" (Client.connect_unix path) in
+          run_session client;
+          shutdown_server client;
+          Client.close client))
+
+let test_tcp_socket () =
+  with_dir (fun dir ->
+      let config =
+        Server.default_config ~machine_size:64
+          ~policy:(Cluster.Periodic (Pmp_core.Realloc.make_budget 2))
+          ~dir
+      in
+      let listener, port = Server.listen_tcp ~host:"127.0.0.1" ~port:0 in
+      with_served config ~listener (fun () ->
+          let client =
+            get_ok ~ctx:"connect" (Client.connect_tcp ~host:"127.0.0.1" ~port)
+          in
+          run_session client;
+          shutdown_server client;
+          Client.close client))
+
+(* Pipelining: write a burst of requests as one blob, then read the
+   responses — they must come back complete, in order, one per line. *)
+let test_pipelined_batch () =
+  with_dir (fun dir ->
+      let config = Server.default_config ~machine_size:256 ~policy:Cluster.Copies ~dir in
+      let path = Filename.concat dir "pmp.sock" in
+      with_served config ~listener:(Server.listen_unix path) (fun () ->
+          let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+          Unix.connect fd (ADDR_UNIX path);
+          let oc = Unix.out_channel_of_descr fd in
+          let ic = Unix.in_channel_of_descr fd in
+          let n = 200 in
+          for i = 1 to n do
+            output_string oc
+              (Protocol.encode_request (Protocol.Submit (if i mod 2 = 0 then 2 else 1)));
+            output_char oc '\n'
+          done;
+          flush oc;
+          for i = 0 to n - 1 do
+            match Protocol.decode_response (input_line ic) with
+            | Ok (Protocol.Placed (id, _)) ->
+                Alcotest.(check int) "ids in submission order" i id
+            | Ok r ->
+                Alcotest.failf "batch reply %d: %s" i (Protocol.encode_response r)
+            | Error e -> Alcotest.failf "batch reply %d: %s" i e
+          done;
+          let client = get_ok ~ctx:"connect" (Client.connect_unix path) in
+          (match Client.request client Protocol.Stats with
+          | Ok (Protocol.Stats_reply st) ->
+              Alcotest.(check int) "all submissions counted" n st.Cluster.submitted
+          | _ -> Alcotest.fail "stats after batch");
+          shutdown_server client;
+          Client.close client;
+          Unix.close fd))
+
+(* Two concurrent clients in their own domains: every reply lands on
+   the connection that asked, and nothing is lost or duplicated. *)
+let test_concurrent_clients () =
+  with_dir (fun dir ->
+      let config = Server.default_config ~machine_size:64 ~policy:Cluster.Greedy ~dir in
+      let path = Filename.concat dir "pmp.sock" in
+      with_served config ~listener:(Server.listen_unix path) (fun () ->
+          let worker () =
+            let client = Result.get_ok (Client.connect_unix path) in
+            let ids =
+              List.init 25 (fun i ->
+                  expect_placed ~ctx:"concurrent submit"
+                    (Client.request client (Protocol.Submit (if i mod 3 = 0 then 2 else 1))))
+            in
+            Client.close client;
+            ids
+          in
+          let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+          let ids1 = Domain.join d1 and ids2 = Domain.join d2 in
+          let all = List.sort_uniq compare (ids1 @ ids2) in
+          Alcotest.(check int) "50 distinct ids" 50 (List.length all);
+          let client = Result.get_ok (Client.connect_unix path) in
+          (match Client.request client Protocol.Stats with
+          | Ok (Protocol.Stats_reply st) ->
+              Alcotest.(check int) "submitted" 50 st.Cluster.submitted
+          | _ -> Alcotest.fail "stats after concurrent clients");
+          shutdown_server client;
+          Client.close client))
+
+let suite =
+  [
+    ("decode errors", `Quick, test_decode_errors);
+    ("command parsing", `Quick, test_command_parsing);
+    ("wal round-trip", `Quick, test_wal_roundtrip);
+    ("wal torn tail", `Quick, test_wal_torn_tail);
+    ("wal interior corruption", `Quick, test_wal_interior_corruption);
+    ("wal reset", `Quick, test_wal_reset);
+    ("policy codec", `Quick, test_policy_codec);
+    ("snapshot round-trip", `Quick, test_snapshot_roundtrip);
+    ("snapshot latest", `Quick, test_snapshot_latest);
+    ("recovery counts ops", `Quick, test_recovery_counts_ops);
+    ("recovery rejects config mismatch", `Quick, test_recovery_rejects_config_mismatch);
+    ("unix socket session", `Quick, test_unix_socket);
+    ("tcp socket session", `Quick, test_tcp_socket);
+    ("pipelined batch", `Quick, test_pipelined_batch);
+    ("concurrent clients", `Quick, test_concurrent_clients);
+  ]
+  @ Helpers.qtests [ request_roundtrip; response_roundtrip; restore_equiv; crash_recovery ]

@@ -56,6 +56,84 @@ let test_csv () =
   Alcotest.(check string) "csv escaping"
     "a,b\nplain,\"with,comma\"\n\"quo\"\"te\",\"multi\nline\"\n" csv
 
+(* --- Json: the parser's error paths ------------------------------- *)
+
+let test_json_parse_errors () =
+  let bad =
+    [
+      ""; "   "; "{"; "}"; "["; "]"; "[1,"; "[1 2]"; "{\"a\"}"; "{\"a\":}";
+      "{\"a\":1,}"; "{a:1}"; "\"unterminated"; "tru"; "falsey"; "nul";
+      "\"bad \\x escape\""; "\"trunc \\u12\""; "\"trunc \\u\"";
+      "{} trailing"; "[1] 2"; "nan()"; "--1"; "1.2.3";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | v ->
+          Alcotest.failf "of_string %S parsed as %s" s (Json.to_string v)
+      | exception Json.Parse_error _ -> ())
+    bad
+
+let test_json_accessors_on_mismatch () =
+  Alcotest.(check (option int)) "to_int of string" None (Json.to_int (Json.Str "7"));
+  Alcotest.(check (option int)) "to_int of 1.5" None (Json.to_int (Json.Num 1.5));
+  Alcotest.(check (option int)) "to_int of 3.0" (Some 3) (Json.to_int (Json.Num 3.0));
+  Alcotest.(check (option string)) "to_str of num" None (Json.to_str (Json.Num 1.0));
+  Alcotest.(check bool) "member of non-obj" true
+    (Json.member "a" (Json.Arr []) = None);
+  Alcotest.(check bool) "member absent" true
+    (Json.member "b" (Json.Obj [ ("a", Json.Null) ]) = None)
+
+(* --- Json: escape/round-trip properties ---------------------------- *)
+
+(* Arbitrary byte strings: every control char, quote, backslash and
+   high byte must survive [to_string] (which escapes onto one line)
+   and [of_string]. *)
+let arb_json =
+  let open QCheck.Gen in
+  let any_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 30) in
+  let leaf =
+    oneof
+      [
+        return Pmp_util.Json.Null;
+        map (fun b -> Pmp_util.Json.Bool b) bool;
+        map (fun i -> Pmp_util.Json.Num (float_of_int i)) (int_range (-1_000_000) 1_000_000);
+        map (fun s -> Pmp_util.Json.Str s) any_string;
+      ]
+  in
+  let gen =
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n <= 1 then leaf
+            else
+              frequency
+                [
+                  (2, leaf);
+                  (1, map (fun l -> Pmp_util.Json.Arr l)
+                        (list_size (int_range 0 5) (self (n / 2))));
+                  ( 1,
+                    map (fun l -> Pmp_util.Json.Obj l)
+                      (list_size (int_range 0 5)
+                         (pair any_string (self (n / 2)))) );
+                ])
+          (min n 12))
+  in
+  QCheck.make ~print:(fun v -> Json.to_string v) gen
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"Json: of_string (to_string v) = v" ~count:500 arb_json
+    (fun v -> Json.of_string (Json.to_string v) = v)
+
+let prop_json_roundtrip_indented =
+  QCheck.Test.make ~name:"Json: round-trip survives pretty-printing" ~count:200
+    arb_json (fun v -> Json.of_string (Json.to_string ~indent:2 v) = v)
+
+let prop_json_single_line =
+  QCheck.Test.make ~name:"Json: compact printing never emits a newline"
+    ~count:500 arb_json (fun v -> not (String.contains (Json.to_string v) '\n'))
+
 let test_fmt () =
   Alcotest.(check string) "trim zeros" "1.5" (Table.fmt_float 1.5);
   Alcotest.(check string) "keep one" "2.0" (Table.fmt_float 2.0);
@@ -72,4 +150,9 @@ let suite =
     Alcotest.test_case "table shapes" `Quick test_table_shapes;
     Alcotest.test_case "csv export" `Quick test_csv;
     Alcotest.test_case "float formatting" `Quick test_fmt;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json accessor mismatches" `Quick
+      test_json_accessors_on_mismatch;
   ]
+  @ Helpers.qtests
+      [ prop_json_roundtrip; prop_json_roundtrip_indented; prop_json_single_line ]
