@@ -29,6 +29,7 @@ module Builders = Pmp_cli.Builders
 let seed = 42
 let default_tolerance = 0.25
 let min_speedup = 5.0
+let min_service_speedup = 5.0
 
 (* the same seeded churn as Workloads.churn in the experiment harness
    (dune forbids sharing a module across two executables in one
@@ -204,7 +205,56 @@ let speedup_probe () =
       ("min_required", Json.Num min_speedup);
     ]
 
-let report calib cases speedup =
+(* The service gate: a live pmpd on a Unix socket, driven through the
+   shared Loadgen workload. Both sides of the ratio run on the same
+   host, so binary+group vs json+fsync-per-append transports across
+   machines like the scan-vs-index speedup does; the allocation budget
+   of the read fast path is deterministic like words_per_event. Raw
+   service ns/request is recorded calibration-normalised and gated as
+   a (warn-only by default) timing field. *)
+let service_probe calib =
+  let module L = Pmp_server.Loadgen in
+  let run label ~proto ~fsync_policy ~wal_format ~requests =
+    match L.bench ~proto ~fsync_policy ~wal_format ~requests () with
+    | Ok o -> o
+    | Error e -> failwith (Printf.sprintf "service probe (%s): %s" label e)
+  in
+  let fast =
+    run "binary+group" ~proto:Pmp_server.Client.Binary
+      ~fsync_policy:Pmp_server.Wal.Group
+      ~wal_format:Pmp_server.Wal.Binary_records ~requests:30_000
+  in
+  (* the seed's configuration: JSON lines, fsync on every append — a
+     real fsync per mutation, so a tenth of the requests suffices *)
+  let slow =
+    run "json+always" ~proto:Pmp_server.Client.Json
+      ~fsync_policy:Pmp_server.Wal.Always
+      ~wal_format:Pmp_server.Wal.Json_records ~requests:3_000
+  in
+  let words =
+    match L.words_per_request () with
+    | Ok w -> w
+    | Error e -> failwith ("service probe (words): " ^ e)
+  in
+  let fast_ns = L.ns_per_request fast and slow_ns = L.ns_per_request slow in
+  Json.Obj
+    [
+      ("case", Json.Str "service: binary+group vs json+always (unix socket)");
+      ("fast_requests", Json.Num (float_of_int fast.L.requests));
+      ("fast_mutations", Json.Num (float_of_int fast.L.mutations));
+      ("slow_requests", Json.Num (float_of_int slow.L.requests));
+      ("slow_mutations", Json.Num (float_of_int slow.L.mutations));
+      ("binary_group_ns_per_request", Json.Num (Float.round fast_ns));
+      ("json_always_ns_per_request", Json.Num (Float.round slow_ns));
+      ("norm_ns_per_request", Json.Num (fast_ns /. calib));
+      ( "events_per_second",
+        Json.Num (Float.round (L.requests_per_sec fast)) );
+      ("speedup", Json.Num (slow_ns /. fast_ns));
+      ("min_required", Json.Num min_service_speedup);
+      ("words_per_request", Json.Num words);
+    ]
+
+let report calib cases speedup service =
   Json.Obj
     [
       ("suite", Json.Str "pmp bench-regress");
@@ -214,6 +264,7 @@ let report calib cases speedup =
       ("dropped", Json.Arr (List.map (fun s -> Json.Str s) dropped));
       ("cases", Json.Obj cases);
       ("speedup", speedup);
+      ("service", service);
     ]
 
 (* --- baseline comparison ------------------------------------------ *)
@@ -285,6 +336,52 @@ let check_speedup sp =
         ]
       else []
 
+(* The service gates: a hard same-host speedup floor (binary+group
+   must beat json+always by min_service_speedup regardless of any
+   baseline), a toleranced allocation budget vs the baseline, and a
+   warn-only normalised wall-time check. *)
+let check_service ~tolerance baseline sv =
+  let s = get_num "service" sv "speedup" in
+  let floor_failures =
+    if s < min_service_speedup then
+      [
+        {
+          key = "service";
+          msg =
+            Printf.sprintf
+              "service speedup (binary+group vs json+always) %.1fx is below \
+               the %.0fx floor"
+              s min_service_speedup;
+          timing = false;
+        };
+      ]
+    else []
+  in
+  let baseline_failures =
+    match Option.bind baseline (Json.member "service") with
+    | None -> []
+    | Some base ->
+        let vs field timing =
+          let b = get_num "service(baseline)" base field
+          and c = get_num "service" sv field in
+          if c > b *. (1.0 +. tolerance) then
+            [
+              {
+                key = "service";
+                msg =
+                  Printf.sprintf
+                    "service: %s regressed %.1f -> %.1f (>%.0f%% over \
+                     baseline)"
+                    field b c (tolerance *. 100.0);
+                timing;
+              };
+            ]
+          else []
+        in
+        vs "words_per_request" false @ vs "norm_ns_per_request" true
+  in
+  floor_failures @ baseline_failures
+
 (* --- driver ------------------------------------------------------- *)
 
 let () =
@@ -325,6 +422,13 @@ let () =
   let sp = speedup_probe () in
   let speedup = Option.bind (Json.member "speedup" sp) Json.to_float in
   Printf.printf "speedup: %.1fx\n%!" (Option.value ~default:nan speedup);
+  Printf.printf "measuring service throughput (binary+group vs json+always)...\n%!";
+  let sv = service_probe calib in
+  let service_speedup = Option.bind (Json.member "speedup" sv) Json.to_float in
+  let service_words = Option.bind (Json.member "words_per_request" sv) Json.to_float in
+  Printf.printf "service speedup: %.1fx, read path %.2f words/request\n%!"
+    (Option.value ~default:nan service_speedup)
+    (Option.value ~default:nan service_words);
   let baseline =
     if !compare_path = "" then None else Some (Json.of_file !compare_path)
   in
@@ -364,7 +468,10 @@ let () =
         suite;
     failures := compare_now ()
   done;
-  let failures = check_speedup sp @ !failures in
+  let failures =
+    check_speedup sp @ check_service ~tolerance:!tolerance baseline sv
+    @ !failures
+  in
   (* wall-time regressions that survive the retries are warnings
      unless --strict-time: shared CI hosts see sustained load bursts
      no amount of best-of-k smoothing absorbs, so the hard gate rests
@@ -373,7 +480,7 @@ let () =
   let hard, soft =
     List.partition (fun f -> !strict_time || not f.timing) failures
   in
-  let rep = report calib !cases sp in
+  let rep = report calib !cases sp sv in
   Json.to_file !out rep;
   Printf.printf "wrote %s (%d cases)\n%!" !out (List.length !cases);
   if !update_baseline then begin

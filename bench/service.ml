@@ -1,0 +1,141 @@
+(* Service-level benchmark: drive a live pmpd in its own domain over a
+   Unix socket through the shared Loadgen driver, one point per
+   (protocol, fsync policy) corner, and merge the results into
+   BENCH_telemetry.json under a "service" key — throughput, latency
+   percentiles from the client side, and the server's own WAL
+   telemetry (group-commit size distribution, fsync count) scraped
+   from its metrics endpoint at the end of each run.
+
+     dune exec bench/service.exe                 # merge into BENCH_telemetry.json
+     dune exec bench/service.exe -- --out FILE   # write elsewhere *)
+
+module L = Pmp_server.Loadgen
+module Client = Pmp_server.Client
+module Wal = Pmp_server.Wal
+module Protocol = Pmp_server.Protocol
+module Metrics = Pmp_telemetry.Metrics
+module Json = Pmp_util.Json
+
+(* fsync-per-append runs a real fsync per mutation, so its corner gets
+   a tenth of the requests — the per-request cost is what matters *)
+let requests_for = function Wal.Always -> 3_000 | _ -> 30_000
+
+(* scrape one "<name> <value>" sample out of a prometheus text dump *)
+let metric_value dump name =
+  let prefix = name ^ " " in
+  let plen = String.length prefix in
+  List.find_map
+    (fun line ->
+      if String.length line > plen && String.sub line 0 plen = prefix then
+        float_of_string_opt
+          (String.sub line plen (String.length line - plen))
+      else None)
+    (String.split_on_char '\n' dump)
+
+let point ~label ~proto ~fsync_policy ~wal_format =
+  Printf.printf "running %-14s ...%!" label;
+  let requests = requests_for fsync_policy in
+  let latency =
+    Metrics.Histogram.make (Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:24)
+  in
+  let result =
+    L.with_local_service ~fsync_policy ~wal_format (fun socket ->
+        match Client.connect_unix ~proto socket with
+        | Error e -> Error e
+        | Ok c ->
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let gen = L.make_gen ~seed:0xB00 ~machine_size:256 in
+                match L.drive c gen ~requests ~window:32 ~latency () with
+                | Error e -> Error e
+                | Ok outcome ->
+                    let dump =
+                      match Client.request c Protocol.Metrics with
+                      | Ok (Protocol.Metrics_reply m) -> m
+                      | Ok _ | Error _ -> ""
+                    in
+                    Ok (outcome, dump)))
+  in
+  match result with
+  | Error e -> failwith (Printf.sprintf "service bench (%s): %s" label e)
+  | Ok (o, dump) ->
+      let metric name = Option.value ~default:nan (metric_value dump name) in
+      let group_count = metric "pmpd_wal_group_size_count" in
+      let group_sum = metric "pmpd_wal_group_size_sum" in
+      Printf.printf " %8.0f req/s  p99 %6.0f us  avg group %.1f\n%!"
+        (L.requests_per_sec o)
+        (L.percentile latency 99.0)
+        (if group_count > 0.0 then group_sum /. group_count else 0.0);
+      Json.Obj
+        [
+          ("label", Json.Str label);
+          ("proto", Json.Str (Client.proto_name proto));
+          ("fsync_policy", Json.Str (Wal.policy_name fsync_policy));
+          ("wal_format", Json.Str (Wal.format_name wal_format));
+          ("requests", Json.Num (float_of_int o.L.requests));
+          ("mutations", Json.Num (float_of_int o.L.mutations));
+          ("errors", Json.Num (float_of_int o.L.errors));
+          ("ns_per_request", Json.Num (Float.round (L.ns_per_request o)));
+          ("requests_per_sec", Json.Num (Float.round (L.requests_per_sec o)));
+          ("latency_p50_us", Json.Num (L.percentile latency 50.0));
+          ("latency_p90_us", Json.Num (L.percentile latency 90.0));
+          ("latency_p99_us", Json.Num (L.percentile latency 99.0));
+          ("fsync_total", Json.Num (metric "pmpd_fsync_total"));
+          ("wal_group_commits", Json.Num group_count);
+          ( "wal_group_size_avg",
+            Json.Num
+              (if group_count > 0.0 then group_sum /. group_count else 0.0) );
+        ]
+
+let () =
+  let out = ref "BENCH_telemetry.json" in
+  Arg.parse
+    [ ("--out", Arg.Set_string out, "FILE  merge the service section into FILE") ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "service.exe [--out FILE]";
+  (* sequenced lets rather than a list literal so the progress lines
+     print in run order *)
+  let p1 =
+    point ~label:"binary+group" ~proto:Client.Binary ~fsync_policy:Wal.Group
+      ~wal_format:Wal.Binary_records
+  in
+  let p2 =
+    point ~label:"json+group" ~proto:Client.Json ~fsync_policy:Wal.Group
+      ~wal_format:Wal.Binary_records
+  in
+  let p3 =
+    point ~label:"binary+always" ~proto:Client.Binary ~fsync_policy:Wal.Always
+      ~wal_format:Wal.Binary_records
+  in
+  let p4 =
+    point ~label:"json+always" ~proto:Client.Json ~fsync_policy:Wal.Always
+      ~wal_format:Wal.Json_records
+  in
+  let points = [ p1; p2; p3; p4 ] in
+  let words =
+    match L.words_per_request () with
+    | Ok w -> w
+    | Error e -> failwith ("service bench (words): " ^ e)
+  in
+  Printf.printf "read-path allocation: %.2f words/request\n%!" words;
+  let service =
+    Json.Obj
+      [
+        ("points", Json.Arr points);
+        ("read_path_words_per_request", Json.Num words);
+      ]
+  in
+  let base =
+    if Sys.file_exists !out then
+      try Json.of_file !out with Json.Parse_error _ | Sys_error _ -> Json.Obj []
+    else Json.Obj []
+  in
+  let merged =
+    match base with
+    | Json.Obj fields ->
+        Json.Obj (List.remove_assoc "service" fields @ [ ("service", service) ])
+    | _ -> Json.Obj [ ("service", service) ]
+  in
+  Json.to_file !out merged;
+  Printf.printf "merged service section into %s\n%!" !out

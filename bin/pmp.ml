@@ -430,8 +430,21 @@ let serve_cmd =
     Arg.(value & opt (some float) None & info [ "cap" ] ~docv:"X" ~doc)
   in
   let fsync_arg =
-    let doc = "fsync the WAL every $(docv) mutations (0 disables fsync)." in
-    Arg.(value & opt int 1 & info [ "fsync-every" ] ~docv:"K" ~doc)
+    let doc =
+      "WAL durability policy: $(b,always) (fsync every record), $(b,group) \
+       (one fsync per event-loop batch — same acknowledgement guarantee, a \
+       fraction of the fsyncs), $(b,interval:<ms>) (fsync on a timer; a \
+       crash may lose the last interval) or $(b,never)."
+    in
+    Arg.(value & opt string "group" & info [ "fsync-policy" ] ~docv:"POLICY" ~doc)
+  in
+  let wal_format_arg =
+    let doc =
+      "Encoding of fresh WAL records: $(b,binary) (compact frames) or \
+       $(b,json) (one debuggable object per line). Recovery reads both, so \
+       switching is safe at any restart."
+    in
+    Arg.(value & opt string "binary" & info [ "wal-format" ] ~docv:"FMT" ~doc)
   in
   let snapshot_arg =
     let doc = "Write a snapshot every $(docv) mutations (0 = on demand only)." in
@@ -453,10 +466,16 @@ let serve_cmd =
     Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"K" ~doc)
   in
   let action machine_size alloc_name d_str seed cap dir socket host port
-      fsync_every snapshot_every crash_after max_pending =
+      fsync_policy wal_format snapshot_every crash_after max_pending =
     let* _ = Builders.machine machine_size in
     let* d = Builders.parse_d d_str in
     let* policy = Builders.cluster_policy alloc_name ~d ~seed in
+    let* fsync_policy =
+      Result.map_error (fun e -> `Msg e) (Pmp_server.Wal.parse_policy fsync_policy)
+    in
+    let* wal_format =
+      Result.map_error (fun e -> `Msg e) (Pmp_server.Wal.parse_format wal_format)
+    in
     if max_pending < 1 then Error (`Msg "--max-pending must be at least 1")
     else begin
       let config =
@@ -465,7 +484,8 @@ let serve_cmd =
           policy;
           admission_cap = cap;
           dir;
-          fsync_every;
+          fsync_policy;
+          wal_format;
           snapshot_every;
           crash_after;
           loop = { Pmp_server.Loop.default_config with max_pending };
@@ -510,8 +530,8 @@ let serve_cmd =
     Term.(
       term_result
         (const action $ machine_arg $ alloc_arg $ d_arg $ seed_arg $ cap_arg
-       $ dir_arg $ socket_arg $ host_arg $ port_arg $ fsync_arg $ snapshot_arg
-       $ crash_arg $ max_pending_arg))
+       $ dir_arg $ socket_arg $ host_arg $ port_arg $ fsync_arg
+       $ wal_format_arg $ snapshot_arg $ crash_arg $ max_pending_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -520,20 +540,94 @@ let serve_cmd =
           + crash recovery).")
     term
 
+let proto_arg ~default =
+  let doc =
+    "Wire protocol for requests: $(b,binary) (compact frames, the fast \
+     path) or $(b,json) (debuggable lines). Responses are decoded by \
+     first-byte detection either way."
+  in
+  Arg.(value & opt string default & info [ "proto" ] ~docv:"PROTO" ~doc)
+
+let connect_client ~proto socket host port =
+  match (socket, port) with
+  | Some path, None -> Pmp_server.Client.connect_unix ~proto path
+  | None, Some port -> Pmp_server.Client.connect_tcp ~proto ~host ~port ()
+  | Some _, Some _ -> Error "give either --socket or --port, not both"
+  | None, None -> Error "give --socket or --port"
+
+let client_bench_cmd =
+  let requests_arg =
+    let doc = "Number of requests to drive." in
+    Arg.(value & opt int 100_000 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let window_arg =
+    let doc = "Pipeline window: requests kept in flight." in
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"W" ~doc)
+  in
+  let action socket host port proto requests window seed machine_size =
+    let module Metrics = Pmp_telemetry.Metrics in
+    let* proto =
+      Result.map_error (fun e -> `Msg e) (Pmp_server.Client.parse_proto proto)
+    in
+    let* conn =
+      Result.map_error (fun e -> `Msg e) (connect_client ~proto socket host port)
+    in
+    if requests < 1 || window < 1 then
+      Error (`Msg "--requests and --window must be at least 1")
+    else begin
+      (* buckets from 1 µs to ~8 s *)
+      let latency =
+        Metrics.Histogram.make
+          (Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:24)
+      in
+      let gen = Pmp_server.Loadgen.make_gen ~seed ~machine_size in
+      let r = Pmp_server.Loadgen.drive conn gen ~requests ~window ~latency () in
+      Pmp_server.Client.close conn;
+      let* o = Result.map_error (fun e -> `Msg e) r in
+      let p = Pmp_server.Loadgen.percentile latency in
+      Printf.printf "proto          : %s\n"
+        (Pmp_server.Client.proto_name proto);
+      Printf.printf "requests       : %d (%d mutations, %d errors)\n"
+        o.Pmp_server.Loadgen.requests o.Pmp_server.Loadgen.mutations
+        o.Pmp_server.Loadgen.errors;
+      Printf.printf "elapsed        : %.3f s\n" o.Pmp_server.Loadgen.elapsed;
+      Printf.printf "throughput     : %.0f req/s\n"
+        (Pmp_server.Loadgen.requests_per_sec o);
+      Printf.printf "ns/request     : %.0f\n"
+        (Pmp_server.Loadgen.ns_per_request o);
+      Printf.printf "latency (us)   : p50 <= %.0f  p90 <= %.0f  p99 <= %.0f  max %.1f\n"
+        (p 50.0) (p 90.0) (p 99.0)
+        (Metrics.Histogram.max_seen latency);
+      Ok ()
+    end
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ socket_arg $ host_arg $ port_arg
+       $ proto_arg ~default:"binary" $ requests_arg $ window_arg $ seed_arg
+       $ machine_arg))
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Drive a running pmpd closed-loop with a deterministic churn \
+          workload and report throughput and a latency histogram.")
+    term
+
 let client_cmd =
   let json_arg =
     let doc = "Print raw JSON response lines instead of rendering them." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let action socket host port json =
+  let action socket host port proto json =
+    let* proto =
+      Result.map_error (fun e -> `Msg e) (Pmp_server.Client.parse_proto proto)
+    in
     let* conn =
       Result.map_error
         (fun e -> `Msg e)
-        (match (socket, port) with
-        | Some path, None -> Pmp_server.Client.connect_unix path
-        | None, Some port -> Pmp_server.Client.connect_tcp ~host ~port
-        | Some _, Some _ -> Error "give either --socket or --port, not both"
-        | None, None -> Error "give --socket or --port")
+        (connect_client ~proto socket host port)
     in
     let print_response resp =
       if json then
@@ -565,14 +659,17 @@ let client_cmd =
     r
   in
   let term =
-    Term.(term_result (const action $ socket_arg $ host_arg $ port_arg $ json_arg))
+    Term.(
+      term_result
+        (const action $ socket_arg $ host_arg $ port_arg
+       $ proto_arg ~default:"json" $ json_arg))
   in
-  Cmd.v
+  Cmd.group ~default:term
     (Cmd.info "client"
        ~doc:
          "Drive a running pmpd from stdin (submit/finish/query/stats/loads/\
-          metrics/snapshot/shutdown).")
-    term
+          metrics/snapshot/shutdown), or benchmark it with $(b,bench).")
+    [ client_bench_cmd ]
 
 let adversary_cmd =
   let action machine_size alloc_name seed d_str =

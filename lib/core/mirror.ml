@@ -46,8 +46,12 @@ let apply_remove t id =
       Hashtbl.remove t.table id;
       t.active_size <- t.active_size - task.Task.size
 
+(* [Hashtbl.find] + handler rather than [Option.map snd << find_opt]:
+   one [Some] instead of two on the daemon's query fast path. *)
 let placement t id =
-  Option.map snd (Hashtbl.find_opt t.table id)
+  match Hashtbl.find t.table id with
+  | _, p -> Some p
+  | exception Not_found -> None
 
 let active t = Hashtbl.fold (fun _ tp acc -> tp :: acc) t.table []
 let num_active t = Hashtbl.length t.table

@@ -1,13 +1,30 @@
 (** A blocking client for the {!Protocol}.
 
     One socket, synchronous {!request} or pipelined {!send}/{!receive}
-    (the server answers strictly in order). Used by [pmp client], the
-    examples and the end-to-end tests. *)
+    (the server answers strictly in order). Speaks either encoding —
+    compact binary frames or JSON lines — and detects the encoding of
+    every incoming response from its first byte, so the format can
+    even switch mid-connection. Used by [pmp client], the examples and
+    the end-to-end tests. *)
+
+type proto = Json | Binary
+
+val parse_proto : string -> (proto, string) result
+(** [binary | json]. *)
+
+val proto_name : proto -> string
 
 type t
 
-val connect_unix : string -> (t, string) result
-val connect_tcp : host:string -> port:int -> (t, string) result
+val connect_unix : ?proto:proto -> string -> (t, string) result
+(** [proto] (default [Json]) selects the encoding of outgoing
+    requests. *)
+
+val connect_tcp :
+  ?proto:proto -> host:string -> port:int -> unit -> (t, string) result
+
+val proto : t -> proto
+val set_proto : t -> proto -> unit
 
 val request : t -> Protocol.request -> (Protocol.response, string) result
 (** Send one request and wait for its response. *)

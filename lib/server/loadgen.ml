@@ -1,0 +1,300 @@
+(* The shared service-benchmark driver: a deterministic churn workload
+   generator, a closed-loop socket driver with a pipeline window and
+   an optional latency histogram, a spawn-a-server-in-a-domain harness
+   over a Unix socket in a throwaway directory, and an in-process
+   allocation probe for the binary fast path. [bench/service.ml], the
+   regression gate's service probe and [pmp client bench] all sit on
+   this module so they measure the same thing. *)
+
+module Cluster = Pmp_cluster.Cluster
+module Prng = Pmp_prng.Splitmix64
+module Metrics = Pmp_telemetry.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* deterministic churn requests                                        *)
+
+type gen = {
+  rng : Prng.t;
+  mutable live : int array;  (** ids submitted and not yet finished *)
+  mutable n_live : int;
+  size_exps : int;  (** submit sizes are [2^k], [k < size_exps] *)
+}
+
+let make_gen ~seed ~machine_size =
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  {
+    rng = Prng.create seed;
+    live = Array.make 1024 0;
+    n_live = 0;
+    size_exps = max 1 (log2 (max 1 (machine_size / 4)) + 1);
+  }
+
+let push_live g id =
+  if g.n_live = Array.length g.live then begin
+    let bigger = Array.make (2 * g.n_live) 0 in
+    Array.blit g.live 0 bigger 0 g.n_live;
+    g.live <- bigger
+  end;
+  g.live.(g.n_live) <- id;
+  g.n_live <- g.n_live + 1
+
+(* Finishing slightly less often than submitting keeps a lively pool
+   without runaway growth (queued tasks finish too — that's a cancel,
+   which the server accepts). *)
+let next_request g =
+  if g.n_live > 0 && Prng.bernoulli g.rng 0.45 then begin
+    let i = Prng.int g.rng g.n_live in
+    let id = g.live.(i) in
+    g.n_live <- g.n_live - 1;
+    g.live.(i) <- g.live.(g.n_live);
+    Protocol.Finish id
+  end
+  else Protocol.Submit (1 lsl Prng.int g.rng g.size_exps)
+
+let note_response g = function
+  | Protocol.Placed (id, _) | Protocol.Queued id -> push_live g id
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* closed-loop driving                                                 *)
+
+type outcome = {
+  requests : int;
+  mutations : int;
+  errors : int;
+  elapsed : float;  (** seconds *)
+}
+
+let ns_per_request o = o.elapsed *. 1e9 /. float_of_int (max 1 o.requests)
+let requests_per_sec o = float_of_int o.requests /. Float.max 1e-9 o.elapsed
+
+exception Fail of string
+
+let drive client gen ~requests ~window ?latency () =
+  let window = max 1 window in
+  let times = Array.make window 0.0 in
+  let sent = ref 0
+  and recvd = ref 0
+  and mutations = ref 0
+  and errors = ref 0 in
+  let send_one () =
+    let req = next_request gen in
+    (match req with
+    | Protocol.Submit _ | Protocol.Finish _ -> incr mutations
+    | _ -> ());
+    if latency <> None then times.(!sent mod window) <- Unix.gettimeofday ();
+    (match Client.send client req with
+    | Ok () -> ()
+    | Error e -> raise (Fail ("send: " ^ e)));
+    incr sent
+  in
+  let recv_one () =
+    match Client.receive client with
+    | Ok resp ->
+        (match latency with
+        | Some h ->
+            Metrics.Histogram.observe h
+              ((Unix.gettimeofday () -. times.(!recvd mod window)) *. 1e6)
+        | None -> ());
+        note_response gen resp;
+        (match resp with Protocol.Error _ -> incr errors | _ -> ());
+        incr recvd
+    | Error e -> raise (Fail ("receive: " ^ e))
+  in
+  let t0 = Unix.gettimeofday () in
+  match
+    while !recvd < requests do
+      if !sent < requests && !sent - !recvd < window then send_one ()
+      else recv_one ()
+    done
+  with
+  | () ->
+      Ok
+        {
+          requests;
+          mutations = !mutations;
+          errors = !errors;
+          elapsed = Unix.gettimeofday () -. t0;
+        }
+  | exception Fail e -> Error e
+
+(* Percentile from a histogram's cumulative buckets: the upper bound
+   of the first bucket covering the target rank (conservative — true
+   value is at most this). *)
+let percentile h p =
+  let total = Metrics.Histogram.count h in
+  if total = 0 then 0.0
+  else begin
+    let rank = p /. 100.0 *. float_of_int total in
+    let rec find = function
+      | [] -> Metrics.Histogram.max_seen h
+      | (upper, cum) :: rest ->
+          if float_of_int cum >= rank then
+            if Float.is_finite upper then upper
+            else Metrics.Histogram.max_seen h
+          else find rest
+    in
+    find (Metrics.Histogram.buckets h)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* a throwaway local service                                           *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let service_counter = Atomic.make 0
+
+let with_local_service ?(machine_size = 256) ?(policy = Cluster.Greedy)
+    ?(fsync_policy = Wal.Group) ?(wal_format = Wal.Binary_records)
+    ?(snapshot_every = 0) ?(max_pending = 64) f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmp-svc-%d-%d" (Unix.getpid ())
+         (Atomic.fetch_and_add service_counter 1))
+  in
+  rm_rf dir;
+  let config =
+    {
+      (Server.default_config ~machine_size ~policy ~dir) with
+      fsync_policy;
+      wal_format;
+      snapshot_every;
+      loop = { Loop.default_config with max_pending };
+    }
+  in
+  match Server.create config with
+  | Error e -> Error ("server: " ^ e)
+  | Ok server ->
+      let socket = Filename.concat dir "bench.sock" in
+      let listener = Server.listen_unix socket in
+      let domain =
+        Domain.spawn (fun () -> Server.serve server ~listeners:[ listener ])
+      in
+      let shutdown () =
+        match Client.connect_unix socket with
+        | Ok c ->
+            (match Client.request c Protocol.Shutdown with _ -> ());
+            Client.close c
+        | Error _ -> ()
+      in
+      let result =
+        match f socket with
+        | r ->
+            shutdown ();
+            r
+        | exception e ->
+            shutdown ();
+            Domain.join domain;
+            rm_rf dir;
+            raise e
+      in
+      Domain.join domain;
+      rm_rf dir;
+      result
+
+(* One complete benchmark: spin a server with the given WAL policy and
+   format, drive the churn workload through one connection, shut the
+   server down, clean up. *)
+let bench ?(seed = 0xB00) ?(machine_size = 256) ?(policy = Cluster.Greedy)
+    ?(fsync_policy = Wal.Group) ?(wal_format = Wal.Binary_records)
+    ?(proto = Client.Binary) ?(window = 32) ?latency ~requests () =
+  with_local_service ~machine_size ~policy ~fsync_policy ~wal_format
+    (fun socket ->
+      match Client.connect_unix ~proto socket with
+      | Error e -> Error ("connect: " ^ e)
+      | Ok client ->
+          let gen = make_gen ~seed ~machine_size in
+          let r = drive client gen ~requests ~window ?latency () in
+          Client.close client;
+          r)
+
+(* ------------------------------------------------------------------ *)
+(* allocation probe                                                    *)
+
+(* Minor words per request on the binary fast path, measured
+   in-process: frames are encoded into a reused Netbuf, dispatched
+   through Server.handle_conn, committed, and the responses discarded
+   — no sockets, no strings, no per-request allocation by the harness
+   itself. Read-only traffic (query + stats), so the figure isolates
+   the dispatch path from the cluster's own mutation bookkeeping. *)
+let words_per_request ?(requests = 100_000) ?(machine_size = 256) () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmp-words-%d-%d" (Unix.getpid ())
+         (Atomic.fetch_and_add service_counter 1))
+  in
+  rm_rf dir;
+  let config =
+    {
+      (Server.default_config ~machine_size ~policy:Cluster.Greedy ~dir) with
+      snapshot_every = 0;
+    }
+  in
+  match Server.create config with
+  | Error e -> Error ("server: " ^ e)
+  | Ok server ->
+      let inbuf = Netbuf.create 4096 and out = Netbuf.create 4096 in
+      let payload = Buffer.create 32 in
+      let add_frame () =
+        Netbuf.add_char inbuf (Char.chr Wire.request_magic);
+        Netbuf.add_char inbuf (Char.chr Wire.version);
+        Netbuf.add_varint inbuf (Buffer.length payload);
+        Netbuf.add_buffer inbuf payload
+      in
+      let add_query id =
+        Buffer.clear payload;
+        Buffer.add_char payload '\003';
+        Wire.add_varint payload id;
+        add_frame ()
+      in
+      let add_stats () =
+        Buffer.clear payload;
+        Buffer.add_char payload '\004';
+        add_frame ()
+      in
+      let add_submit size =
+        Buffer.clear payload;
+        Buffer.add_char payload '\001';
+        Wire.add_varint payload size;
+        add_frame ()
+      in
+      let batch = 64 in
+      let run_batch fill =
+        fill ();
+        (match Server.handle_conn server inbuf out ~budget:batch with
+        | `Handled _ | `Stop _ -> ());
+        Server.commit server;
+        Netbuf.clear out
+      in
+      (* a handful of live tasks for the queries to find *)
+      let live = 16 in
+      run_batch (fun () ->
+          for _ = 1 to live do
+            add_submit 1
+          done);
+      let fill_reads base =
+        for i = 0 to batch - 1 do
+          if i land 7 = 7 then add_stats () else add_query ((base + i) mod live)
+        done
+      in
+      (* warm up so every buffer reaches its steady-state size *)
+      for i = 1 to 20 do
+        run_batch (fun () -> fill_reads i)
+      done;
+      let rounds = max 1 (requests / batch) in
+      let w0 = Gc.minor_words () in
+      for i = 1 to rounds do
+        run_batch (fun () -> fill_reads i)
+      done;
+      let w1 = Gc.minor_words () in
+      Server.close server;
+      rm_rf dir;
+      Ok ((w1 -. w0) /. float_of_int (rounds * batch))

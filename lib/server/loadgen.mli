@@ -1,0 +1,87 @@
+(** The shared service-benchmark driver.
+
+    A deterministic churn workload (seeded {!Pmp_prng.Splitmix64};
+    submissions of power-of-two sizes interleaved with finishes of
+    live tasks), driven closed-loop through a {!Client} with a
+    pipeline window, against a server spun up in its own domain over a
+    Unix socket in a throwaway directory. [bench/service.ml], the
+    bench-regression service probe and [pmp client bench] all measure
+    through this module, so their numbers are comparable. *)
+
+type gen
+(** Deterministic request-stream state: an RNG plus the pool of live
+    task ids (fed back from responses). *)
+
+val make_gen : seed:int -> machine_size:int -> gen
+
+val next_request : gen -> Protocol.request
+(** Submit (size [2^k], at most a quarter machine) or finish a random
+    live task, ~45% finishes while the pool is non-empty. *)
+
+val note_response : gen -> Protocol.response -> unit
+(** Feed a response back: placed/queued ids join the live pool. *)
+
+type outcome = {
+  requests : int;
+  mutations : int;  (** submits + finishes sent *)
+  errors : int;  (** [Error] responses (admission rejections etc.) *)
+  elapsed : float;  (** seconds *)
+}
+
+val ns_per_request : outcome -> float
+val requests_per_sec : outcome -> float
+
+val drive :
+  Client.t ->
+  gen ->
+  requests:int ->
+  window:int ->
+  ?latency:Pmp_telemetry.Metrics.Histogram.t ->
+  unit ->
+  (outcome, string) result
+(** Closed loop: keep up to [window] requests in flight until
+    [requests] responses are back. With [latency], per-request
+    round-trip times are observed in {e microseconds}. *)
+
+val percentile : Pmp_telemetry.Metrics.Histogram.t -> float -> float
+(** [percentile h 99.0]: the upper bound of the first cumulative
+    bucket covering the rank (conservative), in the histogram's own
+    unit; the max seen for the overflow bucket. [0] when empty. *)
+
+val with_local_service :
+  ?machine_size:int ->
+  ?policy:Pmp_cluster.Cluster.policy ->
+  ?fsync_policy:Wal.fsync_policy ->
+  ?wal_format:Wal.format ->
+  ?snapshot_every:int ->
+  ?max_pending:int ->
+  (string -> ('a, string) result) ->
+  ('a, string) result
+(** Run [f socket_path] against a server serving in its own domain
+    from a fresh temporary state directory; shut the server down, join
+    the domain and delete the directory afterwards (also on
+    exceptions). Defaults: machine 256, greedy, group commit, binary
+    WAL, no periodic snapshots. *)
+
+val bench :
+  ?seed:int ->
+  ?machine_size:int ->
+  ?policy:Pmp_cluster.Cluster.policy ->
+  ?fsync_policy:Wal.fsync_policy ->
+  ?wal_format:Wal.format ->
+  ?proto:Client.proto ->
+  ?window:int ->
+  ?latency:Pmp_telemetry.Metrics.Histogram.t ->
+  requests:int ->
+  unit ->
+  (outcome, string) result
+(** {!with_local_service} + one connection + {!drive}: the complete
+    measurement for one (protocol, fsync policy, WAL format) point. *)
+
+val words_per_request :
+  ?requests:int -> ?machine_size:int -> unit -> (float, string) result
+(** Minor words allocated per request by the binary fast path,
+    measured in-process through {!Server.handle_conn} on read-only
+    traffic (7/8 query, 1/8 stats) after warm-up — no sockets and no
+    harness allocation, so ~0 means the dispatch really is
+    allocation-free. *)

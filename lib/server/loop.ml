@@ -4,24 +4,13 @@ let default_config = { max_pending = 64; max_out = 1 lsl 20 }
 
 type conn = {
   fd : Unix.file_descr;
-  inbuf : Buffer.t;  (** bytes read, not yet split into lines *)
-  mutable lines : string list;  (** complete lines awaiting processing *)
-  out : Buffer.t;  (** responses not yet written *)
+  inbuf : Netbuf.t;  (** bytes read, not yet decoded *)
+  out : Netbuf.t;  (** response bytes not yet written *)
   mutable eof : bool;  (** peer closed its write side *)
+  mutable pending : bool;
+      (** the handler stopped at its budget — more complete requests
+          may already be buffered, so poll instead of blocking *)
 }
-
-(* Split [inbuf] on newlines, appending complete lines to [c.lines]
-   and keeping the unterminated remainder buffered. *)
-let harvest_lines c =
-  let s = Buffer.contents c.inbuf in
-  match String.rindex_opt s '\n' with
-  | None -> ()
-  | Some last ->
-      let complete = String.sub s 0 last in
-      Buffer.clear c.inbuf;
-      Buffer.add_substring c.inbuf s (last + 1) (String.length s - last - 1);
-      let fresh = String.split_on_char '\n' complete in
-      c.lines <- c.lines @ fresh
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -33,7 +22,7 @@ let ignore_sigpipe () =
   | exception (Invalid_argument _ | Sys_error _) -> ()
 
 let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
-    ~listeners ~handle () =
+    ?(on_commit = ignore) ?(tick = fun () -> -1.0) ~listeners ~handle () =
   ignore_sigpipe ();
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let stopping = ref false in
@@ -41,18 +30,15 @@ let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
     close_quietly c.fd;
     Hashtbl.remove conns c.fd
   in
-  let read_chunk = Bytes.create 65536 in
   let pump_reads ready =
     List.iter
       (fun fd ->
         match Hashtbl.find_opt conns fd with
         | None -> ()
         | Some c -> (
-            match Unix.read fd read_chunk 0 (Bytes.length read_chunk) with
+            match Netbuf.refill c.inbuf fd with
             | 0 -> c.eof <- true
-            | n ->
-                Buffer.add_subbytes c.inbuf read_chunk 0 n;
-                harvest_lines c
+            | _ -> ()
             | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> drop c
             | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()))
       ready
@@ -62,50 +48,40 @@ let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
       (fun fd ->
         match Hashtbl.find_opt conns fd with
         | None -> ()
-        | Some c when Buffer.length c.out = 0 -> ()
+        | Some c when Netbuf.is_empty c.out -> ()
         | Some c -> (
-            let s = Buffer.contents c.out in
-            match Unix.write_substring fd s 0 (String.length s) with
-            | n ->
-                Buffer.clear c.out;
-                Buffer.add_substring c.out s n (String.length s - n)
+            match Netbuf.drain c.out fd with
+            | _ -> ()
             | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> drop c
             | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()))
       ready
   in
+  (* Decode-and-dispatch straight out of each connection's input
+     buffer, up to [max_pending] requests per connection per round;
+     responses accumulate in the out buffers but are NOT written yet —
+     [on_commit] runs first, so the WAL covering this batch reaches
+     the OS (and disk, per policy) before any acknowledgement can
+     reach a socket. *)
   let process_batch () =
-    (* take up to [max_pending] buffered lines from every connection,
-       in connection order, and apply them as one batch *)
-    let batch = ref [] in
+    let total = ref 0 in
     Hashtbl.iter
       (fun _ c ->
-        let rec take k =
-          if k > 0 then begin
-            match c.lines with
-            | [] -> ()
-            | line :: rest ->
-                c.lines <- rest;
-                batch := (c, line) :: !batch;
-                take (k - 1)
-          end
-        in
-        take config.max_pending)
-      conns;
-    let batch = List.rev !batch in
-    if batch <> [] then begin
-      on_batch (List.length batch);
-      List.iter
-        (fun (c, line) ->
-          let reply =
-            match handle line with
-            | `Reply r -> r
-            | `Stop r ->
+        c.pending <- false;
+        if not (Netbuf.is_empty c.inbuf) then begin
+          let n =
+            match handle c.inbuf c.out ~budget:config.max_pending with
+            | `Handled n -> n
+            | `Stop n ->
                 stopping := true;
-                r
+                n
           in
-          Buffer.add_string c.out reply;
-          Buffer.add_char c.out '\n')
-        batch
+          total := !total + n;
+          if n >= config.max_pending then c.pending <- true
+        end)
+      conns;
+    if !total > 0 then begin
+      on_batch !total;
+      on_commit ()
     end
   in
   let finally () =
@@ -125,8 +101,7 @@ let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
           Hashtbl.fold
             (fun _ c acc ->
               if
-                Buffer.length c.out = 0 && c.lines = []
-                && (c.eof || !stopping)
+                Netbuf.is_empty c.out && (not c.pending) && (c.eof || !stopping)
               then c :: acc
               else acc)
             conns []
@@ -134,8 +109,8 @@ let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
         List.iter drop finished;
         if !stopping && Hashtbl.length conns = 0 then ()
         else begin
-          let pending_lines =
-            Hashtbl.fold (fun _ c acc -> acc || c.lines <> []) conns false
+          let pending_work =
+            Hashtbl.fold (fun _ c acc -> acc || c.pending) conns false
           in
           let read_fds =
             (if !listeners_open then listeners else [])
@@ -143,7 +118,7 @@ let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
                 (fun fd c acc ->
                   if
                     (not c.eof) && (not !stopping)
-                    && Buffer.length c.out <= config.max_out
+                    && Netbuf.length c.out <= config.max_out
                   then fd :: acc
                   else acc)
                 conns []
@@ -151,12 +126,17 @@ let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
           let write_fds =
             Hashtbl.fold
               (fun fd c acc ->
-                if Buffer.length c.out > 0 then fd :: acc else acc)
+                if not (Netbuf.is_empty c.out) then fd :: acc else acc)
               conns []
           in
-          if read_fds = [] && write_fds = [] && not pending_lines then ()
+          if read_fds = [] && write_fds = [] && not pending_work then ()
           else begin
-            let timeout = if pending_lines then 0.0 else -1.0 in
+            let timeout =
+              if pending_work then 0.0
+              else begin
+                match tick () with t when t >= 0.0 -> t | _ -> -1.0
+              end
+            in
             let readable, writable, _ =
               try Unix.select read_fds write_fds [] timeout
               with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
@@ -171,10 +151,10 @@ let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
                       Hashtbl.replace conns client
                         {
                           fd = client;
-                          inbuf = Buffer.create 256;
-                          lines = [];
-                          out = Buffer.create 256;
+                          inbuf = Netbuf.create 256;
+                          out = Netbuf.create 256;
                           eof = false;
+                          pending = false;
                         }
                   | exception Unix.Unix_error _ -> ()
                 end)

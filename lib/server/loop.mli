@@ -1,29 +1,41 @@
-(** A single-threaded [Unix.select] event loop over line-delimited
-    streams.
+(** A single-threaded [Unix.select] event loop over byte streams.
 
     The loop owns a set of pre-bound listening sockets (TCP and/or
     Unix-domain — it never binds anything itself) and any number of
-    accepted connections, each with its own read buffer and pending
-    output. Requests are drained in {e batches}: every select round
-    harvests all complete lines currently buffered across all
-    connections, applies them in arrival order through [handle], and
-    queues the responses — so a burst of pipelined or concurrent
-    clients costs one round, not one syscall wakeup per request.
+    accepted connections, each with a reusable {!Netbuf} pair: socket
+    reads refill the in-buffer, [handle] decodes requests straight out
+    of it and encodes responses into the out-buffer, socket writes
+    drain the out-buffer. No strings, lines, or closures are built per
+    request — the same storage is recycled round after round, which is
+    what makes the server's zero-allocation fast path possible.
 
-    Backpressure is applied per connection on both sides: at most
-    [max_pending] requests are parsed from one connection per round
-    (excess stays in its buffer), and a connection whose unsent output
-    exceeds [max_out] bytes is removed from the read set until the
-    client drains it. Neither cap drops data.
+    Requests are drained in {e batches}: each round, every connection
+    with buffered input gets one [handle] call that consumes as many
+    complete requests as are available (up to [max_pending]); then,
+    once per round, [on_commit] runs {e before} any response byte is
+    written to any socket. The server points [on_commit] at the WAL's
+    group commit, so a batch's log records always reach the OS (and
+    disk, per policy) strictly before its acknowledgements can reach a
+    client — the durability watermark is enforced by ordering, not by
+    tracking.
 
-    [handle] returning [`Stop reply] (the [shutdown] op) makes this the
-    final round: listeners close, every queued response is flushed, and
-    [run] returns. Exceptions from [handle] (notably the server's
-    crash-injection trip) propagate immediately, abandoning all
-    buffers — exactly the crash semantics the WAL is there to cover. *)
+    Backpressure is applied per connection on both sides: [handle]'s
+    budget caps decoding per round (a connection that exhausts it is
+    re-polled with a zero timeout rather than waiting for the socket),
+    and a connection whose unsent output exceeds [max_out] bytes is
+    removed from the read set until the client drains it. Neither cap
+    drops data.
+
+    [handle] returning [`Stop] (the [shutdown] op) makes this the
+    final round: listeners close, every queued response is flushed,
+    and [run] returns. Exceptions from [handle] or [on_commit]
+    (notably the server's crash-injection trip, which fires {e after}
+    the covering WAL commit) propagate immediately, abandoning all out
+    buffers — acknowledged-but-unsent responses die with the process,
+    exactly the crash the WAL is there to cover. *)
 
 type config = {
-  max_pending : int;  (** requests parsed per connection per round *)
+  max_pending : int;  (** requests decoded per connection per round *)
   max_out : int;  (** bytes of queued output that pause reading *)
 }
 
@@ -38,13 +50,22 @@ val run :
   ?config:config ->
   ?on_accept:(unit -> unit) ->
   ?on_batch:(int -> unit) ->
+  ?on_commit:(unit -> unit) ->
+  ?tick:(unit -> float) ->
   listeners:Unix.file_descr list ->
-  handle:(string -> [ `Reply of string | `Stop of string ]) ->
+  handle:(Netbuf.t -> Netbuf.t -> budget:int -> [ `Handled of int | `Stop of int ]) ->
   unit ->
   unit
 (** Serve until [`Stop]. Closes the listeners and every connection
-    before returning (also on exception). Lines handed to [handle]
-    have the trailing newline stripped; replies must not contain
-    newlines (one is appended on the wire). [SIGPIPE] is set to ignore
-    for the process, so writes to vanished peers surface as [EPIPE]
-    and drop only that connection. *)
+    before returning (also on exception).
+
+    [handle inbuf out ~budget] must consume up to [budget] complete
+    requests from the front of [inbuf] (leaving any incomplete tail
+    buffered), append the encoded responses to [out], and return how
+    many it consumed. [on_batch total] then [on_commit ()] run after
+    each round that handled at least one request, before any response
+    is written. [tick ()] is consulted for a select-timeout cap in
+    seconds (negative for none) — the interval fsync policy lives
+    there. [SIGPIPE] is set to ignore for the process, so writes to
+    vanished peers surface as [EPIPE] and drop only that
+    connection. *)

@@ -219,6 +219,273 @@ let decode_response line =
       | "bye" -> Ok Bye
       | other -> Result.Error (Printf.sprintf "unknown status %S" other))
 
+(* ------------------------------------------------------------------ *)
+(* binary encoding                                                     *)
+
+(* Frame: magic byte, version byte, varint payload length, payload.
+   Payloads open with an opcode (requests) or status tag (responses);
+   every integer is a varint, every string is varint length + bytes.
+   The magic byte can never open a JSON value, so a server (or a WAL
+   loader) identifies the encoding of each record from its first byte
+   and old JSON peers keep working without negotiation. *)
+
+let op_submit = 1
+let op_finish = 2
+let op_query = 3
+let op_stats = 4
+let op_loads = 5
+let op_metrics = 6
+let op_snapshot = 7
+let op_ping = 8
+let op_shutdown = 9
+
+let st_error = 0
+let st_placed = 1
+let st_queued = 2
+let st_finished = 3
+let st_state = 4
+let st_stats = 5
+let st_loads = 6
+let st_metrics = 7
+let st_snapshot = 8
+let st_pong = 9
+let st_bye = 10
+
+let add_tag buf t = Buffer.add_char buf (Char.chr t)
+
+let add_len_string buf s =
+  Wire.add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let request_payload buf = function
+  | Submit size ->
+      add_tag buf op_submit;
+      Wire.add_varint buf size
+  | Finish id ->
+      add_tag buf op_finish;
+      Wire.add_varint buf id
+  | Query id ->
+      add_tag buf op_query;
+      Wire.add_varint buf id
+  | Stats -> add_tag buf op_stats
+  | Loads -> add_tag buf op_loads
+  | Metrics -> add_tag buf op_metrics
+  | Snapshot -> add_tag buf op_snapshot
+  | Ping -> add_tag buf op_ping
+  | Shutdown -> add_tag buf op_shutdown
+
+let add_placement buf p =
+  Wire.add_varint buf p.base;
+  Wire.add_varint buf p.size;
+  Wire.add_varint buf p.copy
+
+let response_payload buf = function
+  | Placed (id, p) ->
+      add_tag buf st_placed;
+      Wire.add_varint buf id;
+      add_placement buf p
+  | Queued id ->
+      add_tag buf st_queued;
+      Wire.add_varint buf id
+  | Finished -> add_tag buf st_finished
+  | State (id, st) -> begin
+      add_tag buf st_state;
+      Wire.add_varint buf id;
+      match st with
+      | Unknown -> add_tag buf 0
+      | Queued_task -> add_tag buf 1
+      | Active p ->
+          add_tag buf 2;
+          add_placement buf p
+    end
+  | Stats_reply s ->
+      add_tag buf st_stats;
+      Wire.add_varint buf s.Cluster.submitted;
+      Wire.add_varint buf s.Cluster.completed;
+      Wire.add_varint buf s.Cluster.queued_now;
+      Wire.add_varint buf s.Cluster.active_now;
+      Wire.add_varint buf s.Cluster.active_size;
+      Wire.add_varint buf s.Cluster.max_load;
+      Wire.add_varint buf s.Cluster.peak_load;
+      Wire.add_varint buf s.Cluster.optimal_now;
+      Wire.add_varint buf s.Cluster.reallocations;
+      Wire.add_varint buf s.Cluster.tasks_migrated
+  | Loads_reply loads ->
+      add_tag buf st_loads;
+      Wire.add_varint buf (Array.length loads);
+      Array.iter (fun l -> Wire.add_varint buf l) loads
+  | Metrics_reply text ->
+      add_tag buf st_metrics;
+      add_len_string buf text
+  | Snapshot_reply path ->
+      add_tag buf st_snapshot;
+      add_len_string buf path
+  | Pong -> add_tag buf st_pong
+  | Bye -> add_tag buf st_bye
+  | Error e ->
+      add_tag buf st_error;
+      add_len_string buf e
+
+(* Wrap [payload] (already encoded) in a frame. *)
+let add_frame buf payload =
+  Buffer.add_char buf (Char.chr Wire.request_magic);
+  Buffer.add_char buf (Char.chr Wire.version);
+  Wire.add_varint buf (Buffer.length payload);
+  Buffer.add_buffer buf payload
+
+let encode_binary encode_payload v =
+  let payload = Buffer.create 32 in
+  encode_payload payload v;
+  let buf = Buffer.create (Buffer.length payload + 8) in
+  add_frame buf payload;
+  Buffer.contents buf
+
+let encode_request_binary r = encode_binary request_payload r
+let encode_response_binary r = encode_binary response_payload r
+
+(* --- binary decoding ---------------------------------------------- *)
+
+let get_len_string s pos limit =
+  let n, pos = Wire.get_varint_string s pos limit in
+  if n < 0 || pos + n > limit then raise (Wire.Corrupt "truncated string")
+  else (String.sub s pos n, pos + n)
+
+let decoded limit pos v =
+  if pos <> limit then Result.Error "trailing bytes in frame" else Ok v
+
+let decode_request_payload s ~pos ~limit =
+  match
+    let op = Char.code s.[pos] in
+    let pos = pos + 1 in
+    let int_req k =
+      let v, pos = Wire.get_varint_string s pos limit in
+      decoded limit pos (k v)
+    in
+    let nullary r = decoded limit pos r in
+    match op with
+    | 1 -> int_req (fun size -> Submit size)
+    | 2 -> int_req (fun id -> Finish id)
+    | 3 -> int_req (fun id -> Query id)
+    | 4 -> nullary Stats
+    | 5 -> nullary Loads
+    | 6 -> nullary Metrics
+    | 7 -> nullary Snapshot
+    | 8 -> nullary Ping
+    | 9 -> nullary Shutdown
+    | op -> Result.Error (Printf.sprintf "unknown binary opcode %d" op)
+  with
+  | r -> r
+  | exception Wire.Corrupt e -> Result.Error e
+  | exception Invalid_argument _ -> Result.Error "truncated frame"
+
+let get_binary_placement s pos limit =
+  let base, pos = Wire.get_varint_string s pos limit in
+  let size, pos = Wire.get_varint_string s pos limit in
+  let copy, pos = Wire.get_varint_string s pos limit in
+  ({ base; size; copy }, pos)
+
+let decode_response_payload s ~pos ~limit =
+  match
+    let tag = Char.code s.[pos] in
+    let pos = pos + 1 in
+    match tag with
+    | 0 ->
+        let e, pos = get_len_string s pos limit in
+        decoded limit pos (Error e)
+    | 1 ->
+        let id, pos = Wire.get_varint_string s pos limit in
+        let p, pos = get_binary_placement s pos limit in
+        decoded limit pos (Placed (id, p))
+    | 2 ->
+        let id, pos = Wire.get_varint_string s pos limit in
+        decoded limit pos (Queued id)
+    | 3 -> decoded limit pos Finished
+    | 4 -> begin
+        let id, pos = Wire.get_varint_string s pos limit in
+        let st = Char.code s.[pos] in
+        let pos = pos + 1 in
+        match st with
+        | 0 -> decoded limit pos (State (id, Unknown))
+        | 1 -> decoded limit pos (State (id, Queued_task))
+        | 2 ->
+            let p, pos = get_binary_placement s pos limit in
+            decoded limit pos (State (id, Active p))
+        | st -> Result.Error (Printf.sprintf "unknown task-state tag %d" st)
+      end
+    | 5 ->
+        let submitted, pos = Wire.get_varint_string s pos limit in
+        let completed, pos = Wire.get_varint_string s pos limit in
+        let queued_now, pos = Wire.get_varint_string s pos limit in
+        let active_now, pos = Wire.get_varint_string s pos limit in
+        let active_size, pos = Wire.get_varint_string s pos limit in
+        let max_load, pos = Wire.get_varint_string s pos limit in
+        let peak_load, pos = Wire.get_varint_string s pos limit in
+        let optimal_now, pos = Wire.get_varint_string s pos limit in
+        let reallocations, pos = Wire.get_varint_string s pos limit in
+        let tasks_migrated, pos = Wire.get_varint_string s pos limit in
+        decoded limit pos
+          (Stats_reply
+             {
+               Cluster.submitted;
+               completed;
+               queued_now;
+               active_now;
+               active_size;
+               max_load;
+               peak_load;
+               optimal_now;
+               reallocations;
+               tasks_migrated;
+             })
+    | 6 ->
+        let n, pos = Wire.get_varint_string s pos limit in
+        if n < 0 || n > limit - pos then Result.Error "bad loads count"
+        else begin
+          let loads = Array.make n 0 in
+          let pos = ref pos in
+          for i = 0 to n - 1 do
+            let v, pos' = Wire.get_varint_string s !pos limit in
+            loads.(i) <- v;
+            pos := pos'
+          done;
+          decoded limit !pos (Loads_reply loads)
+        end
+    | 7 ->
+        let text, pos = get_len_string s pos limit in
+        decoded limit pos (Metrics_reply text)
+    | 8 ->
+        let path, pos = get_len_string s pos limit in
+        decoded limit pos (Snapshot_reply path)
+    | 9 -> decoded limit pos Pong
+    | 10 -> decoded limit pos Bye
+    | tag -> Result.Error (Printf.sprintf "unknown binary status tag %d" tag)
+  with
+  | r -> r
+  | exception Wire.Corrupt e -> Result.Error e
+  | exception Invalid_argument _ -> Result.Error "truncated frame"
+
+(* Decode one complete frame held in [s] (header included). *)
+let decode_frame decode_payload s =
+  let limit = String.length s in
+  if limit < 3 then Result.Error "truncated frame"
+  else if Char.code s.[0] <> Wire.request_magic then
+    Result.Error "not a binary frame"
+  else if Char.code s.[1] <> Wire.version then
+    Result.Error
+      (Printf.sprintf "unsupported wire version %d" (Char.code s.[1]))
+  else begin
+    match Wire.get_varint_string s 2 limit with
+    | exception Wire.Corrupt e -> Result.Error e
+    | len, pos ->
+        if len < 0 || len > Wire.max_payload then
+          Result.Error "bad frame length"
+        else if pos + len <> limit then Result.Error "frame length mismatch"
+        else decode_payload s ~pos ~limit
+  end
+
+let decode_request_binary s = decode_frame decode_request_payload s
+let decode_response_binary s = decode_frame decode_response_payload s
+
 let request_of_command line =
   let int_arg name v k =
     match int_of_string_opt v with

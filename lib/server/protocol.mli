@@ -62,6 +62,43 @@ val decode_request : string -> (request, string) result
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
 
+(** {1 Binary encoding}
+
+    The compact wire format for the hot path: a frame is
+    {!Wire.request_magic}, {!Wire.version}, a varint payload length,
+    then the payload — an opcode (or status tag) byte followed by
+    varint fields; strings are varint length + bytes. The magic byte
+    can never begin a JSON value, so servers and clients detect the
+    encoding of every message from its first byte and both formats
+    interoperate on one connection. *)
+
+val request_payload : Buffer.t -> request -> unit
+(** Append the payload (opcode + fields, no frame header) to [buf]. *)
+
+val response_payload : Buffer.t -> response -> unit
+
+val add_frame : Buffer.t -> Buffer.t -> unit
+(** [add_frame buf payload] appends a complete frame wrapping
+    [payload] to [buf]. *)
+
+val encode_request_binary : request -> string
+(** A complete frame, ready to write to a socket (no newline). *)
+
+val encode_response_binary : response -> string
+
+val decode_request_payload :
+  string -> pos:int -> limit:int -> (request, string) result
+(** Decode a payload spanning [[pos, limit)] of [s] (header already
+    stripped). Never raises. *)
+
+val decode_response_payload :
+  string -> pos:int -> limit:int -> (response, string) result
+
+val decode_request_binary : string -> (request, string) result
+(** Decode one complete frame, header included. Never raises. *)
+
+val decode_response_binary : string -> (response, string) result
+
 val request_of_command :
   string -> [ `Request of request | `Blank | `Quit | `Error of string ]
 (** Parse an interactive console command — [submit <size>],

@@ -7,7 +7,8 @@ type config = {
   policy : Cluster.policy;
   admission_cap : float option;
   dir : string;
-  fsync_every : int;
+  fsync_policy : Wal.fsync_policy;
+  wal_format : Wal.format;
   snapshot_every : int;
   crash_after : int option;
   loop : Loop.config;
@@ -19,7 +20,8 @@ let default_config ~machine_size ~policy ~dir =
     policy;
     admission_cap = None;
     dir;
-    fsync_every = 1;
+    fsync_policy = Wal.Group;
+    wal_format = Wal.Binary_records;
     snapshot_every = 1024;
     crash_after = None;
     loop = Loop.default_config;
@@ -33,6 +35,7 @@ type instruments = {
   c_errors : Metrics.Counter.t;
   c_batches : Metrics.Counter.t;
   h_batch_size : Metrics.Histogram.t;
+  h_group_size : Metrics.Histogram.t;
   c_connections : Metrics.Counter.t;
   c_fsyncs : Metrics.Counter.t;
   c_snapshots : Metrics.Counter.t;
@@ -57,8 +60,12 @@ let make_instruments reg =
       Metrics.Registry.histogram reg ~help:"Requests per batch"
         "pmpd_batch_size"
         (Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:12);
+    h_group_size =
+      Metrics.Registry.histogram reg ~help:"WAL records per group commit"
+        "pmpd_wal_group_size"
+        (Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:12);
     c_connections = counter ~help:"Connections accepted" "pmpd_connections_total";
-    c_fsyncs = counter ~help:"WAL fsyncs" "pmpd_fsyncs_total";
+    c_fsyncs = counter ~help:"WAL fsyncs" "pmpd_fsync_total";
     c_snapshots = counter ~help:"Snapshots written" "pmpd_snapshots_total";
     c_recoveries =
       counter ~help:"Startups that replayed durable state" "pmpd_recoveries_total";
@@ -81,9 +88,16 @@ type t = {
   wal : Wal.t;
   reg : Metrics.Registry.t;
   ins : instruments;
+  scratch : Buffer.t;
+      (** reusable response-payload buffer: [Buffer.clear] keeps the
+          storage, so the fast path encodes without allocating *)
+  cur : Wire.cursor;  (** reusable varint decode position, same idea *)
   mutable seq : int;  (** durable mutation count since genesis *)
   mutable snap_seq : int;  (** seq covered by the latest snapshot *)
   mutable fresh_mutations : int;  (** accepted by this process *)
+  mutable crash_armed : bool;
+      (** crash injection tripped; fires after the covering commit *)
+  mutable last_fsync : float;  (** for the [Interval] policy *)
   recovered_ops : int;
 }
 
@@ -236,8 +250,7 @@ let update_gauges t =
   Metrics.Gauge.set t.ins.g_queued (float_of_int s.Cluster.queued_now)
 
 let create config =
-  if config.fsync_every < 0 || config.snapshot_every < 0 then
-    Error "fsync_every and snapshot_every must be non-negative"
+  if config.snapshot_every < 0 then Error "snapshot_every must be non-negative"
   else begin
     mkdir_p config.dir;
     let t0 = Unix.gettimeofday () in
@@ -249,7 +262,10 @@ let create config =
       Metrics.Counter.inc ins.c_recovered_ops replayed;
       Metrics.Span.add ins.s_recovery (Unix.gettimeofday () -. t0)
     end;
-    let wal = Wal.open_log (Filename.concat config.dir "wal.log") in
+    let wal =
+      Wal.open_log ~format:config.wal_format
+        (Filename.concat config.dir "wal.log")
+    in
     let t =
       {
         config;
@@ -257,9 +273,13 @@ let create config =
         wal;
         reg;
         ins;
+        scratch = Buffer.create 256;
+        cur = { Wire.pos = 0 };
         seq;
         snap_seq;
         fresh_mutations = 0;
+        crash_armed = false;
+        last_fsync = Unix.gettimeofday ();
         recovered_ops = replayed;
       }
     in
@@ -285,27 +305,65 @@ let snapshot_now t =
       Ok path
   | exception Sys_error e -> Error e
 
-(* An accepted mutation: log it (flushing; fsync per policy), roll a
-   snapshot if due, trip crash injection — all before the response is
-   handed back for delivery. *)
-let committed t op response =
-  t.seq <- t.seq + 1;
+let observe_group t =
+  let n = Wal.pending_records t.wal in
+  if n > 0 then
+    Metrics.Histogram.observe t.ins.h_group_size (float_of_int n)
+
+(* Bookkeeping after an accepted mutation (the WAL record is already
+   appended, pending). Under [Always] the record is forced to disk
+   here, before the response can even be queued; under the batched
+   policies it stays pending until {!commit}, and crash injection only
+   arms — the trip fires after the covering commit, so the crash always
+   lands at the harshest point: acknowledged, durable, unreported. *)
+let after_mutation t =
   t.fresh_mutations <- t.fresh_mutations + 1;
   Metrics.Counter.incr t.ins.c_mutations;
-  Wal.append t.wal ~seq:t.seq op;
-  if t.config.fsync_every > 0 && t.seq mod t.config.fsync_every = 0 then begin
-    Wal.sync t.wal;
-    Metrics.Counter.incr t.ins.c_fsyncs
-  end;
   if
     t.config.snapshot_every > 0
     && t.seq - t.snap_seq >= t.config.snapshot_every
   then ignore (snapshot_now t);
+  let crash_due =
+    match t.config.crash_after with
+    | Some k -> t.fresh_mutations >= k
+    | None -> false
+  in
+  match t.config.fsync_policy with
+  | Wal.Always ->
+      observe_group t;
+      if Wal.commit t.wal ~fsync:true then Metrics.Counter.incr t.ins.c_fsyncs;
+      if crash_due then raise Crash
+  | Wal.Group | Wal.Interval _ | Wal.Never ->
+      if crash_due then t.crash_armed <- true
+
+(* The group commit: one write (and per policy one fsync) covering
+   every mutation of the batch. The loop runs this after handling and
+   before any response byte reaches a socket — the durability
+   watermark is the ordering itself. *)
+let commit t =
+  observe_group t;
+  let fsync =
+    match t.config.fsync_policy with
+    | Wal.Always | Wal.Group -> true
+    | Wal.Interval _ | Wal.Never -> false
+  in
+  if Wal.commit t.wal ~fsync then Metrics.Counter.incr t.ins.c_fsyncs;
   update_gauges t;
-  (match t.config.crash_after with
-  | Some k when t.fresh_mutations >= k -> raise Crash
-  | _ -> ());
-  response
+  if t.crash_armed then raise Crash
+
+(* Select-timeout cap for the [Interval] policy: fsync when the
+   deadline passes, report the time to the next one. *)
+let tick t () =
+  match t.config.fsync_policy with
+  | Wal.Interval every ->
+      let now = Unix.gettimeofday () in
+      if now -. t.last_fsync >= every then begin
+        if Wal.commit t.wal ~fsync:true then
+          Metrics.Counter.incr t.ins.c_fsyncs;
+        t.last_fsync <- now
+      end;
+      Float.max 0.0 (t.last_fsync +. every -. now)
+  | Wal.Always | Wal.Group | Wal.Never -> -1.0
 
 let handle t (req : Protocol.request) : Protocol.response * bool =
   Metrics.Counter.incr t.ins.c_requests;
@@ -316,17 +374,26 @@ let handle t (req : Protocol.request) : Protocol.response * bool =
   match req with
   | Protocol.Submit size -> (
       match Cluster.submit t.cluster ~size with
-      | Ok (Cluster.Placed (id, p)) ->
-          ( committed t
-              (Wal.Submit { id; size })
-              (Protocol.Placed (id, Protocol.placement_of_core p)),
+      | Ok sub ->
+          let id =
+            match sub with Cluster.Placed (id, _) | Cluster.Queued id -> id
+          in
+          t.seq <- t.seq + 1;
+          Wal.append_submit t.wal ~seq:t.seq ~id ~size;
+          after_mutation t;
+          ( (match sub with
+            | Cluster.Placed (id, p) ->
+                Protocol.Placed (id, Protocol.placement_of_core p)
+            | Cluster.Queued id -> Protocol.Queued id),
             false )
-      | Ok (Cluster.Queued id) ->
-          (committed t (Wal.Submit { id; size }) (Protocol.Queued id), false)
       | Error e -> error e)
   | Protocol.Finish id -> (
       match Cluster.finish t.cluster id with
-      | Ok () -> (committed t (Wal.Finish { id }) Protocol.Finished, false)
+      | Ok () ->
+          t.seq <- t.seq + 1;
+          Wal.append_finish t.wal ~seq:t.seq ~id;
+          after_mutation t;
+          (Protocol.Finished, false)
       | Error e -> error e)
   | Protocol.Query id ->
       let state =
@@ -357,6 +424,238 @@ let handle_line t line =
       let resp, stop = handle t req in
       let wire = Protocol.encode_response resp in
       if stop then `Stop wire else `Reply wire
+
+(* ------------------------------------------------------------------ *)
+(* the wire handler                                                    *)
+
+(* Frame [t.scratch] (one encoded response payload) into [out]. *)
+let scratch_frame t out =
+  Netbuf.add_char out (Char.chr Wire.request_magic);
+  Netbuf.add_char out (Char.chr Wire.version);
+  Netbuf.add_varint out (Buffer.length t.scratch);
+  Netbuf.add_buffer out t.scratch
+
+let reply_error_binary t out e =
+  Metrics.Counter.incr t.ins.c_errors;
+  Buffer.clear t.scratch;
+  Buffer.add_char t.scratch '\000';
+  Wire.add_varint t.scratch (String.length e);
+  Buffer.add_string t.scratch e;
+  scratch_frame t out
+
+let add_scratch_placement s (p : Pmp_core.Placement.t) =
+  Wire.add_varint s (Pmp_machine.Submachine.first_leaf p.Pmp_core.Placement.sub);
+  Wire.add_varint s (Pmp_machine.Submachine.size p.Pmp_core.Placement.sub);
+  Wire.add_varint s p.Pmp_core.Placement.copy
+
+(* Decode and apply one binary request whose payload spans
+   [[pos0, limit)] of [b], encoding the response straight into [out].
+   Submit, finish, query and stats — the hot opcodes — are dispatched
+   inline without building a [Protocol.request], a [Protocol.response]
+   or any intermediate string: the only per-request allocations left
+   on these paths are the cluster's own. *)
+let dispatch t out b pos0 limit =
+  let opcode = Char.code (Bytes.unsafe_get b pos0) in
+  let cur = t.cur in
+  cur.Wire.pos <- pos0 + 1;
+  match
+    if opcode >= 1 && opcode <= 4 then begin
+      Metrics.Counter.incr t.ins.c_requests;
+      match opcode with
+      | 1 (* submit *) ->
+          let size = Wire.read_varint b cur limit in
+          if cur.Wire.pos <> limit then `Error "trailing bytes in frame"
+          else begin
+            match Cluster.submit t.cluster ~size with
+            | Ok sub ->
+                let id =
+                  match sub with
+                  | Cluster.Placed (id, _) | Cluster.Queued id -> id
+                in
+                t.seq <- t.seq + 1;
+                Wal.append_submit t.wal ~seq:t.seq ~id ~size;
+                after_mutation t;
+                let s = t.scratch in
+                Buffer.clear s;
+                (match sub with
+                | Cluster.Placed (id, p) ->
+                    Buffer.add_char s '\001';
+                    Wire.add_varint s id;
+                    add_scratch_placement s p
+                | Cluster.Queued id ->
+                    Buffer.add_char s '\002';
+                    Wire.add_varint s id);
+                scratch_frame t out;
+                `Ok
+            | Error e -> `Error e
+          end
+      | 2 (* finish *) ->
+          let id = Wire.read_varint b cur limit in
+          if cur.Wire.pos <> limit then `Error "trailing bytes in frame"
+          else begin
+            match Cluster.finish t.cluster id with
+            | Ok () ->
+                t.seq <- t.seq + 1;
+                Wal.append_finish t.wal ~seq:t.seq ~id;
+                after_mutation t;
+                Buffer.clear t.scratch;
+                Buffer.add_char t.scratch '\003';
+                scratch_frame t out;
+                `Ok
+            | Error e -> `Error e
+          end
+      | 3 (* query *) ->
+          let id = Wire.read_varint b cur limit in
+          if cur.Wire.pos <> limit then `Error "trailing bytes in frame"
+          else begin
+            let s = t.scratch in
+            Buffer.clear s;
+            Buffer.add_char s '\004';
+            Wire.add_varint s id;
+            (match Cluster.placement t.cluster id with
+            | Some p ->
+                Buffer.add_char s '\002';
+                add_scratch_placement s p
+            | None ->
+                if Cluster.is_queued t.cluster id then Buffer.add_char s '\001'
+                else Buffer.add_char s '\000');
+            scratch_frame t out;
+            `Ok
+          end
+      | _ (* 4, stats *) ->
+          if cur.Wire.pos <> limit then `Error "trailing bytes in frame"
+          else begin
+            let st = Cluster.stats t.cluster in
+            let s = t.scratch in
+            Buffer.clear s;
+            Buffer.add_char s '\005';
+            Wire.add_varint s st.Cluster.submitted;
+            Wire.add_varint s st.Cluster.completed;
+            Wire.add_varint s st.Cluster.queued_now;
+            Wire.add_varint s st.Cluster.active_now;
+            Wire.add_varint s st.Cluster.active_size;
+            Wire.add_varint s st.Cluster.max_load;
+            Wire.add_varint s st.Cluster.peak_load;
+            Wire.add_varint s st.Cluster.optimal_now;
+            Wire.add_varint s st.Cluster.reallocations;
+            Wire.add_varint s st.Cluster.tasks_migrated;
+            scratch_frame t out;
+            `Ok
+          end
+    end
+    else begin
+      (* rare opcodes: fall back to the allocating decoder *)
+      let payload = Bytes.sub_string b pos0 (limit - pos0) in
+      match
+        Protocol.decode_request_payload payload ~pos:0
+          ~limit:(String.length payload)
+      with
+      | Error e ->
+          Metrics.Counter.incr t.ins.c_requests;
+          `Error e
+      | Ok req ->
+          let resp, stop = handle t req in
+          Buffer.clear t.scratch;
+          Protocol.response_payload t.scratch resp;
+          scratch_frame t out;
+          if stop then `Stop else `Ok
+    end
+  with
+  | r -> r
+  | exception Wire.Corrupt e -> `Error e
+
+(* One binary frame from the front of [inbuf], if complete. *)
+let handle_binary t inbuf out =
+  let avail = Netbuf.length inbuf in
+  if avail < 3 then `Incomplete
+  else begin
+    let b = Netbuf.bytes inbuf in
+    let off = Netbuf.offset inbuf in
+    let hard = off + avail in
+    t.cur.Wire.pos <- off + 2;
+    match Wire.read_varint b t.cur hard with
+    | exception Wire.Corrupt _ ->
+        if hard - (off + 2) >= Wire.max_varint_bytes then `Poison
+        else `Incomplete
+    | plen ->
+        let ppos = t.cur.Wire.pos in
+        if plen < 0 || plen > Wire.max_payload then `Poison
+        else if ppos + plen > hard then `Incomplete
+        else begin
+          let limit = ppos + plen in
+          let r =
+            if Char.code (Bytes.get b (off + 1)) <> Wire.version then begin
+              Metrics.Counter.incr t.ins.c_requests;
+              `Error
+                (Printf.sprintf "unsupported wire version %d"
+                   (Char.code (Bytes.get b (off + 1))))
+            end
+            else if plen = 0 then begin
+              Metrics.Counter.incr t.ins.c_requests;
+              `Error "empty frame"
+            end
+            else dispatch t out b ppos limit
+          in
+          Netbuf.consume inbuf (limit - off);
+          (match r with
+          | `Ok -> `Handled
+          | `Error e ->
+              reply_error_binary t out e;
+              `Handled
+          | `Stop -> `Stop)
+        end
+  end
+
+(* One JSON line from the front of [inbuf], if complete. This is the
+   debug path — old clients and humans — so allocation is fine. *)
+let handle_json t inbuf out =
+  match Netbuf.find_byte inbuf '\n' with
+  | None -> `Incomplete
+  | Some i ->
+      let line = Netbuf.sub_string inbuf ~off:0 ~len:i in
+      Netbuf.consume inbuf (i + 1);
+      let emit r =
+        Netbuf.add_string out r;
+        Netbuf.add_char out '\n'
+      in
+      (match handle_line t line with
+      | `Reply r ->
+          emit r;
+          `Handled
+      | `Stop r ->
+          emit r;
+          `Stop)
+
+(* The {!Loop} handler: drain up to [budget] complete requests from
+   [inbuf], dispatching each by its first byte — {!Wire.request_magic}
+   opens a binary frame, anything else is a JSON (or garbage) line —
+   so both encodings interoperate on one connection. *)
+let handle_conn t inbuf out ~budget =
+  let handled = ref 0 in
+  let verdict = ref None in
+  while Option.is_none !verdict && !handled < budget
+        && not (Netbuf.is_empty inbuf) do
+    let r =
+      if Netbuf.get_byte inbuf 0 = Wire.request_magic then
+        handle_binary t inbuf out
+      else handle_json t inbuf out
+    in
+    match r with
+    | `Handled -> incr handled
+    | `Stop ->
+        incr handled;
+        verdict := Some (`Stop !handled)
+    | `Incomplete -> verdict := Some (`Handled !handled)
+    | `Poison ->
+        (* a garbage length prefix desyncs the stream beyond repair:
+           answer with an error and drop whatever else is buffered *)
+        Metrics.Counter.incr t.ins.c_requests;
+        reply_error_binary t out "malformed frame";
+        Netbuf.clear inbuf;
+        incr handled;
+        verdict := Some (`Handled !handled)
+  done;
+  match !verdict with Some r -> r | None -> `Handled !handled
 
 let close t =
   (try Wal.sync t.wal with Unix.Unix_error _ | Sys_error _ -> ());
@@ -391,5 +690,6 @@ let serve t ~listeners =
     ~on_batch:(fun n ->
       Metrics.Counter.incr t.ins.c_batches;
       Metrics.Histogram.observe t.ins.h_batch_size (float_of_int n))
-    ~listeners ~handle:(handle_line t) ();
+    ~on_commit:(fun () -> commit t)
+    ~tick:(tick t) ~listeners ~handle:(handle_conn t) ();
   close t

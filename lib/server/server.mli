@@ -4,30 +4,45 @@
     periodic {!Snapshot}s, and serves it over TCP and/or Unix-domain
     sockets through {!Loop}.
 
-    {b Durability contract.} Every acknowledged mutation is on the WAL
-    (flushed, and fsynced per [fsync_every]) before its response is
-    queued. On startup, {!create} loads the latest snapshot, replays
-    the WAL tail on top of it, cross-checks every replayed submission
-    against the id the original run acknowledged, and then audits the
-    whole recovered state: the event history must pass the structural
-    conformance oracle with a fresh allocator, and an independent
-    {!Pmp_cluster.Cluster.restore} replay of the recovered state must
-    reproduce the same loads, stats and placements bit for bit. A
-    recovery that cannot prove itself equal to the uninterrupted
-    execution refuses to start.
+    {b Durability contract.} Every acknowledged mutation reaches the
+    WAL before its response reaches the socket — structurally: the
+    event loop runs the WAL's group {!commit} after handling each
+    batch and before writing any response byte. Under the default
+    [Group] policy the commit fsyncs, so acknowledgements imply
+    stable storage at a per-batch (not per-record) fsync cost;
+    [Always] forces every record individually, [Interval] trades the
+    tail of an interval for even fewer fsyncs, [Never] leaves
+    durability to the OS. On startup, {!create} loads the latest
+    snapshot, replays the WAL tail on top of it, cross-checks every
+    replayed submission against the id the original run acknowledged,
+    and then audits the whole recovered state: the event history must
+    pass the structural conformance oracle with a fresh allocator, and
+    an independent {!Pmp_cluster.Cluster.restore} replay of the
+    recovered state must reproduce the same loads, stats and
+    placements bit for bit. A recovery that cannot prove itself equal
+    to the uninterrupted execution refuses to start.
 
-    {b Crash injection.} With [crash_after = Some k], the [k]-th
-    mutation accepted by this process raises {!Crash} immediately after
-    it is durably logged and before its response is delivered — the
-    harshest acknowledged-but-unreported point. Tests and the CI smoke
-    job use it to prove recovery equals uninterrupted execution. *)
+    {b Hot path.} Binary-framed requests ({!Wire.request_magic} first
+    byte) are decoded straight out of the connection's input buffer
+    and answered through a reused scratch buffer — no intermediate
+    request/response values, strings or JSON on the submit, finish,
+    query and stats opcodes. JSON lines remain fully supported as the
+    debug encoding; the two can interleave on one connection.
+
+    {b Crash injection.} With [crash_after = Some k], {!Crash} is
+    raised once the [k]-th mutation accepted by this process is
+    covered by a WAL commit — after durability, before its response is
+    delivered: the harshest acknowledged-but-unreported point. Tests
+    and the CI smoke job use it to prove recovery equals uninterrupted
+    execution. *)
 
 type config = {
   machine_size : int;
   policy : Pmp_cluster.Cluster.policy;
   admission_cap : float option;
   dir : string;  (** state directory: WAL + snapshots (created) *)
-  fsync_every : int;  (** fsync the WAL every k mutations; 0 = never *)
+  fsync_policy : Wal.fsync_policy;  (** when WAL batches hit disk *)
+  wal_format : Wal.format;  (** encoding of fresh WAL records *)
   snapshot_every : int;  (** snapshot every k mutations; 0 = only on demand *)
   crash_after : int option;  (** crash-injection test mode *)
   loop : Loop.config;
@@ -35,8 +50,9 @@ type config = {
 
 val default_config :
   machine_size:int -> policy:Pmp_cluster.Cluster.policy -> dir:string -> config
-(** No admission cap, [fsync_every = 1], [snapshot_every = 1024], no
-    crash injection, {!Loop.default_config}. *)
+(** No admission cap, [fsync_policy = Group], [wal_format =
+    Binary_records], [snapshot_every = 1024], no crash injection,
+    {!Loop.default_config}. *)
 
 exception Crash
 (** Raised by the crash-injection trip; escapes {!serve} with all
@@ -65,22 +81,46 @@ val same_state : Pmp_cluster.Cluster.t -> Pmp_cluster.Cluster.t -> (unit, string
 val registry : t -> Pmp_telemetry.Metrics.Registry.t
 val metrics : t -> string
 (** Prometheus dump of the server registry: requests, mutations,
-    batches, connections, fsyncs, snapshots, recoveries and spans. *)
+    batches, group sizes, connections, fsyncs, snapshots, recoveries
+    and spans. *)
 
 val handle : t -> Protocol.request -> Protocol.response * bool
 (** Apply one request; the boolean is [true] when the server should
-    stop ([Shutdown]). Mutations go through the WAL before returning.
-    @raise Crash when crash injection trips. *)
+    stop ([Shutdown]). Accepted mutations are appended to the WAL
+    (pending) before returning; call {!commit} to make them durable —
+    the event loop does this once per batch.
+    @raise Crash when crash injection trips under [fsync_policy =
+    Always] (other policies trip in {!commit}). *)
 
 val handle_line : t -> string -> [ `Reply of string | `Stop of string ]
-(** {!handle} on wire format — the {!Loop} handler. *)
+(** {!handle} on the JSON line encoding. *)
+
+val handle_conn :
+  t ->
+  Netbuf.t ->
+  Netbuf.t ->
+  budget:int ->
+  [ `Handled of int | `Stop of int ]
+(** The {!Loop} handler: drain up to [budget] complete requests from
+    the in-buffer (binary frames and JSON lines, told apart by their
+    first byte), encoding responses into the out-buffer. Returns the
+    number of requests consumed. *)
+
+val commit : t -> unit
+(** Group-commit the pending WAL batch (one write; fsync per policy),
+    refresh the load gauges, and fire any armed crash injection. The
+    event loop calls this after every batch, before responses are
+    written; tests driving {!handle} directly must call it themselves
+    to make mutations durable.
+    @raise Crash when crash injection tripped in this batch. *)
 
 val snapshot_now : t -> (string, string) result
 (** Write a snapshot covering everything applied so far and rotate the
     WAL; returns the path written. *)
 
 val close : t -> unit
-(** Fsync and close the WAL (no implicit final snapshot). *)
+(** Flush and fsync the WAL, then close it (no implicit final
+    snapshot). *)
 
 val listen_unix : string -> Unix.file_descr
 (** Bind and listen on a Unix-domain socket path, replacing a stale

@@ -1,16 +1,29 @@
 (** The write-ahead log.
 
-    One JSON record per line, append-only: every accepted mutation is
+    Append-only, one record per accepted mutation: every mutation is
     logged (with its global sequence number and, for submissions, the
     id the cluster assigned) before the response leaves the server, so
     a restart can replay exactly the acknowledged history. The log is
     rotated (truncated) whenever a {!Snapshot} covering its records is
     durably written.
 
-    Loading tolerates a {e torn tail} — a final line cut short by a
-    crash mid-write parses as garbage and is dropped — but corruption
-    anywhere else is an error: silently skipping an interior record
-    would replay a history the cluster never served. *)
+    Records come in two encodings that can coexist in one file, told
+    apart by each record's first byte: compact binary frames opening
+    with {!Wire.wal_magic} (the hot path), and single-line JSON objects
+    opening with ['{'] (the debug format, and what pre-binary servers
+    wrote). {!load} replays both.
+
+    Appends are {e buffered}: {!append} encodes into memory and only
+    {!commit} hands the batch to the OS in a single [write] (plus at
+    most one [fsync]) — group commit. The server calls it once per
+    event-loop batch, after handling and before any response bytes
+    reach a socket, so an acknowledged mutation is always at least as
+    durable as its response regardless of policy.
+
+    Loading tolerates a {e torn tail} — a final record cut short by a
+    crash mid-write is dropped — but corruption anywhere else is an
+    error: silently skipping an interior record would replay a history
+    the cluster never served. *)
 
 type op =
   | Submit of { id : int; size : int }
@@ -23,28 +36,78 @@ type op =
 val op_to_json : seq:int -> op -> Pmp_util.Json.t
 val op_of_json : Pmp_util.Json.t -> (int * op, string) result
 
+(** When the log forces batches to stable storage. Whatever the
+    policy, acknowledged mutations always reach the OS before their
+    responses reach the socket. *)
+type fsync_policy =
+  | Always  (** fsync every record the moment it is appended *)
+  | Group  (** one fsync per committed batch (the default) *)
+  | Interval of float
+      (** fsync at most every this-many {e seconds}; batches in
+          between are write-only (crash may lose the last interval) *)
+  | Never  (** leave durability entirely to the OS *)
+
+val parse_policy : string -> (fsync_policy, string) result
+(** [always | group | interval:<ms> | never]. *)
+
+val policy_name : fsync_policy -> string
+
+type format = Json_records | Binary_records
+
+val parse_format : string -> (format, string) result
+(** [binary | json]. *)
+
+val format_name : format -> string
+
 type t
 (** An open log, positioned for appending. *)
 
-val open_log : string -> t
-(** Opens (creating if absent) for append. @raise Sys_error. *)
+val open_log : ?format:format -> string -> t
+(** Opens (creating if absent) for append. [format] (default
+    [Json_records]) governs what {!append} writes; {!load} always
+    accepts both. @raise Unix.Unix_error. *)
 
 val path : t -> string
+val format : t -> format
 
 val append : t -> seq:int -> op -> unit
-(** Append one record and flush it to the OS. Call {!sync} (or pass
-    every k-th mutation through it) to force it to stable storage. *)
+(** Encode one record into the pending batch. Nothing reaches the file
+    until {!commit}. *)
+
+val append_submit : t -> seq:int -> id:int -> size:int -> unit
+(** As {!append} but without building an {!op} — the zero-allocation
+    fast path (binary format appends allocate nothing). *)
+
+val append_finish : t -> seq:int -> id:int -> unit
+
+val pending_records : t -> int
+(** Records appended since the last {!commit} — the group size. *)
+
+val last_seq : t -> int
+(** Highest sequence number ever appended ([min_int] for none);
+    includes pending records. *)
+
+val durable_seq : t -> int
+(** Highest sequence number known forced to stable storage — the
+    durability watermark. *)
+
+val commit : t -> fsync:bool -> bool
+(** Write the whole pending batch in one [write]; when [fsync], force
+    it to stable storage (skipped if nothing new reached the OS).
+    Returns whether an fsync was actually performed. *)
 
 val sync : t -> unit
-(** fsync: flush the channel and force the file to disk. *)
+(** Unconditional flush + fsync. *)
 
 val reset : t -> unit
-(** Truncate to empty (after a snapshot made the prefix redundant). *)
+(** Discard pending records and truncate to empty (after a snapshot
+    made the prefix redundant). *)
 
 val close : t -> unit
+(** Flush pending records (no fsync) and close. *)
 
 val load : string -> ((int * op) list, string) result
 (** All records in file order as [(seq, op)]. [Ok []] when the file
-    does not exist. A malformed {e final} line is dropped (torn write);
-    malformed interior lines and non-increasing sequence numbers are
-    errors. *)
+    does not exist. A final record cut short by a crash is dropped
+    (torn tail); malformed interior records and non-increasing
+    sequence numbers are errors. *)

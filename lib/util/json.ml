@@ -180,21 +180,38 @@ let of_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> of_string (really_input_string ic (in_channel_length ic)))
 
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
+(* Escape [s] straight into [buf] — the encoder hot path. Encoding a
+   string used to build (and then copy) a private Buffer per call;
+   writing into the output buffer allocates nothing at all on the
+   common no-escape-needed path. Runs of plain characters are blitted
+   in one go rather than pushed byte by byte. *)
+let escape_into buf s =
+  let n = String.length s in
+  let flush_plain from upto =
+    if upto > from then Buffer.add_substring buf s from (upto - from)
+  in
+  let rec go from i =
+    if i >= n then flush_plain from n
+    else begin
+      match s.[i] with
+      | '"' | '\\' | '\n' | '\t' | '\r' ->
+          flush_plain from i;
+          Buffer.add_string buf
+            (match s.[i] with
+            | '"' -> "\\\""
+            | '\\' -> "\\\\"
+            | '\n' -> "\\n"
+            | '\t' -> "\\t"
+            | _ -> "\\r");
+          go (i + 1) (i + 1)
       | c when Char.code c < 32 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+          flush_plain from i;
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+          go (i + 1) (i + 1)
+      | _ -> go from (i + 1)
+    end
+  in
+  go 0 0
 
 let format_num f =
   if Float.is_integer f && Float.abs f < 1e15 then
@@ -206,8 +223,7 @@ let format_num f =
     if float_of_string s = f then s else Printf.sprintf "%.17g" f
   end
 
-let to_string ?(indent = 0) v =
-  let buf = Buffer.create 256 in
+let write ?(indent = 0) buf v =
   let pad n = if indent > 0 then Buffer.add_string buf (String.make (n * indent) ' ') in
   let nl () = if indent > 0 then Buffer.add_char buf '\n' in
   let rec go depth = function
@@ -216,7 +232,7 @@ let to_string ?(indent = 0) v =
     | Num f -> Buffer.add_string buf (format_num f)
     | Str s ->
         Buffer.add_char buf '"';
-        Buffer.add_string buf (escape s);
+        escape_into buf s;
         Buffer.add_char buf '"'
     | Arr [] -> Buffer.add_string buf "[]"
     | Arr elems ->
@@ -246,7 +262,7 @@ let to_string ?(indent = 0) v =
             end;
             pad (depth + 1);
             Buffer.add_char buf '"';
-            Buffer.add_string buf (escape k);
+            escape_into buf k;
             Buffer.add_string buf "\": ";
             go (depth + 1) e)
           fields;
@@ -254,7 +270,11 @@ let to_string ?(indent = 0) v =
         pad depth;
         Buffer.add_char buf '}'
   in
-  go 0 v;
+  go 0 v
+
+let to_string ?indent v =
+  let buf = Buffer.create 256 in
+  write ?indent buf v;
   Buffer.contents buf
 
 let to_file ?(indent = 2) path v =

@@ -19,8 +19,16 @@ val of_file : string -> t
 (** @raise Parse_error on malformed input.
     @raise Sys_error when the file cannot be read. *)
 
+val write : ?indent:int -> Buffer.t -> t -> unit
+(** Encode into a caller-supplied buffer — string escaping writes
+    straight into it, so an encoder that reuses one buffer (clearing
+    between values keeps the storage) allocates nothing per value
+    beyond number formatting. [indent = 0] (the default) encodes
+    compactly on one line. *)
+
 val to_string : ?indent:int -> t -> string
-(** [indent = 0] (the default) prints compactly on one line. *)
+(** {!write} into a fresh buffer. [indent = 0] (the default) prints
+    compactly on one line. *)
 
 val to_file : ?indent:int -> string -> t -> unit
 (** Pretty-prints (2-space indent by default) plus a trailing
