@@ -254,7 +254,32 @@ let service_probe calib =
       ("words_per_request", Json.Num words);
     ]
 
-let report calib cases speedup service =
+(* The production-shaped scenario gate: replay the registry's fast
+   subset (pinned seed, per-scenario default machine, greedy, oracle
+   armed) and pin each verdict's deterministic projection. Scenario
+   compilation and the closed loop are pure functions of the seed, so
+   any drift here is an allocation- or simulation-behaviour change —
+   gated exactly, like the other deterministic fields. *)
+let scenario_verdicts () =
+  List.map
+    (fun (scn : Pmp_scenario.Scenario.t) ->
+      let machine = Machine.of_levels scn.Pmp_scenario.Scenario.default_order in
+      let make () =
+        match Builders.allocator "greedy" machine ~d:(Realloc.make_budget 2) ~seed with
+        | Ok a -> a
+        | Error (`Msg e) -> failwith e
+      in
+      let oracle =
+        match Builders.oracle_spec "greedy" machine ~d:(Realloc.make_budget 2) with
+        | Ok s -> s
+        | Error (`Msg e) -> failwith e
+      in
+      let verdict, _ = Pmp_scenario.Runner.run ~oracle ~make ~seed scn in
+      ( scn.Pmp_scenario.Scenario.name,
+        Pmp_scenario.Verdict.golden_json verdict ))
+    Pmp_scenario.Registry.fast_subset
+
+let report calib cases speedup service scenarios =
   Json.Obj
     [
       ("suite", Json.Str "pmp bench-regress");
@@ -265,6 +290,7 @@ let report calib cases speedup service =
       ("cases", Json.Obj cases);
       ("speedup", speedup);
       ("service", service);
+      ("scenarios", Json.Obj scenarios);
     ]
 
 (* --- baseline comparison ------------------------------------------ *)
@@ -382,6 +408,72 @@ let check_service ~tolerance baseline sv =
   in
   floor_failures @ baseline_failures
 
+(* The scenario gate is double: every verdict must pass on its own
+   (load bound, oracle, everything drained) regardless of any
+   baseline, and its deterministic projection must match the
+   baseline's byte-for-byte — verdict drift means behaviour drift. *)
+let check_scenarios baseline scenarios =
+  let own =
+    List.filter_map
+      (fun (name, j) ->
+        match Json.member "pass" j with
+        | Some (Json.Bool true) -> None
+        | _ ->
+            Some
+              {
+                key = "scenario/" ^ name;
+                msg =
+                  Printf.sprintf "scenario %s verdict failed: %s" name
+                    (Json.to_string j);
+                timing = false;
+              })
+      scenarios
+  in
+  let drift =
+    match Option.bind baseline (Json.member "scenarios") with
+    | None ->
+        if baseline <> None then
+          Printf.printf "note: baseline has no scenarios section\n";
+        []
+    | Some (Json.Obj base) ->
+        List.filter_map
+          (fun (name, b) ->
+            match List.assoc_opt name scenarios with
+            | None ->
+                Some
+                  {
+                    key = "scenario/" ^ name;
+                    msg =
+                      Printf.sprintf
+                        "scenario %s: present in baseline but not in this run"
+                        name;
+                    timing = false;
+                  }
+            | Some cur ->
+                if Json.to_string b <> Json.to_string cur then
+                  Some
+                    {
+                      key = "scenario/" ^ name;
+                      msg =
+                        Printf.sprintf
+                          "scenario %s verdict drifted\n  baseline: %s\n  \
+                           current:  %s"
+                          name (Json.to_string b) (Json.to_string cur);
+                      timing = false;
+                    }
+                else None)
+          base
+    | Some _ ->
+        [
+          {
+            key = "scenarios";
+            msg = "baseline scenarios section is not an object";
+            timing = false;
+          };
+        ]
+  in
+  own @ drift
+
 (* --- driver ------------------------------------------------------- *)
 
 let () =
@@ -429,6 +521,12 @@ let () =
   Printf.printf "service speedup: %.1fx, read path %.2f words/request\n%!"
     (Option.value ~default:nan service_speedup)
     (Option.value ~default:nan service_words);
+  Printf.printf "running scenario fast subset (%s)...\n%!"
+    (String.concat ", "
+       (List.map
+          (fun (s : Pmp_scenario.Scenario.t) -> s.Pmp_scenario.Scenario.name)
+          Pmp_scenario.Registry.fast_subset));
+  let scenarios = scenario_verdicts () in
   let baseline =
     if !compare_path = "" then None else Some (Json.of_file !compare_path)
   in
@@ -469,7 +567,9 @@ let () =
     failures := compare_now ()
   done;
   let failures =
-    check_speedup sp @ check_service ~tolerance:!tolerance baseline sv
+    check_speedup sp
+    @ check_service ~tolerance:!tolerance baseline sv
+    @ check_scenarios baseline scenarios
     @ !failures
   in
   (* wall-time regressions that survive the retries are warnings
@@ -480,7 +580,7 @@ let () =
   let hard, soft =
     List.partition (fun f -> !strict_time || not f.timing) failures
   in
-  let rep = report calib !cases sp sv in
+  let rep = report calib !cases sp sv scenarios in
   Json.to_file !out rep;
   Printf.printf "wrote %s (%d cases)\n%!" !out (List.length !cases);
   if !update_baseline then begin

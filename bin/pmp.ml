@@ -7,6 +7,7 @@
      pmp gen       generate a workload trace file
      pmp replay    run an allocator over a saved trace
      pmp profile   describe a workload or trace
+     pmp scenario  run production-shaped scenarios to p99-slowdown verdicts
      pmp bounds    print the paper's bounds for a machine size
      pmp serve     run the durable allocation daemon (pmpd)
      pmp client    drive a running daemon over its wire protocol *)
@@ -969,6 +970,180 @@ let bounds_cmd =
     (Cmd.info "bounds" ~doc:"Print the paper's bounds for a machine size.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* pmp scenario                                                        *)
+
+let scenario_cmd =
+  let module Scenario = Pmp_scenario.Scenario in
+  let module Registry = Pmp_scenario.Registry in
+  let module Verdict = Pmp_scenario.Verdict in
+  let module Json = Pmp_util.Json in
+  let scenario_pos =
+    let doc =
+      Printf.sprintf "Scenario name, or $(b,all). Known scenarios: %s."
+        (String.concat ", " Builders.scenario_names)
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let machine_opt_arg =
+    let doc =
+      "Machine size N (a power of two). Defaults to each scenario's own \
+       default machine."
+    in
+    Arg.(value & opt (some int) None & info [ "m"; "machine" ] ~docv:"N" ~doc)
+  in
+  let backend_arg =
+    let doc =
+      "Load-view backend: $(b,indexed) (O(log N)), $(b,scan) (reference), or \
+       $(b,checked) (both, cross-checked on every query)."
+    in
+    Arg.(value & opt string "indexed" & info [ "backend" ] ~docv:"B" ~doc)
+  in
+  let no_oracle_arg =
+    let doc =
+      "Skip the open-loop oracle replay and the closed-loop load-bound audit \
+       (the verdict reports oracle=skipped)."
+    in
+    Arg.(value & flag & info [ "no-oracle" ] ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Merge the verdict records into this JSON file under the \
+       $(b,scenarios) key (other keys are preserved). Pass an empty string \
+       to skip writing."
+    in
+    Arg.(
+      value & opt string "BENCH_telemetry.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let trace_prefix_arg =
+    let doc =
+      "Write one trace file per scenario at $(docv)<name>.jsonl (or \
+       .trace.json for chrome format)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PREFIX" ~doc)
+  in
+  let action name_sel machine_opt alloc_name seed d_str backend_str no_oracle
+      out trace_prefix trace_format =
+    let* scenarios =
+      match name_sel with
+      | "all" -> Ok Registry.all
+      | name -> Result.map (fun s -> [ s ]) (Builders.scenario name)
+    in
+    let* backend =
+      match Pmp_index.Load_view.backend_of_string backend_str with
+      | Some b -> Ok b
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown backend %S (indexed|scan|checked)"
+                  backend_str))
+    in
+    let* d = Builders.parse_d d_str in
+    let* fmt = parse_trace_format trace_format in
+    let run_one (scn : Scenario.t) =
+      let machine_size =
+        match machine_opt with
+        | Some n -> n
+        | None -> 1 lsl scn.Scenario.default_order
+      in
+      let* machine = Builders.machine machine_size in
+      let* oracle =
+        if no_oracle then Ok None
+        else Result.map Option.some (Builders.oracle_spec alloc_name machine ~d)
+      in
+      let make () =
+        match Builders.allocator ~backend alloc_name machine ~d ~seed with
+        | Ok a -> a
+        | Error (`Msg e) -> invalid_arg e
+      in
+      let with_probe f =
+        match trace_prefix with
+        | None -> Ok (f Pmp_telemetry.Probe.noop)
+        | Some prefix ->
+            let ext =
+              match fmt with
+              | Pmp_telemetry.Tracer.Jsonl -> "jsonl"
+              | Pmp_telemetry.Tracer.Chrome -> "trace.json"
+            in
+            let path = Printf.sprintf "%s%s.%s" prefix scn.Scenario.name ext in
+            let* oc =
+              match open_out path with
+              | oc -> Ok oc
+              | exception Sys_error e ->
+                  Error (`Msg ("cannot open trace file: " ^ e))
+            in
+            let tracer = Pmp_telemetry.Tracer.to_channel fmt oc in
+            let probe = Pmp_telemetry.Probe.create ~tracer () in
+            let finish () =
+              Pmp_telemetry.Tracer.close tracer;
+              close_out oc
+            in
+            let r = try f probe with e -> finish (); raise e in
+            finish ();
+            Ok r
+      in
+      let t0 = Sys.time () in
+      let* verdict, _sim =
+        with_probe (fun probe ->
+            Pmp_scenario.Runner.run ~telemetry:probe ?oracle ~make ~seed scn)
+      in
+      Format.printf "%a  (%.2fs cpu)@." Verdict.pp verdict (Sys.time () -. t0);
+      Ok verdict
+    in
+    let* verdicts =
+      List.fold_left
+        (fun acc scn ->
+          let* acc = acc in
+          let* v = run_one scn in
+          Ok (v :: acc))
+        (Ok []) scenarios
+      |> Result.map List.rev
+    in
+    let* () =
+      if out = "" then Ok ()
+      else begin
+        let existing =
+          try Json.of_file out
+          with Json.Parse_error _ | Sys_error _ -> Json.Obj []
+        in
+        let fields = match existing with Json.Obj fs -> fs | _ -> [] in
+        let entry = Json.Arr (List.map Verdict.to_json verdicts) in
+        match
+          Json.to_file out
+            (Json.Obj
+               (List.remove_assoc "scenarios" fields @ [ ("scenarios", entry) ]))
+        with
+        | () ->
+            Printf.printf "verdicts merged into %s\n" out;
+            Ok ()
+        | exception Sys_error e ->
+            Error (`Msg (Printf.sprintf "cannot write verdicts: %s" e))
+      end
+    in
+    let failed = List.filter (fun v -> not v.Verdict.pass) verdicts in
+    if failed = [] then Ok ()
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "%d scenario verdict(s) failed: %s"
+              (List.length failed)
+              (String.concat ", "
+                 (List.map (fun v -> v.Verdict.scenario) failed))))
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ scenario_pos $ machine_opt_arg $ alloc_arg $ seed_arg
+       $ d_arg $ backend_arg $ no_oracle_arg $ out_arg $ trace_prefix_arg
+       $ trace_format_arg))
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Run production-shaped workload scenarios to p99/p999-slowdown \
+          verdicts with load-bound and oracle audits.")
+    term
+
 let () =
   let doc = "Processor allocation in partitionable multiprocessors (SPAA'96)." in
   let info = Cmd.info "pmp" ~version:"1.0.0" ~doc in
@@ -976,7 +1151,7 @@ let () =
     Cmd.group info
       [
         run_cmd; sweep_cmd; adversary_cmd; gen_cmd; replay_cmd; profile_cmd;
-        console_cmd; serve_cmd; client_cmd; chart_cmd; bounds_cmd;
+        scenario_cmd; console_cmd; serve_cmd; client_cmd; chart_cmd; bounds_cmd;
       ]
   in
   exit (Cmd.eval group)

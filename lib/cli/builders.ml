@@ -115,6 +115,13 @@ let workload name ~machine_size ~steps ~seed =
     | other -> Error (`Msg (Printf.sprintf "unknown workload %S" other))
   end
 
+let scenario_names = Pmp_scenario.Registry.names
+
+let scenario name =
+  match Pmp_scenario.Registry.find name with
+  | Some s -> Ok s
+  | None -> Error (`Msg (Printf.sprintf "unknown scenario %S" name))
+
 let topology name m =
   match Topology.of_name name with
   | Some kind -> Ok (Topology.create kind m)

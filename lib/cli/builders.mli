@@ -52,6 +52,12 @@ val workload :
     that take a length; fixed-shape workloads (figure1, sawtooth,
     staircase, sigma-r) ignore it. *)
 
+val scenario_names : string list
+(** Every name {!scenario} accepts — the {!Pmp_scenario.Registry}. *)
+
+val scenario : string -> Pmp_scenario.Scenario.t result
+(** Look up a named production-shaped scenario. *)
+
 val topology : string -> Pmp_machine.Machine.t -> Pmp_machine.Topology.t result
 
 val oracle_spec :

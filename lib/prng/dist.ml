@@ -27,6 +27,11 @@ let weibull g ~scale ~shape =
   let u = 1.0 -. Splitmix64.float g 1.0 in
   scale *. ((-.log u) ** (1.0 /. shape))
 
+let pareto g ~xm ~alpha =
+  if xm <= 0.0 || alpha <= 0.0 then invalid_arg "Dist.pareto: bad parameters";
+  let u = 1.0 -. Splitmix64.float g 1.0 in
+  xm *. (u ** (-1.0 /. alpha))
+
 let poisson g ~lambda =
   if lambda < 0.0 then invalid_arg "Dist.poisson: lambda < 0";
   let threshold = exp (-.lambda) in

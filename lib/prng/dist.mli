@@ -23,6 +23,11 @@ val weibull : Splitmix64.t -> scale:float -> shape:float -> float
 (** Weibull sample by inversion; [shape < 1] gives the heavy-tailed
     regime, [shape = 1] is exponential. Both parameters [> 0]. *)
 
+val pareto : Splitmix64.t -> xm:float -> alpha:float -> float
+(** Pareto sample [xm * U^(-1/alpha)] with [U] uniform on (0, 1]: the
+    heavy-tailed lifetime model (finite mean only for [alpha > 1],
+    finite variance only for [alpha > 2]). Both parameters [> 0]. *)
+
 val poisson : Splitmix64.t -> lambda:float -> int
 (** Poisson-distributed count (Knuth's method; [lambda] moderate). *)
 

@@ -1,0 +1,169 @@
+open Scenario
+
+(* Background-user component shared by several scenarios. *)
+let traffic ?(modulation = Constant) ?(mean_work = 2.0) ?(max_order = 5)
+    ?(size_bias = 1.0) ?(start = 0.0) ~rate ~stop () =
+  Traffic { rate; modulation; mean_work; max_order; size_bias; start; stop }
+
+let calm =
+  {
+    name = "calm";
+    description = "light steady traffic; the healthy-cluster baseline";
+    duration = 30.0;
+    default_order = 8;
+    components = [ traffic ~rate:3.0 ~max_order:4 ~stop:30.0 () ];
+  }
+
+let diurnal =
+  {
+    name = "diurnal";
+    description = "sine-modulated day/night arrival tide over three cycles";
+    duration = 60.0;
+    default_order = 10;
+    components =
+      [
+        traffic ~rate:6.0
+          ~modulation:(Sine { amplitude = 0.8; period = 20.0 })
+          ~mean_work:2.5 ~max_order:6 ~size_bias:0.8 ~stop:60.0 ();
+      ];
+  }
+
+let flash_crowd =
+  {
+    name = "flash-crowd";
+    description = "diurnal base load hit by two Zipf-sized arrival bursts";
+    duration = 40.0;
+    default_order = 12;
+    components =
+      [
+        traffic ~rate:5.0
+          ~modulation:(Sine { amplitude = 0.5; period = 20.0 })
+          ~stop:40.0 ();
+        Flash_crowd
+          { at = 10.0; tasks = 400; zipf_s = 1.1; max_order = 8; mean_work = 0.5 };
+        Flash_crowd
+          { at = 25.0; tasks = 250; zipf_s = 1.3; max_order = 6; mean_work = 0.4 };
+      ];
+  }
+
+let black_friday =
+  {
+    name = "black-friday";
+    description = "sustained surge: full-amplitude tide plus three stacked bursts";
+    duration = 50.0;
+    default_order = 12;
+    components =
+      [
+        traffic ~rate:10.0
+          ~modulation:(Sine { amplitude = 1.0; period = 50.0 })
+          ~mean_work:3.0 ~max_order:6 ~size_bias:0.6 ~stop:50.0 ();
+        Flash_crowd
+          { at = 20.0; tasks = 300; zipf_s = 1.1; max_order = 7; mean_work = 0.5 };
+        Flash_crowd
+          { at = 25.0; tasks = 300; zipf_s = 1.2; max_order = 7; mean_work = 0.5 };
+        Flash_crowd
+          { at = 30.0; tasks = 300; zipf_s = 1.3; max_order = 7; mean_work = 0.5 };
+      ];
+  }
+
+let multi_tenant =
+  {
+    name = "multi-tenant";
+    description =
+      "six tenants from small-task to large-task, Pareto lifetimes, 6x timeout";
+    duration = 40.0;
+    default_order = 10;
+    components =
+      [
+        Tenants
+          {
+            count = 6;
+            rate = 2.5;
+            xm = 0.4;
+            alpha = 1.4;
+            timeout_factor = 6.0;
+            max_order = 7;
+            stop = 40.0;
+          };
+        traffic ~rate:2.0 ~max_order:4 ~stop:40.0 ();
+      ];
+  }
+
+let rolling_restart =
+  {
+    name = "rolling-restart";
+    description = "48-service fleet restarted one-by-one over user traffic";
+    duration = 40.0;
+    default_order = 10;
+    components =
+      [
+        Restart_fleet
+          { services = 48; size_order = 3; start = 8.0; spacing = 0.4 };
+        traffic ~rate:4.0 ~stop:40.0 ();
+      ];
+  }
+
+let thundering_herd =
+  {
+    name = "thundering-herd";
+    description =
+      "whole fleet killed and resubmitted at one instant, under a flash crowd";
+    duration = 40.0;
+    default_order = 12;
+    components =
+      [
+        Restart_fleet
+          { services = 64; size_order = 2; start = 12.0; spacing = 0.0 };
+        Flash_crowd
+          { at = 12.0; tasks = 300; zipf_s = 1.2; max_order = 6; mean_work = 0.5 };
+        traffic ~rate:3.0 ~stop:40.0 ();
+      ];
+  }
+
+let adversary_interleaved =
+  {
+    name = "adversary-interleaved";
+    description = "T5.2 oblivious sigma_r replayed through benign traffic";
+    duration = 60.0;
+    default_order = 13;
+    components =
+      [
+        traffic ~rate:4.0 ~stop:60.0 ();
+        Sigma_r { start = 10.0; spacing = 5e-3; adversary_order = 13 };
+      ];
+  }
+
+let takeover =
+  {
+    name = "takeover";
+    description =
+      "T4.3 adaptive flood (drawn against a scratch greedy victim) mid-traffic";
+    duration = 50.0;
+    default_order = 12;
+    components =
+      [
+        traffic ~rate:3.0 ~stop:50.0 ();
+        Det_replay { start = 10.0; spacing = 1e-3; d = 2; adversary_order = 10 };
+      ];
+  }
+
+let all =
+  [
+    calm;
+    diurnal;
+    flash_crowd;
+    black_friday;
+    multi_tenant;
+    rolling_restart;
+    thundering_herd;
+    adversary_interleaved;
+    takeover;
+  ]
+
+let names = List.map (fun s -> s.name) all
+let find name = List.find_opt (fun s -> s.name = name) all
+
+(* The regression-gate subset: small machines, event counts in the
+   hundreds, no adversary construction — fast enough to run on every
+   CI push yet covering scripted kills, bursts, and heavy tails. *)
+let fast_subset = [ calm; flash_crowd; rolling_restart ]

@@ -1,0 +1,18 @@
+(** The named production-shaped scenarios the suite ships.
+
+    Each is a fixed {!Scenario.t}: the CLI addresses them by name,
+    tests pin their compiled streams, and the bench regression gate
+    replays {!fast_subset} with pinned seeds. [default_order] is the
+    machine each runs on when the caller does not choose one; every
+    scenario also runs at larger machines (the adversary components
+    carry their own order, so even [N = 2{^20}] stays tractable). *)
+
+val all : Scenario.t list
+(** The full registry, in display order (at least eight scenarios). *)
+
+val names : string list
+
+val find : string -> Scenario.t option
+
+val fast_subset : Scenario.t list
+(** The deterministic fast subset gated in [bench/regress.exe]. *)

@@ -1,0 +1,71 @@
+module Machine = Pmp_machine.Machine
+module Pow2 = Pmp_util.Pow2
+module Stats = Pmp_util.Stats
+module Oracle = Pmp_oracle.Oracle
+module Timed = Pmp_workload.Timed
+module Closed_loop = Pmp_sim.Closed_loop
+
+let load_bound_ok (spec : Oracle.spec option) ~max_load ~lstar ~full_tasks =
+  match spec with
+  | None -> true
+  | Some s -> (
+      match s.Oracle.bound with
+      | Oracle.Exact -> max_load = lstar
+      | Oracle.Within_factor f -> max_load <= (f * lstar) + full_tasks
+      | Oracle.Within_plus k -> max_load <= lstar + k
+      | Oracle.Unbounded -> true)
+
+let oracle_status (spec : Oracle.spec option) ~make compiled =
+  match spec with
+  | None -> "skipped"
+  | Some spec -> (
+      let seq = Timed.sequence (Scenario.open_loop compiled) in
+      match Oracle.run spec ~make seq with
+      | Ok () -> "pass"
+      | Error v ->
+          Format.asprintf "fail: step %d: %s" v.Oracle.step v.Oracle.message)
+
+let run ?telemetry ?oracle ~make ~seed (scn : Scenario.t) =
+  let alloc = make () in
+  let machine_size = Machine.size alloc.Pmp_core.Allocator.machine in
+  let compiled = Scenario.compile scn ~machine_size ~seed in
+  let sim = Closed_loop.run_script ?telemetry alloc compiled.Scenario.script in
+  let lstar = Pow2.ceil_div sim.Closed_loop.peak_active machine_size in
+  let slowdowns =
+    Array.of_list
+      (List.map (fun c -> c.Closed_loop.slowdown) sim.Closed_loop.completions)
+  in
+  let pct p =
+    if Array.length slowdowns = 0 then 0.0 else Stats.percentile slowdowns p
+  in
+  let p99 = pct 99.0 and p999 = pct 99.9 in
+  let oracle_s = oracle_status oracle ~make compiled in
+  let v =
+    {
+      Verdict.scenario = scn.Scenario.name;
+      allocator = sim.Closed_loop.allocator_name;
+      machine_size;
+      seed;
+      jobs = Scenario.num_submits compiled;
+      completions = List.length sim.Closed_loop.completions;
+      kills = sim.Closed_loop.kills;
+      cancels_ignored = sim.Closed_loop.cancels_ignored;
+      sim_events = sim.Closed_loop.sim_events;
+      max_load = sim.Closed_loop.max_load;
+      optimal_load = lstar;
+      peak_active = sim.Closed_loop.peak_active;
+      load_bound_ok =
+        load_bound_ok oracle ~max_load:sim.Closed_loop.max_load ~lstar
+          ~full_tasks:(Scenario.full_machine_jobs compiled);
+      oracle = oracle_s;
+      mean_slowdown = Stats.mean slowdowns;
+      p99_slowdown = p99;
+      p999_slowdown = p999;
+      max_slowdown = Array.fold_left max 0.0 slowdowns;
+      p99_bucket = Verdict.bucket p99;
+      p999_bucket = Verdict.bucket p999;
+      makespan = sim.Closed_loop.makespan;
+      pass = false;
+    }
+  in
+  ({ v with Verdict.pass = Verdict.pass v }, sim)

@@ -1,0 +1,19 @@
+(** Compile a scenario, play it closed-loop, audit it, render a verdict. *)
+
+val run :
+  ?telemetry:Pmp_telemetry.Probe.t ->
+  ?oracle:Pmp_oracle.Oracle.spec ->
+  make:(unit -> Pmp_core.Allocator.t) ->
+  seed:int ->
+  Scenario.t ->
+  Verdict.t * Pmp_sim.Closed_loop.script_result
+(** [make] must build a {e fresh} allocator per call: one instance
+    plays the closed loop, and — when [?oracle] is given — another
+    replays the open-loop view under {!Pmp_oracle.Oracle.run}. The
+    machine size is taken from the allocator. [?oracle] also arms the
+    closed-loop load-bound check ([max_load] against the spec's bound
+    at the executed sequence's [L*], with full-machine jobs as the
+    additive slack of T4.1); without it, [load_bound_ok] is vacuously
+    true and [oracle = "skipped"]. [?telemetry] feeds every admission,
+    kill, and completion to the probe (slowdowns land in its
+    histogram; traces use simulated time). *)

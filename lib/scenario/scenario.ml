@@ -1,0 +1,364 @@
+module Sm = Pmp_prng.Splitmix64
+module Dist = Pmp_prng.Dist
+module Pow2 = Pmp_util.Pow2
+module Task = Pmp_workload.Task
+module Event = Pmp_workload.Event
+module Sequence = Pmp_workload.Sequence
+module Timed = Pmp_workload.Timed
+module Closed_loop = Pmp_sim.Closed_loop
+
+type modulation = Constant | Sine of { amplitude : float; period : float }
+
+type component =
+  | Traffic of {
+      rate : float;
+      modulation : modulation;
+      mean_work : float;
+      max_order : int;
+      size_bias : float;
+      start : float;
+      stop : float;
+    }
+  | Flash_crowd of {
+      at : float;
+      tasks : int;
+      zipf_s : float;
+      max_order : int;
+      mean_work : float;
+    }
+  | Tenants of {
+      count : int;
+      rate : float;
+      xm : float;
+      alpha : float;
+      timeout_factor : float;
+      max_order : int;
+      stop : float;
+    }
+  | Restart_fleet of {
+      services : int;
+      size_order : int;
+      start : float;
+      spacing : float;
+    }
+  | Sigma_r of { start : float; spacing : float; adversary_order : int }
+  | Det_replay of {
+      start : float;
+      spacing : float;
+      d : int;
+      adversary_order : int;
+    }
+
+type t = {
+  name : string;
+  description : string;
+  duration : float;
+  default_order : int;
+  components : component list;
+}
+
+type job = {
+  key : int;
+  submit : float;
+  size : int;
+  work : float;
+  cancel : float option;
+}
+
+type compiled = {
+  jobs : job list;
+  script : Closed_loop.script;
+  horizon : float;
+  machine_size : int;
+}
+
+(* Service demand for a job whose departure is scripted rather than
+   execution-driven: large enough that (at gang-scheduled rate <= 1)
+   the job cannot drain before its [Cancel] fires, so the script stays
+   in control of its lifetime. *)
+let pinned_work ~submit ~cancel ~horizon =
+  (4.0 *. (cancel -. submit)) +. horizon +. 1.0
+
+let traffic_jobs g ~next_key ~machine_order ~rate ~modulation ~mean_work
+    ~max_order ~size_bias ~start ~stop =
+  if rate <= 0.0 || mean_work <= 0.0 then
+    invalid_arg "Scenario: traffic rate and mean_work must be positive";
+  (match modulation with
+  | Constant -> ()
+  | Sine { amplitude; period } ->
+      if amplitude < 0.0 || amplitude > 1.0 || period <= 0.0 then
+        invalid_arg "Scenario: sine amplitude in [0,1], period > 0");
+  let max_order = min max_order machine_order in
+  let sigma = 0.8 in
+  let mu = log mean_work -. (sigma *. sigma /. 2.0) in
+  let lambda_max =
+    match modulation with
+    | Constant -> rate
+    | Sine { amplitude; _ } -> rate *. (1.0 +. amplitude)
+  in
+  let intensity now =
+    match modulation with
+    | Constant -> rate
+    | Sine { amplitude; period } ->
+        rate *. (1.0 +. (amplitude *. sin (2.0 *. Float.pi *. now /. period)))
+  in
+  (* Lewis–Shedler thinning: homogeneous candidates at the peak rate,
+     each kept with probability intensity/peak. *)
+  let rec go now acc =
+    let now = now +. Dist.exponential g ~rate:lambda_max in
+    if now >= stop then List.rev acc
+    else if Sm.float g lambda_max < intensity now then begin
+      let size = Dist.pow2_size g ~max_order ~bias:size_bias in
+      let work = Dist.lognormal g ~mu ~sigma in
+      let key = next_key () in
+      go now ({ key; submit = now; size; work; cancel = None } :: acc)
+    end
+    else go now acc
+  in
+  go start []
+
+let flash_jobs g ~next_key ~machine_order ~at ~tasks ~zipf_s ~max_order
+    ~mean_work =
+  if tasks < 0 then invalid_arg "Scenario: flash crowd task count < 0";
+  if mean_work <= 0.0 then invalid_arg "Scenario: flash mean_work <= 0";
+  let max_order = min max_order machine_order in
+  let rec go i acc =
+    if i = tasks then List.rev acc
+    else begin
+      let rank = Dist.zipf g ~n:(max_order + 1) ~s:zipf_s in
+      let size = 1 lsl (rank - 1) in
+      let work = Dist.exponential g ~rate:(1.0 /. mean_work) in
+      let key = next_key () in
+      go (i + 1) ({ key; submit = at; size; work; cancel = None } :: acc)
+    end
+  in
+  go 0 []
+
+let tenant_jobs g ~next_key ~machine_order ~count ~rate ~xm ~alpha
+    ~timeout_factor ~max_order ~stop =
+  if count < 1 then invalid_arg "Scenario: tenant count < 1";
+  if rate <= 0.0 then invalid_arg "Scenario: tenant rate <= 0";
+  if timeout_factor < 1.0 then invalid_arg "Scenario: timeout factor < 1";
+  let max_order = min max_order machine_order in
+  let rec tenants k acc =
+    if k = count then List.rev acc
+    else begin
+      let gk = Sm.split g in
+      (* tenants span the size spectrum: low indices favour small
+         tasks, high indices favour large ones *)
+      let bias =
+        1.2 -. (2.0 *. float_of_int k /. float_of_int (max 1 (count - 1)))
+      in
+      let rec go now acc =
+        let now = now +. Dist.exponential gk ~rate in
+        if now >= stop then acc
+        else begin
+          let size = Dist.pow2_size gk ~max_order ~bias in
+          let work = Dist.pareto gk ~xm ~alpha in
+          let key = next_key () in
+          go now
+            ({
+               key;
+               submit = now;
+               size;
+               work;
+               cancel = Some (now +. (timeout_factor *. work));
+             }
+            :: acc)
+        end
+      in
+      tenants (k + 1) (go 0.0 acc)
+    end
+  in
+  List.rev (tenants 0 [])
+
+let fleet_jobs ~next_key ~machine_order ~horizon ~services ~size_order ~start
+    ~spacing =
+  if services < 1 then invalid_arg "Scenario: fleet services < 1";
+  if spacing < 0.0 then invalid_arg "Scenario: fleet spacing < 0";
+  let boot_step = 0.001 in
+  if start <= boot_step *. float_of_int services then
+    invalid_arg "Scenario: fleet restart wave starts before boot finishes";
+  let size = 1 lsl min size_order machine_order in
+  let rec go i acc =
+    if i = services then List.rev acc
+    else begin
+      let boot = boot_step *. float_of_int i in
+      let restart = start +. (spacing *. float_of_int i) in
+      let gen1 =
+        {
+          key = next_key ();
+          submit = boot;
+          size;
+          work = pinned_work ~submit:boot ~cancel:restart ~horizon;
+          cancel = Some restart;
+        }
+      in
+      let gen2 =
+        {
+          key = next_key ();
+          submit = restart;
+          size;
+          work = pinned_work ~submit:restart ~cancel:horizon ~horizon;
+          cancel = Some horizon;
+        }
+      in
+      go (i + 1) (gen2 :: gen1 :: acc)
+    end
+  in
+  go 0 []
+
+(* Replay a pre-drawn adversary sequence as scripted jobs: event [k]
+   fires at [start + k * spacing]; arrivals become submissions whose
+   work is pinned past their scripted departure, survivors are killed
+   at the horizon so the machine drains. *)
+let sequence_jobs ~next_key ~horizon ~start ~spacing (seq : Sequence.t) =
+  if spacing <= 0.0 then invalid_arg "Scenario: adversary spacing <= 0";
+  let events = Sequence.events seq in
+  let depart_at : (Task.id, float) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun k ev ->
+      match ev with
+      | Event.Depart id ->
+          Hashtbl.replace depart_at id (start +. (spacing *. float_of_int k))
+      | Event.Arrive _ -> ())
+    events;
+  let jobs = ref [] in
+  Array.iteri
+    (fun k ev ->
+      match ev with
+      | Event.Arrive task ->
+          let submit = start +. (spacing *. float_of_int k) in
+          let cancel =
+            match Hashtbl.find_opt depart_at task.Task.id with
+            | Some at -> at
+            | None -> Float.max horizon (submit +. spacing)
+          in
+          jobs :=
+            {
+              key = next_key ();
+              submit;
+              size = task.Task.size;
+              work = pinned_work ~submit ~cancel ~horizon;
+              cancel = Some cancel;
+            }
+            :: !jobs
+      | Event.Depart _ -> ())
+    events;
+  List.rev !jobs
+
+let sigma_r_jobs g ~next_key ~machine_order ~horizon ~start ~spacing
+    ~adversary_order =
+  let order = min adversary_order machine_order in
+  if order < 2 then invalid_arg "Scenario: sigma-r needs order >= 2";
+  let seq = Pmp_adversary.Rand_adversary.generate g ~machine_size:(1 lsl order) in
+  sequence_jobs ~next_key ~horizon ~start ~spacing seq
+
+let det_replay_jobs ~next_key ~machine_order ~horizon ~start ~spacing ~d
+    ~adversary_order =
+  if d < 0 then invalid_arg "Scenario: det-replay d < 0";
+  let order = min adversary_order machine_order in
+  (* The T4.3 adversary is adaptive, so the stream must be drawn
+     against some victim; we fix greedy on a scratch machine of the
+     adversary's own order and replay the resulting sequence
+     obliviously. Deterministic: both sides are deterministic. *)
+  let machine = Pmp_machine.Machine.of_levels order in
+  let victim = Pmp_core.Greedy.create machine in
+  let outcome = Pmp_adversary.Det_adversary.run victim ~d in
+  sequence_jobs ~next_key ~horizon ~start ~spacing
+    outcome.Pmp_adversary.Det_adversary.sequence
+
+let compile t ~machine_size ~seed =
+  if not (Pow2.is_pow2 machine_size) then
+    invalid_arg "Scenario.compile: machine size must be a power of two";
+  if t.duration <= 0.0 then invalid_arg "Scenario.compile: duration <= 0";
+  let machine_order = Pow2.ilog2 machine_size in
+  let horizon = t.duration in
+  let root = Sm.create seed in
+  let counter = ref 0 in
+  let next_key () =
+    let k = !counter in
+    incr counter;
+    k
+  in
+  let jobs = ref [] in
+  List.iter
+    (fun c ->
+      (* one substream per component, split in list order, so adding a
+         component never perturbs the streams before it *)
+      let g = Sm.split root in
+      let js =
+        match c with
+        | Traffic { rate; modulation; mean_work; max_order; size_bias; start; stop }
+          ->
+            traffic_jobs g ~next_key ~machine_order ~rate ~modulation ~mean_work
+              ~max_order ~size_bias ~start ~stop:(Float.min stop horizon)
+        | Flash_crowd { at; tasks; zipf_s; max_order; mean_work } ->
+            flash_jobs g ~next_key ~machine_order ~at ~tasks ~zipf_s ~max_order
+              ~mean_work
+        | Tenants { count; rate; xm; alpha; timeout_factor; max_order; stop } ->
+            tenant_jobs g ~next_key ~machine_order ~count ~rate ~xm ~alpha
+              ~timeout_factor ~max_order ~stop:(Float.min stop horizon)
+        | Restart_fleet { services; size_order; start; spacing } ->
+            fleet_jobs ~next_key ~machine_order ~horizon ~services ~size_order
+              ~start ~spacing
+        | Sigma_r { start; spacing; adversary_order } ->
+            sigma_r_jobs g ~next_key ~machine_order ~horizon ~start ~spacing
+              ~adversary_order
+        | Det_replay { start; spacing; d; adversary_order } ->
+            det_replay_jobs ~next_key ~machine_order ~horizon ~start ~spacing ~d
+              ~adversary_order
+      in
+      jobs := !jobs @ js)
+    t.components;
+  let jobs = !jobs in
+  let script =
+    let evs = ref [] in
+    List.iter
+      (fun j ->
+        evs :=
+          ( j.submit,
+            Closed_loop.Submit { key = j.key; size = j.size; work = j.work } )
+          :: !evs;
+        match j.cancel with
+        | Some at -> evs := (at, Closed_loop.Cancel j.key) :: !evs
+        | None -> ())
+      jobs;
+    List.stable_sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (List.rev !evs)
+    |> Array.of_list
+  in
+  { jobs; script; horizon; machine_size }
+
+let open_loop compiled =
+  let evs = ref [] in
+  List.iter
+    (fun j ->
+      let task = Task.make ~id:j.key ~size:j.size in
+      let depart =
+        match j.cancel with
+        | Some c -> Float.min c (j.submit +. j.work)
+        | None -> j.submit +. j.work
+      in
+      evs :=
+        { Timed.at = depart; ev = Event.depart j.key }
+        :: { Timed.at = j.submit; ev = Event.arrive task }
+        :: !evs)
+    compiled.jobs;
+  List.stable_sort
+    (fun (a : Timed.event) (b : Timed.event) -> Float.compare a.at b.at)
+    (List.rev !evs)
+  |> Timed.of_events_exn
+
+let num_submits compiled = List.length compiled.jobs
+
+let num_cancels compiled =
+  List.fold_left
+    (fun acc j -> match j.cancel with Some _ -> acc + 1 | None -> acc)
+    0 compiled.jobs
+
+let full_machine_jobs compiled =
+  List.fold_left
+    (fun acc j -> if j.size = compiled.machine_size then acc + 1 else acc)
+    0 compiled.jobs

@@ -1,0 +1,135 @@
+(** Declarative production-shaped workload scenarios.
+
+    The paper's bounds are worst-case statements over adversarial
+    sequences; a production machine instead sees diurnal tides, flash
+    crowds, multi-tenant mixes with heavy-tailed lifetimes, and
+    rolling restarts — with the occasional genuinely adversarial burst
+    in between. A {!t} names such a regime declaratively as a list of
+    {!component}s; {!compile} turns it into a deterministic scripted
+    workload for {!Pmp_sim.Closed_loop.run_script}, where departures
+    are either execution-driven (a job's service demand draining) or
+    scripted kills (restarts, timeouts, adversary departures).
+
+    Compilation is a pure function of [(scenario, machine_size, seed)]:
+    each component draws from its own split substream in list order, so
+    streams are stable under appending components, and the compiled
+    script is byte-identical across runs — which is what lets verdicts
+    be golden-pinned and regression-gated. *)
+
+type modulation =
+  | Constant
+  | Sine of { amplitude : float; period : float }
+      (** rate multiplied by [1 + amplitude * sin (2 pi t / period)];
+          [amplitude] in [\[0, 1\]] keeps the intensity non-negative. *)
+
+type component =
+  | Traffic of {
+      rate : float;  (** mean arrivals per unit time *)
+      modulation : modulation;
+      mean_work : float;  (** log-normal service demand around this mean *)
+      max_order : int;  (** sizes up to [2{^max_order}], machine-clamped *)
+      size_bias : float;  (** {!Pmp_prng.Dist.pow2_size} bias *)
+      start : float;
+      stop : float;
+    }
+      (** Benign background users: (possibly sine-modulated) Poisson
+          arrivals via Lewis–Shedler thinning; jobs depart when their
+          work completes. *)
+  | Flash_crowd of {
+      at : float;
+      tasks : int;
+      zipf_s : float;
+      max_order : int;
+      mean_work : float;
+    }
+      (** [tasks] simultaneous arrivals at time [at]; task size is
+          [2{^(r-1)}] for a Zipf([zipf_s]) rank [r] — most of the crowd
+          is small, with a heavy tail of large requests. *)
+  | Tenants of {
+      count : int;
+      rate : float;  (** per-tenant arrival rate *)
+      xm : float;
+      alpha : float;  (** Pareto([xm], [alpha]) service demands *)
+      timeout_factor : float;
+          (** hard kill at [submit + factor * work] — the production
+              timeout that bounds how long a slowed job may linger *)
+      max_order : int;
+      stop : float;
+    }
+      (** Multi-tenant mix: [count] independent Poisson streams whose
+          size bias sweeps from small-task to large-task tenants, with
+          heavy-tailed (Pareto) lifetimes. *)
+  | Restart_fleet of {
+      services : int;
+      size_order : int;
+      start : float;  (** must exceed the staggered boot window *)
+      spacing : float;  (** [0] = thundering herd, [> 0] = rolling *)
+    }
+      (** Long-running services booted near time 0 and restarted in a
+          wave: service [i] is killed at [start + i * spacing] and its
+          replacement submitted at the same instant; replacements are
+          killed at the horizon so the machine drains. *)
+  | Sigma_r of { start : float; spacing : float; adversary_order : int }
+      (** The Theorem 5.2 oblivious sequence, drawn for a
+          [2{^adversary_order}]-PE machine (clamped to the actual
+          machine) and replayed one event per [spacing] time units.
+          Keeping the adversary's own order below the machine's keeps
+          its [N/3]-task flood phase tractable for the closed loop at
+          [N = 2{^20}] while the stream remains a genuine sigma_r. *)
+  | Det_replay of {
+      start : float;
+      spacing : float;
+      d : int;
+      adversary_order : int;
+    }
+      (** The Theorem 4.3 adaptive adversary, played out at compile
+          time against a scratch greedy victim of [adversary_order]
+          (the construction needs {e some} victim to adapt to), then
+          replayed obliviously. *)
+
+type t = {
+  name : string;
+  description : string;
+  duration : float;  (** horizon: scripted kills land at or before it *)
+  default_order : int;  (** machine order used when the caller has none *)
+  components : component list;
+}
+
+type job = {
+  key : int;  (** task id, unique across the scenario *)
+  submit : float;
+  size : int;
+  work : float;
+  cancel : float option;  (** scripted kill time, if any *)
+}
+
+type compiled = {
+  jobs : job list;  (** in key order *)
+  script : Pmp_sim.Closed_loop.script;
+  horizon : float;
+  machine_size : int;
+}
+
+val compile : t -> machine_size:int -> seed:int -> compiled
+(** Deterministic per [(t, machine_size, seed)]. The script is sorted
+    stably by time, so simultaneous events keep component order, and it
+    always satisfies {!Pmp_sim.Closed_loop.run_script}'s validation.
+    @raise Invalid_argument on non-power-of-two machines or
+    out-of-domain component parameters. *)
+
+val open_loop : compiled -> Pmp_workload.Timed.t
+(** The open-loop view of the same jobs, for theorem audits
+    ({!Pmp_oracle.Oracle.check} consumes its {!Pmp_workload.Sequence}):
+    each job arrives at [submit] and departs at
+    [min (cancel, submit + work)] — the uncontended completion time.
+    Any such sequence is within the theorems' scope, so the oracle
+    verdict is sound even though closed-loop contention can delay the
+    execution-driven departures. *)
+
+val num_submits : compiled -> int
+val num_cancels : compiled -> int
+
+val full_machine_jobs : compiled -> int
+(** Jobs whose size equals the machine — an upper bound on the [k] of
+    the T4.1 [Within_factor] load bound (each concurrently-active
+    full-machine task adds one thread to every PE). *)

@@ -1,0 +1,104 @@
+module Json = Pmp_util.Json
+
+type t = {
+  scenario : string;
+  allocator : string;
+  machine_size : int;
+  seed : int;
+  jobs : int;
+  completions : int;
+  kills : int;
+  cancels_ignored : int;
+  sim_events : int;
+  max_load : int;
+  optimal_load : int;
+  peak_active : int;
+  load_bound_ok : bool;
+  oracle : string;
+  mean_slowdown : float;
+  p99_slowdown : float;
+  p999_slowdown : float;
+  max_slowdown : float;
+  p99_bucket : float;
+  p999_bucket : float;
+  makespan : float;
+  pass : bool;
+}
+
+let bucket_start = 1.0
+let bucket_ratio = 1.25
+
+(* Smallest bucket boundary [start * ratio^k] at or above [x]. The
+   golden and regression gates pin buckets, not raw percentiles:
+   bucket boundaries are products of exactly-representable constants,
+   so they are bit-stable across libm implementations while raw
+   percentiles are only ulp-stable. *)
+let bucket x =
+  if x <= bucket_start then bucket_start
+  else begin
+    let rec up b = if x <= b *. (1.0 +. 1e-9) then b else up (b *. bucket_ratio) in
+    up bucket_start
+  end
+
+let pass v =
+  v.load_bound_ok
+  && (not (String.length v.oracle >= 4 && String.sub v.oracle 0 4 = "fail"))
+  && v.completions + v.kills = v.jobs
+
+let to_json v =
+  Json.Obj
+    [
+      ("scenario", Json.Str v.scenario);
+      ("allocator", Json.Str v.allocator);
+      ("machine_size", Json.Num (float_of_int v.machine_size));
+      ("seed", Json.Num (float_of_int v.seed));
+      ("jobs", Json.Num (float_of_int v.jobs));
+      ("completions", Json.Num (float_of_int v.completions));
+      ("kills", Json.Num (float_of_int v.kills));
+      ("cancels_ignored", Json.Num (float_of_int v.cancels_ignored));
+      ("sim_events", Json.Num (float_of_int v.sim_events));
+      ("max_load", Json.Num (float_of_int v.max_load));
+      ("optimal_load", Json.Num (float_of_int v.optimal_load));
+      ("peak_active", Json.Num (float_of_int v.peak_active));
+      ("load_bound_ok", Json.Bool v.load_bound_ok);
+      ("oracle", Json.Str v.oracle);
+      ("mean_slowdown", Json.Num v.mean_slowdown);
+      ("p99_slowdown", Json.Num v.p99_slowdown);
+      ("p999_slowdown", Json.Num v.p999_slowdown);
+      ("max_slowdown", Json.Num v.max_slowdown);
+      ("p99_bucket", Json.Num v.p99_bucket);
+      ("p999_bucket", Json.Num v.p999_bucket);
+      ("makespan", Json.Num v.makespan);
+      ("pass", Json.Bool v.pass);
+    ]
+
+(* The deterministic subset: integers, buckets, and booleans only —
+   safe to diff byte-for-byte across machines. *)
+let golden_json v =
+  Json.Obj
+    [
+      ("scenario", Json.Str v.scenario);
+      ("allocator", Json.Str v.allocator);
+      ("machine_size", Json.Num (float_of_int v.machine_size));
+      ("seed", Json.Num (float_of_int v.seed));
+      ("jobs", Json.Num (float_of_int v.jobs));
+      ("completions", Json.Num (float_of_int v.completions));
+      ("kills", Json.Num (float_of_int v.kills));
+      ("sim_events", Json.Num (float_of_int v.sim_events));
+      ("max_load", Json.Num (float_of_int v.max_load));
+      ("optimal_load", Json.Num (float_of_int v.optimal_load));
+      ("peak_active", Json.Num (float_of_int v.peak_active));
+      ("p99_bucket", Json.Num v.p99_bucket);
+      ("p999_bucket", Json.Num v.p999_bucket);
+      ("load_bound_ok", Json.Bool v.load_bound_ok);
+      ("oracle", Json.Str v.oracle);
+      ("pass", Json.Bool v.pass);
+    ]
+
+let pp ppf v =
+  Format.fprintf ppf
+    "%-22s %-12s N=%-8d jobs=%-6d done=%-6d kills=%-5d load=%d/L*=%d p99=%.3f \
+     p999=%.3f oracle=%s %s"
+    v.scenario v.allocator v.machine_size v.jobs v.completions v.kills
+    v.max_load v.optimal_load v.p99_slowdown v.p999_slowdown v.oracle
+    (if v.pass then "PASS" else "FAIL")

@@ -1,0 +1,53 @@
+(** The per-scenario regression artifact: what a run asserts.
+
+    A verdict folds a closed-loop scenario run into one record: the
+    tail-latency view ([p99]/[p999] slowdown — slowdown is
+    [(finish - arrival) / work], so 1.0 is a dedicated machine), the
+    paper's load view ([max_load] against the executed sequence's
+    [L* = ceil (peak_active / N)]), and the theorem audits
+    ([load_bound_ok], [oracle]). *)
+
+type t = {
+  scenario : string;
+  allocator : string;
+  machine_size : int;
+  seed : int;
+  jobs : int;  (** submissions in the compiled script *)
+  completions : int;  (** jobs that drained on their own *)
+  kills : int;  (** jobs removed by scripted cancels *)
+  cancels_ignored : int;  (** cancels that lost the race to completion *)
+  sim_events : int;
+  max_load : int;
+  optimal_load : int;  (** [L*] of the executed sequence *)
+  peak_active : int;
+  load_bound_ok : bool;
+  oracle : string;  (** ["pass"], ["skipped"], or ["fail: ..."] *)
+  mean_slowdown : float;
+  p99_slowdown : float;
+  p999_slowdown : float;
+  max_slowdown : float;
+  p99_bucket : float;  (** log-bucket bound on [p99_slowdown] *)
+  p999_bucket : float;
+  makespan : float;
+  pass : bool;
+}
+
+val bucket : float -> float
+(** Smallest boundary of the slowdown histogram's geometric bucketing
+    (start 1.0, ratio 1.25) at or above the argument. Buckets, not raw
+    percentiles, are what golden tests and the regression gate pin:
+    they are bit-stable across libm implementations. *)
+
+val pass : t -> bool
+(** The verdict's own pass predicate: load bound holds, the oracle did
+    not fail, and every job is accounted for (completed or killed). *)
+
+val to_json : t -> Pmp_util.Json.t
+(** Full record, including raw (ulp-sensitive) percentiles. *)
+
+val golden_json : t -> Pmp_util.Json.t
+(** The deterministic subset — integers, buckets, strings, booleans —
+    safe to diff byte-for-byte. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human summary. *)

@@ -24,37 +24,71 @@ type result = {
   realloc_events : int;
 }
 
+type op = Submit of { key : int; size : int; work : float } | Cancel of int
+
+type script = (float * op) array
+
+type script_result = {
+  allocator_name : string;
+  completions : completion list;
+  kills : int;
+  cancels_ignored : int;
+  max_load : int;
+  peak_active : int;
+  makespan : float;
+  sim_events : int;
+  realloc_events : int;
+}
+
 type live = {
   task : Task.t;
   arrived : float;
   total_work : float;
   mutable remaining : float;
+  mutable rate : float;  (** refreshed once per simulation step *)
 }
 
-let run ?(telemetry = Probe.noop) (alloc : Pmp_core.Allocator.t) specs =
+let validate_script (script : script) ~machine_size =
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (at, op) ->
+      if at < 0.0 then invalid_arg "Closed_loop.run_script: negative timestamp";
+      if i > 0 && at < fst script.(i - 1) then
+        invalid_arg "Closed_loop.run_script: timestamps decrease";
+      match op with
+      | Submit { key; size; work } ->
+          if work <= 0.0 then
+            invalid_arg "Closed_loop.run_script: non-positive work";
+          if (not (Pmp_util.Pow2.is_pow2 size)) || size > machine_size then
+            invalid_arg "Closed_loop.run_script: bad task size";
+          if Hashtbl.mem seen key then
+            invalid_arg "Closed_loop.run_script: duplicate submit key";
+          Hashtbl.replace seen key ()
+      | Cancel key ->
+          if not (Hashtbl.mem seen key) then
+            invalid_arg "Closed_loop.run_script: cancel before submit")
+    script
+
+(* The shared engine: replay a validated script, with departures caused
+   by execution (a job's work draining at the gang-scheduled rate) or
+   by an explicit [Cancel] — whichever comes first. *)
+let exec ?(telemetry = Probe.noop) (alloc : Pmp_core.Allocator.t)
+    (script : script) =
   let n = Machine.size alloc.machine in
+  let len = Array.length script in
   let seq_no = ref 0 in
   let next_seq () =
     let s = !seq_no in
     incr seq_no;
     s
   in
-  List.iter
-    (fun (s : job_spec) ->
-      if s.arrival < 0.0 then invalid_arg "Closed_loop.run: negative arrival";
-      if s.work <= 0.0 then invalid_arg "Closed_loop.run: non-positive work";
-      if (not (Pmp_util.Pow2.is_pow2 s.size)) || s.size > n then
-        invalid_arg "Closed_loop.run: bad task size")
-    specs;
-  let pending =
-    ref
-      (List.mapi (fun id (s : job_spec) -> (Task.make ~id ~size:s.size, s)) specs
-      |> List.sort (fun (_, (a : job_spec)) (_, (b : job_spec)) ->
-             compare a.arrival b.arrival))
-  in
   let mirror = Mirror.create alloc.machine in
   let running : (Task.id, live) Hashtbl.t = Hashtbl.create 64 in
   let max_load = ref 0 in
+  let peak_active = ref 0 in
+  let kills = ref 0 in
+  let cancels_ignored = ref 0 in
+  let sim_events = ref 0 in
   let completed = ref [] in
   (* a job's current rate: gang-scheduled round-robin over the most
      loaded PE of the submachine it currently occupies *)
@@ -62,56 +96,73 @@ let run ?(telemetry = Probe.noop) (alloc : Pmp_core.Allocator.t) specs =
     match Mirror.placement mirror l.task.Task.id with
     | None -> assert false
     | Some p ->
-        1.0 /. float_of_int (max 1 (Mirror.max_load_in mirror p.Pmp_core.Placement.sub))
+        1.0
+        /. float_of_int (max 1 (Mirror.max_load_in mirror p.Pmp_core.Placement.sub))
+  in
+  (* one pass per step: refresh every live job's cached rate and return
+     the earliest predicted completion. Rates only change when loads
+     do, i.e. at simulation events, so the cache is exact between
+     steps and halves the load queries of the two-pass version. *)
+  let refresh_rates_and_next now =
+    Hashtbl.fold
+      (fun _ l acc ->
+        l.rate <- rate l;
+        min acc (now +. (l.remaining /. l.rate)))
+      running infinity
   in
   let advance elapsed =
     if elapsed > 0.0 then
       Hashtbl.iter
-        (fun _ l -> l.remaining <- l.remaining -. (elapsed *. rate l))
+        (fun _ l -> l.remaining <- l.remaining -. (elapsed *. l.rate))
         running
   in
-  let next_completion now =
-    Hashtbl.fold
-      (fun _ l acc -> min acc (now +. (l.remaining /. rate l)))
-      running infinity
+  let lstar () = Pmp_util.Pow2.ceil_div (Mirror.active_size mirror) n in
+  let apply_op at op =
+    incr sim_events;
+    match op with
+    | Submit { key; size; work } ->
+        let task = Task.make ~id:key ~size in
+        let t0 = Probe.now telemetry in
+        let resp = alloc.assign task in
+        let dur = Probe.now telemetry -. t0 in
+        Mirror.apply_assign mirror task resp;
+        Hashtbl.replace running key
+          { task; arrived = at; total_work = work; remaining = work; rate = 1.0 };
+        let load = Mirror.max_load mirror in
+        if load > !max_load then max_load := load;
+        let active_size = Mirror.active_size mirror in
+        if active_size > !peak_active then peak_active := active_size;
+        if Probe.enabled telemetry then
+          Probe.record_arrival telemetry ~seq:(next_seq ()) ~task:key ~size
+            ~placement:
+              (Format.asprintf "%a" Pmp_core.Placement.pp
+                 resp.Pmp_core.Allocator.placement)
+            ~moves:(List.length resp.Pmp_core.Allocator.moves) ~traffic:0 ~load
+            ~lstar:(lstar ())
+            ~active:(Mirror.num_active mirror) ~ts:at ~dur ~oracle:""
+    | Cancel key -> (
+        match Hashtbl.find_opt running key with
+        | None -> incr cancels_ignored
+        | Some _ ->
+            Hashtbl.remove running key;
+            let t0 = Probe.now telemetry in
+            alloc.remove key;
+            let dur = Probe.now telemetry -. t0 in
+            Mirror.apply_remove mirror key;
+            incr kills;
+            if Probe.enabled telemetry then
+              Probe.record_departure telemetry ~seq:(next_seq ()) ~task:key
+                ~load:(Mirror.max_load mirror) ~lstar:(lstar ())
+                ~active:(Mirror.num_active mirror) ~ts:at ~dur ~oracle:"")
   in
-  let rec step now =
-    let arrival_at =
-      match !pending with [] -> infinity | (_, s) :: _ -> s.arrival
-    in
-    let completion_at = next_completion now in
-    if arrival_at = infinity && completion_at = infinity then now
-    else if arrival_at <= completion_at then begin
-      advance (arrival_at -. now);
-      (match !pending with
-      | [] -> assert false
-      | (task, spec) :: rest ->
-          pending := rest;
-          let t0 = Probe.now telemetry in
-          let resp = alloc.assign task in
-          let dur = Probe.now telemetry -. t0 in
-          Mirror.apply_assign mirror task resp;
-          Hashtbl.replace running task.Task.id
-            {
-              task;
-              arrived = spec.arrival;
-              total_work = spec.work;
-              remaining = spec.work;
-            };
-          let load = Mirror.max_load mirror in
-          if load > !max_load then max_load := load;
-          if Probe.enabled telemetry then
-            Probe.record_arrival telemetry ~seq:(next_seq ())
-              ~task:task.Task.id ~size:task.Task.size
-              ~placement:
-                (Format.asprintf "%a" Pmp_core.Placement.pp
-                   resp.Pmp_core.Allocator.placement)
-              ~moves:(List.length resp.Pmp_core.Allocator.moves) ~traffic:0
-              ~load
-              ~lstar:(Pmp_util.Pow2.ceil_div (Mirror.active_size mirror) n)
-              ~active:(Mirror.num_active mirror) ~ts:spec.arrival ~dur
-              ~oracle:"");
-      step arrival_at
+  let rec step now i =
+    let script_at = if i < len then fst script.(i) else infinity in
+    let completion_at = refresh_rates_and_next now in
+    if script_at = infinity && completion_at = infinity then now
+    else if script_at <= completion_at then begin
+      advance (script_at -. now);
+      apply_op script_at (snd script.(i));
+      step script_at (i + 1)
     end
     else begin
       advance (completion_at -. now);
@@ -123,6 +174,7 @@ let run ?(telemetry = Probe.noop) (alloc : Pmp_core.Allocator.t) specs =
       in
       List.iter
         (fun l ->
+          incr sim_events;
           Hashtbl.remove running l.task.Task.id;
           alloc.remove l.task.Task.id;
           Mirror.apply_remove mirror l.task.Task.id;
@@ -139,13 +191,46 @@ let run ?(telemetry = Probe.noop) (alloc : Pmp_core.Allocator.t) specs =
             }
             :: !completed)
         finished;
-      step completion_at
+      step completion_at i
     end
   in
-  let makespan = step 0.0 in
-  let completions = List.rev !completed in
+  let makespan = step 0.0 0 in
+  {
+    allocator_name = alloc.name;
+    completions = List.rev !completed;
+    kills = !kills;
+    cancels_ignored = !cancels_ignored;
+    max_load = !max_load;
+    peak_active = !peak_active;
+    makespan;
+    sim_events = !sim_events;
+    realloc_events = alloc.realloc_events ();
+  }
+
+let run_script ?telemetry (alloc : Pmp_core.Allocator.t) script =
+  validate_script script ~machine_size:(Machine.size alloc.machine);
+  exec ?telemetry alloc script
+
+let run ?telemetry (alloc : Pmp_core.Allocator.t) specs =
+  let n = Machine.size alloc.machine in
+  List.iter
+    (fun (s : job_spec) ->
+      if s.arrival < 0.0 then invalid_arg "Closed_loop.run: negative arrival";
+      if s.work <= 0.0 then invalid_arg "Closed_loop.run: non-positive work";
+      if (not (Pmp_util.Pow2.is_pow2 s.size)) || s.size > n then
+        invalid_arg "Closed_loop.run: bad task size")
+    specs;
+  let script =
+    List.mapi
+      (fun id (s : job_spec) ->
+        (s.arrival, Submit { key = id; size = s.size; work = s.work }))
+      specs
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> Array.of_list
+  in
+  let r = exec ?telemetry alloc script in
   let slowdowns =
-    Array.of_list (List.map (fun c -> c.slowdown) completions)
+    Array.of_list (List.map (fun c -> c.slowdown) r.completions)
   in
   let mean_slowdown = Pmp_util.Stats.mean slowdowns in
   let p95_slowdown =
@@ -154,15 +239,15 @@ let run ?(telemetry = Probe.noop) (alloc : Pmp_core.Allocator.t) specs =
   in
   let max_slowdown = Array.fold_left max 0.0 slowdowns in
   {
-    allocator_name = alloc.name;
-    completions;
-    max_load = !max_load;
-    makespan;
+    allocator_name = r.allocator_name;
+    completions = r.completions;
+    max_load = r.max_load;
+    makespan = r.makespan;
     mean_slowdown;
     p95_slowdown;
     max_slowdown;
     fairness = Metrics.jain_fairness slowdowns;
-    realloc_events = alloc.realloc_events ();
+    realloc_events = r.realloc_events;
   }
 
 let poisson_specs g ~machine_size ~horizon ~arrival_rate ~mean_work ~max_order

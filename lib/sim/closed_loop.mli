@@ -38,6 +38,46 @@ type result = {
   realloc_events : int;
 }
 
+type op =
+  | Submit of { key : int; size : int; work : float }
+      (** admit a job; [key] is its task id and must be unique *)
+  | Cancel of int
+      (** forcibly kill a running job (rolling restart, adversarial
+          departure); ignored — and counted — if the job has already
+          completed on its own *)
+
+type script = (float * op) array
+(** Timestamped operations, non-decreasing in time. Array order breaks
+    ties: simultaneous operations apply in array order. *)
+
+type script_result = {
+  allocator_name : string;
+  completions : completion list;  (** in finishing order; kills excluded *)
+  kills : int;  (** jobs removed by [Cancel] before completing *)
+  cancels_ignored : int;  (** [Cancel]s that raced with completion *)
+  max_load : int;
+  peak_active : int;  (** max total active size over the run *)
+  makespan : float;  (** time of the last simulation event *)
+  sim_events : int;  (** submits + cancels applied + completions *)
+  realloc_events : int;
+}
+
+val run_script :
+  ?telemetry:Pmp_telemetry.Probe.t ->
+  Pmp_core.Allocator.t ->
+  script ->
+  script_result
+(** Like {!run} but the workload is a scripted mix of submissions and
+    forced cancellations — the substrate for scenario suites where
+    departures are driven by restart waves or adversaries rather than
+    execution alone. A job still completes on its own when its work
+    drains first; a [Cancel] that arrives after that is ignored.
+    Killed jobs produce no completion record (they do not pollute the
+    slowdown distribution) but do feed [~telemetry] as departures.
+    @raise Invalid_argument on negative or decreasing timestamps,
+    non-positive work, bad sizes, duplicate submit keys, or a cancel
+    of a never-submitted key. *)
+
 val run :
   ?telemetry:Pmp_telemetry.Probe.t ->
   Pmp_core.Allocator.t ->

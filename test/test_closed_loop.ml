@@ -119,9 +119,95 @@ let prop_complete_and_ordered =
       && List.for_all (fun c -> c.CL.slowdown >= 1.0 -. 1e-9) r_opt.CL.completions
       && r_opt.CL.mean_slowdown <= r_bad.CL.mean_slowdown +. 1e-9)
 
+(* --- scripted runs ------------------------------------------------ *)
+
+let submit key size work = CL.Submit { key; size; work }
+
+let test_script_kill () =
+  (* a job with 100 units of work killed at t=3: no completion, one
+     kill, and the machine is free for the job after it *)
+  let m = Machine.create 4 in
+  let r =
+    CL.run_script
+      (Pmp_core.Greedy.create m)
+      [|
+        (0.0, submit 0 4 100.0);
+        (3.0, CL.Cancel 0);
+        (3.0, submit 1 4 10.0);
+      |]
+  in
+  Alcotest.(check int) "one kill" 1 r.CL.kills;
+  Alcotest.(check int) "no ignored cancels" 0 r.CL.cancels_ignored;
+  (match r.CL.completions with
+  | [ c ] ->
+      Alcotest.(check (float 1e-9)) "runs alone after the kill" 1.0 c.CL.slowdown;
+      Alcotest.(check (float 1e-9)) "finish" 13.0 c.CL.finish
+  | _ -> Alcotest.fail "one completion expected");
+  Alcotest.(check int) "max load 1" 1 r.CL.max_load;
+  Alcotest.(check int) "peak active 4" 4 r.CL.peak_active;
+  (* 2 submits + 1 kill + 1 completion *)
+  Alcotest.(check int) "4 sim events" 4 r.CL.sim_events
+
+let test_script_cancel_after_completion () =
+  (* the job drains at t=10, the cancel at t=12 loses the race and is
+     counted, not applied *)
+  let m = Machine.create 4 in
+  let r =
+    CL.run_script
+      (Pmp_core.Greedy.create m)
+      [| (0.0, submit 0 4 10.0); (12.0, CL.Cancel 0) |]
+  in
+  Alcotest.(check int) "no kill" 0 r.CL.kills;
+  Alcotest.(check int) "cancel ignored" 1 r.CL.cancels_ignored;
+  Alcotest.(check int) "completed" 1 (List.length r.CL.completions)
+
+let test_script_matches_run () =
+  (* a pure-submit script is the same simulation as [run] *)
+  let m = Machine.create 8 in
+  let specs = [ spec 0.0 4 10.0; spec 1.0 4 6.0; spec 2.0 8 3.0 ] in
+  let r = CL.run (Pmp_core.Greedy.create m) specs in
+  let s =
+    CL.run_script
+      (Pmp_core.Greedy.create m)
+      (Array.of_list
+         (List.mapi
+            (fun i (sp : CL.job_spec) ->
+              (sp.CL.arrival, submit i sp.CL.size sp.CL.work))
+            specs))
+  in
+  Alcotest.(check int) "same max load" r.CL.max_load s.CL.max_load;
+  Alcotest.(check (float 1e-9)) "same makespan" r.CL.makespan s.CL.makespan;
+  Alcotest.(check (list (float 1e-9)))
+    "same slowdowns"
+    (List.map (fun c -> c.CL.slowdown) r.CL.completions)
+    (List.map (fun c -> c.CL.slowdown) s.CL.completions)
+
+let test_script_validation () =
+  let m = Machine.create 4 in
+  let alloc () = Pmp_core.Greedy.create m in
+  let expect_invalid name script =
+    Alcotest.check_raises name
+      (Invalid_argument
+         (Printf.sprintf "Closed_loop.run_script: %s" name))
+      (fun () -> ignore (CL.run_script (alloc ()) script))
+  in
+  expect_invalid "negative timestamp" [| (-1.0, submit 0 2 1.0) |];
+  expect_invalid "timestamps decrease"
+    [| (2.0, submit 0 2 1.0); (1.0, submit 1 2 1.0) |];
+  expect_invalid "non-positive work" [| (0.0, submit 0 2 0.0) |];
+  expect_invalid "bad task size" [| (0.0, submit 0 3 1.0) |];
+  expect_invalid "duplicate submit key"
+    [| (0.0, submit 0 2 1.0); (1.0, submit 0 2 1.0) |];
+  expect_invalid "cancel before submit" [| (0.0, CL.Cancel 5) |]
+
 let suite =
   [
     Alcotest.test_case "single job" `Quick test_single_job;
+    Alcotest.test_case "script: kill frees machine" `Quick test_script_kill;
+    Alcotest.test_case "script: cancel loses race" `Quick
+      test_script_cancel_after_completion;
+    Alcotest.test_case "script: pure submits = run" `Quick test_script_matches_run;
+    Alcotest.test_case "script: validation" `Quick test_script_validation;
     Alcotest.test_case "two overlapping" `Quick test_two_overlapping_full;
     Alcotest.test_case "disjoint" `Quick test_disjoint_no_interference;
     Alcotest.test_case "feedback loop" `Quick test_feedback_loop;

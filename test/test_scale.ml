@@ -59,9 +59,50 @@ let test_optimal_moderate_scale () =
   let r = Engine.run (Pmp_core.Optimal.create machine) seq in
   Alcotest.(check int) "exactly optimal" r.Engine.optimal_load r.Engine.max_load
 
+(* --- scenario suite at N = 2^20 ----------------------------------- *)
+
+(* These are the headline production-shaped runs: a full megaprocessor
+   (2^20 CUs) under the Indexed load view. A few CPU-seconds each, so
+   they only run when explicitly requested via PMP_SCALE=big (the
+   nightly CI job sets it). *)
+
+let big_scale_enabled () = Sys.getenv_opt "PMP_SCALE" = Some "big"
+
+let scenario_at_full_scale name () =
+  if not (big_scale_enabled ()) then
+    Alcotest.skip ()
+  else begin
+    let scn = Option.get (Pmp_scenario.Registry.find name) in
+    let machine_size = 1 lsl 20 in
+    let machine = Machine.create machine_size in
+    let make () =
+      match
+        Pmp_cli.Builders.allocator ~backend:Pmp_index.Load_view.Indexed "greedy"
+          machine ~d:(Realloc.make_budget 2) ~seed:42
+      with
+      | Ok a -> a
+      | Error (`Msg e) -> failwith e
+    in
+    let v, _ = Pmp_scenario.Runner.run ~make ~seed:42 scn in
+    Alcotest.(check int) "machine size 2^20" machine_size
+      v.Pmp_scenario.Verdict.machine_size;
+    Alcotest.(check bool) "jobs flowed" true (v.Pmp_scenario.Verdict.jobs > 0);
+    Alcotest.(check bool)
+      (name ^ " verdict pass")
+      true
+      (Pmp_scenario.Verdict.pass v)
+  end
+
 let suite =
   [
     Alcotest.test_case "greedy N=16k, 50k events" `Slow test_greedy_at_scale;
+    Alcotest.test_case "scenario flash-crowd N=2^20 (PMP_SCALE=big)" `Slow
+      (scenario_at_full_scale "flash-crowd");
+    Alcotest.test_case "scenario adversary-interleaved N=2^20 (PMP_SCALE=big)"
+      `Slow
+      (scenario_at_full_scale "adversary-interleaved");
+    Alcotest.test_case "scenario black-friday N=2^20 (PMP_SCALE=big)" `Slow
+      (scenario_at_full_scale "black-friday");
     Alcotest.test_case "copies N=16k, 50k events" `Slow test_copies_at_scale;
     Alcotest.test_case "periodic N=4k, 30k events" `Slow test_periodic_at_scale;
     Alcotest.test_case "adversary N=4096" `Slow test_adversary_at_scale;
