@@ -31,6 +31,11 @@ let default_tolerance = 0.25
 let min_speedup = 5.0
 let min_service_speedup = 5.0
 
+(* observability must stay near-free: the fully instrumented service
+   (per-stage latency histograms + flight recorder) may cost at most
+   this factor over the same matrix point with telemetry disabled *)
+let max_observability_overhead = 1.05
+
 (* the same seeded churn as Workloads.churn in the experiment harness
    (dune forbids sharing a module across two executables in one
    directory, and the suite's workload must stay pinned either way) *)
@@ -214,29 +219,56 @@ let speedup_probe () =
    a (warn-only by default) timing field. *)
 let service_probe calib =
   let module L = Pmp_server.Loadgen in
-  let run label ~proto ~fsync_policy ~wal_format ~requests =
-    match L.bench ~proto ~fsync_policy ~wal_format ~requests () with
+  let run label ?(latency_profile = false) ?recorder_size ~proto ~fsync_policy
+      ~wal_format ~requests () =
+    match
+      L.bench ~proto ~fsync_policy ~wal_format ~latency_profile ?recorder_size
+        ~requests ()
+    with
     | Ok o -> o
     | Error e -> failwith (Printf.sprintf "service probe (%s): %s" label e)
   in
+  (* best-of-2 for the two sides of the overhead ratio: a 5%-scale
+     comparison needs more smoothing than the 5x-scale speedup floor *)
+  let best_ns label ?latency_profile ?recorder_size ~proto ~fsync_policy
+      ~wal_format ~requests () =
+    let o1 =
+      run label ?latency_profile ?recorder_size ~proto ~fsync_policy
+        ~wal_format ~requests ()
+    in
+    let o2 =
+      run label ?latency_profile ?recorder_size ~proto ~fsync_policy
+        ~wal_format ~requests ()
+    in
+    if L.ns_per_request o1 <= L.ns_per_request o2 then o1 else o2
+  in
   let fast =
-    run "binary+group" ~proto:Pmp_server.Client.Binary
+    best_ns "binary+group" ~proto:Pmp_server.Client.Binary
       ~fsync_policy:Pmp_server.Wal.Group
-      ~wal_format:Pmp_server.Wal.Binary_records ~requests:30_000
+      ~wal_format:Pmp_server.Wal.Binary_records ~requests:30_000 ()
+  in
+  (* the same matrix point with every observability feature on: stage
+     and per-opcode histograms plus a live flight recorder *)
+  let instrumented =
+    best_ns "binary+group+obs" ~latency_profile:true ~recorder_size:1024
+      ~proto:Pmp_server.Client.Binary ~fsync_policy:Pmp_server.Wal.Group
+      ~wal_format:Pmp_server.Wal.Binary_records ~requests:30_000 ()
   in
   (* the seed's configuration: JSON lines, fsync on every append — a
      real fsync per mutation, so a tenth of the requests suffices *)
   let slow =
     run "json+always" ~proto:Pmp_server.Client.Json
       ~fsync_policy:Pmp_server.Wal.Always
-      ~wal_format:Pmp_server.Wal.Json_records ~requests:3_000
+      ~wal_format:Pmp_server.Wal.Json_records ~requests:3_000 ()
   in
   let words =
     match L.words_per_request () with
     | Ok w -> w
     | Error e -> failwith ("service probe (words): " ^ e)
   in
-  let fast_ns = L.ns_per_request fast and slow_ns = L.ns_per_request slow in
+  let fast_ns = L.ns_per_request fast
+  and slow_ns = L.ns_per_request slow
+  and instr_ns = L.ns_per_request instrumented in
   Json.Obj
     [
       ("case", Json.Str "service: binary+group vs json+always (unix socket)");
@@ -246,6 +278,9 @@ let service_probe calib =
       ("slow_mutations", Json.Num (float_of_int slow.L.mutations));
       ("binary_group_ns_per_request", Json.Num (Float.round fast_ns));
       ("json_always_ns_per_request", Json.Num (Float.round slow_ns));
+      ("instrumented_ns_per_request", Json.Num (Float.round instr_ns));
+      ("observability_overhead", Json.Num (instr_ns /. fast_ns));
+      ("max_observability_overhead", Json.Num max_observability_overhead);
       ("norm_ns_per_request", Json.Num (fast_ns /. calib));
       ( "events_per_second",
         Json.Num (Float.round (L.requests_per_sec fast)) );
@@ -383,6 +418,26 @@ let check_service ~tolerance baseline sv =
       ]
     else []
   in
+  (* the observability gate: instrumented vs disabled on the same
+     matrix point. Wall-clock derived, so it retries/warns like the
+     other timing fields unless --strict-time. *)
+  let overhead = get_num "service" sv "observability_overhead" in
+  let overhead_failures =
+    if overhead > max_observability_overhead then
+      [
+        {
+          key = "service";
+          msg =
+            Printf.sprintf
+              "service: observability overhead %.1f%% exceeds the %.0f%% \
+               budget (instrumented vs disabled, binary+group)"
+              ((overhead -. 1.0) *. 100.0)
+              ((max_observability_overhead -. 1.0) *. 100.0);
+          timing = true;
+        };
+      ]
+    else []
+  in
   let baseline_failures =
     match Option.bind baseline (Json.member "service") with
     | None -> []
@@ -406,7 +461,7 @@ let check_service ~tolerance baseline sv =
         in
         vs "words_per_request" false @ vs "norm_ns_per_request" true
   in
-  floor_failures @ baseline_failures
+  floor_failures @ overhead_failures @ baseline_failures
 
 (* The scenario gate is double: every verdict must pass on its own
    (load bound, oracle, everything drained) regardless of any
@@ -518,9 +573,15 @@ let () =
   let sv = service_probe calib in
   let service_speedup = Option.bind (Json.member "speedup" sv) Json.to_float in
   let service_words = Option.bind (Json.member "words_per_request" sv) Json.to_float in
-  Printf.printf "service speedup: %.1fx, read path %.2f words/request\n%!"
+  let service_overhead =
+    Option.bind (Json.member "observability_overhead" sv) Json.to_float
+  in
+  Printf.printf
+    "service speedup: %.1fx, read path %.2f words/request, observability \
+     overhead %+.1f%%\n%!"
     (Option.value ~default:nan service_speedup)
-    (Option.value ~default:nan service_words);
+    (Option.value ~default:nan service_words)
+    ((Option.value ~default:nan service_overhead -. 1.0) *. 100.0);
   Printf.printf "running scenario fast subset (%s)...\n%!"
     (String.concat ", "
        (List.map

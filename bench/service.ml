@@ -32,14 +32,59 @@ let metric_value dump name =
       else None)
     (String.split_on_char '\n' dump)
 
-let point ~label ~proto ~fsync_policy ~wal_format =
+(* cumulative buckets of one labelled histogram series, e.g.
+   pmpd_stage_seconds_bucket{stage="fsync",le="..."} — the dump renders
+   the le label last, so a prefix match pins the selector *)
+let scrape_buckets dump name selector =
+  let prefix = Printf.sprintf "%s_bucket{%s,le=\"" name selector in
+  let plen = String.length prefix in
+  List.filter_map
+    (fun l ->
+      if String.length l > plen && String.sub l 0 plen = prefix then
+        match String.index_opt l '}' with
+        | Some j when j > plen ->
+            let bound = String.sub l plen (j - 1 - plen) in
+            let upper =
+              if bound = "+Inf" then infinity
+              else Option.value ~default:nan (float_of_string_opt bound)
+            in
+            let v = String.sub l (j + 1) (String.length l - j - 1) in
+            Option.map
+              (fun cum -> (upper, cum))
+              (int_of_string_opt (String.trim v))
+        | _ -> None
+      else None)
+    (String.split_on_char '\n' dump)
+
+let stage_names = [ "read"; "decode"; "apply"; "wal_append"; "fsync"; "ack" ]
+
+(* per-stage quantiles (seconds) out of a dump; [None] when the stage
+   saw no samples (telemetry off or the stage never ran) *)
+let stage_quantiles dump stage =
+  let buckets =
+    scrape_buckets dump "pmpd_stage_seconds"
+      (Printf.sprintf "stage=\"%s\"" stage)
+  in
+  match List.rev buckets with
+  | (_, total) :: _ when total > 0 ->
+      let max_seen =
+        List.fold_left
+          (fun acc (u, c) -> if Float.is_finite u && c > 0 then u else acc)
+          0.0 buckets
+      in
+      let q q' = Metrics.quantile_of_buckets buckets ~max_seen ~count:total q' in
+      Some (q 0.5, q 0.99, q 0.999, total)
+  | _ -> None
+
+let point ~label ~proto ~fsync_policy ~wal_format ?(latency_profile = false) () =
   Printf.printf "running %-14s ...%!" label;
   let requests = requests_for fsync_policy in
   let latency =
     Metrics.Histogram.make (Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:24)
   in
   let result =
-    L.with_local_service ~fsync_policy ~wal_format (fun socket ->
+    L.with_local_service ~fsync_policy ~wal_format ~latency_profile
+      (fun socket ->
         match Client.connect_unix ~proto socket with
         | Error e -> Error e
         | Ok c ->
@@ -67,8 +112,36 @@ let point ~label ~proto ~fsync_policy ~wal_format =
         (L.requests_per_sec o)
         (L.percentile latency 99.0)
         (if group_count > 0.0 then group_sum /. group_count else 0.0);
+      let stages =
+        List.filter_map
+          (fun stage ->
+            Option.map
+              (fun (p50, p99, p999, n) ->
+                ( stage,
+                  Json.Obj
+                    [
+                      ("p50_us", Json.Num (p50 *. 1e6));
+                      ("p99_us", Json.Num (p99 *. 1e6));
+                      ("p999_us", Json.Num (p999 *. 1e6));
+                      ("count", Json.Num (float_of_int n));
+                    ] ))
+              (stage_quantiles dump stage))
+          stage_names
+      in
+      if stages <> [] then
+        List.iter
+          (fun (stage, j) ->
+            let f k =
+              Option.value ~default:nan (Option.bind (Json.member k j) Json.to_float)
+            in
+            Printf.printf
+              "    stage %-10s p50 %8.1f us  p99 %8.1f us  p999 %8.1f us\n%!"
+              stage (f "p50_us") (f "p99_us") (f "p999_us"))
+          stages;
       Json.Obj
-        [
+        ((if stages = [] then []
+          else [ ("server_stages", Json.Obj stages) ])
+        @ [
           ("label", Json.Str label);
           ("proto", Json.Str (Client.proto_name proto));
           ("fsync_policy", Json.Str (Wal.policy_name fsync_policy));
@@ -86,7 +159,7 @@ let point ~label ~proto ~fsync_policy ~wal_format =
           ( "wal_group_size_avg",
             Json.Num
               (if group_count > 0.0 then group_sum /. group_count else 0.0) );
-        ]
+        ])
 
 let () =
   let out = ref "BENCH_telemetry.json" in
@@ -98,21 +171,29 @@ let () =
      print in run order *)
   let p1 =
     point ~label:"binary+group" ~proto:Client.Binary ~fsync_policy:Wal.Group
-      ~wal_format:Wal.Binary_records
+      ~wal_format:Wal.Binary_records ()
   in
   let p2 =
     point ~label:"json+group" ~proto:Client.Json ~fsync_policy:Wal.Group
-      ~wal_format:Wal.Binary_records
+      ~wal_format:Wal.Binary_records ()
   in
   let p3 =
     point ~label:"binary+always" ~proto:Client.Binary ~fsync_policy:Wal.Always
-      ~wal_format:Wal.Binary_records
+      ~wal_format:Wal.Binary_records ()
   in
   let p4 =
     point ~label:"json+always" ~proto:Client.Json ~fsync_policy:Wal.Always
-      ~wal_format:Wal.Json_records
+      ~wal_format:Wal.Json_records ()
   in
-  let points = [ p1; p2; p3; p4 ] in
+  (* the instrumented corner: same fast path with per-stage timing on,
+     so the report carries server-side latency attribution alongside
+     the client-side percentiles *)
+  let p5 =
+    point ~label:"binary+group+obs" ~proto:Client.Binary
+      ~fsync_policy:Wal.Group ~wal_format:Wal.Binary_records
+      ~latency_profile:true ()
+  in
+  let points = [ p1; p2; p3; p4; p5 ] in
   let words =
     match L.words_per_request () with
     | Ok w -> w

@@ -466,8 +466,35 @@ let serve_cmd =
     in
     Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"K" ~doc)
   in
+  let latency_profile_arg =
+    let doc =
+      "Time every request and pipeline stage (read, decode, apply, \
+       WAL-append, fsync, ack) into per-opcode and per-stage histograms in \
+       the metrics dump. Off by default: the timestamps allocate, which the \
+       zero-allocation dispatch path otherwise avoids."
+    in
+    Arg.(value & flag & info [ "latency-profile" ] ~doc)
+  in
+  let slow_ms_arg =
+    let doc =
+      "Log requests slower than $(docv) milliseconds to stderr and count \
+       them in $(b,pmpd_slow_requests_total) (implies per-request timing, \
+       like $(b,--latency-profile))."
+    in
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
+  let recorder_arg =
+    let doc =
+      "Flight-recorder ring size: the last $(docv) requests and replayed \
+       WAL records are kept in memory and dumped as JSON lines to \
+       <dir>/flightrec.jsonl on SIGUSR1, on any abnormal exit (crash \
+       injection included) and on a refused recovery. 0 disables."
+    in
+    Arg.(value & opt int 256 & info [ "flight-recorder" ] ~docv:"K" ~doc)
+  in
   let action machine_size alloc_name d_str seed cap dir socket host port
-      fsync_policy wal_format snapshot_every crash_after max_pending =
+      fsync_policy wal_format snapshot_every crash_after max_pending
+      latency_profile slow_ms recorder_size =
     let* _ = Builders.machine machine_size in
     let* d = Builders.parse_d d_str in
     let* policy = Builders.cluster_policy alloc_name ~d ~seed in
@@ -490,6 +517,9 @@ let serve_cmd =
           snapshot_every;
           crash_after;
           loop = { Pmp_server.Loop.default_config with max_pending };
+          latency_profile;
+          slow_ms;
+          recorder_size;
         }
       in
       let* server =
@@ -523,7 +553,8 @@ let serve_cmd =
       match Pmp_server.Server.serve server ~listeners with
       | () -> Ok ()
       | exception Pmp_server.Server.Crash ->
-          prerr_endline "crash injection tripped";
+          Printf.eprintf "crash injection tripped; flight recorder at %s\n%!"
+            (Pmp_server.Server.flightrec_path server);
           exit 42
     end
   in
@@ -532,7 +563,8 @@ let serve_cmd =
       term_result
         (const action $ machine_arg $ alloc_arg $ d_arg $ seed_arg $ cap_arg
        $ dir_arg $ socket_arg $ host_arg $ port_arg $ fsync_arg
-       $ wal_format_arg $ snapshot_arg $ crash_arg $ max_pending_arg))
+       $ wal_format_arg $ snapshot_arg $ crash_arg $ max_pending_arg
+       $ latency_profile_arg $ slow_ms_arg $ recorder_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -556,6 +588,83 @@ let connect_client ~proto socket host port =
   | Some _, Some _ -> Error "give either --socket or --port, not both"
   | None, None -> Error "give --socket or --port"
 
+(* ------------------------------------------------------------------ *)
+(* scraping the server's own Prometheus dump — how bench and top read
+   the per-stage and per-opcode histograms back out of a live pmpd     *)
+
+(* Cumulative [(upper, cum)] buckets of one labelled histogram series,
+   e.g. [scrape_buckets dump "pmpd_stage_seconds" {|stage="fsync"|}].
+   The dump renders the [le] label last, so the prefix match pins the
+   full selector. *)
+let scrape_buckets dump name selector =
+  let prefix = Printf.sprintf "%s_bucket{%s,le=\"" name selector in
+  let plen = String.length prefix in
+  List.filter_map
+    (fun l ->
+      if String.length l > plen && String.sub l 0 plen = prefix then begin
+        match String.index_opt l '}' with
+        | Some j when j > plen ->
+            let bound = String.sub l plen (j - 1 - plen) in
+            let upper =
+              if bound = "+Inf" then infinity
+              else float_of_string_opt bound |> Option.value ~default:nan
+            in
+            let v = String.sub l (j + 1) (String.length l - j - 1) in
+            Option.map
+              (fun cum -> (upper, cum))
+              (int_of_string_opt (String.trim v))
+        | _ -> None
+      end
+      else None)
+    (String.split_on_char '\n' dump)
+
+(* One unlabeled metric value ("name value" lines: counters, gauges). *)
+let scrape_value dump name =
+  let prefix = name ^ " " in
+  let plen = String.length prefix in
+  List.find_map
+    (fun l ->
+      if String.length l > plen && String.sub l 0 plen = prefix then
+        float_of_string_opt (String.trim (String.sub l plen (String.length l - plen)))
+      else None)
+    (String.split_on_char '\n' dump)
+
+(* Quantile of the traffic between two dumps of the same series: bucket
+   counts are cumulative counters, so their pointwise difference is the
+   histogram of exactly the interval — which is what lets bench report
+   server-side latency for its own run against a long-lived daemon. *)
+let scrape_quantile ~before ~after name selector q =
+  let b0 = scrape_buckets before name selector in
+  let b1 = scrape_buckets after name selector in
+  let delta =
+    List.map
+      (fun (u, c1) ->
+        let c0 = try List.assoc u b0 with Not_found -> 0 in
+        (u, max 0 (c1 - c0)))
+      b1
+  in
+  match List.rev delta with
+  | (_, total) :: _ when total > 0 ->
+      let max_seen =
+        List.fold_left
+          (fun acc (u, c) -> if Float.is_finite u && c > 0 then u else acc)
+          0.0 delta
+      in
+      Some
+        ( Pmp_telemetry.Metrics.quantile_of_buckets delta ~max_seen
+            ~count:total q,
+          total )
+  | _ -> None
+
+let fetch_metrics conn =
+  match Pmp_server.Client.request conn Pmp_server.Protocol.Metrics with
+  | Ok (Pmp_server.Protocol.Metrics_reply dump) -> Ok dump
+  | Ok r ->
+      Error ("unexpected response: " ^ Pmp_server.Protocol.render_response r)
+  | Error e -> Error e
+
+let stage_names = [ "read"; "decode"; "apply"; "wal_append"; "fsync"; "ack" ]
+
 let client_bench_cmd =
   let requests_arg =
     let doc = "Number of requests to drive." in
@@ -565,7 +674,15 @@ let client_bench_cmd =
     let doc = "Pipeline window: requests kept in flight." in
     Arg.(value & opt int 32 & info [ "window" ] ~docv:"W" ~doc)
   in
-  let action socket host port proto requests window seed machine_size =
+  let rid_arg =
+    let doc =
+      "Tag every request with its send index as a request id and verify the \
+       server echoes it in order (an end-to-end check of per-request \
+       attribution; adds a few bytes per message)."
+    in
+    Arg.(value & flag & info [ "rid" ] ~doc)
+  in
+  let action socket host port proto requests window seed machine_size rids =
     let module Metrics = Pmp_telemetry.Metrics in
     let* proto =
       Result.map_error (fun e -> `Msg e) (Pmp_server.Client.parse_proto proto)
@@ -581,24 +698,67 @@ let client_bench_cmd =
         Metrics.Histogram.make
           (Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:24)
       in
+      let before =
+        match fetch_metrics conn with Ok d -> d | Error _ -> ""
+      in
       let gen = Pmp_server.Loadgen.make_gen ~seed ~machine_size in
-      let r = Pmp_server.Loadgen.drive conn gen ~requests ~window ~latency () in
+      let r =
+        Pmp_server.Loadgen.drive conn gen ~requests ~window ~latency ~rids ()
+      in
+      let after =
+        match r with
+        | Ok _ -> (match fetch_metrics conn with Ok d -> d | Error _ -> "")
+        | Error _ -> ""
+      in
       Pmp_server.Client.close conn;
       let* o = Result.map_error (fun e -> `Msg e) r in
       let p = Pmp_server.Loadgen.percentile latency in
       Printf.printf "proto          : %s\n"
         (Pmp_server.Client.proto_name proto);
-      Printf.printf "requests       : %d (%d mutations, %d errors)\n"
+      Printf.printf "requests       : %d (%d mutations, %d errors)%s\n"
         o.Pmp_server.Loadgen.requests o.Pmp_server.Loadgen.mutations
-        o.Pmp_server.Loadgen.errors;
+        o.Pmp_server.Loadgen.errors
+        (if rids then ", rids verified" else "");
       Printf.printf "elapsed        : %.3f s\n" o.Pmp_server.Loadgen.elapsed;
       Printf.printf "throughput     : %.0f req/s\n"
         (Pmp_server.Loadgen.requests_per_sec o);
       Printf.printf "ns/request     : %.0f\n"
         (Pmp_server.Loadgen.ns_per_request o);
-      Printf.printf "latency (us)   : p50 <= %.0f  p90 <= %.0f  p99 <= %.0f  max %.1f\n"
+      Printf.printf
+        "latency (us)   : p50 <= %.0f  p90 <= %.0f  p99 <= %.0f  max %.1f\n"
         (p 50.0) (p 90.0) (p 99.0)
         (Metrics.Histogram.max_seen latency);
+      (* server-side attribution: the same run, seen from inside the
+         daemon — end-to-end minus these stages is queueing + wire *)
+      let rows =
+        List.filter_map
+          (fun stage ->
+            let sel = Printf.sprintf "stage=\"%s\"" stage in
+            Option.map
+              (fun (p99, n) ->
+                let q q' =
+                  match
+                    scrape_quantile ~before ~after "pmpd_stage_seconds" sel q'
+                  with
+                  | Some (v, _) -> v
+                  | None -> 0.0
+                in
+                (stage, q 0.5, p99, q 0.999, n))
+              (scrape_quantile ~before ~after "pmpd_stage_seconds" sel 0.99))
+          stage_names
+      in
+      if rows = [] then
+        Printf.printf
+          "server stages  : no samples (start pmpd with --latency-profile)\n"
+      else begin
+        Printf.printf "server stages (us, this run):\n";
+        List.iter
+          (fun (stage, p50, p99, p999, n) ->
+            Printf.printf
+              "  %-10s : p50 ~ %-8.1f p99 ~ %-8.1f p999 ~ %-8.1f (n=%d)\n"
+              stage (p50 *. 1e6) (p99 *. 1e6) (p999 *. 1e6) n)
+          rows
+      end;
       Ok ()
     end
   in
@@ -607,7 +767,7 @@ let client_bench_cmd =
       term_result
         (const action $ socket_arg $ host_arg $ port_arg
        $ proto_arg ~default:"binary" $ requests_arg $ window_arg $ seed_arg
-       $ machine_arg))
+       $ machine_arg $ rid_arg))
   in
   Cmd.v
     (Cmd.info "bench"
@@ -671,6 +831,155 @@ let client_cmd =
          "Drive a running pmpd from stdin (submit/finish/query/stats/loads/\
           metrics/snapshot/shutdown), or benchmark it with $(b,bench).")
     [ client_bench_cmd ]
+
+let top_cmd =
+  let interval_arg =
+    let doc = "Seconds between refreshes." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"S" ~doc)
+  in
+  let count_arg =
+    let doc = "Stop after $(docv) frames (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let action socket host port proto interval count =
+    let* proto =
+      Result.map_error (fun e -> `Msg e) (Pmp_server.Client.parse_proto proto)
+    in
+    let* conn =
+      Result.map_error (fun e -> `Msg e) (connect_client ~proto socket host port)
+    in
+    if interval <= 0.0 then Error (`Msg "--interval must be positive")
+    else begin
+      let module P = Pmp_server.Protocol in
+      let module C = Pmp_cluster.Cluster in
+      let ask req =
+        Result.map_error (fun e -> `Msg e) (Pmp_server.Client.request conn req)
+      in
+      let rec frames i prev =
+        let* health =
+          let* r = ask P.Health in
+          match r with
+          | P.Health_reply h -> Ok h
+          | r -> Error (`Msg ("unexpected response: " ^ P.render_response r))
+        in
+        let* stats =
+          let* r = ask P.Stats in
+          match r with
+          | P.Stats_reply s -> Ok s
+          | r -> Error (`Msg ("unexpected response: " ^ P.render_response r))
+        in
+        let* loads =
+          let* r = ask P.Loads in
+          match r with
+          | P.Loads_reply l -> Ok l
+          | r -> Error (`Msg ("unexpected response: " ^ P.render_response r))
+        in
+        let* dump = Result.map_error (fun e -> `Msg e) (fetch_metrics conn) in
+        (* frames after the first show the last interval, not since-boot *)
+        let before = match prev with Some d -> d | None -> "" in
+        let idle =
+          Array.fold_left (fun n l -> if l = 0 then n + 1 else n) 0 loads
+        in
+        let pes = Array.length loads in
+        let v name = Option.value ~default:0.0 (scrape_value dump name) in
+        let dv name =
+          match prev with
+          | None -> None
+          | Some b ->
+              Option.map
+                (fun cur -> cur -. Option.value ~default:0.0 (scrape_value b name))
+                (scrape_value dump name)
+        in
+        print_string "\027[2J\027[H";
+        Printf.printf "pmpd %s  uptime %.1fs  seq %d  recovered %d\n"
+          (if health.P.ready then "ready" else "NOT READY")
+          (float_of_int health.P.uptime_ms /. 1000.0)
+          health.P.seq health.P.recovered_ops;
+        Printf.printf
+          "load      : max %d  optimal %d  ratio %.2f  peak %d  rolling p99 \
+           ratio %.2f\n"
+          stats.C.max_load stats.C.optimal_now
+          (if stats.C.optimal_now > 0 then
+             float_of_int stats.C.max_load /. float_of_int stats.C.optimal_now
+           else 1.0)
+          stats.C.peak_load
+          (v "pmpd_p99_load_ratio");
+        Printf.printf
+          "tasks     : active %d (size %d)  queued %d  submitted %d  \
+           completed %d\n"
+          stats.C.active_now stats.C.active_size stats.C.queued_now
+          stats.C.submitted stats.C.completed;
+        Printf.printf "frag      : %d/%d PEs idle (%.1f%%)%s\n" idle pes
+          (if pes > 0 then 100.0 *. float_of_int idle /. float_of_int pes
+           else 0.0)
+          (if stats.C.queued_now > 0 && idle > 0 then
+             "  [queued work behind idle PEs]"
+           else "");
+        Printf.printf "repack    : %d reallocations  %d tasks migrated\n"
+          stats.C.reallocations stats.C.tasks_migrated;
+        Printf.printf "wal       : lag %.0f  fsyncs %.0f  slow requests %.0f\n"
+          (v "pmpd_wal_lag") (v "pmpd_fsync_total")
+          (v "pmpd_slow_requests_total");
+        (match dv "pmpd_requests_total" with
+        | Some d ->
+            Printf.printf "traffic   : %.0f req/s over the last %.1fs\n"
+              (d /. interval) interval
+        | None ->
+            Printf.printf "traffic   : %.0f requests since start\n"
+              (v "pmpd_requests_total"));
+        let ops =
+          [
+            "submit"; "finish"; "query"; "stats"; "loads"; "metrics";
+            "snapshot"; "ping"; "health";
+          ]
+        in
+        let rows =
+          List.filter_map
+            (fun op ->
+              Option.map
+                (fun (p99, n) -> (op, p99, n))
+                (scrape_quantile ~before ~after:dump "pmpd_request_seconds"
+                   (Printf.sprintf "op=\"%s\"" op)
+                   0.99))
+            ops
+        in
+        if rows = [] then
+          Printf.printf
+            "op p99    : no samples (start pmpd with --latency-profile)\n%!"
+        else begin
+          Printf.printf "op p99 (us%s):\n"
+            (if prev = None then ", since start" else ", interval");
+          List.iter
+            (fun (op, p99, n) ->
+              Printf.printf "  %-8s : %-10.1f (n=%d)\n" op (p99 *. 1e6) n)
+            rows;
+          print_string "\027[0J";
+          flush stdout
+        end;
+        if count > 0 && i + 1 >= count then Ok ()
+        else begin
+          Unix.sleepf interval;
+          frames (i + 1) (Some dump)
+        end
+      in
+      let r = frames 0 None in
+      Pmp_server.Client.close conn;
+      r
+    end
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ socket_arg $ host_arg $ port_arg
+       $ proto_arg ~default:"binary" $ interval_arg $ count_arg))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live operator view of a running pmpd: load, imbalance, \
+          fragmentation, repack spend, WAL lag and per-opcode p99 at a fixed \
+          refresh.")
+    term
 
 let adversary_cmd =
   let action machine_size alloc_name seed d_str =
@@ -1151,7 +1460,8 @@ let () =
     Cmd.group info
       [
         run_cmd; sweep_cmd; adversary_cmd; gen_cmd; replay_cmd; profile_cmd;
-        scenario_cmd; console_cmd; serve_cmd; client_cmd; chart_cmd; bounds_cmd;
+        scenario_cmd; console_cmd; serve_cmd; client_cmd; top_cmd; chart_cmd;
+        bounds_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -32,13 +32,11 @@ let bucket_ratio = 1.25
    golden and regression gates pin buckets, not raw percentiles:
    bucket boundaries are products of exactly-representable constants,
    so they are bit-stable across libm implementations while raw
-   percentiles are only ulp-stable. *)
+   percentiles are only ulp-stable. The rule itself lives in
+   {!Pmp_telemetry.Metrics.bucket_ceil} so every gate rounds the same
+   way. *)
 let bucket x =
-  if x <= bucket_start then bucket_start
-  else begin
-    let rec up b = if x <= b *. (1.0 +. 1e-9) then b else up (b *. bucket_ratio) in
-    up bucket_start
-  end
+  Pmp_telemetry.Metrics.bucket_ceil ~start:bucket_start ~ratio:bucket_ratio x
 
 let pass v =
   v.load_bound_ok

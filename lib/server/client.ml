@@ -45,13 +45,13 @@ let connect_tcp ?proto ~host ~port () =
 let proto t = t.proto
 let set_proto t proto = t.proto <- proto
 
-let send t req =
+let send t ?rid req =
   match
     (match t.proto with
     | Json ->
-        output_string t.oc (Protocol.encode_request req);
+        output_string t.oc (Protocol.encode_request ?rid req);
         output_char t.oc '\n'
-    | Binary -> output_string t.oc (Protocol.encode_request_binary req));
+    | Binary -> output_string t.oc (Protocol.encode_request_binary ?rid req));
     flush t.oc
   with
   | () -> Ok ()
@@ -72,7 +72,7 @@ let input_varint ic =
 (* The encoding of each response is detected from its first byte, like
    the server does for requests — so a connection can switch formats
    mid-stream and both sides stay in step. *)
-let receive t =
+let receive_with_rid t =
   match
     let c = input_char t.ic in
     if Char.code c = Wire.request_magic then begin
@@ -81,24 +81,26 @@ let receive t =
         Error (Printf.sprintf "unsupported wire version %d" v)
       else begin
         match input_varint t.ic with
-        | Error _ as e -> e
+        | Error e -> Error e
         | Ok len ->
             if len < 0 || len > Wire.max_payload then Error "bad frame length"
             else begin
               let payload = really_input_string t.ic len in
-              Protocol.decode_response_payload payload ~pos:0 ~limit:len
+              Protocol.decode_response_payload_rid payload ~pos:0 ~limit:len
             end
       end
     end
     else begin
       let line = input_line t.ic in
-      Protocol.decode_response (String.make 1 c ^ line)
+      Protocol.decode_response_rid (String.make 1 c ^ line)
     end
   with
   | r -> r
   | exception End_of_file -> Error "connection closed"
   | exception Sys_error e -> Error e
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let receive t = Result.map fst (receive_with_rid t)
 
 let request t req =
   match send t req with Ok () -> receive t | Error _ as e -> e

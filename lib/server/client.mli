@@ -29,11 +29,18 @@ val set_proto : t -> proto -> unit
 val request : t -> Protocol.request -> (Protocol.response, string) result
 (** Send one request and wait for its response. *)
 
-val send : t -> Protocol.request -> (unit, string) result
-(** Queue a request without waiting (flushes the socket). *)
+val send : t -> ?rid:int -> Protocol.request -> (unit, string) result
+(** Queue a request without waiting (flushes the socket). [?rid]
+    attaches a client-chosen request id the server echoes on the
+    response — the handle for per-request latency attribution across
+    pipelining. *)
 
 val receive : t -> (Protocol.response, string) result
 (** Read the next response; [Error] on a closed connection — which is
     how a client observes a mid-stream server crash. *)
+
+val receive_with_rid : t -> (Protocol.response * int option, string) result
+(** Like {!receive} but also returns the echoed request id, when the
+    response carries one. *)
 
 val close : t -> unit

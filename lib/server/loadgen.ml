@@ -70,7 +70,7 @@ let requests_per_sec o = float_of_int o.requests /. Float.max 1e-9 o.elapsed
 
 exception Fail of string
 
-let drive client gen ~requests ~window ?latency () =
+let drive client gen ~requests ~window ?latency ?(rids = false) () =
   let window = max 1 window in
   let times = Array.make window 0.0 in
   let sent = ref 0
@@ -83,14 +83,24 @@ let drive client gen ~requests ~window ?latency () =
     | Protocol.Submit _ | Protocol.Finish _ -> incr mutations
     | _ -> ());
     if latency <> None then times.(!sent mod window) <- Unix.gettimeofday ();
-    (match Client.send client req with
+    (match
+       if rids then Client.send client ~rid:!sent req
+       else Client.send client req
+     with
     | Ok () -> ()
     | Error e -> raise (Fail ("send: " ^ e)));
     incr sent
   in
   let recv_one () =
-    match Client.receive client with
-    | Ok resp ->
+    match Client.receive_with_rid client with
+    | Ok (resp, rid) ->
+        (* the server answers strictly in order, so with rids on, the
+           echo must be exactly the send index of this slot *)
+        if rids && rid <> Some !recvd then
+          raise
+            (Fail
+               (Printf.sprintf "rid mismatch: expected %d, got %s" !recvd
+                  (match rid with Some r -> string_of_int r | None -> "none")));
         (match latency with
         | Some h ->
             Metrics.Histogram.observe h
@@ -118,24 +128,7 @@ let drive client gen ~requests ~window ?latency () =
         }
   | exception Fail e -> Error e
 
-(* Percentile from a histogram's cumulative buckets: the upper bound
-   of the first bucket covering the target rank (conservative — true
-   value is at most this). *)
-let percentile h p =
-  let total = Metrics.Histogram.count h in
-  if total = 0 then 0.0
-  else begin
-    let rank = p /. 100.0 *. float_of_int total in
-    let rec find = function
-      | [] -> Metrics.Histogram.max_seen h
-      | (upper, cum) :: rest ->
-          if float_of_int cum >= rank then
-            if Float.is_finite upper then upper
-            else Metrics.Histogram.max_seen h
-          else find rest
-    in
-    find (Metrics.Histogram.buckets h)
-  end
+let percentile h p = Metrics.Histogram.quantile h (p /. 100.0)
 
 (* ------------------------------------------------------------------ *)
 (* a throwaway local service                                           *)
@@ -152,7 +145,8 @@ let service_counter = Atomic.make 0
 
 let with_local_service ?(machine_size = 256) ?(policy = Cluster.Greedy)
     ?(fsync_policy = Wal.Group) ?(wal_format = Wal.Binary_records)
-    ?(snapshot_every = 0) ?(max_pending = 64) f =
+    ?(snapshot_every = 0) ?(max_pending = 64) ?(latency_profile = false)
+    ?recorder_size f =
   let dir =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -160,13 +154,17 @@ let with_local_service ?(machine_size = 256) ?(policy = Cluster.Greedy)
          (Atomic.fetch_and_add service_counter 1))
   in
   rm_rf dir;
+  let base = Server.default_config ~machine_size ~policy ~dir in
   let config =
     {
-      (Server.default_config ~machine_size ~policy ~dir) with
+      base with
       fsync_policy;
       wal_format;
       snapshot_every;
       loop = { Loop.default_config with max_pending };
+      latency_profile;
+      recorder_size =
+        (match recorder_size with Some n -> n | None -> base.recorder_size);
     }
   in
   match Server.create config with
@@ -204,9 +202,10 @@ let with_local_service ?(machine_size = 256) ?(policy = Cluster.Greedy)
    server down, clean up. *)
 let bench ?(seed = 0xB00) ?(machine_size = 256) ?(policy = Cluster.Greedy)
     ?(fsync_policy = Wal.Group) ?(wal_format = Wal.Binary_records)
-    ?(proto = Client.Binary) ?(window = 32) ?latency ~requests () =
+    ?(proto = Client.Binary) ?(window = 32) ?latency ?(latency_profile = false)
+    ?recorder_size ~requests () =
   with_local_service ~machine_size ~policy ~fsync_policy ~wal_format
-    (fun socket ->
+    ~latency_profile ?recorder_size (fun socket ->
       match Client.connect_unix ~proto socket with
       | Error e -> Error ("connect: " ^ e)
       | Ok client ->

@@ -37,16 +37,20 @@ val drive :
   requests:int ->
   window:int ->
   ?latency:Pmp_telemetry.Metrics.Histogram.t ->
+  ?rids:bool ->
   unit ->
   (outcome, string) result
 (** Closed loop: keep up to [window] requests in flight until
     [requests] responses are back. With [latency], per-request
-    round-trip times are observed in {e microseconds}. *)
+    round-trip times are observed in {e microseconds}. With [rids],
+    every request carries its send index as a request id and the echo
+    on each (strictly in-order) response is checked against it — an
+    end-to-end test of the attribution plumbing on both encodings. *)
 
 val percentile : Pmp_telemetry.Metrics.Histogram.t -> float -> float
-(** [percentile h 99.0]: the upper bound of the first cumulative
-    bucket covering the rank (conservative), in the histogram's own
-    unit; the max seen for the overflow bucket. [0] when empty. *)
+(** [percentile h 99.0] = {!Pmp_telemetry.Metrics.Histogram.quantile}
+    at rank [0.99]: geometric interpolation inside the covering
+    bucket, in the histogram's own unit. [0] when empty. *)
 
 val with_local_service :
   ?machine_size:int ->
@@ -55,13 +59,16 @@ val with_local_service :
   ?wal_format:Wal.format ->
   ?snapshot_every:int ->
   ?max_pending:int ->
+  ?latency_profile:bool ->
+  ?recorder_size:int ->
   (string -> ('a, string) result) ->
   ('a, string) result
 (** Run [f socket_path] against a server serving in its own domain
     from a fresh temporary state directory; shut the server down, join
     the domain and delete the directory afterwards (also on
     exceptions). Defaults: machine 256, greedy, group commit, binary
-    WAL, no periodic snapshots. *)
+    WAL, no periodic snapshots, no latency profiling, the server's
+    default flight-recorder size. *)
 
 val bench :
   ?seed:int ->
@@ -72,6 +79,8 @@ val bench :
   ?proto:Client.proto ->
   ?window:int ->
   ?latency:Pmp_telemetry.Metrics.Histogram.t ->
+  ?latency_profile:bool ->
+  ?recorder_size:int ->
   requests:int ->
   unit ->
   (outcome, string) result

@@ -21,9 +21,25 @@ let ignore_sigpipe () =
   | _ -> ()
   | exception (Invalid_argument _ | Sys_error _) -> ()
 
+(* SIGUSR1 must have a disposition before the first [select]: a signal
+   arriving between loop start and handler installation would otherwise
+   kill the process (default action is Term). With no callback we still
+   ignore it explicitly for the same reason. *)
+let setup_sigusr1 on_usr1 =
+  let behaviour =
+    match on_usr1 with
+    | None -> Sys.Signal_ignore
+    | Some f -> Sys.Signal_handle (fun _ -> f ())
+  in
+  match Sys.signal Sys.sigusr1 behaviour with
+  | _ -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()
+
 let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
-    ?(on_commit = ignore) ?(tick = fun () -> -1.0) ~listeners ~handle () =
+    ?(on_commit = ignore) ?on_usr1 ?on_read_io ?on_write_io
+    ?(tick = fun () -> -1.0) ~listeners ~handle () =
   ignore_sigpipe ();
+  setup_sigusr1 on_usr1;
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let stopping = ref false in
   let drop c =
@@ -159,9 +175,27 @@ let run ?(config = default_config) ?(on_accept = ignore) ?(on_batch = ignore)
                   | exception Unix.Unix_error _ -> ()
                 end)
               readable;
-            pump_reads
-              (List.filter (fun fd -> not (List.memq fd listeners)) readable);
-            pump_writes writable;
+            let conn_readable =
+              List.filter (fun fd -> not (List.memq fd listeners)) readable
+            in
+            (match on_read_io with
+            | None -> pump_reads conn_readable
+            | Some f ->
+                if conn_readable = [] then ()
+                else begin
+                  let t0 = Unix.gettimeofday () in
+                  pump_reads conn_readable;
+                  f (Unix.gettimeofday () -. t0)
+                end);
+            (match on_write_io with
+            | None -> pump_writes writable
+            | Some f ->
+                if writable = [] then ()
+                else begin
+                  let t0 = Unix.gettimeofday () in
+                  pump_writes writable;
+                  f (Unix.gettimeofday () -. t0)
+                end);
             go ()
           end
         end

@@ -46,11 +46,20 @@ val ignore_sigpipe : unit -> unit
 (** Set [SIGPIPE] to ignore (no-op where unsupported). {!run} and the
     {!Client} call this themselves. *)
 
+val setup_sigusr1 : (unit -> unit) option -> unit
+(** Install a [SIGUSR1] disposition — [Signal_handle] around the
+    callback, or [Signal_ignore] when [None]. {!run} calls this before
+    its first [select], so a signal can never hit the default (fatal)
+    disposition while the loop is live. No-op where unsupported. *)
+
 val run :
   ?config:config ->
   ?on_accept:(unit -> unit) ->
   ?on_batch:(int -> unit) ->
   ?on_commit:(unit -> unit) ->
+  ?on_usr1:(unit -> unit) ->
+  ?on_read_io:(float -> unit) ->
+  ?on_write_io:(float -> unit) ->
   ?tick:(unit -> float) ->
   listeners:Unix.file_descr list ->
   handle:(Netbuf.t -> Netbuf.t -> budget:int -> [ `Handled of int | `Stop of int ]) ->
@@ -68,4 +77,14 @@ val run :
     seconds (negative for none) — the interval fsync policy lives
     there. [SIGPIPE] is set to ignore for the process, so writes to
     vanished peers surface as [EPIPE] and drop only that
-    connection. *)
+    connection; [SIGUSR1] gets [on_usr1] (or ignore) installed before
+    the first [select] — see {!setup_sigusr1}. A signal interrupting
+    [select] surfaces as [EINTR], which the loop treats as an idle
+    round: handlers run, then the loop re-selects.
+
+    [on_read_io]/[on_write_io], when given, receive the wall-clock
+    seconds spent refilling input buffers (the {e read} stage) and
+    draining output buffers (the {e ack} stage) for each round that
+    touched at least one connection — round-level attribution, since
+    the socket pumps are shared across connections. Omitting them (the
+    default) adds no clock calls to the loop. *)

@@ -12,13 +12,22 @@ type request =
   | Metrics
   | Snapshot
   | Ping
+  | Health
   | Shutdown
 
 let is_mutation = function
   | Submit _ | Finish _ -> true
-  | Query _ | Stats | Loads | Metrics | Snapshot | Ping | Shutdown -> false
+  | Query _ | Stats | Loads | Metrics | Snapshot | Ping | Health | Shutdown ->
+      false
 
 type task_state = Active of placement | Queued_task | Unknown
+
+type health = {
+  ready : bool;
+  uptime_ms : int;
+  seq : int;
+  recovered_ops : int;
+}
 
 type response =
   | Placed of int * placement
@@ -30,6 +39,7 @@ type response =
   | Metrics_reply of string
   | Snapshot_reply of string
   | Pong
+  | Health_reply of health
   | Bye
   | Error of string
 
@@ -42,16 +52,34 @@ let placement_of_core (p : Pmp_core.Placement.t) =
 
 let num n = Json.Num (float_of_int n)
 
-let encode_request = function
-  | Submit size -> Json.to_string (Json.Obj [ ("op", Json.Str "submit"); ("size", num size) ])
-  | Finish id -> Json.to_string (Json.Obj [ ("op", Json.Str "finish"); ("id", num id) ])
-  | Query id -> Json.to_string (Json.Obj [ ("op", Json.Str "query"); ("id", num id) ])
-  | Stats -> {|{"op": "stats"}|}
-  | Loads -> {|{"op": "loads"}|}
-  | Metrics -> {|{"op": "metrics"}|}
-  | Snapshot -> {|{"op": "snapshot"}|}
-  | Ping -> {|{"op": "ping"}|}
-  | Shutdown -> {|{"op": "shutdown"}|}
+let request_fields = function
+  | Submit size -> [ ("op", Json.Str "submit"); ("size", num size) ]
+  | Finish id -> [ ("op", Json.Str "finish"); ("id", num id) ]
+  | Query id -> [ ("op", Json.Str "query"); ("id", num id) ]
+  | Stats -> [ ("op", Json.Str "stats") ]
+  | Loads -> [ ("op", Json.Str "loads") ]
+  | Metrics -> [ ("op", Json.Str "metrics") ]
+  | Snapshot -> [ ("op", Json.Str "snapshot") ]
+  | Ping -> [ ("op", Json.Str "ping") ]
+  | Health -> [ ("op", Json.Str "health") ]
+  | Shutdown -> [ ("op", Json.Str "shutdown") ]
+
+let encode_request ?rid r =
+  match (rid, r) with
+  | Some n, _ -> Json.to_string (Json.Obj (request_fields r @ [ ("rid", num n) ]))
+  | None, Submit size ->
+      Json.to_string (Json.Obj [ ("op", Json.Str "submit"); ("size", num size) ])
+  | None, Finish id ->
+      Json.to_string (Json.Obj [ ("op", Json.Str "finish"); ("id", num id) ])
+  | None, Query id ->
+      Json.to_string (Json.Obj [ ("op", Json.Str "query"); ("id", num id) ])
+  | None, Stats -> {|{"op": "stats"}|}
+  | None, Loads -> {|{"op": "loads"}|}
+  | None, Metrics -> {|{"op": "metrics"}|}
+  | None, Snapshot -> {|{"op": "snapshot"}|}
+  | None, Ping -> {|{"op": "ping"}|}
+  | None, Health -> {|{"op": "health"}|}
+  | None, Shutdown -> {|{"op": "shutdown"}|}
 
 (* Field accessors that fail as [Error] rather than raising: the
    server feeds these raw network bytes. *)
@@ -70,10 +98,23 @@ let str_field v name =
   | Some s -> Ok s
   | None -> Result.Error (Printf.sprintf "missing string field %S" name)
 
+let bool_field v name =
+  match
+    Option.bind (Json.member name v) (function
+      | Json.Bool b -> Some b
+      | _ -> None)
+  with
+  | Some b -> Ok b
+  | None -> Result.Error (Printf.sprintf "missing boolean field %S" name)
+
 let ( let* ) = Result.bind
 
-let decode_request line =
-  let* v = parse line in
+(* An absent "rid" is simply an untagged request; a present-but-mistyped
+   one is dropped the same way rather than rejected — rid is a tracing
+   aid, not part of the request's meaning. *)
+let rid_of v = Option.bind (Json.member "rid" v) Json.to_int
+
+let decode_request_value v =
   let* op = str_field v "op" in
   match op with
   | "submit" ->
@@ -90,8 +131,18 @@ let decode_request line =
   | "metrics" -> Ok Metrics
   | "snapshot" -> Ok Snapshot
   | "ping" -> Ok Ping
+  | "health" -> Ok Health
   | "shutdown" -> Ok Shutdown
   | other -> Result.Error (Printf.sprintf "unknown op %S" other)
+
+let decode_request line =
+  let* v = parse line in
+  decode_request_value v
+
+let decode_request_rid line =
+  let* v = parse line in
+  let* r = decode_request_value v in
+  Ok (r, rid_of v)
 
 let ok_fields status rest =
   Json.Obj (("ok", Json.Bool true) :: ("status", Json.Str status) :: rest)
@@ -113,29 +164,44 @@ let stats_fields (s : Cluster.stats) =
     ("tasks_migrated", num s.Cluster.tasks_migrated);
   ]
 
-let encode_response r =
-  Json.to_string
-    (match r with
-    | Placed (id, p) -> ok_fields "placed" (("id", num id) :: placement_fields p)
-    | Queued id -> ok_fields "queued" [ ("id", num id) ]
-    | Finished -> ok_fields "finished" []
-    | State (id, st) ->
-        ok_fields "state"
-          (("id", num id)
-          ::
-          (match st with
-          | Active p -> ("state", Json.Str "active") :: placement_fields p
-          | Queued_task -> [ ("state", Json.Str "queued") ]
-          | Unknown -> [ ("state", Json.Str "unknown") ]))
-    | Stats_reply s -> ok_fields "stats" (stats_fields s)
-    | Loads_reply loads ->
-        ok_fields "loads"
-          [ ("loads", Json.Arr (Array.to_list (Array.map (fun l -> num l) loads))) ]
-    | Metrics_reply text -> ok_fields "metrics" [ ("metrics", Json.Str text) ]
-    | Snapshot_reply path -> ok_fields "snapshot" [ ("path", Json.Str path) ]
-    | Pong -> ok_fields "pong" []
-    | Bye -> ok_fields "bye" []
-    | Error e -> Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str e) ])
+let health_fields h =
+  [
+    ("ready", Json.Bool h.ready);
+    ("uptime_ms", num h.uptime_ms);
+    ("seq", num h.seq);
+    ("recovered_ops", num h.recovered_ops);
+  ]
+
+let response_value r =
+  match r with
+  | Placed (id, p) -> ok_fields "placed" (("id", num id) :: placement_fields p)
+  | Queued id -> ok_fields "queued" [ ("id", num id) ]
+  | Finished -> ok_fields "finished" []
+  | State (id, st) ->
+      ok_fields "state"
+        (("id", num id)
+        ::
+        (match st with
+        | Active p -> ("state", Json.Str "active") :: placement_fields p
+        | Queued_task -> [ ("state", Json.Str "queued") ]
+        | Unknown -> [ ("state", Json.Str "unknown") ]))
+  | Stats_reply s -> ok_fields "stats" (stats_fields s)
+  | Loads_reply loads ->
+      ok_fields "loads"
+        [ ("loads", Json.Arr (Array.to_list (Array.map (fun l -> num l) loads))) ]
+  | Metrics_reply text -> ok_fields "metrics" [ ("metrics", Json.Str text) ]
+  | Snapshot_reply path -> ok_fields "snapshot" [ ("path", Json.Str path) ]
+  | Pong -> ok_fields "pong" []
+  | Health_reply h -> ok_fields "health" (health_fields h)
+  | Bye -> ok_fields "bye" []
+  | Error e -> Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str e) ]
+
+let encode_response ?rid r =
+  match (rid, response_value r) with
+  | None, v -> Json.to_string v
+  | Some n, Json.Obj fields ->
+      Json.to_string (Json.Obj (fields @ [ ("rid", num n) ]))
+  | Some _, v -> Json.to_string v
 
 let decode_placement v =
   let* base = int_field v "base" in
@@ -143,8 +209,7 @@ let decode_placement v =
   let* copy = int_field v "copy" in
   Ok { base; size; copy }
 
-let decode_response line =
-  let* v = parse line in
+let decode_response_value v =
   match Option.bind (Json.member "ok" v) (function
     | Json.Bool b -> Some b
     | _ -> None)
@@ -216,8 +281,23 @@ let decode_response line =
           let* path = str_field v "path" in
           Ok (Snapshot_reply path)
       | "pong" -> Ok Pong
+      | "health" ->
+          let* ready = bool_field v "ready" in
+          let* uptime_ms = int_field v "uptime_ms" in
+          let* seq = int_field v "seq" in
+          let* recovered_ops = int_field v "recovered_ops" in
+          Ok (Health_reply { ready; uptime_ms; seq; recovered_ops })
       | "bye" -> Ok Bye
       | other -> Result.Error (Printf.sprintf "unknown status %S" other))
+
+let decode_response line =
+  let* v = parse line in
+  decode_response_value v
+
+let decode_response_rid line =
+  let* v = parse line in
+  let* r = decode_response_value v in
+  Ok (r, rid_of v)
 
 (* ------------------------------------------------------------------ *)
 (* binary encoding                                                     *)
@@ -238,6 +318,10 @@ let op_metrics = 6
 let op_snapshot = 7
 let op_ping = 8
 let op_shutdown = 9
+let op_health = 10
+
+let op_tagged = 11
+(* wrapper: varint rid, then the inner request payload (not itself tagged) *)
 
 let st_error = 0
 let st_placed = 1
@@ -250,6 +334,10 @@ let st_metrics = 7
 let st_snapshot = 8
 let st_pong = 9
 let st_bye = 10
+let st_health = 11
+
+let st_tagged = 12
+(* wrapper: varint rid, then the inner response payload (not itself tagged) *)
 
 let add_tag buf t = Buffer.add_char buf (Char.chr t)
 
@@ -272,7 +360,13 @@ let request_payload buf = function
   | Metrics -> add_tag buf op_metrics
   | Snapshot -> add_tag buf op_snapshot
   | Ping -> add_tag buf op_ping
+  | Health -> add_tag buf op_health
   | Shutdown -> add_tag buf op_shutdown
+
+let request_payload_rid buf ~rid r =
+  add_tag buf op_tagged;
+  Wire.add_varint buf rid;
+  request_payload buf r
 
 let add_placement buf p =
   Wire.add_varint buf p.base;
@@ -321,10 +415,21 @@ let response_payload buf = function
       add_tag buf st_snapshot;
       add_len_string buf path
   | Pong -> add_tag buf st_pong
+  | Health_reply h ->
+      add_tag buf st_health;
+      add_tag buf (if h.ready then 1 else 0);
+      Wire.add_varint buf h.uptime_ms;
+      Wire.add_varint buf h.seq;
+      Wire.add_varint buf h.recovered_ops
   | Bye -> add_tag buf st_bye
   | Error e ->
       add_tag buf st_error;
       add_len_string buf e
+
+let response_payload_rid buf ~rid r =
+  add_tag buf st_tagged;
+  Wire.add_varint buf rid;
+  response_payload buf r
 
 (* Wrap [payload] (already encoded) in a frame. *)
 let add_frame buf payload =
@@ -340,8 +445,15 @@ let encode_binary encode_payload v =
   add_frame buf payload;
   Buffer.contents buf
 
-let encode_request_binary r = encode_binary request_payload r
-let encode_response_binary r = encode_binary response_payload r
+let encode_request_binary ?rid r =
+  match rid with
+  | None -> encode_binary request_payload r
+  | Some n -> encode_binary (fun buf r -> request_payload_rid buf ~rid:n r) r
+
+let encode_response_binary ?rid r =
+  match rid with
+  | None -> encode_binary response_payload r
+  | Some n -> encode_binary (fun buf r -> response_payload_rid buf ~rid:n r) r
 
 (* --- binary decoding ---------------------------------------------- *)
 
@@ -353,30 +465,51 @@ let get_len_string s pos limit =
 let decoded limit pos v =
   if pos <> limit then Result.Error "trailing bytes in frame" else Ok v
 
-let decode_request_payload s ~pos ~limit =
+(* Ops 1..10 only; the [op_tagged] wrapper is peeled one level above so
+   it cannot nest. *)
+let decode_request_plain s ~pos ~limit =
+  let op = Char.code s.[pos] in
+  let pos = pos + 1 in
+  let int_req k =
+    let v, pos = Wire.get_varint_string s pos limit in
+    decoded limit pos (k v)
+  in
+  let nullary r = decoded limit pos r in
+  match op with
+  | 1 -> int_req (fun size -> Submit size)
+  | 2 -> int_req (fun id -> Finish id)
+  | 3 -> int_req (fun id -> Query id)
+  | 4 -> nullary Stats
+  | 5 -> nullary Loads
+  | 6 -> nullary Metrics
+  | 7 -> nullary Snapshot
+  | 8 -> nullary Ping
+  | 9 -> nullary Shutdown
+  | 10 -> nullary Health
+  | op -> Result.Error (Printf.sprintf "unknown binary opcode %d" op)
+
+let decode_request_payload_rid s ~pos ~limit =
   match
-    let op = Char.code s.[pos] in
-    let pos = pos + 1 in
-    let int_req k =
-      let v, pos = Wire.get_varint_string s pos limit in
-      decoded limit pos (k v)
-    in
-    let nullary r = decoded limit pos r in
-    match op with
-    | 1 -> int_req (fun size -> Submit size)
-    | 2 -> int_req (fun id -> Finish id)
-    | 3 -> int_req (fun id -> Query id)
-    | 4 -> nullary Stats
-    | 5 -> nullary Loads
-    | 6 -> nullary Metrics
-    | 7 -> nullary Snapshot
-    | 8 -> nullary Ping
-    | 9 -> nullary Shutdown
-    | op -> Result.Error (Printf.sprintf "unknown binary opcode %d" op)
+    if Char.code s.[pos] = op_tagged then begin
+      let rid, pos = Wire.get_varint_string s (pos + 1) limit in
+      if pos >= limit then Result.Error "truncated frame"
+      else
+        match decode_request_plain s ~pos ~limit with
+        | Ok r -> Ok (r, Some rid)
+        | Result.Error e -> Result.Error e
+    end
+    else begin
+      match decode_request_plain s ~pos ~limit with
+      | Ok r -> Ok (r, None)
+      | Result.Error e -> Result.Error e
+    end
   with
   | r -> r
   | exception Wire.Corrupt e -> Result.Error e
   | exception Invalid_argument _ -> Result.Error "truncated frame"
+
+let decode_request_payload s ~pos ~limit =
+  Result.map fst (decode_request_payload_rid s ~pos ~limit)
 
 let get_binary_placement s pos limit =
   let base, pos = Wire.get_varint_string s pos limit in
@@ -384,12 +517,12 @@ let get_binary_placement s pos limit =
   let copy, pos = Wire.get_varint_string s pos limit in
   ({ base; size; copy }, pos)
 
-let decode_response_payload s ~pos ~limit =
-  match
-    let tag = Char.code s.[pos] in
-    let pos = pos + 1 in
-    match tag with
-    | 0 ->
+(* Tags 0..11 only; [st_tagged] is peeled one level above. *)
+let decode_response_plain s ~pos ~limit =
+  let tag = Char.code s.[pos] in
+  let pos = pos + 1 in
+  match tag with
+  | 0 ->
         let e, pos = get_len_string s pos limit in
         decoded limit pos (Error e)
     | 1 ->
@@ -458,11 +591,42 @@ let decode_response_payload s ~pos ~limit =
         decoded limit pos (Snapshot_reply path)
     | 9 -> decoded limit pos Pong
     | 10 -> decoded limit pos Bye
+    | 11 ->
+        let ready = Char.code s.[pos] in
+        let pos = pos + 1 in
+        if ready > 1 then
+          Result.Error (Printf.sprintf "bad health ready flag %d" ready)
+        else begin
+          let uptime_ms, pos = Wire.get_varint_string s pos limit in
+          let seq, pos = Wire.get_varint_string s pos limit in
+          let recovered_ops, pos = Wire.get_varint_string s pos limit in
+          decoded limit pos
+            (Health_reply { ready = ready = 1; uptime_ms; seq; recovered_ops })
+        end
     | tag -> Result.Error (Printf.sprintf "unknown binary status tag %d" tag)
+
+let decode_response_payload_rid s ~pos ~limit =
+  match
+    if Char.code s.[pos] = st_tagged then begin
+      let rid, pos = Wire.get_varint_string s (pos + 1) limit in
+      if pos >= limit then Result.Error "truncated frame"
+      else
+        match decode_response_plain s ~pos ~limit with
+        | Ok r -> Ok (r, Some rid)
+        | Result.Error e -> Result.Error e
+    end
+    else begin
+      match decode_response_plain s ~pos ~limit with
+      | Ok r -> Ok (r, None)
+      | Result.Error e -> Result.Error e
+    end
   with
   | r -> r
   | exception Wire.Corrupt e -> Result.Error e
   | exception Invalid_argument _ -> Result.Error "truncated frame"
+
+let decode_response_payload s ~pos ~limit =
+  Result.map fst (decode_response_payload_rid s ~pos ~limit)
 
 (* Decode one complete frame held in [s] (header included). *)
 let decode_frame decode_payload s =
@@ -506,11 +670,12 @@ let request_of_command line =
   | [ "metrics" ] -> `Request Metrics
   | [ "snapshot" ] -> `Request Snapshot
   | [ "ping" ] -> `Request Ping
+  | [ "health" ] -> `Request Health
   | [ "shutdown" ] -> `Request Shutdown
   | _ ->
       `Error
         "commands: submit <size> | finish <id> | query <id> | stats | loads \
-         | metrics | snapshot | ping | shutdown | quit"
+         | metrics | snapshot | ping | health | shutdown | quit"
 
 let render_response = function
   | Placed (id, p) ->
@@ -536,5 +701,9 @@ let render_response = function
   | Metrics_reply text -> text
   | Snapshot_reply path -> "snapshot written to " ^ path
   | Pong -> "pong"
+  | Health_reply h ->
+      Printf.sprintf "%s uptime=%dms seq=%d recovered_ops=%d"
+        (if h.ready then "ready" else "not ready")
+        h.uptime_ms h.seq h.recovered_ops
   | Bye -> "bye"
   | Error e -> "error: " ^ e

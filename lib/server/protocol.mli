@@ -29,6 +29,7 @@ type request =
   | Metrics  (** Prometheus dump of the server registry *)
   | Snapshot  (** force a snapshot now *)
   | Ping
+  | Health  (** readiness + uptime; see {!health} *)
   | Shutdown
 
 val is_mutation : request -> bool
@@ -36,6 +37,17 @@ val is_mutation : request -> bool
     requests the WAL records. *)
 
 type task_state = Active of placement | Queued_task | Unknown
+
+type health = {
+  ready : bool;
+      (** recovery completed and passed the conformance oracle — by
+          construction true on any serving pmpd, since it refuses to
+          serve otherwise; a prober distinguishes ready from
+          starting/refused by whether it gets this reply at all *)
+  uptime_ms : int;
+  seq : int;  (** highest WAL sequence applied *)
+  recovered_ops : int;  (** WAL records replayed at startup *)
+}
 
 type response =
   | Placed of int * placement
@@ -47,20 +59,29 @@ type response =
   | Metrics_reply of string
   | Snapshot_reply of string  (** path of the snapshot written *)
   | Pong
+  | Health_reply of health
   | Bye  (** acknowledges [Shutdown]; the connection then closes *)
   | Error of string
 
 val placement_of_core : Pmp_core.Placement.t -> placement
 
-val encode_request : request -> string
-(** Single line, no trailing newline. *)
+val encode_request : ?rid:int -> request -> string
+(** Single line, no trailing newline. [?rid] adds a client-chosen
+    request id as a ["rid"] member; the server echoes it on the
+    response so latency can be attributed per request across
+    pipelining. *)
 
 val decode_request : string -> (request, string) result
 (** Never raises: malformed JSON, unknown ops and missing or mistyped
-    fields all come back as [Error]. *)
+    fields all come back as [Error]. Ignores any ["rid"]. *)
 
-val encode_response : response -> string
+val decode_request_rid : string -> (request * int option, string) result
+(** Like {!decode_request} but also returns the ["rid"] member when
+    present (and integer-valued). *)
+
+val encode_response : ?rid:int -> response -> string
 val decode_response : string -> (response, string) result
+val decode_response_rid : string -> (response * int option, string) result
 
 (** {1 Binary encoding}
 
@@ -81,18 +102,32 @@ val add_frame : Buffer.t -> Buffer.t -> unit
 (** [add_frame buf payload] appends a complete frame wrapping
     [payload] to [buf]. *)
 
-val encode_request_binary : request -> string
-(** A complete frame, ready to write to a socket (no newline). *)
+val request_payload_rid : Buffer.t -> rid:int -> request -> unit
+(** Wrap the request payload in the tagged-wrapper opcode carrying a
+    varint request id. The wrapper never nests. *)
 
-val encode_response_binary : response -> string
+val response_payload_rid : Buffer.t -> rid:int -> response -> unit
+
+val encode_request_binary : ?rid:int -> request -> string
+(** A complete frame, ready to write to a socket (no newline); [?rid]
+    uses the tagged wrapper. *)
+
+val encode_response_binary : ?rid:int -> response -> string
 
 val decode_request_payload :
   string -> pos:int -> limit:int -> (request, string) result
 (** Decode a payload spanning [[pos, limit)] of [s] (header already
-    stripped). Never raises. *)
+    stripped), transparently unwrapping (and discarding) a tagged
+    request id. Never raises. *)
+
+val decode_request_payload_rid :
+  string -> pos:int -> limit:int -> (request * int option, string) result
 
 val decode_response_payload :
   string -> pos:int -> limit:int -> (response, string) result
+
+val decode_response_payload_rid :
+  string -> pos:int -> limit:int -> (response * int option, string) result
 
 val decode_request_binary : string -> (request, string) result
 (** Decode one complete frame, header included. Never raises. *)
@@ -103,8 +138,8 @@ val request_of_command :
   string -> [ `Request of request | `Blank | `Quit | `Error of string ]
 (** Parse an interactive console command — [submit <size>],
     [finish <id>], [query <id>], [stats], [loads], [metrics],
-    [snapshot], [ping], [shutdown] — into a request. [`Blank] on an
-    empty line, [`Quit] on [quit]/[exit]. *)
+    [snapshot], [ping], [health], [shutdown] — into a request.
+    [`Blank] on an empty line, [`Quit] on [quit]/[exit]. *)
 
 val render_response : response -> string
 (** Human-readable one-line rendering for the interactive client. *)

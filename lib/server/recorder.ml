@@ -1,0 +1,111 @@
+(* Parallel arrays rather than an array of records: int and bool
+   stores are unboxed and the [kind] slot only ever holds one of the
+   constant strings below, so a [record] call is a handful of plain
+   stores — safe on the zero-allocation dispatch path. *)
+type t = {
+  cap : int;
+  kind : string array;
+  op : int array;
+  tenant : int array;
+  size : int array;
+  seq : int array;
+  dur_ns : int array;
+  ts_us : int array;
+  ok : bool array;
+  mutable total : int;
+}
+
+type entry = {
+  e_index : int;
+  e_kind : string;
+  e_op : int;
+  e_tenant : int;
+  e_size : int;
+  e_seq : int;
+  e_dur_ns : int;
+  e_ts_us : int;
+  e_ok : bool;
+}
+
+let kind_request = "request"
+let kind_replay = "replay"
+let kind_event = "event"
+
+let create cap =
+  if cap < 0 then invalid_arg "Recorder.create: negative capacity";
+  {
+    cap;
+    kind = Array.make (max cap 1) kind_event;
+    op = Array.make (max cap 1) 0;
+    tenant = Array.make (max cap 1) 0;
+    size = Array.make (max cap 1) 0;
+    seq = Array.make (max cap 1) 0;
+    dur_ns = Array.make (max cap 1) 0;
+    ts_us = Array.make (max cap 1) 0;
+    ok = Array.make (max cap 1) false;
+    total = 0;
+  }
+
+let capacity t = t.cap
+let total t = t.total
+let enabled t = t.cap > 0
+
+let record t ~kind ~op ~tenant ~size ~seq ~dur_ns ~ts_us ~ok =
+  if t.cap > 0 then begin
+    let i = t.total mod t.cap in
+    t.kind.(i) <- kind;
+    t.op.(i) <- op;
+    t.tenant.(i) <- tenant;
+    t.size.(i) <- size;
+    t.seq.(i) <- seq;
+    t.dur_ns.(i) <- dur_ns;
+    t.ts_us.(i) <- ts_us;
+    t.ok.(i) <- ok;
+    t.total <- t.total + 1
+  end
+
+let entries t =
+  if t.cap = 0 || t.total = 0 then []
+  else begin
+    let n = min t.total t.cap in
+    let first = t.total - n in
+    List.init n (fun k ->
+        let idx = first + k in
+        let i = idx mod t.cap in
+        {
+          e_index = idx;
+          e_kind = t.kind.(i);
+          e_op = t.op.(i);
+          e_tenant = t.tenant.(i);
+          e_size = t.size.(i);
+          e_seq = t.seq.(i);
+          e_dur_ns = t.dur_ns.(i);
+          e_ts_us = t.ts_us.(i);
+          e_ok = t.ok.(i);
+        })
+  end
+
+let entry_to_json e =
+  Printf.sprintf
+    "{\"i\":%d,\"kind\":\"%s\",\"op\":%d,\"tenant\":%d,\"size\":%d,\"seq\":%d,\"dur_ns\":%d,\"ts_us\":%d,\"ok\":%b}"
+    e.e_index e.e_kind e.e_op e.e_tenant e.e_size e.e_seq e.e_dur_ns e.e_ts_us
+    e.e_ok
+
+let write_jsonl t oc =
+  List.iter
+    (fun e ->
+      output_string oc (entry_to_json e);
+      output_char oc '\n')
+    (entries t)
+
+let dump t path =
+  if enabled t then begin
+    let oc =
+      open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        write_jsonl t oc;
+        flush oc)
+  end

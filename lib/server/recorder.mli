@@ -1,0 +1,65 @@
+(** Crash-safe flight recorder: a fixed-size ring of the last K
+    requests and events, cheap enough to stay on by default.
+
+    [record] performs only unboxed int/bool stores plus one pointer
+    store of a caller-supplied constant string — no allocation — so it
+    can sit on the zero-allocation dispatch path. Reading the ring
+    ({!entries}, {!dump}) allocates freely; those run on cold paths
+    (SIGUSR1, crash-injection exit, oracle violation). *)
+
+type t
+
+type entry = {
+  e_index : int;  (** monotone record number since server start *)
+  e_kind : string;
+  e_op : int;  (** wire opcode, or 0 for non-request events *)
+  e_tenant : int;
+  e_size : int;
+  e_seq : int;  (** WAL sequence covering the record, or 0 *)
+  e_dur_ns : int;  (** handling duration; 0 when timing is disabled *)
+  e_ts_us : int;  (** wall-clock µs; 0 when timing is disabled *)
+  e_ok : bool;
+}
+
+val kind_request : string
+val kind_replay : string
+val kind_event : string
+
+val create : int -> t
+(** [create cap] makes a ring holding the last [cap] records; [cap = 0]
+    disables the recorder ({!record} becomes a no-op).
+    @raise Invalid_argument on negative capacity. *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Records ever written, including overwritten ones. *)
+
+val enabled : t -> bool
+
+val record :
+  t ->
+  kind:string ->
+  op:int ->
+  tenant:int ->
+  size:int ->
+  seq:int ->
+  dur_ns:int ->
+  ts_us:int ->
+  ok:bool ->
+  unit
+(** Append one record, overwriting the oldest when full. [kind] must be
+    one of the constant strings above (the store is a pointer copy; the
+    string is never mutated or escaped). *)
+
+val entries : t -> entry list
+(** Oldest surviving record first, newest last. *)
+
+val entry_to_json : entry -> string
+(** One compact JSON object, no trailing newline. *)
+
+val write_jsonl : t -> out_channel -> unit
+
+val dump : t -> string -> unit
+(** [dump t path] truncates [path] and writes {!entries} as JSONL.
+    No-op when the recorder is disabled. *)

@@ -12,6 +12,9 @@ type config = {
   snapshot_every : int;
   crash_after : int option;
   loop : Loop.config;
+  latency_profile : bool;
+  slow_ms : float option;
+  recorder_size : int;
 }
 
 let default_config ~machine_size ~policy ~dir =
@@ -25,6 +28,9 @@ let default_config ~machine_size ~policy ~dir =
     snapshot_every = 1024;
     crash_after = None;
     loop = Loop.default_config;
+    latency_profile = false;
+    slow_ms = None;
+    recorder_size = 256;
   }
 
 exception Crash
@@ -46,10 +52,59 @@ type instruments = {
   g_active : Metrics.Gauge.t;
   g_load : Metrics.Gauge.t;
   g_queued : Metrics.Gauge.t;
+  c_slow : Metrics.Counter.t;
+  g_wal_lag : Metrics.Gauge.t;
+  g_p99_ratio : Metrics.Gauge.t;
+  h_req : Metrics.Histogram.t array;  (** indexed by wire opcode; 0 = unknown *)
+  h_stage_read : Metrics.Histogram.t;
+  h_stage_decode : Metrics.Histogram.t;
+  h_stage_apply : Metrics.Histogram.t;
+  h_stage_wal : Metrics.Histogram.t;
+  h_stage_fsync : Metrics.Histogram.t;
+  h_stage_ack : Metrics.Histogram.t;
 }
+
+(* Indexed by binary opcode; 0 covers undecodable requests. *)
+let op_name =
+  [|
+    "unknown";
+    "submit";
+    "finish";
+    "query";
+    "stats";
+    "loads";
+    "metrics";
+    "snapshot";
+    "ping";
+    "shutdown";
+    "health";
+    "tagged";
+  |]
+
+let op_index (req : Protocol.request) =
+  match req with
+  | Protocol.Submit _ -> 1
+  | Protocol.Finish _ -> 2
+  | Protocol.Query _ -> 3
+  | Protocol.Stats -> 4
+  | Protocol.Loads -> 5
+  | Protocol.Metrics -> 6
+  | Protocol.Snapshot -> 7
+  | Protocol.Ping -> 8
+  | Protocol.Shutdown -> 9
+  | Protocol.Health -> 10
+
+(* 1µs .. ~8s in doubling buckets: spans a cache-warm varint decode to
+   a pathological fsync stall with 24 buckets. *)
+let time_bounds = Metrics.log_bounds ~start:1e-6 ~ratio:2.0 ~count:24
 
 let make_instruments reg =
   let counter = Metrics.Registry.counter reg in
+  let stage_hist ?(help = "") stage =
+    Metrics.Registry.histogram reg
+      ~labels:[ ("stage", stage) ]
+      ~help "pmpd_stage_seconds" time_bounds
+  in
   {
     c_requests = counter ~help:"Requests handled" "pmpd_requests_total";
     c_mutations =
@@ -80,6 +135,29 @@ let make_instruments reg =
     g_active = Metrics.Registry.gauge reg ~help:"Active tasks" "pmpd_active_tasks";
     g_load = Metrics.Registry.gauge reg ~help:"Current max PE load" "pmpd_max_load";
     g_queued = Metrics.Registry.gauge reg ~help:"Queued tasks" "pmpd_queued_tasks";
+    c_slow =
+      counter ~help:"Requests over the slow-request threshold"
+        "pmpd_slow_requests_total";
+    g_wal_lag =
+      Metrics.Registry.gauge reg
+        ~help:"WAL records written but not yet known durable" "pmpd_wal_lag";
+    g_p99_ratio =
+      Metrics.Registry.gauge reg
+        ~help:"Rolling-window p99 of max-load over optimal load"
+        "pmpd_p99_load_ratio";
+    h_req =
+      Array.init (Array.length op_name) (fun i ->
+          Metrics.Registry.histogram reg
+            ~labels:[ ("op", op_name.(i)) ]
+            ~help:(if i = 0 then "Server-side request latency" else "")
+            "pmpd_request_seconds" time_bounds);
+    h_stage_read =
+      stage_hist ~help:"Server-side latency by pipeline stage" "read";
+    h_stage_decode = stage_hist "decode";
+    h_stage_apply = stage_hist "apply";
+    h_stage_wal = stage_hist "wal_append";
+    h_stage_fsync = stage_hist "fsync";
+    h_stage_ack = stage_hist "ack";
   }
 
 type t = {
@@ -99,13 +177,58 @@ type t = {
       (** crash injection tripped; fires after the covering commit *)
   mutable last_fsync : float;  (** for the [Interval] policy *)
   recovered_ops : int;
+  recorder : Recorder.t;
+  timed : bool;  (** latency profiling or slow-request logging is on *)
+  mutable req_t0 : float;
+      (** arrival time of the request being handled, set only when
+          [timed] — a field rather than an argument so the untimed
+          fast path never boxes a float at a call boundary *)
+  mutable cur_op : int;
+      (** effective opcode of the binary request being handled: the
+          frame's own opcode, except a rid-tagged wrapper reports its
+          inner opcode so attribution survives tagging *)
+  slow_s : float;  (** slow-request threshold in seconds; [infinity] off *)
+  started : float;
+  wal_base : int;  (** seq already durable when this process opened the WAL *)
+  usr1 : bool Atomic.t;  (** a SIGUSR1 dump is pending *)
+  ratio_ring : float array;  (** rolling load-ratio window, unboxed *)
+  mutable ratio_n : int;  (** ratios ever pushed *)
 }
 
 let cluster t = t.cluster
 let seq t = t.seq
 let recovered_ops t = t.recovered_ops
 let registry t = t.reg
-let metrics t = Metrics.prometheus t.reg
+let recorder t = t.recorder
+let flightrec_path t = Filename.concat t.config.dir "flightrec.jsonl"
+
+let dump_recorder t =
+  let path = flightrec_path t in
+  Recorder.dump t.recorder path;
+  path
+
+let request_dump = dump_recorder
+
+let wal_lag t =
+  let last = Wal.last_seq t.wal in
+  if last = min_int then 0
+  else max 0 (last - max (Wal.durable_seq t.wal) t.wal_base)
+
+(* p99 of the rolling load-ratio window. The ring is written with
+   plain float-array stores on the commit path; sorting a copy here is
+   fine — rendering metrics is a cold path. *)
+let rolling_p99 t =
+  let n = min t.ratio_n (Array.length t.ratio_ring) in
+  if n = 0 then 0.0
+  else begin
+    let copy = Array.sub t.ratio_ring 0 n in
+    Array.sort Float.compare copy;
+    copy.(min (n - 1) (int_of_float (float_of_int n *. 0.99)))
+  end
+
+let metrics t =
+  Metrics.Gauge.set t.ins.g_p99_ratio (rolling_p99 t);
+  Metrics.prometheus t.reg
 
 (* ------------------------------------------------------------------ *)
 (* recovery                                                            *)
@@ -200,7 +323,7 @@ let apply_op cluster (op : Wal.op) =
       | Ok () -> Ok ()
       | Error e -> Error (Printf.sprintf "wal finish of task %d rejected: %s" id e))
 
-let recover config =
+let recover config recorder =
   let* snap =
     match Snapshot.latest ~dir:config.dir with
     | None -> Ok None
@@ -235,9 +358,18 @@ let recover config =
         let* prev = acc in
         if seq <> prev + 1 then
           Error (Printf.sprintf "wal gap: expected seq %d, found %d" (prev + 1) seq)
-        else
-          let* () = apply_op cluster op in
-          Ok seq)
+        else begin
+          let opcode, size =
+            match op with
+            | Wal.Submit { size; _ } -> (1, size)
+            | Wal.Finish _ -> (2, 0)
+          in
+          let r = apply_op cluster op in
+          Recorder.record recorder ~kind:Recorder.kind_replay ~op:opcode
+            ~tenant:0 ~size ~seq ~dur_ns:0 ~ts_us:0 ~ok:(Result.is_ok r);
+          let* () = r in
+          Ok seq
+        end)
       (Ok snap_seq) tail
   in
   let* () = verify_recovery config cluster in
@@ -247,44 +379,75 @@ let update_gauges t =
   let s = Cluster.stats t.cluster in
   Metrics.Gauge.set t.ins.g_active (float_of_int s.Cluster.active_now);
   Metrics.Gauge.set t.ins.g_load (float_of_int s.Cluster.max_load);
-  Metrics.Gauge.set t.ins.g_queued (float_of_int s.Cluster.queued_now)
+  Metrics.Gauge.set t.ins.g_queued (float_of_int s.Cluster.queued_now);
+  Metrics.Gauge.set t.ins.g_wal_lag (float_of_int (wal_lag t));
+  if s.Cluster.optimal_now > 0 then begin
+    t.ratio_ring.(t.ratio_n mod Array.length t.ratio_ring) <-
+      float_of_int s.Cluster.max_load /. float_of_int s.Cluster.optimal_now;
+    t.ratio_n <- t.ratio_n + 1
+  end
 
 let create config =
   if config.snapshot_every < 0 then Error "snapshot_every must be non-negative"
+  else if config.recorder_size < 0 then
+    Error "recorder_size must be non-negative"
   else begin
     mkdir_p config.dir;
+    (* The recorder exists before recovery so the replayed WAL tail is
+       on record: if recovery fails — including an oracle violation —
+       the dump shows exactly which records were applied. *)
+    let recorder = Recorder.create config.recorder_size in
     let t0 = Unix.gettimeofday () in
-    let* cluster, seq, snap_seq, replayed, had_snapshot = recover config in
-    let reg = Metrics.Registry.create () in
-    let ins = make_instruments reg in
-    if replayed > 0 || had_snapshot then begin
-      Metrics.Counter.incr ins.c_recoveries;
-      Metrics.Counter.inc ins.c_recovered_ops replayed;
-      Metrics.Span.add ins.s_recovery (Unix.gettimeofday () -. t0)
-    end;
-    let wal =
-      Wal.open_log ~format:config.wal_format
-        (Filename.concat config.dir "wal.log")
-    in
-    let t =
-      {
-        config;
-        cluster;
-        wal;
-        reg;
-        ins;
-        scratch = Buffer.create 256;
-        cur = { Wire.pos = 0 };
-        seq;
-        snap_seq;
-        fresh_mutations = 0;
-        crash_armed = false;
-        last_fsync = Unix.gettimeofday ();
-        recovered_ops = replayed;
-      }
-    in
-    update_gauges t;
-    Ok t
+    match recover config recorder with
+    | Error e ->
+        Recorder.record recorder ~kind:Recorder.kind_event ~op:0 ~tenant:0
+          ~size:0 ~seq:0 ~dur_ns:0 ~ts_us:0 ~ok:false;
+        Recorder.dump recorder (Filename.concat config.dir "flightrec.jsonl");
+        Error e
+    | Ok (cluster, seq, snap_seq, replayed, had_snapshot) ->
+        let reg = Metrics.Registry.create () in
+        let ins = make_instruments reg in
+        if replayed > 0 || had_snapshot then begin
+          Metrics.Counter.incr ins.c_recoveries;
+          Metrics.Counter.inc ins.c_recovered_ops replayed;
+          Metrics.Span.add ins.s_recovery (Unix.gettimeofday () -. t0)
+        end;
+        let wal =
+          Wal.open_log ~format:config.wal_format
+            (Filename.concat config.dir "wal.log")
+        in
+        let t =
+          {
+            config;
+            cluster;
+            wal;
+            reg;
+            ins;
+            scratch = Buffer.create 256;
+            cur = { Wire.pos = 0 };
+            seq;
+            snap_seq;
+            fresh_mutations = 0;
+            crash_armed = false;
+            last_fsync = Unix.gettimeofday ();
+            recovered_ops = replayed;
+            recorder;
+            timed = config.latency_profile || config.slow_ms <> None;
+            req_t0 = 0.0;
+            cur_op = 0;
+            slow_s =
+              (match config.slow_ms with
+              | Some ms -> ms /. 1000.0
+              | None -> infinity);
+            started = Unix.gettimeofday ();
+            wal_base = seq;
+            usr1 = Atomic.make false;
+            ratio_ring = Array.make 1024 0.0;
+            ratio_n = 0;
+          }
+        in
+        update_gauges t;
+        Ok t
   end
 
 (* ------------------------------------------------------------------ *)
@@ -347,7 +510,15 @@ let commit t =
     | Wal.Always | Wal.Group -> true
     | Wal.Interval _ | Wal.Never -> false
   in
-  if Wal.commit t.wal ~fsync then Metrics.Counter.incr t.ins.c_fsyncs;
+  if t.timed then begin
+    let t0 = Unix.gettimeofday () in
+    if Wal.commit t.wal ~fsync then begin
+      Metrics.Counter.incr t.ins.c_fsyncs;
+      Metrics.Histogram.observe t.ins.h_stage_fsync
+        (Unix.gettimeofday () -. t0)
+    end
+  end
+  else if Wal.commit t.wal ~fsync then Metrics.Counter.incr t.ins.c_fsyncs;
   update_gauges t;
   if t.crash_armed then raise Crash
 
@@ -412,18 +583,55 @@ let handle t (req : Protocol.request) : Protocol.response * bool =
       | Ok path -> (Protocol.Snapshot_reply path, false)
       | Error e -> error e)
   | Protocol.Ping -> (Protocol.Pong, false)
+  | Protocol.Health ->
+      (* A serving pmpd has by construction recovered and passed the
+         oracle — {!create} refuses otherwise — so [ready] is [true]
+         whenever this reply exists at all. *)
+      ( Protocol.Health_reply
+          {
+            Protocol.ready = true;
+            uptime_ms =
+              int_of_float ((Unix.gettimeofday () -. t.started) *. 1000.0);
+            seq = max 0 t.seq;
+            recovered_ops = t.recovered_ops;
+          },
+        false )
   | Protocol.Shutdown -> (Protocol.Bye, true)
 
+(* Slow-request log + per-opcode latency + flight-recorder entry for
+   one finished request. With timing off this is a single [record]
+   call: all-immediate arguments, no allocation. *)
+let note_request t ~op ~size ~ok =
+  let op = if op >= 0 && op < Array.length op_name then op else 0 in
+  let dur_ns, ts_us =
+    if t.timed then begin
+      let t1 = Unix.gettimeofday () in
+      let dur = t1 -. t.req_t0 in
+      Metrics.Histogram.observe t.ins.h_req.(op) dur;
+      if dur >= t.slow_s then begin
+        Metrics.Counter.incr t.ins.c_slow;
+        Printf.eprintf "pmpd: slow request op=%s dur_ms=%.3f seq=%d ok=%b\n%!"
+          op_name.(op) (dur *. 1000.0) t.seq ok
+      end;
+      (int_of_float (dur *. 1e9), int_of_float (t1 *. 1e6))
+    end
+    else (0, 0)
+  in
+  Recorder.record t.recorder ~kind:Recorder.kind_request ~op ~tenant:0 ~size
+    ~seq:t.seq ~dur_ns ~ts_us ~ok
+
 let handle_line t line =
-  match Protocol.decode_request line with
+  match Protocol.decode_request_rid line with
   | Error e ->
       Metrics.Counter.incr t.ins.c_requests;
       Metrics.Counter.incr t.ins.c_errors;
-      `Reply (Protocol.encode_response (Protocol.Error e))
-  | Ok req ->
+      `Reply (0, false, Protocol.encode_response (Protocol.Error e))
+  | Ok (req, rid) ->
       let resp, stop = handle t req in
-      let wire = Protocol.encode_response resp in
-      if stop then `Stop wire else `Reply wire
+      let wire = Protocol.encode_response ?rid resp in
+      let ok = match resp with Protocol.Error _ -> false | _ -> true in
+      if stop then `Stop (op_index req, ok, wire)
+      else `Reply (op_index req, ok, wire)
 
 (* ------------------------------------------------------------------ *)
 (* the wire handler                                                    *)
@@ -466,15 +674,23 @@ let dispatch t out b pos0 limit =
           let size = Wire.read_varint b cur limit in
           if cur.Wire.pos <> limit then `Error "trailing bytes in frame"
           else begin
+            let td = if t.timed then Unix.gettimeofday () else 0.0 in
             match Cluster.submit t.cluster ~size with
             | Ok sub ->
                 let id =
                   match sub with
                   | Cluster.Placed (id, _) | Cluster.Queued id -> id
                 in
+                let ta = if t.timed then Unix.gettimeofday () else 0.0 in
                 t.seq <- t.seq + 1;
                 Wal.append_submit t.wal ~seq:t.seq ~id ~size;
                 after_mutation t;
+                if t.timed then begin
+                  let tw = Unix.gettimeofday () in
+                  Metrics.Histogram.observe t.ins.h_stage_decode (td -. t.req_t0);
+                  Metrics.Histogram.observe t.ins.h_stage_apply (ta -. td);
+                  Metrics.Histogram.observe t.ins.h_stage_wal (tw -. ta)
+                end;
                 let s = t.scratch in
                 Buffer.clear s;
                 (match sub with
@@ -493,11 +709,19 @@ let dispatch t out b pos0 limit =
           let id = Wire.read_varint b cur limit in
           if cur.Wire.pos <> limit then `Error "trailing bytes in frame"
           else begin
+            let td = if t.timed then Unix.gettimeofday () else 0.0 in
             match Cluster.finish t.cluster id with
             | Ok () ->
+                let ta = if t.timed then Unix.gettimeofday () else 0.0 in
                 t.seq <- t.seq + 1;
                 Wal.append_finish t.wal ~seq:t.seq ~id;
                 after_mutation t;
+                if t.timed then begin
+                  let tw = Unix.gettimeofday () in
+                  Metrics.Histogram.observe t.ins.h_stage_decode (td -. t.req_t0);
+                  Metrics.Histogram.observe t.ins.h_stage_apply (ta -. td);
+                  Metrics.Histogram.observe t.ins.h_stage_wal (tw -. ta)
+                end;
                 Buffer.clear t.scratch;
                 Buffer.add_char t.scratch '\003';
                 scratch_frame t out;
@@ -508,6 +732,7 @@ let dispatch t out b pos0 limit =
           let id = Wire.read_varint b cur limit in
           if cur.Wire.pos <> limit then `Error "trailing bytes in frame"
           else begin
+            let td = if t.timed then Unix.gettimeofday () else 0.0 in
             let s = t.scratch in
             Buffer.clear s;
             Buffer.add_char s '\004';
@@ -520,11 +745,17 @@ let dispatch t out b pos0 limit =
                 if Cluster.is_queued t.cluster id then Buffer.add_char s '\001'
                 else Buffer.add_char s '\000');
             scratch_frame t out;
+            if t.timed then begin
+              Metrics.Histogram.observe t.ins.h_stage_decode (td -. t.req_t0);
+              Metrics.Histogram.observe t.ins.h_stage_apply
+                (Unix.gettimeofday () -. td)
+            end;
             `Ok
           end
       | _ (* 4, stats *) ->
           if cur.Wire.pos <> limit then `Error "trailing bytes in frame"
           else begin
+            let td = if t.timed then Unix.gettimeofday () else 0.0 in
             let st = Cluster.stats t.cluster in
             let s = t.scratch in
             Buffer.clear s;
@@ -540,23 +771,30 @@ let dispatch t out b pos0 limit =
             Wire.add_varint s st.Cluster.reallocations;
             Wire.add_varint s st.Cluster.tasks_migrated;
             scratch_frame t out;
+            if t.timed then
+              Metrics.Histogram.observe t.ins.h_stage_apply
+                (Unix.gettimeofday () -. td);
             `Ok
           end
     end
     else begin
-      (* rare opcodes: fall back to the allocating decoder *)
+      (* rare opcodes — including rid-tagged wrappers — fall back to
+         the allocating decoder; a tagged response echoes the rid *)
       let payload = Bytes.sub_string b pos0 (limit - pos0) in
       match
-        Protocol.decode_request_payload payload ~pos:0
+        Protocol.decode_request_payload_rid payload ~pos:0
           ~limit:(String.length payload)
       with
       | Error e ->
           Metrics.Counter.incr t.ins.c_requests;
           `Error e
-      | Ok req ->
+      | Ok (req, rid) ->
+          t.cur_op <- op_index req;
           let resp, stop = handle t req in
           Buffer.clear t.scratch;
-          Protocol.response_payload t.scratch resp;
+          (match rid with
+          | None -> Protocol.response_payload t.scratch resp
+          | Some rid -> Protocol.response_payload_rid t.scratch ~rid resp);
           scratch_frame t out;
           if stop then `Stop else `Ok
     end
@@ -583,6 +821,9 @@ let handle_binary t inbuf out =
         else if ppos + plen > hard then `Incomplete
         else begin
           let limit = ppos + plen in
+          if t.timed then t.req_t0 <- Unix.gettimeofday ();
+          let opcode = if plen = 0 then 0 else Char.code (Bytes.get b ppos) in
+          t.cur_op <- opcode;
           let r =
             if Char.code (Bytes.get b (off + 1)) <> Wire.version then begin
               Metrics.Counter.incr t.ins.c_requests;
@@ -598,11 +839,16 @@ let handle_binary t inbuf out =
           in
           Netbuf.consume inbuf (limit - off);
           (match r with
-          | `Ok -> `Handled
+          | `Ok ->
+              note_request t ~op:t.cur_op ~size:plen ~ok:true;
+              `Handled
           | `Error e ->
               reply_error_binary t out e;
+              note_request t ~op:t.cur_op ~size:plen ~ok:false;
               `Handled
-          | `Stop -> `Stop)
+          | `Stop ->
+              note_request t ~op:t.cur_op ~size:plen ~ok:true;
+              `Stop)
         end
   end
 
@@ -612,6 +858,7 @@ let handle_json t inbuf out =
   match Netbuf.find_byte inbuf '\n' with
   | None -> `Incomplete
   | Some i ->
+      if t.timed then t.req_t0 <- Unix.gettimeofday ();
       let line = Netbuf.sub_string inbuf ~off:0 ~len:i in
       Netbuf.consume inbuf (i + 1);
       let emit r =
@@ -619,11 +866,13 @@ let handle_json t inbuf out =
         Netbuf.add_char out '\n'
       in
       (match handle_line t line with
-      | `Reply r ->
+      | `Reply (op, ok, r) ->
           emit r;
+          note_request t ~op ~size:i ~ok;
           `Handled
-      | `Stop r ->
+      | `Stop (op, ok, r) ->
           emit r;
+          note_request t ~op ~size:i ~ok;
           `Stop)
 
 (* The {!Loop} handler: drain up to [budget] complete requests from
@@ -685,11 +934,36 @@ let listen_tcp ~host ~port =
   (fd, bound)
 
 let serve t ~listeners =
-  Loop.run ~config:t.config.loop
-    ~on_accept:(fun () -> Metrics.Counter.incr t.ins.c_connections)
-    ~on_batch:(fun n ->
-      Metrics.Counter.incr t.ins.c_batches;
-      Metrics.Histogram.observe t.ins.h_batch_size (float_of_int n))
-    ~on_commit:(fun () -> commit t)
-    ~tick:(tick t) ~listeners ~handle:(handle_conn t) ();
+  (* The SIGUSR1 handler only sets a flag: the dump itself runs on the
+     loop's own schedule (tick for idle rounds, batch hook for busy
+     ones), never from async-signal context. *)
+  let check_usr1 () =
+    if Atomic.exchange t.usr1 false then ignore (dump_recorder t)
+  in
+  (try
+     Loop.run ~config:t.config.loop
+       ~on_accept:(fun () -> Metrics.Counter.incr t.ins.c_connections)
+       ~on_batch:(fun n ->
+         check_usr1 ();
+         Metrics.Counter.incr t.ins.c_batches;
+         Metrics.Histogram.observe t.ins.h_batch_size (float_of_int n))
+       ~on_commit:(fun () -> commit t)
+       ~on_usr1:(fun () -> Atomic.set t.usr1 true)
+       ?on_read_io:
+         (if t.timed then
+            Some (fun s -> Metrics.Histogram.observe t.ins.h_stage_read s)
+          else None)
+       ?on_write_io:
+         (if t.timed then
+            Some (fun s -> Metrics.Histogram.observe t.ins.h_stage_ack s)
+          else None)
+       ~tick:(fun () ->
+         check_usr1 ();
+         tick t ())
+       ~listeners ~handle:(handle_conn t) ()
+   with e ->
+     (* any abnormal exit — crash injection included — leaves the
+        black box behind *)
+     (try ignore (dump_recorder t) with Sys_error _ -> ());
+     raise e);
   close t

@@ -46,13 +46,23 @@ type config = {
   snapshot_every : int;  (** snapshot every k mutations; 0 = only on demand *)
   crash_after : int option;  (** crash-injection test mode *)
   loop : Loop.config;
+  latency_profile : bool;
+      (** time every request and pipeline stage into the registry's
+          log-bucket histograms. Off by default: the timestamps box
+          floats, which would break the zero-allocation dispatch path *)
+  slow_ms : float option;
+      (** log requests slower than this many milliseconds to stderr
+          (implies timing, like [latency_profile]) *)
+  recorder_size : int;
+      (** flight-recorder ring capacity in records; 0 disables it *)
 }
 
 val default_config :
   machine_size:int -> policy:Pmp_cluster.Cluster.policy -> dir:string -> config
 (** No admission cap, [fsync_policy = Group], [wal_format =
     Binary_records], [snapshot_every = 1024], no crash injection,
-    {!Loop.default_config}. *)
+    {!Loop.default_config}, no latency profiling or slow-request log,
+    [recorder_size = 256]. *)
 
 exception Crash
 (** Raised by the crash-injection trip; escapes {!serve} with all
@@ -82,7 +92,32 @@ val registry : t -> Pmp_telemetry.Metrics.Registry.t
 val metrics : t -> string
 (** Prometheus dump of the server registry: requests, mutations,
     batches, group sizes, connections, fsyncs, snapshots, recoveries
-    and spans. *)
+    and spans, plus the SLO gauges — [pmpd_wal_lag] (records written
+    but not yet known durable) and [pmpd_p99_load_ratio] (rolling p99
+    of max-load over optimal) — and, when timing is on, per-opcode
+    [pmpd_request_seconds{op=...}] and per-stage
+    [pmpd_stage_seconds{stage=...}] latency histograms. The rolling
+    p99 gauge is recomputed by this call. *)
+
+val recorder : t -> Recorder.t
+(** The flight recorder: mutations replayed at recovery, then every
+    request handled (opcode, payload size, covering WAL seq, duration
+    and timestamp when timing is on, success flag). *)
+
+val flightrec_path : t -> string
+(** Where dumps go: [<dir>/flightrec.jsonl]. *)
+
+val dump_recorder : t -> string
+(** Dump the flight recorder to {!flightrec_path} now (truncating any
+    previous dump); returns the path. {!serve} does this on SIGUSR1
+    and on any abnormal exit — crash injection included — and
+    {!create} does it when recovery fails, so a refused startup (an
+    oracle violation, a WAL gap, a divergent replay) leaves its black
+    box behind. *)
+
+val request_dump : t -> string
+(** Alias of {!dump_recorder} — the deterministic, signal-free way for
+    tests and embedders to trigger what SIGUSR1 triggers. *)
 
 val handle : t -> Protocol.request -> Protocol.response * bool
 (** Apply one request; the boolean is [true] when the server should
@@ -92,8 +127,15 @@ val handle : t -> Protocol.request -> Protocol.response * bool
     @raise Crash when crash injection trips under [fsync_policy =
     Always] (other policies trip in {!commit}). *)
 
-val handle_line : t -> string -> [ `Reply of string | `Stop of string ]
-(** {!handle} on the JSON line encoding. *)
+val handle_line :
+  t ->
+  string ->
+  [ `Reply of int * bool * string | `Stop of int * bool * string ]
+(** {!handle} on the JSON line encoding; a request's ["rid"] member,
+    when present, is echoed on the response. Alongside the encoded
+    response: the request's opcode index (0 for undecodable) and
+    whether it succeeded — what the caller needs to feed latency
+    attribution. *)
 
 val handle_conn :
   t ->
@@ -133,4 +175,7 @@ val listen_tcp : host:string -> port:int -> Unix.file_descr * int
 val serve : t -> listeners:Unix.file_descr list -> unit
 (** Run the event loop until a [shutdown] request, then {!close}.
     {!Crash} (and any other exception) escapes without closing the
-    WAL cleanly — which is the point. *)
+    WAL cleanly — which is the point — but not before the flight
+    recorder is dumped. SIGUSR1 requests a dump from a live server:
+    the handler (installed race-free before the first [select]) only
+    sets a flag; the loop writes the dump on its next tick or batch. *)

@@ -20,6 +20,56 @@ module Gauge = struct
   let max_seen t = if t.max_seen = neg_infinity then 0.0 else t.max_seen
 end
 
+(* Shared with the quantile estimator below and with every consumer
+   that pins geometric buckets (scenario verdicts, bench gates): the
+   smallest boundary [start * ratio^k] at or above [x]. Boundaries are
+   products of exactly-representable constants, so comparisons against
+   them are bit-stable across libm implementations; the 1e-9 slack
+   forgives one ulp of drift in [x] itself. *)
+let bucket_ceil ~start ~ratio x =
+  if x <= start then start
+  else begin
+    let rec up b = if x <= b *. (1.0 +. 1e-9) then b else up (b *. ratio) in
+    up start
+  end
+
+(* Quantile from Prometheus-style cumulative buckets. The covering
+   bucket is the first whose cumulative count reaches the rank; inside
+   it we interpolate {e geometrically} — log-spaced buckets spread
+   their mass closer to log-uniform than uniform, so the log-scale
+   midpoint is the honest point estimate. The first bucket has no
+   lower bound (report its upper bound, conservative) and the overflow
+   bucket no upper (interpolate towards [max_seen]). Non-positive
+   bounds fall back to linear interpolation. *)
+let quantile_of_buckets buckets ~max_seen ~count q =
+  if count = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = q *. float_of_int count in
+    let interp lower upper frac =
+      if lower > 0.0 && upper > lower then lower *. ((upper /. lower) ** frac)
+      else lower +. ((upper -. lower) *. frac)
+    in
+    let rec go lower below = function
+      | [] -> max_seen
+      | (upper, cum) :: rest ->
+          if float_of_int cum >= rank && cum > below then begin
+            let in_bucket = cum - below in
+            let frac =
+              (rank -. float_of_int below) /. float_of_int in_bucket
+            in
+            match lower with
+            | None -> if Float.is_finite upper then upper else max_seen
+            | Some lo ->
+                if Float.is_finite upper then interp lo upper frac
+                else if max_seen > lo then interp lo max_seen frac
+                else max_seen
+          end
+          else go (Some upper) cum rest
+    in
+    go None 0 buckets
+  end
+
 module Histogram = struct
   type t = {
     bounds : float array;
@@ -67,6 +117,9 @@ module Histogram = struct
            t.bounds)
     in
     finite @ [ (infinity, t.count) ]
+
+  let quantile t q =
+    quantile_of_buckets (buckets t) ~max_seen:(max_seen t) ~count:t.count q
 end
 
 module Span = struct
@@ -95,38 +148,79 @@ type instrument =
   | I_histogram of Histogram.t
   | I_span of Span.t
 
+(* Prometheus label-value escaping: backslash, double quote and
+   newline are the three characters the text format requires escaped
+   inside a quoted label value. *)
+let escape_label v =
+  let plain = ref true in
+  String.iter
+    (fun c -> match c with '\\' | '"' | '\n' -> plain := false | _ -> ())
+    v;
+  if !plain then v
+  else begin
+    let buf = Buffer.create (String.length v + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+  end
+
+let render_labels = function
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> k ^ "=\"" ^ escape_label v ^ "\"") kvs)
+      ^ "}"
+
 module Registry = struct
-  type t = { mutable entries : (string * string * instrument) list }
+  type entry = {
+    name : string;
+    labels : (string * string) list;
+    help : string;
+    inst : instrument;
+  }
+
+  type t = { mutable entries : entry list }
   (* kept newest-first; [entries] reverses *)
 
   let create () = { entries = [] }
 
-  let register t name help inst =
-    if List.exists (fun (n, _, _) -> n = name) t.entries then
-      invalid_arg (Printf.sprintf "Registry: duplicate instrument %S" name);
-    t.entries <- (name, help, inst) :: t.entries
+  let register t name labels help inst =
+    if List.exists (fun e -> e.name = name && e.labels = labels) t.entries
+    then
+      invalid_arg
+        (Printf.sprintf "Registry: duplicate instrument %S%s" name
+           (render_labels labels));
+    t.entries <- { name; labels; help; inst } :: t.entries
 
-  let counter t ?(help = "") name =
+  let counter t ?(labels = []) ?(help = "") name =
     let c = Counter.make () in
-    register t name help (I_counter c);
+    register t name labels help (I_counter c);
     c
 
-  let gauge t ?(help = "") name =
+  let gauge t ?(labels = []) ?(help = "") name =
     let g = Gauge.make () in
-    register t name help (I_gauge g);
+    register t name labels help (I_gauge g);
     g
 
-  let histogram t ?(help = "") name bounds =
+  let histogram t ?(labels = []) ?(help = "") name bounds =
     let h = Histogram.make bounds in
-    register t name help (I_histogram h);
+    register t name labels help (I_histogram h);
     h
 
-  let span t ?(help = "") name =
+  let span t ?(labels = []) ?(help = "") name =
     let s = Span.make () in
-    register t name help (I_span s);
+    register t name labels help (I_span s);
     s
 
-  let entries t = List.rev t.entries
+  let entries t =
+    List.rev_map (fun e -> (e.name, e.labels, e.help, e.inst)) t.entries
 end
 
 (* Prometheus floats: integers render bare, everything else compactly
@@ -141,28 +235,38 @@ let fmt_bound b = if b = infinity then "+Inf" else fmt_float b
 let prometheus reg =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  (* HELP/TYPE go out once per metric name, on its first occurrence;
+     labelled series of the same name then follow in registration
+     order, which keeps the dump byte-stable run to run. *)
+  let seen = Hashtbl.create 16 in
   List.iter
-    (fun (name, help, inst) ->
-      if help <> "" then line "# HELP %s %s" name help;
+    (fun (name, labels, help, inst) ->
+      let first = not (Hashtbl.mem seen name) in
+      if first then Hashtbl.add seen name ();
+      let lbl = render_labels labels in
+      if first && help <> "" then line "# HELP %s %s" name help;
       match inst with
       | I_counter c ->
-          line "# TYPE %s counter" name;
-          line "%s %d" name (Counter.value c)
+          if first then line "# TYPE %s counter" name;
+          line "%s%s %d" name lbl (Counter.value c)
       | I_gauge g ->
-          line "# TYPE %s gauge" name;
-          line "%s %s" name (fmt_float (Gauge.value g));
-          line "%s_max %s" name (fmt_float (Gauge.max_seen g))
+          if first then line "# TYPE %s gauge" name;
+          line "%s%s %s" name lbl (fmt_float (Gauge.value g));
+          line "%s_max%s %s" name lbl (fmt_float (Gauge.max_seen g))
       | I_histogram h ->
-          line "# TYPE %s histogram" name;
+          if first then line "# TYPE %s histogram" name;
           List.iter
-            (fun (le, cum) -> line "%s_bucket{le=\"%s\"} %d" name (fmt_bound le) cum)
+            (fun (le, cum) ->
+              line "%s_bucket%s %d" name
+                (render_labels (labels @ [ ("le", fmt_bound le) ]))
+                cum)
             (Histogram.buckets h);
-          line "%s_sum %s" name (fmt_float (Histogram.sum h));
-          line "%s_count %d" name (Histogram.count h)
+          line "%s_sum%s %s" name lbl (fmt_float (Histogram.sum h));
+          line "%s_count%s %d" name lbl (Histogram.count h)
       | I_span s ->
-          line "# TYPE %s summary" name;
-          line "%s_sum %s" name (fmt_float (Span.total s));
-          line "%s_count %d" name (Span.count s);
-          line "%s_max %s" name (fmt_float (Span.max_seen s)))
+          if first then line "# TYPE %s summary" name;
+          line "%s_sum%s %s" name lbl (fmt_float (Span.total s));
+          line "%s_count%s %d" name lbl (Span.count s);
+          line "%s_max%s %s" name lbl (fmt_float (Span.max_seen s)))
     (Registry.entries reg);
   Buffer.contents buf

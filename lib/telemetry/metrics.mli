@@ -8,8 +8,9 @@
     ({!Span}). Instruments are plain mutable records: updating one is a
     handful of stores, no allocation, so probes can sit on hot paths.
 
-    A {!Registry} names instruments so a whole set can be rendered as a
-    Prometheus-style text snapshot ({!prometheus}). *)
+    A {!Registry} names instruments — optionally with Prometheus-style
+    labels — so a whole set can be rendered as a Prometheus-style text
+    snapshot ({!prometheus}). *)
 
 module Counter : sig
   type t
@@ -31,6 +32,25 @@ module Gauge : sig
   (** Largest value ever set; [0.0] before the first {!set}. *)
 end
 
+val bucket_ceil : start:float -> ratio:float -> float -> float
+(** [bucket_ceil ~start ~ratio x] is the smallest geometric bucket
+    boundary [start *. ratio ** k] (k ≥ 0) at or above [x], with a
+    relative tolerance of 1e-9 so values sitting exactly on a boundary
+    land in that bucket. Values at or below [start] map to [start].
+    This is the canonical bucketing rule shared by scenario verdicts
+    and bench gates — keep it bit-stable. *)
+
+val quantile_of_buckets :
+  (float * int) list -> max_seen:float -> count:int -> float -> float
+(** [quantile_of_buckets buckets ~max_seen ~count q] estimates the
+    [q]-quantile (q in [0,1], clamped) from Prometheus-style cumulative
+    [(upper_bound, cumulative_count)] buckets, interpolating
+    geometrically inside the covering bucket (log-spaced buckets spread
+    mass log-uniformly). The first bucket reports its upper bound; the
+    [+Inf] overflow bucket interpolates towards [max_seen]; buckets with
+    non-positive bounds interpolate linearly. Returns [0.0] when
+    [count = 0]. *)
+
 module Histogram : sig
   type t
 
@@ -49,6 +69,9 @@ module Histogram : sig
   val buckets : t -> (float * int) list
   (** Cumulative [(upper_bound, count)] pairs, Prometheus style; the
       final pair's bound is [infinity]. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] is {!quantile_of_buckets} over [buckets t]. *)
 end
 
 module Span : sig
@@ -70,6 +93,11 @@ val log_bounds : start:float -> ratio:float -> count:int -> float array
     [count]. @raise Invalid_argument unless [start > 0], [ratio > 1]
     and [count > 0]. *)
 
+val escape_label : string -> string
+(** Prometheus label-value escaping: backslash, double quote and
+    newline become backslash-escaped sequences. Returns the input
+    unchanged (no copy) when nothing needs escaping. *)
+
 (** {1 Registry} *)
 
 type instrument =
@@ -83,22 +111,36 @@ module Registry : sig
 
   val create : unit -> t
 
-  val counter : t -> ?help:string -> string -> Counter.t
-  val gauge : t -> ?help:string -> string -> Gauge.t
+  val counter :
+    t -> ?labels:(string * string) list -> ?help:string -> string -> Counter.t
 
-  val histogram : t -> ?help:string -> string -> float array -> Histogram.t
+  val gauge :
+    t -> ?labels:(string * string) list -> ?help:string -> string -> Gauge.t
+
+  val histogram :
+    t ->
+    ?labels:(string * string) list ->
+    ?help:string ->
+    string ->
+    float array ->
+    Histogram.t
   (** See {!Histogram.make} for the bounds contract. *)
 
-  val span : t -> ?help:string -> string -> Span.t
+  val span :
+    t -> ?labels:(string * string) list -> ?help:string -> string -> Span.t
   (** Rendered as a Prometheus summary ([_sum]/[_count]/[_max]). *)
 
-  val entries : t -> (string * string * instrument) list
-  (** In registration order.
-      @raise Invalid_argument on duplicate registration (checked at
-      instrument-creation time). *)
+  val entries :
+    t -> (string * (string * string) list * string * instrument) list
+  (** [(name, labels, help, instrument)] in registration order.
+      @raise Invalid_argument on duplicate [(name, labels)] registration
+      (checked at instrument-creation time). *)
 end
 
 val prometheus : Registry.t -> string
 (** Prometheus text-format dump of every registered instrument:
-    [# HELP]/[# TYPE] lines plus samples; histograms get [_bucket]
-    rows with [le] labels plus [_sum] and [_count]. *)
+    [# HELP]/[# TYPE] lines (emitted once per metric name, on its first
+    occurrence) plus samples; histograms get [_bucket] rows with [le]
+    labels plus [_sum] and [_count]. Label values are escaped with
+    {!escape_label}. Output is byte-stable for a fixed registration
+    order and instrument state. *)

@@ -52,7 +52,8 @@ let gen_request =
         oneofl
           [
             Protocol.Stats; Protocol.Loads; Protocol.Metrics;
-            Protocol.Snapshot; Protocol.Ping; Protocol.Shutdown;
+            Protocol.Snapshot; Protocol.Ping; Protocol.Health;
+            Protocol.Shutdown;
           ];
       ])
 
@@ -108,6 +109,11 @@ let gen_response =
         map (fun s -> Protocol.Metrics_reply s) string;
         map (fun s -> Protocol.Snapshot_reply s) string;
         return Protocol.Pong;
+        map
+          (fun ((ready, uptime_ms), (seq, recovered_ops)) ->
+            Protocol.Health_reply
+              { Protocol.ready; uptime_ms; seq; recovered_ops })
+          (pair (pair bool nat) (pair nat nat));
         return Protocol.Bye;
         map (fun s -> Protocol.Error s) string;
       ])
@@ -144,6 +150,42 @@ let binary_response_equiv =
       Protocol.decode_response_binary bin = Ok r
       && Protocol.decode_response (Protocol.encode_response r) = Ok r
       && bin.[0] = Char.chr Pmp_server.Wire.request_magic)
+
+(* Request-id attribution: a rid attached to any request or response
+   survives both encodings and comes back as exactly [Some rid]; the
+   plain decoders keep accepting (and ignoring) tagged messages. *)
+let arb_rid = QCheck.make QCheck.Gen.(int_range 0 1_000_000_000)
+
+let rid_request_roundtrip =
+  QCheck.Test.make ~name:"request ids echo through both encodings" ~count:300
+    (QCheck.pair arb_request arb_rid) (fun (r, rid) ->
+      let buf = Buffer.create 64 in
+      Protocol.request_payload_rid buf ~rid r;
+      let payload = Buffer.contents buf in
+      Protocol.decode_request_rid (Protocol.encode_request ~rid r)
+      = Ok (r, Some rid)
+      && Protocol.decode_request (Protocol.encode_request ~rid r) = Ok r
+      && Protocol.decode_request_payload_rid payload ~pos:0
+           ~limit:(String.length payload)
+         = Ok (r, Some rid)
+      && Protocol.decode_request_binary (Protocol.encode_request_binary ~rid r)
+         = Ok r)
+
+let rid_response_roundtrip =
+  QCheck.Test.make ~name:"response ids echo through both encodings" ~count:300
+    (QCheck.pair arb_response arb_rid) (fun (r, rid) ->
+      let buf = Buffer.create 64 in
+      Protocol.response_payload_rid buf ~rid r;
+      let payload = Buffer.contents buf in
+      Protocol.decode_response_rid (Protocol.encode_response ~rid r)
+      = Ok (r, Some rid)
+      && Protocol.decode_response (Protocol.encode_response ~rid r) = Ok r
+      && Protocol.decode_response_payload_rid payload ~pos:0
+           ~limit:(String.length payload)
+         = Ok (r, Some rid)
+      && Protocol.decode_response_binary
+           (Protocol.encode_response_binary ~rid r)
+         = Ok r)
 
 let test_binary_decode_errors () =
   let reject ~ctx s =
@@ -884,6 +926,461 @@ let test_fast_path_allocation () =
       if words > 8.0 then
         Alcotest.failf "fast path allocates %.2f words/request" words
 
+(* --- observability: flight recorder, health, latency attribution --- *)
+
+module Recorder = Pmp_server.Recorder
+module Metrics = Pmp_telemetry.Metrics
+module Json = Pmp_util.Json
+
+let string_contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let read_lines path =
+  In_channel.with_open_text path (fun ic ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some l -> go (l :: acc)
+        | None -> List.rev acc
+      in
+      go [])
+
+let entry_member ~ctx line name =
+  match Json.member name (Json.of_string line) with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: entry %s lacks %S" ctx line name
+
+let entry_int ~ctx line name =
+  match Json.to_int (entry_member ~ctx line name) with
+  | Some i -> i
+  | None -> Alcotest.failf "%s: %S is not an int in %s" ctx name line
+
+let entry_str ~ctx line name =
+  match Json.to_str (entry_member ~ctx line name) with
+  | Some s -> s
+  | None -> Alcotest.failf "%s: %S is not a string in %s" ctx name line
+
+let entry_ok ~ctx line =
+  match entry_member ~ctx line "ok" with
+  | Json.Bool b -> b
+  | _ -> Alcotest.failf "%s: \"ok\" is not a bool in %s" ctx line
+
+let test_recorder_ring () =
+  (match Recorder.create (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative capacity must be rejected");
+  let off = Recorder.create 0 in
+  Alcotest.(check bool) "cap 0 disabled" false (Recorder.enabled off);
+  Recorder.record off ~kind:Recorder.kind_event ~op:0 ~tenant:0 ~size:0 ~seq:0
+    ~dur_ns:0 ~ts_us:0 ~ok:true;
+  Alcotest.(check int) "disabled ring stays empty" 0
+    (List.length (Recorder.entries off));
+  let r = Recorder.create 4 in
+  Alcotest.(check bool) "enabled" true (Recorder.enabled r);
+  Alcotest.(check int) "capacity" 4 (Recorder.capacity r);
+  for i = 1 to 10 do
+    Recorder.record r ~kind:Recorder.kind_request ~op:1 ~tenant:0 ~size:i
+      ~seq:i ~dur_ns:0 ~ts_us:0 ~ok:(i mod 2 = 0)
+  done;
+  Alcotest.(check int) "total counts overwritten records" 10 (Recorder.total r);
+  let es = Recorder.entries r in
+  Alcotest.(check int) "ring keeps the last cap records" 4 (List.length es);
+  List.iteri
+    (fun j e ->
+      (* records 7..10 survive, oldest first, indices monotone *)
+      Alcotest.(check int) "seq tracks the write" (7 + j) e.Recorder.e_seq;
+      Alcotest.(check string) "kind" Recorder.kind_request e.Recorder.e_kind;
+      if j > 0 then
+        Alcotest.(check int) "indices monotone"
+          ((List.nth es (j - 1)).Recorder.e_index + 1)
+          e.Recorder.e_index)
+    es;
+  (* the JSONL rendering is real JSON carrying every field *)
+  let line = Recorder.entry_to_json (List.hd es) in
+  Alcotest.(check int) "json seq" 7 (entry_int ~ctx:"ring" line "seq");
+  Alcotest.(check string) "json kind" "request" (entry_str ~ctx:"ring" line "kind");
+  Alcotest.(check bool) "json ok" false (entry_ok ~ctx:"ring" line)
+
+(* The acceptance property for crash injection: serve a real socket,
+   trip [crash_after], and the dump written on the way out must parse,
+   with its request entries matching the durable WAL tail seq-for-seq. *)
+let test_crash_dump_matches_wal_tail () =
+  with_dir (fun dir ->
+      let config =
+        {
+          (Server.default_config ~machine_size:64 ~policy:Cluster.Greedy ~dir) with
+          Server.snapshot_every = 0;
+          recorder_size = 8;
+          crash_after = Some 5;
+        }
+      in
+      let server = Result.get_ok (Server.create config) in
+      let path = Filename.concat dir "pmp.sock" in
+      let listener = Server.listen_unix path in
+      let domain =
+        Domain.spawn (fun () ->
+            match Server.serve server ~listeners:[ listener ] with
+            | () -> false
+            | exception Server.Crash -> true)
+      in
+      (* pipeline a burst without reading: the crash severs the server
+         before it answers, and waiting for replies would deadlock *)
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      Unix.connect fd (ADDR_UNIX path);
+      let oc = Unix.out_channel_of_descr fd in
+      for _ = 1 to 12 do
+        output_string oc (Protocol.encode_request (Protocol.Submit 1));
+        output_char oc '\n'
+      done;
+      flush oc;
+      let crashed = Domain.join domain in
+      Unix.close fd;
+      Alcotest.(check bool) "crash injection fired" true crashed;
+      let dump = Server.flightrec_path server in
+      Alcotest.(check bool) "dump exists" true (Sys.file_exists dump);
+      let lines = read_lines dump in
+      let rec_seqs =
+        List.filter_map
+          (fun l ->
+            if entry_str ~ctx:"crash dump" l "kind" = "request" then begin
+              Alcotest.(check int) "submit opcode" 1
+                (entry_int ~ctx:"crash dump" l "op");
+              Alcotest.(check bool) "submit accepted" true
+                (entry_ok ~ctx:"crash dump" l);
+              Some (entry_int ~ctx:"crash dump" l "seq")
+            end
+            else None)
+          lines
+      in
+      let wal_seqs =
+        List.map fst
+          (get_ok ~ctx:"wal after crash"
+             (Wal.load (Filename.concat dir "wal.log")))
+      in
+      if rec_seqs = [] then Alcotest.fail "dump holds no request entries";
+      if List.length wal_seqs < List.length rec_seqs then
+        Alcotest.failf "recorder saw %d requests but only %d are durable"
+          (List.length rec_seqs) (List.length wal_seqs);
+      (* the ring keeps the newest records: its seqs are the WAL tail *)
+      let tail =
+        List.filteri
+          (fun i _ ->
+            i >= List.length wal_seqs - List.length rec_seqs)
+          wal_seqs
+      in
+      Alcotest.(check (list int)) "recorder matches the WAL tail" tail rec_seqs)
+
+(* The other black-box path: a WAL whose replay contradicts what the
+   original run acknowledged (an oracle-violating mutant) must refuse
+   to start and leave the flight recorder behind, failed replay
+   included. *)
+let test_recovery_refusal_dumps () =
+  with_dir (fun dir ->
+      (* a fresh cluster would assign id 0, not 5: replay must diverge *)
+      let _ = write_wal dir [ (1, Wal.Submit { id = 5; size = 8 }) ] in
+      let config =
+        {
+          (Server.default_config ~machine_size:16 ~policy:Cluster.Greedy ~dir) with
+          Server.snapshot_every = 0;
+          recorder_size = 16;
+        }
+      in
+      (match Server.create config with
+      | Ok _ -> Alcotest.fail "mutant WAL must refuse to start"
+      | Error e ->
+          Alcotest.(check bool) "error names the mismatch" true
+            (string_contains e "wal submit expected id"));
+      let dump = Filename.concat dir "flightrec.jsonl" in
+      Alcotest.(check bool) "refusal leaves a dump" true (Sys.file_exists dump);
+      let lines = read_lines dump in
+      if lines = [] then Alcotest.fail "dump is empty";
+      let kinds = List.map (fun l -> entry_str ~ctx:"mutant" l "kind") lines in
+      let oks = List.map (fun l -> entry_ok ~ctx:"mutant" l) lines in
+      Alcotest.(check bool) "the failed replay is on record" true
+        (List.exists2 (fun k ok -> k = "replay" && not ok) kinds oks);
+      (* the last word is the refusal event itself *)
+      let last = List.nth lines (List.length lines - 1) in
+      Alcotest.(check string) "final entry is an event" "event"
+        (entry_str ~ctx:"mutant" last "kind");
+      Alcotest.(check bool) "final entry records failure" false
+        (entry_ok ~ctx:"mutant" last))
+
+let test_health_opcode () =
+  with_dir (fun dir ->
+      let config =
+        Server.default_config ~machine_size:16 ~policy:Cluster.Greedy ~dir
+      in
+      let path = Filename.concat dir "pmp.sock" in
+      with_served config ~listener:(Server.listen_unix path) (fun () ->
+          let check proto seq_floor =
+            let client =
+              get_ok ~ctx:"connect" (Client.connect_unix ~proto path)
+            in
+            ignore
+              (expect_placed ~ctx:"submit"
+                 (Client.request client (Protocol.Submit 2)));
+            (match Client.request client Protocol.Health with
+            | Ok (Protocol.Health_reply h) ->
+                Alcotest.(check bool) "ready" true h.Protocol.ready;
+                Alcotest.(check bool) "uptime non-negative" true
+                  (h.Protocol.uptime_ms >= 0);
+                Alcotest.(check bool) "seq advanced" true
+                  (h.Protocol.seq >= seq_floor);
+                Alcotest.(check int) "fresh start replayed nothing" 0
+                  h.Protocol.recovered_ops
+            | Ok r -> Alcotest.failf "health: %s" (Protocol.encode_response r)
+            | Error e -> Alcotest.failf "health: %s" e);
+            Client.close client
+          in
+          check Client.Json 1;
+          check Client.Binary 2;
+          let client = get_ok ~ctx:"connect" (Client.connect_unix path) in
+          shutdown_server client;
+          Client.close client))
+
+let test_rid_echo_over_sockets () =
+  with_dir (fun dir ->
+      let config =
+        Server.default_config ~machine_size:16 ~policy:Cluster.Greedy ~dir
+      in
+      let path = Filename.concat dir "pmp.sock" in
+      with_served config ~listener:(Server.listen_unix path) (fun () ->
+          let check proto =
+            let client =
+              get_ok ~ctx:"connect" (Client.connect_unix ~proto path)
+            in
+            get_ok ~ctx:"send tagged"
+              (Client.send client ~rid:42 (Protocol.Submit 4));
+            get_ok ~ctx:"send bare" (Client.send client Protocol.Ping);
+            (match Client.receive_with_rid client with
+            | Ok (Protocol.Placed _, Some 42) -> ()
+            | Ok (r, rid) ->
+                Alcotest.failf "tagged reply %s carried rid %s"
+                  (Protocol.encode_response r)
+                  (match rid with
+                  | Some i -> string_of_int i
+                  | None -> "(none)")
+            | Error e -> Alcotest.failf "tagged reply: %s" e);
+            (match Client.receive_with_rid client with
+            | Ok (Protocol.Pong, None) -> ()
+            | Ok _ -> Alcotest.fail "bare reply must carry no rid"
+            | Error e -> Alcotest.failf "bare reply: %s" e);
+            Client.close client
+          in
+          check Client.Json;
+          check Client.Binary;
+          let client = get_ok ~ctx:"connect" (Client.connect_unix path) in
+          shutdown_server client;
+          Client.close client))
+
+(* scrape one labelled histogram's cumulative buckets out of a
+   Prometheus dump — the [le] label renders last, so a prefix pins the
+   series (same parser [pmp client bench] and the service bench use) *)
+let scrape_buckets dump name selector =
+  let prefix = Printf.sprintf "%s_bucket{%s,le=\"" name selector in
+  let plen = String.length prefix in
+  List.filter_map
+    (fun l ->
+      if String.length l > plen && String.sub l 0 plen = prefix then
+        match String.index_opt l '}' with
+        | Some j when j > plen ->
+            let bound = String.sub l plen (j - 1 - plen) in
+            let upper =
+              if bound = "+Inf" then infinity
+              else Option.value ~default:nan (float_of_string_opt bound)
+            in
+            let v = String.sub l (j + 1) (String.length l - j - 1) in
+            Option.map
+              (fun cum -> (upper, cum))
+              (int_of_string_opt (String.trim v))
+        | _ -> None
+      else None)
+    (String.split_on_char '\n' dump)
+
+let scraped_count buckets =
+  match List.rev buckets with (_, total) :: _ -> total | [] -> 0
+
+let scraped_quantile buckets q =
+  let max_seen =
+    List.fold_left
+      (fun acc (u, c) -> if Float.is_finite u && c > 0 then u else acc)
+      0.0 buckets
+  in
+  Metrics.quantile_of_buckets buckets ~max_seen ~count:(scraped_count buckets) q
+
+(* The reconciliation criterion: with [latency_profile] on, the p99 a
+   client scrapes out of the metrics dump must agree with the
+   registry's own histogram — same buckets, so within one bucket
+   (ratio 2) of each other, and the counts must match the traffic
+   exactly. *)
+let test_latency_attribution_reconciles () =
+  with_dir (fun dir ->
+      let config =
+        {
+          (Server.default_config ~machine_size:64 ~policy:Cluster.Greedy ~dir) with
+          Server.latency_profile = true;
+        }
+      in
+      let server = Result.get_ok (Server.create config) in
+      let path = Filename.concat dir "pmp.sock" in
+      let listener = Server.listen_unix path in
+      let domain =
+        Domain.spawn (fun () -> Server.serve server ~listeners:[ listener ])
+      in
+      let dump =
+        Fun.protect
+          ~finally:(fun () -> Domain.join domain)
+          (fun () ->
+            let client =
+              get_ok ~ctx:"connect"
+                (Client.connect_unix ~proto:Client.Binary path)
+            in
+            for _ = 1 to 50 do
+              ignore
+                (expect_placed ~ctx:"submit"
+                   (Client.request client (Protocol.Submit 1)))
+            done;
+            for i = 0 to 49 do
+              match Client.request client (Protocol.Finish i) with
+              | Ok Protocol.Finished -> ()
+              | Ok r ->
+                  Alcotest.failf "finish %d: %s" i (Protocol.encode_response r)
+              | Error e -> Alcotest.failf "finish %d: %s" i e
+            done;
+            let dump =
+              match Client.request client Protocol.Metrics with
+              | Ok (Protocol.Metrics_reply m) -> m
+              | Ok r ->
+                  Alcotest.failf "metrics: %s" (Protocol.encode_response r)
+              | Error e -> Alcotest.failf "metrics: %s" e
+            in
+            shutdown_server client;
+            Client.close client;
+            dump)
+      in
+      (* the domain is joined: the registry is quiescent and ours *)
+      let registry_histogram op =
+        let hit =
+          List.find_map
+            (fun (name, labels, _, inst) ->
+              match inst with
+              | Metrics.I_histogram h
+                when name = "pmpd_request_seconds"
+                     && labels = [ ("op", op) ] ->
+                  Some h
+              | _ -> None)
+            (Metrics.Registry.entries (Server.registry server))
+        in
+        match hit with
+        | Some h -> h
+        | None -> Alcotest.failf "no pmpd_request_seconds{op=%S} registered" op
+      in
+      List.iter
+        (fun op ->
+          let h = registry_histogram op in
+          Alcotest.(check int)
+            (Printf.sprintf "registry counted every %s" op)
+            50 (Metrics.Histogram.count h);
+          let buckets =
+            scrape_buckets dump "pmpd_request_seconds"
+              (Printf.sprintf "op=\"%s\"" op)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "dump counted every %s" op)
+            50 (scraped_count buckets);
+          let q_dump = scraped_quantile buckets 0.99 in
+          let q_reg = Metrics.Histogram.quantile h 0.99 in
+          if not (q_dump > 0.0 && q_reg > 0.0) then
+            Alcotest.failf "%s p99 degenerate: dump %g registry %g" op q_dump
+              q_reg;
+          (* identical buckets, so any gap is dump-formatting noise:
+             well inside the ratio-2 bucket width *)
+          if q_dump > q_reg *. 2.0 || q_reg > q_dump *. 2.0 then
+            Alcotest.failf "%s p99 irreconcilable: dump %g registry %g" op
+              q_dump q_reg)
+        [ "submit"; "finish" ];
+      (* the pipeline stages saw each mutation exactly once *)
+      List.iter
+        (fun stage ->
+          let buckets =
+            scrape_buckets dump "pmpd_stage_seconds"
+              (Printf.sprintf "stage=\"%s\"" stage)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "stage %s counted every mutation" stage)
+            100 (scraped_count buckets))
+        [ "decode"; "apply"; "wal_append" ])
+
+(* every sample line of a dump, as (series, value), in dump order *)
+let metric_samples dump =
+  List.filter_map
+    (fun l ->
+      if l = "" || l.[0] = '#' then None
+      else
+        match String.rindex_opt l ' ' with
+        | Some i ->
+            Option.map
+              (fun v -> (String.sub l 0 i, v))
+              (float_of_string_opt
+                 (String.sub l (i + 1) (String.length l - i - 1)))
+        | None -> None)
+    (String.split_on_char '\n' dump)
+
+(* Counters, bucket counts, sums and counts only ever grow within a
+   process — across a snapshot too — and the dump's series ordering is
+   byte-stable, including across a recovery into a fresh process. *)
+let test_metrics_monotone_across_recovery () =
+  with_dir (fun dir ->
+      let config =
+        {
+          (Server.default_config ~machine_size:16 ~policy:Cluster.Greedy ~dir) with
+          Server.snapshot_every = 0;
+        }
+      in
+      let s = Result.get_ok (Server.create config) in
+      apply s [ Protocol.Submit 4; Protocol.Submit 8; Protocol.Finish 0 ];
+      let d1 = Server.metrics s in
+      apply s [ Protocol.Snapshot; Protocol.Submit 2; Protocol.Submit 1 ];
+      let d2 = Server.metrics s in
+      let s1 = metric_samples d1 and s2 = metric_samples d2 in
+      List.iter
+        (fun (series, v1) ->
+          let monotone =
+            String.ends_with ~suffix:"_total" series
+            || String.ends_with ~suffix:"_count" series
+            || String.ends_with ~suffix:"_sum" series
+            || string_contains series "_bucket{"
+          in
+          if monotone then
+            match List.assoc_opt series s2 with
+            | Some v2 when v2 >= v1 -> ()
+            | Some v2 ->
+                Alcotest.failf "%s went backwards across a snapshot: %g -> %g"
+                  series v1 v2
+            | None -> Alcotest.failf "%s disappeared from the dump" series)
+        s1;
+      Alcotest.(check (list string))
+        "series order is byte-stable" (List.map fst s1) (List.map fst s2);
+      Server.close s;
+      let s' = Result.get_ok (Server.create config) in
+      let s3 = metric_samples (Server.metrics s') in
+      Alcotest.(check (list string))
+        "series order survives recovery" (List.map fst s1) (List.map fst s3);
+      let v series =
+        match List.assoc_opt series s3 with
+        | Some v -> v
+        | None -> Alcotest.failf "missing %s after recovery" series
+      in
+      (* the fresh process starts its counters over but records the
+         recovery itself: one recovery, two post-snapshot replays *)
+      Alcotest.(check (float 0.0)) "one recovery" 1.0 (v "pmpd_recoveries_total");
+      Alcotest.(check (float 0.0)) "replayed the WAL tail" 2.0
+        (v "pmpd_recovered_ops_total");
+      Server.close s')
+
 let suite =
   [
     ("decode errors", `Quick, test_decode_errors);
@@ -910,9 +1407,17 @@ let suite =
     ("pipelined batch", `Quick, test_pipelined_batch);
     ("concurrent clients", `Quick, test_concurrent_clients);
     ("fast path allocation", `Quick, test_fast_path_allocation);
+    ("flight recorder ring", `Quick, test_recorder_ring);
+    ("crash dump matches wal tail", `Quick, test_crash_dump_matches_wal_tail);
+    ("recovery refusal dumps recorder", `Quick, test_recovery_refusal_dumps);
+    ("health opcode", `Quick, test_health_opcode);
+    ("request ids over sockets", `Quick, test_rid_echo_over_sockets);
+    ("latency attribution reconciles", `Quick, test_latency_attribution_reconciles);
+    ("metrics monotone across recovery", `Quick, test_metrics_monotone_across_recovery);
   ]
   @ Helpers.qtests
       [
         request_roundtrip; response_roundtrip; binary_request_equiv;
-        binary_response_equiv; restore_equiv; crash_recovery;
+        binary_response_equiv; rid_request_roundtrip; rid_response_roundtrip;
+        restore_equiv; crash_recovery;
       ]

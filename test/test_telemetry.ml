@@ -48,6 +48,115 @@ let test_prometheus_dump () =
      # TYPE t_gauge gauge\nt_gauge 2\nt_gauge_max 7\n"
     dump
 
+(* --- labelled series ---------------------------------------------- *)
+
+let test_escape_label () =
+  Alcotest.(check string) "clean passes through" "submit"
+    (Metrics.escape_label "submit");
+  Alcotest.(check string) "quote" "say \\\"hi\\\"" (Metrics.escape_label "say \"hi\"");
+  Alcotest.(check string) "backslash" "a\\\\b" (Metrics.escape_label "a\\b");
+  Alcotest.(check string) "newline" "a\\nb" (Metrics.escape_label "a\nb")
+
+let test_registry_duplicate_labels () =
+  let reg = Metrics.Registry.create () in
+  let _ = Metrics.Registry.counter reg ~labels:[ ("op", "submit") ] "x_total" in
+  (* same name, different labels: a distinct series, fine *)
+  let _ = Metrics.Registry.counter reg ~labels:[ ("op", "finish") ] "x_total" in
+  Alcotest.check_raises "duplicate (name, labels)"
+    (Invalid_argument
+       "Registry: duplicate instrument \"x_total\"{op=\"submit\"}")
+    (fun () ->
+      ignore (Metrics.Registry.counter reg ~labels:[ ("op", "submit") ] "x_total"))
+
+let labelled_dump () =
+  let reg = Metrics.Registry.create () in
+  let a = Metrics.Registry.counter reg ~help:"ops" ~labels:[ ("op", "submit") ] "ops_total" in
+  let b = Metrics.Registry.counter reg ~labels:[ ("op", "finish") ] "ops_total" in
+  let h =
+    Metrics.Registry.histogram reg ~labels:[ ("stage", "fsync") ] "lat"
+      [| 1.0; 2.0 |]
+  in
+  Metrics.Counter.inc a 2;
+  Metrics.Counter.inc b 1;
+  Metrics.Histogram.observe h 1.5;
+  Metrics.prometheus reg
+
+let expected_labelled_dump =
+  "# HELP ops_total ops\n# TYPE ops_total counter\n\
+   ops_total{op=\"submit\"} 2\n\
+   ops_total{op=\"finish\"} 1\n\
+   # TYPE lat histogram\n\
+   lat_bucket{stage=\"fsync\",le=\"1\"} 0\n\
+   lat_bucket{stage=\"fsync\",le=\"2\"} 1\n\
+   lat_bucket{stage=\"fsync\",le=\"+Inf\"} 1\n\
+   lat_sum{stage=\"fsync\"} 1.5\n\
+   lat_count{stage=\"fsync\"} 1\n"
+
+(* HELP/TYPE once per name, series in registration order, le rendered
+   last — and the whole thing byte-stable run to run *)
+let test_prometheus_labels () =
+  Alcotest.(check string) "labelled dump" expected_labelled_dump (labelled_dump ());
+  Alcotest.(check string) "byte-stable" (labelled_dump ()) (labelled_dump ())
+
+(* --- quantile estimation ------------------------------------------ *)
+
+let test_bucket_ceil_matches_verdict () =
+  (* the scenario gates pinned their buckets before the rule moved into
+     the telemetry layer; the shared function must be bit-identical *)
+  let check x =
+    let expected =
+      (* the historical Verdict.bucket definition, verbatim *)
+      if x <= 1.0 then 1.0
+      else begin
+        let rec up b = if x <= b *. (1.0 +. 1e-9) then b else up (b *. 1.25) in
+        up 1.0
+      end
+    in
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "bucket %g" x)
+      expected
+      (Pmp_scenario.Verdict.bucket x)
+  in
+  List.iter check [ 0.0; 0.5; 1.0; 1.0000000001; 1.2; 1.25; 1.5625; 2.0; 7.3; 100.0; 1e6 ]
+
+let test_quantile_estimator () =
+  let h = Metrics.Histogram.make (Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:10) in
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Metrics.Histogram.quantile h 0.5);
+  for _ = 1 to 100 do
+    Metrics.Histogram.observe h 3.0
+  done;
+  (* everything sits in the (2,4] bucket: every quantile lands inside it *)
+  let q50 = Metrics.Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "p50 within covering bucket" true (q50 > 2.0 && q50 <= 4.0);
+  let q99 = Metrics.Histogram.quantile h 0.99 in
+  Alcotest.(check bool) "monotone in q" true (q99 >= q50);
+  Alcotest.(check bool) "clamped above" true
+    (Metrics.Histogram.quantile h 2.0 <= 4.0);
+  (* first-bucket mass reports the first bound *)
+  let lo = Metrics.Histogram.make [| 1.0; 2.0 |] in
+  Metrics.Histogram.observe lo 0.5;
+  Alcotest.(check (float 0.0)) "first bucket" 1.0 (Metrics.Histogram.quantile lo 0.9);
+  (* overflow mass interpolates toward the max seen *)
+  let hi = Metrics.Histogram.make [| 1.0 |] in
+  Metrics.Histogram.observe hi 50.0;
+  Metrics.Histogram.observe hi 100.0;
+  let q = Metrics.Histogram.quantile hi 1.0 in
+  Alcotest.(check bool) "overflow caps at max_seen" true (q > 1.0 && q <= 100.0)
+
+let prop_quantile_bounded =
+  QCheck.Test.make ~count:200 ~name:"quantile lies within observed range"
+    QCheck.(pair (list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1e4)) (float_bound_exclusive 1.0))
+    (fun (xs, q) ->
+      let xs = List.map (fun x -> Float.abs x +. 0.001) xs in
+      let h = Metrics.Histogram.make (Metrics.log_bounds ~start:0.01 ~ratio:2.0 ~count:24) in
+      List.iter (Metrics.Histogram.observe h) xs;
+      let v = Metrics.Histogram.quantile h q in
+      let mx = List.fold_left Float.max 0.0 xs in
+      (* the estimate never leaves the covering bucket, whose upper
+         bound is at most one ratio step above the largest value (or
+         the first bound, for values below it) *)
+      v >= 0.0 && v <= Float.max 0.01 (2.0 *. mx) +. 1e-9)
+
 (* --- probe vs engine accounting ----------------------------------- *)
 
 (* One probe shared by the allocator and the engine must agree with the
@@ -225,6 +334,13 @@ let suite =
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
     Alcotest.test_case "registry duplicate" `Quick test_registry_duplicate;
     Alcotest.test_case "prometheus dump" `Quick test_prometheus_dump;
+    Alcotest.test_case "escape_label" `Quick test_escape_label;
+    Alcotest.test_case "registry duplicate labels" `Quick
+      test_registry_duplicate_labels;
+    Alcotest.test_case "prometheus labelled dump" `Quick test_prometheus_labels;
+    Alcotest.test_case "bucket_ceil == verdict bucket" `Quick
+      test_bucket_ceil_matches_verdict;
+    Alcotest.test_case "quantile estimator" `Quick test_quantile_estimator;
     Alcotest.test_case "golden jsonl" `Quick test_golden_jsonl;
     Alcotest.test_case "golden chrome" `Quick test_golden_chrome;
     Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
@@ -234,4 +350,4 @@ let suite =
     Alcotest.test_case "imbalance all-idle nan" `Quick test_imbalance_all_idle_is_nan;
     Alcotest.test_case "fragmentation empty nan" `Quick test_fragmentation_empty_is_nan;
   ]
-  @ Helpers.qtests [ prop_counters_match_engine ]
+  @ Helpers.qtests [ prop_counters_match_engine; prop_quantile_bounded ]
