@@ -31,6 +31,14 @@ let default_tolerance = 0.25
 let min_speedup = 5.0
 let min_service_speedup = 5.0
 
+(* the multicore floor: at --domains=4 the sharded event loop must move
+   at least this many times the single-domain throughput on the same
+   workload (binary+group, four connections either way). Only enforced
+   on hosts that can actually run four domains in parallel; elsewhere
+   the probe records itself as skipped. PMP_MULTICORE_GATE=off skips
+   explicitly (e.g. a loaded CI box with cores but no isolation). *)
+let min_multicore_speedup = 2.0
+
 (* observability must stay near-free: the fully instrumented service
    (per-stage latency histograms + flight recorder) may cost at most
    this factor over the same matrix point with telemetry disabled *)
@@ -289,6 +297,65 @@ let service_probe calib =
       ("words_per_request", Json.Num words);
     ]
 
+(* The multicore gate: the same Loadgen workload, four connections,
+   against a single-domain and a four-shard daemon. Wall-clock on both
+   sides of the ratio, same host, so it transports like the other
+   speedups — but unlike them it needs real parallel hardware, so the
+   probe self-skips (recording why) when the host cannot run four
+   domains at once or when PMP_MULTICORE_GATE=off. *)
+let multicore_probe () =
+  let module L = Pmp_server.Loadgen in
+  let skip reason =
+    Json.Obj
+      [
+        ("case", Json.Str "multicore: domains=4 vs domains=1 (4 conns)");
+        ("skipped", Json.Bool true);
+        ("reason", Json.Str reason);
+        ("min_required", Json.Num min_multicore_speedup);
+      ]
+  in
+  match Sys.getenv_opt "PMP_MULTICORE_GATE" with
+  | Some "off" -> skip "PMP_MULTICORE_GATE=off"
+  | _ ->
+      let cores = Domain.recommended_domain_count () in
+      if cores < 4 then
+        skip
+          (Printf.sprintf
+             "host cannot run 4 domains in parallel \
+              (recommended_domain_count=%d)"
+             cores)
+      else
+        let run ~domains () =
+          match
+            L.bench ~proto:Pmp_server.Client.Binary
+              ~fsync_policy:Pmp_server.Wal.Group
+              ~wal_format:Pmp_server.Wal.Binary_records ~domains ~conns:4
+              ~requests:30_000 ()
+          with
+          | Ok o -> o
+          | Error e ->
+              failwith (Printf.sprintf "multicore probe (domains=%d): %s" domains e)
+        in
+        let best ~domains =
+          let o1 = run ~domains () and o2 = run ~domains () in
+          if L.ns_per_request o1 <= L.ns_per_request o2 then o1 else o2
+        in
+        let d1 = best ~domains:1 and d4 = best ~domains:4 in
+        let d1_ns = L.ns_per_request d1 and d4_ns = L.ns_per_request d4 in
+        Json.Obj
+          [
+            ("case", Json.Str "multicore: domains=4 vs domains=1 (4 conns)");
+            ("skipped", Json.Bool false);
+            ("dom1_ns_per_request", Json.Num (Float.round d1_ns));
+            ("dom4_ns_per_request", Json.Num (Float.round d4_ns));
+            ( "dom1_requests_per_sec",
+              Json.Num (Float.round (L.requests_per_sec d1)) );
+            ( "dom4_requests_per_sec",
+              Json.Num (Float.round (L.requests_per_sec d4)) );
+            ("speedup", Json.Num (d1_ns /. d4_ns));
+            ("min_required", Json.Num min_multicore_speedup);
+          ]
+
 (* The production-shaped scenario gate: replay the registry's fast
    subset (pinned seed, per-scenario default machine, greedy, oracle
    armed) and pin each verdict's deterministic projection. Scenario
@@ -314,7 +381,7 @@ let scenario_verdicts () =
         Pmp_scenario.Verdict.golden_json verdict ))
     Pmp_scenario.Registry.fast_subset
 
-let report calib cases speedup service scenarios =
+let report calib cases speedup service multicore scenarios =
   Json.Obj
     [
       ("suite", Json.Str "pmp bench-regress");
@@ -325,6 +392,7 @@ let report calib cases speedup service scenarios =
       ("cases", Json.Obj cases);
       ("speedup", speedup);
       ("service", service);
+      ("multicore", multicore);
       ("scenarios", Json.Obj scenarios);
     ]
 
@@ -463,6 +531,29 @@ let check_service ~tolerance baseline sv =
   in
   floor_failures @ overhead_failures @ baseline_failures
 
+(* The multicore gate: an absolute speedup floor like the service one.
+   A probe that recorded itself as skipped gates nothing — the report
+   carries the reason, and the CI matrix pins at least one runner with
+   enough cores so the floor is enforced somewhere on every change. *)
+let check_multicore mc =
+  match Json.member "skipped" mc with
+  | Some (Json.Bool true) -> []
+  | _ ->
+      let s = get_num "multicore" mc "speedup" in
+      if s < min_multicore_speedup then
+        [
+          {
+            key = "multicore";
+            msg =
+              Printf.sprintf
+                "multicore speedup (domains=4 vs domains=1, 4 conns) %.2fx \
+                 is below the %.1fx floor"
+                s min_multicore_speedup;
+            timing = false;
+          };
+        ]
+      else []
+
 (* The scenario gate is double: every verdict must pass on its own
    (load bound, oracle, everything drained) regardless of any
    baseline, and its deterministic projection must match the
@@ -582,6 +673,19 @@ let () =
     (Option.value ~default:nan service_speedup)
     (Option.value ~default:nan service_words)
     ((Option.value ~default:nan service_overhead -. 1.0) *. 100.0);
+  Printf.printf "measuring multicore scaling (domains=4 vs domains=1)...\n%!";
+  let mc = multicore_probe () in
+  (match Json.member "skipped" mc with
+  | Some (Json.Bool true) ->
+      Printf.printf "multicore gate skipped: %s\n%!"
+        (match Json.member "reason" mc with
+        | Some (Json.Str r) -> r
+        | _ -> "unknown")
+  | _ ->
+      Printf.printf "multicore speedup: %.2fx (floor %.1fx)\n%!"
+        (Option.value ~default:nan
+           (Option.bind (Json.member "speedup" mc) Json.to_float))
+        min_multicore_speedup);
   Printf.printf "running scenario fast subset (%s)...\n%!"
     (String.concat ", "
        (List.map
@@ -630,6 +734,7 @@ let () =
   let failures =
     check_speedup sp
     @ check_service ~tolerance:!tolerance baseline sv
+    @ check_multicore mc
     @ check_scenarios baseline scenarios
     @ !failures
   in
@@ -641,7 +746,7 @@ let () =
   let hard, soft =
     List.partition (fun f -> !strict_time || not f.timing) failures
   in
-  let rep = report calib !cases sp sv scenarios in
+  let rep = report calib !cases sp sv mc scenarios in
   Json.to_file !out rep;
   Printf.printf "wrote %s (%d cases)\n%!" !out (List.length !cases);
   if !update_baseline then begin

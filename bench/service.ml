@@ -161,6 +161,88 @@ let point ~label ~proto ~fsync_policy ~wal_format ?(latency_profile = false) () 
               (if group_count > 0.0 then group_sum /. group_count else 0.0) );
         ])
 
+(* sum of every sample of one labelled series whose label set contains
+   [selector], e.g. all pmpd_shard_steals_total{shard="..",dir="out"} *)
+let labelled_sum dump name selector =
+  let prefix = name ^ "{" in
+  let plen = String.length prefix in
+  List.fold_left
+    (fun acc line ->
+      if String.length line > plen && String.sub line 0 plen = prefix then
+        match String.index_opt line '}' with
+        | Some j ->
+            let labels = String.sub line plen (j - plen) in
+            let has_sel =
+              let sl = String.length selector and ll = String.length labels in
+              let rec go i =
+                i + sl <= ll
+                && (String.sub labels i sl = selector || go (i + 1))
+              in
+              go 0
+            in
+            if has_sel then
+              let v = String.sub line (j + 1) (String.length line - j - 1) in
+              acc +. Option.value ~default:0.0 (float_of_string_opt (String.trim v))
+            else acc
+        | None -> acc
+      else acc)
+    0.0
+    (String.split_on_char '\n' dump)
+
+(* the multicore corner: a sharded daemon at --domains=4 driven by four
+   client connections in parallel. The client-side latency histogram
+   does not apply on the parallel path, so this point carries aggregate
+   throughput plus the merged per-shard telemetry (steal volume, WAL
+   fsyncs) instead of percentile fields. *)
+let point_domains ~label ~domains ~conns () =
+  Printf.printf "running %-14s ...%!" label;
+  let requests = 30_000 in
+  let result =
+    L.with_local_service ~domains (fun socket ->
+        let connect () = Client.connect_unix ~proto:Client.Binary socket in
+        match
+          L.drive_parallel ~connect ~conns ~requests ~window:32 ~seed:0xB00
+            ~machine_size:256 ()
+        with
+        | Error e -> Error e
+        | Ok outcome ->
+            let dump =
+              match connect () with
+              | Error _ -> ""
+              | Ok c ->
+                  Fun.protect
+                    ~finally:(fun () -> Client.close c)
+                    (fun () ->
+                      match Client.request c Protocol.Metrics with
+                      | Ok (Protocol.Metrics_reply m) -> m
+                      | Ok _ | Error _ -> "")
+            in
+            Ok (outcome, dump))
+  in
+  match result with
+  | Error e -> failwith (Printf.sprintf "service bench (%s): %s" label e)
+  | Ok (o, dump) ->
+      let metric name = Option.value ~default:nan (metric_value dump name) in
+      let steals = labelled_sum dump "pmpd_shard_steals_total" "dir=\"out\"" in
+      Printf.printf " %8.0f req/s  (%d conns aggregate)  steals %.0f\n%!"
+        (L.requests_per_sec o) conns steals;
+      Json.Obj
+        [
+          ("label", Json.Str label);
+          ("proto", Json.Str (Client.proto_name Client.Binary));
+          ("fsync_policy", Json.Str (Wal.policy_name Wal.Group));
+          ("wal_format", Json.Str (Wal.format_name Wal.Binary_records));
+          ("domains", Json.Num (float_of_int domains));
+          ("conns", Json.Num (float_of_int conns));
+          ("requests", Json.Num (float_of_int o.L.requests));
+          ("mutations", Json.Num (float_of_int o.L.mutations));
+          ("errors", Json.Num (float_of_int o.L.errors));
+          ("ns_per_request", Json.Num (Float.round (L.ns_per_request o)));
+          ("requests_per_sec", Json.Num (Float.round (L.requests_per_sec o)));
+          ("steals", Json.Num steals);
+          ("fsync_total", Json.Num (metric "pmpd_fsync_total"));
+        ]
+
 let () =
   let out = ref "BENCH_telemetry.json" in
   Arg.parse
@@ -193,7 +275,10 @@ let () =
       ~fsync_policy:Wal.Group ~wal_format:Wal.Binary_records
       ~latency_profile:true ()
   in
-  let points = [ p1; p2; p3; p4; p5 ] in
+  (* the multicore corner: four shard domains, four parallel client
+     connections, the same binary+group fast path *)
+  let p6 = point_domains ~label:"binary+group+dom4" ~domains:4 ~conns:4 () in
+  let points = [ p1; p2; p3; p4; p5; p6 ] in
   let words =
     match L.words_per_request () with
     | Ok w -> w

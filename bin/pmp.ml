@@ -492,9 +492,27 @@ let serve_cmd =
     in
     Arg.(value & opt int 256 & info [ "flight-recorder" ] ~docv:"K" ~doc)
   in
+  let domains_arg =
+    let doc =
+      "Worker domains (shards). 1 runs the classic single-core event loop; a \
+       power of two > 1 partitions the machine into that many subtree shards, \
+       each served by its own domain, with a dedicated WAL-writer domain and \
+       work-stealing admission (see $(b,--steal-threshold)). Snapshots, \
+       latency profiling and the flight recorder are unavailable above 1."
+    in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
+  in
+  let steal_arg =
+    let doc =
+      "With $(b,--domains) > 1: a shard tries to hand a submission to the \
+       least-loaded idle peer once its own admission queue is at least this \
+       deep (admissions that would queue always try). 0 disables stealing."
+    in
+    Arg.(value & opt int 1 & info [ "steal-threshold" ] ~docv:"Q" ~doc)
+  in
   let action machine_size alloc_name d_str seed cap dir socket host port
       fsync_policy wal_format snapshot_every crash_after max_pending
-      latency_profile slow_ms recorder_size =
+      latency_profile slow_ms recorder_size domains steal_threshold =
     let* _ = Builders.machine machine_size in
     let* d = Builders.parse_d d_str in
     let* policy = Builders.cluster_policy alloc_name ~d ~seed in
@@ -522,15 +540,12 @@ let serve_cmd =
           recorder_size;
         }
       in
-      let* server =
-        Result.map_error (fun e -> `Msg e) (Pmp_server.Server.create config)
-      in
       let socket =
         match (socket, port) with
         | None, None -> Some (Filename.concat dir "pmp.sock")
         | _ -> socket
       in
-      let listeners =
+      let mk_listeners () =
         (match socket with
         | Some path ->
             Printf.printf "listening on unix socket %s\n%!" path;
@@ -546,16 +561,50 @@ let serve_cmd =
             [ fd ]
         | None -> []
       in
-      if Pmp_server.Server.recovered_ops server > 0 then
-        Printf.printf "recovered %d WAL records (seq %d)\n%!"
-          (Pmp_server.Server.recovered_ops server)
-          (Pmp_server.Server.seq server);
-      match Pmp_server.Server.serve server ~listeners with
-      | () -> Ok ()
-      | exception Pmp_server.Server.Crash ->
-          Printf.eprintf "crash injection tripped; flight recorder at %s\n%!"
-            (Pmp_server.Server.flightrec_path server);
-          exit 42
+      if domains > 1 then begin
+        if latency_profile || slow_ms <> None then
+          prerr_endline
+            "pmpd: --latency-profile and --slow-ms are ignored with --domains \
+             > 1";
+        if snapshot_every > 0 then
+          prerr_endline "pmpd: snapshots are disabled with --domains > 1";
+        let config =
+          {
+            config with
+            snapshot_every = 0;
+            latency_profile = false;
+            slow_ms = None;
+          }
+        in
+        let* mserver =
+          Result.map_error
+            (fun e -> `Msg e)
+            (Pmp_server.Mserver.create
+               { Pmp_server.Mserver.base = config; domains; steal_threshold })
+        in
+        let listeners = mk_listeners () in
+        if Pmp_server.Mserver.recovered_ops mserver > 0 then
+          Printf.printf "recovered %d WAL records (seq %d)\n%!"
+            (Pmp_server.Mserver.recovered_ops mserver)
+            (Pmp_server.Mserver.seq mserver);
+        Ok (Pmp_server.Mserver.serve mserver ~listeners)
+      end
+      else begin
+        let* server =
+          Result.map_error (fun e -> `Msg e) (Pmp_server.Server.create config)
+        in
+        let listeners = mk_listeners () in
+        if Pmp_server.Server.recovered_ops server > 0 then
+          Printf.printf "recovered %d WAL records (seq %d)\n%!"
+            (Pmp_server.Server.recovered_ops server)
+            (Pmp_server.Server.seq server);
+        match Pmp_server.Server.serve server ~listeners with
+        | () -> Ok ()
+        | exception Pmp_server.Server.Crash ->
+            Printf.eprintf "crash injection tripped; flight recorder at %s\n%!"
+              (Pmp_server.Server.flightrec_path server);
+            exit 42
+      end
     end
   in
   let term =
@@ -564,7 +613,8 @@ let serve_cmd =
         (const action $ machine_arg $ alloc_arg $ d_arg $ seed_arg $ cap_arg
        $ dir_arg $ socket_arg $ host_arg $ port_arg $ fsync_arg
        $ wal_format_arg $ snapshot_arg $ crash_arg $ max_pending_arg
-       $ latency_profile_arg $ slow_ms_arg $ recorder_arg))
+       $ latency_profile_arg $ slow_ms_arg $ recorder_arg $ domains_arg
+       $ steal_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -682,17 +732,48 @@ let client_bench_cmd =
     in
     Arg.(value & flag & info [ "rid" ] ~doc)
   in
-  let action socket host port proto requests window seed machine_size rids =
+  let conns_arg =
+    let doc =
+      "Client connections, each driven from its own domain with its own \
+       decorrelated generator. More than one is the shape that exercises a \
+       sharded server's shards in parallel; the latency histogram and server \
+       stage attribution only apply to a single connection."
+    in
+    Arg.(value & opt int 1 & info [ "conns" ] ~docv:"C" ~doc)
+  in
+  let action socket host port proto requests window seed machine_size rids
+      conns =
     let module Metrics = Pmp_telemetry.Metrics in
     let* proto =
       Result.map_error (fun e -> `Msg e) (Pmp_server.Client.parse_proto proto)
     in
-    let* conn =
-      Result.map_error (fun e -> `Msg e) (connect_client ~proto socket host port)
-    in
-    if requests < 1 || window < 1 then
-      Error (`Msg "--requests and --window must be at least 1")
+    if requests < 1 || window < 1 || conns < 1 then
+      Error (`Msg "--requests, --window and --conns must be at least 1")
+    else if conns > 1 then begin
+      let r =
+        Pmp_server.Loadgen.drive_parallel
+          ~connect:(fun () -> connect_client ~proto socket host port)
+          ~conns ~requests ~window ~seed ~machine_size ~rids ()
+      in
+      let* o = Result.map_error (fun e -> `Msg e) r in
+      Printf.printf "proto          : %s\n" (Pmp_server.Client.proto_name proto);
+      Printf.printf "connections    : %d\n" conns;
+      Printf.printf "requests       : %d (%d mutations, %d errors)%s\n"
+        o.Pmp_server.Loadgen.requests o.Pmp_server.Loadgen.mutations
+        o.Pmp_server.Loadgen.errors
+        (if rids then ", rids verified" else "");
+      Printf.printf "elapsed        : %.3f s\n" o.Pmp_server.Loadgen.elapsed;
+      Printf.printf "throughput     : %.0f req/s (aggregate)\n"
+        (Pmp_server.Loadgen.requests_per_sec o);
+      Printf.printf "ns/request     : %.0f\n"
+        (Pmp_server.Loadgen.ns_per_request o);
+      Ok ()
+    end
     else begin
+      let* conn =
+        Result.map_error (fun e -> `Msg e)
+          (connect_client ~proto socket host port)
+      in
       (* buckets from 1 µs to ~8 s *)
       let latency =
         Metrics.Histogram.make
@@ -767,7 +848,7 @@ let client_bench_cmd =
       term_result
         (const action $ socket_arg $ host_arg $ port_arg
        $ proto_arg ~default:"binary" $ requests_arg $ window_arg $ seed_arg
-       $ machine_arg $ rid_arg))
+       $ machine_arg $ rid_arg $ conns_arg))
   in
   Cmd.v
     (Cmd.info "bench"

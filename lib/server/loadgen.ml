@@ -130,6 +130,41 @@ let drive client gen ~requests ~window ?latency ?(rids = false) () =
 
 let percentile h p = Metrics.Histogram.quantile h (p /. 100.0)
 
+(* Closed-loop driving from several client domains at once — the only
+   way to make a sharded server actually run its shards in parallel.
+   Each connection gets its own generator (decorrelated seed) and its
+   own share of the request budget; outcomes sum, wall-clock is the
+   slowest connection's. *)
+let drive_parallel ~connect ~conns ~requests ~window ~seed ~machine_size
+    ?(rids = false) () =
+  let conns = max 1 conns in
+  let per = max 1 (requests / conns) in
+  let worker i () =
+    match connect () with
+    | Error e -> Error ("connect: " ^ e)
+    | Ok client ->
+        let gen = make_gen ~seed:(seed + (i * 7919)) ~machine_size in
+        let r = drive client gen ~requests:per ~window ~rids () in
+        Client.close client;
+        r
+  in
+  let domains = List.init conns (fun i -> Domain.spawn (worker i)) in
+  let results = List.map Domain.join domains in
+  List.fold_left
+    (fun acc r ->
+      match (acc, r) with
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+      | Ok a, Ok o ->
+          Ok
+            {
+              requests = a.requests + o.requests;
+              mutations = a.mutations + o.mutations;
+              errors = a.errors + o.errors;
+              elapsed = Float.max a.elapsed o.elapsed;
+            })
+    (Ok { requests = 0; mutations = 0; errors = 0; elapsed = 0.0 })
+    results
+
 (* ------------------------------------------------------------------ *)
 (* a throwaway local service                                           *)
 
@@ -146,7 +181,8 @@ let service_counter = Atomic.make 0
 let with_local_service ?(machine_size = 256) ?(policy = Cluster.Greedy)
     ?(fsync_policy = Wal.Group) ?(wal_format = Wal.Binary_records)
     ?(snapshot_every = 0) ?(max_pending = 64) ?(latency_profile = false)
-    ?recorder_size f =
+    ?recorder_size ?(domains = 1)
+    ?(steal_threshold = Mserver.default_steal_threshold) f =
   let dir =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -167,14 +203,35 @@ let with_local_service ?(machine_size = 256) ?(policy = Cluster.Greedy)
         (match recorder_size with Some n -> n | None -> base.recorder_size);
     }
   in
-  match Server.create config with
-  | Error e -> Error ("server: " ^ e)
-  | Ok server ->
-      let socket = Filename.concat dir "bench.sock" in
-      let listener = Server.listen_unix socket in
-      let domain =
-        Domain.spawn (fun () -> Server.serve server ~listeners:[ listener ])
-      in
+  let socket = Filename.concat dir "bench.sock" in
+  let spawn () =
+    if domains <= 1 then
+      match Server.create config with
+      | Error e -> Error ("server: " ^ e)
+      | Ok server ->
+          let listener = Server.listen_unix socket in
+          Ok
+            (Domain.spawn (fun () ->
+                 Server.serve server ~listeners:[ listener ]))
+    else
+      match
+        Mserver.create
+          {
+            Mserver.base = { config with snapshot_every = 0 };
+            domains;
+            steal_threshold;
+          }
+      with
+      | Error e -> Error ("server: " ^ e)
+      | Ok server ->
+          let listener = Server.listen_unix socket in
+          Ok
+            (Domain.spawn (fun () ->
+                 Mserver.serve server ~listeners:[ listener ]))
+  in
+  match spawn () with
+  | Error e -> Error e
+  | Ok domain ->
       let shutdown () =
         match Client.connect_unix socket with
         | Ok c ->
@@ -203,16 +260,23 @@ let with_local_service ?(machine_size = 256) ?(policy = Cluster.Greedy)
 let bench ?(seed = 0xB00) ?(machine_size = 256) ?(policy = Cluster.Greedy)
     ?(fsync_policy = Wal.Group) ?(wal_format = Wal.Binary_records)
     ?(proto = Client.Binary) ?(window = 32) ?latency ?(latency_profile = false)
-    ?recorder_size ~requests () =
+    ?recorder_size ?(domains = 1)
+    ?(steal_threshold = Mserver.default_steal_threshold) ?(conns = 1) ~requests
+    () =
   with_local_service ~machine_size ~policy ~fsync_policy ~wal_format
-    ~latency_profile ?recorder_size (fun socket ->
-      match Client.connect_unix ~proto socket with
-      | Error e -> Error ("connect: " ^ e)
-      | Ok client ->
-          let gen = make_gen ~seed ~machine_size in
-          let r = drive client gen ~requests ~window ?latency () in
-          Client.close client;
-          r)
+    ~latency_profile ?recorder_size ~domains ~steal_threshold (fun socket ->
+      if conns <= 1 then
+        match Client.connect_unix ~proto socket with
+        | Error e -> Error ("connect: " ^ e)
+        | Ok client ->
+            let gen = make_gen ~seed ~machine_size in
+            let r = drive client gen ~requests ~window ?latency () in
+            Client.close client;
+            r
+      else
+        drive_parallel
+          ~connect:(fun () -> Client.connect_unix ~proto socket)
+          ~conns ~requests ~window ~seed ~machine_size ())
 
 (* ------------------------------------------------------------------ *)
 (* allocation probe                                                    *)

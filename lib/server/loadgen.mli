@@ -52,6 +52,23 @@ val percentile : Pmp_telemetry.Metrics.Histogram.t -> float -> float
     at rank [0.99]: geometric interpolation inside the covering
     bucket, in the histogram's own unit. [0] when empty. *)
 
+val drive_parallel :
+  connect:(unit -> (Client.t, string) result) ->
+  conns:int ->
+  requests:int ->
+  window:int ->
+  seed:int ->
+  machine_size:int ->
+  ?rids:bool ->
+  unit ->
+  (outcome, string) result
+(** {!drive} from [conns] client domains at once — the load shape that
+    lets a sharded server actually exercise its shards in parallel.
+    Each connection runs its own decorrelated generator
+    ([seed + i * 7919]) through [requests / conns] requests. Outcomes
+    sum; [elapsed] is the slowest connection's, so throughput derived
+    from it is aggregate. *)
+
 val with_local_service :
   ?machine_size:int ->
   ?policy:Pmp_cluster.Cluster.policy ->
@@ -61,6 +78,8 @@ val with_local_service :
   ?max_pending:int ->
   ?latency_profile:bool ->
   ?recorder_size:int ->
+  ?domains:int ->
+  ?steal_threshold:int ->
   (string -> ('a, string) result) ->
   ('a, string) result
 (** Run [f socket_path] against a server serving in its own domain
@@ -68,7 +87,9 @@ val with_local_service :
     the domain and delete the directory afterwards (also on
     exceptions). Defaults: machine 256, greedy, group commit, binary
     WAL, no periodic snapshots, no latency profiling, the server's
-    default flight-recorder size. *)
+    default flight-recorder size, [domains = 1]. With [domains > 1]
+    the service is a sharded {!Mserver} ([snapshot_every] forced to 0
+    — snapshots are unsupported there). *)
 
 val bench :
   ?seed:int ->
@@ -81,11 +102,16 @@ val bench :
   ?latency:Pmp_telemetry.Metrics.Histogram.t ->
   ?latency_profile:bool ->
   ?recorder_size:int ->
+  ?domains:int ->
+  ?steal_threshold:int ->
+  ?conns:int ->
   requests:int ->
   unit ->
   (outcome, string) result
-(** {!with_local_service} + one connection + {!drive}: the complete
-    measurement for one (protocol, fsync policy, WAL format) point. *)
+(** {!with_local_service} + {!drive} (or {!drive_parallel} when
+    [conns > 1]; [latency] only applies to the single-connection
+    path): the complete measurement for one (protocol, fsync policy,
+    WAL format, domains, connections) point. *)
 
 val words_per_request :
   ?requests:int -> ?machine_size:int -> unit -> (float, string) result

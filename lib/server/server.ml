@@ -284,10 +284,12 @@ let same_state a b =
 
 (* The recovered state must prove itself: the history passes the
    structural conformance oracle with a fresh allocator, and a fresh
-   replay of the externalised state reproduces the cluster exactly. *)
-let verify_recovery config cluster =
-  let machine = Pmp_machine.Machine.create config.machine_size in
-  let make () = build_allocator config.policy machine in
+   replay of the externalised state reproduces the cluster exactly.
+   Exposed (as [verify_cluster]) so the sharded server can run the
+   same audit on each shard's recovered cluster. *)
+let verify_cluster ~machine_size ~policy ~admission_cap cluster =
+  let machine = Pmp_machine.Machine.create machine_size in
+  let make () = build_allocator policy machine in
   let* () =
     match
       Pmp_oracle.Oracle.run Pmp_oracle.Oracle.structural_only ~make
@@ -299,13 +301,15 @@ let verify_recovery config cluster =
           (Format.asprintf "recovered history fails the oracle: %a"
              Pmp_oracle.Oracle.pp_violation v)
   in
-  let snap =
-    Snapshot.of_cluster ~seq:0 ~admission_cap:config.admission_cap cluster
-  in
+  let snap = Snapshot.of_cluster ~seq:0 ~admission_cap cluster in
   let* replayed = Snapshot.restore snap in
   match same_state cluster replayed with
   | Ok () -> Ok ()
   | Error e -> Error ("recovered state diverges from a fresh replay: " ^ e)
+
+let verify_recovery config cluster =
+  verify_cluster ~machine_size:config.machine_size ~policy:config.policy
+    ~admission_cap:config.admission_cap cluster
 
 let apply_op cluster (op : Wal.op) =
   match op with
@@ -322,6 +326,8 @@ let apply_op cluster (op : Wal.op) =
       match Cluster.finish cluster id with
       | Ok () -> Ok ()
       | Error e -> Error (Printf.sprintf "wal finish of task %d rejected: %s" id e))
+
+let apply_wal_op = apply_op
 
 let recover config recorder =
   let* snap =
@@ -393,6 +399,23 @@ let create config =
     Error "recorder_size must be non-negative"
   else begin
     mkdir_p config.dir;
+    (match
+       let ic = open_in (Filename.concat config.dir "domains") in
+       let k = try int_of_string (String.trim (input_line ic)) with _ -> 0 in
+       close_in ic;
+       k
+     with
+    | exception Sys_error _ -> Ok ()
+    | k when k > 1 ->
+        Error
+          (Printf.sprintf
+             "state directory %s was written by a sharded server; restart \
+              with --domains=%d"
+             config.dir k)
+    | _ -> Ok ())
+    |> function
+    | Error e -> Error e
+    | Ok () ->
     (* The recorder exists before recovery so the replayed WAL tail is
        on record: if recovery fails — including an oracle violation —
        the dump shows exactly which records were applied. *)

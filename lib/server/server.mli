@@ -88,6 +88,25 @@ val same_state : Pmp_cluster.Cluster.t -> Pmp_cluster.Cluster.t -> (unit, string
     relation recovery is verified under (and the one the
     crash-recovery tests assert). *)
 
+val apply_wal_op : Pmp_cluster.Cluster.t -> Wal.op -> (unit, string) result
+(** Replay one WAL record against a cluster, cross-checking that a
+    submission is assigned the id the original run acknowledged. The
+    unit of recovery for both the single-threaded server and (per
+    shard, after id translation) the sharded one. *)
+
+val verify_cluster :
+  machine_size:int ->
+  policy:Pmp_cluster.Cluster.policy ->
+  admission_cap:float option ->
+  Pmp_cluster.Cluster.t ->
+  (unit, string) result
+(** The full recovery audit on an arbitrary cluster: its event history
+    must pass the structural conformance oracle with a fresh
+    allocator, and an independent {!Pmp_cluster.Cluster.restore}
+    replay of its externalised state must reproduce it bit for bit
+    ({!same_state}). {!create} runs this on the recovered cluster; the
+    sharded server runs it on every shard's. *)
+
 val registry : t -> Pmp_telemetry.Metrics.Registry.t
 val metrics : t -> string
 (** Prometheus dump of the server registry: requests, mutations,

@@ -270,3 +270,185 @@ let prometheus reg =
           line "%s_max%s %s" name lbl (fmt_float (Span.max_seen s)))
     (Registry.entries reg);
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* merging per-shard snapshots                                         *)
+
+(* One parsed sample line: [name], its labels in order, and the value
+   still as the original string (re-rendering a lone contributor would
+   risk changing bytes). *)
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : string;
+}
+
+(* Parse [name{k="v",...} value] or [name value]; [None] for comments,
+   blank lines, or anything that does not scan (passed through). *)
+let parse_sample line =
+  let n = String.length line in
+  if n = 0 || line.[0] = '#' then None
+  else begin
+    match String.index_opt line ' ' with
+    | None -> None
+    | Some sp -> (
+        let series = String.sub line 0 sp in
+        let value = String.sub line (sp + 1) (n - sp - 1) in
+        match String.index_opt series '{' with
+        | None -> Some { s_name = series; s_labels = []; s_value = value }
+        | Some lb when series.[String.length series - 1] = '}' ->
+            let body =
+              String.sub series (lb + 1) (String.length series - lb - 2)
+            in
+            (* split on commas outside quoted values (values may hold
+               escaped quotes) *)
+            let labels = ref [] in
+            let ok = ref true in
+            let i = ref 0 in
+            let len = String.length body in
+            while !ok && !i < len do
+              match String.index_from_opt body !i '=' with
+              | None -> ok := false
+              | Some eq when eq + 1 >= len || body.[eq + 1] <> '"' ->
+                  ok := false
+              | Some eq ->
+                  let key = String.sub body !i (eq - !i) in
+                  let j = ref (eq + 2) in
+                  let fin = ref (-1) in
+                  while !fin < 0 && !j < len do
+                    (match body.[!j] with
+                    | '\\' -> incr j
+                    | '"' -> fin := !j
+                    | _ -> ());
+                    incr j
+                  done;
+                  if !fin < 0 then ok := false
+                  else begin
+                    labels :=
+                      (key, String.sub body (eq + 2) (!fin - eq - 2))
+                      :: !labels;
+                    i := if !fin + 1 < len && body.[!fin + 1] = ',' then !fin + 2
+                         else len
+                  end
+            done;
+            if !ok then
+              Some
+                {
+                  s_name = String.sub series 0 lb;
+                  s_labels = List.rev !labels;
+                  s_value = value;
+                }
+            else None
+        | Some _ -> None)
+  end
+
+let render_sample s =
+  s.s_name ^ render_labels s.s_labels ^ " " ^ s.s_value
+
+let has_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let has_prefix ~prefix s =
+  let lp = String.length prefix and l = String.length s in
+  l >= lp && String.sub s 0 lp = prefix
+
+let merge_prometheus ?(strip_label = "shard") ?(keep_prefix = "pmpd_shard_")
+    ?(max_names = []) dumps =
+  match dumps with
+  | [] -> ""
+  | [ d ] -> d
+  | first :: _ ->
+      let split d =
+        (* drop one trailing empty line so zip lengths agree; the dump
+           always ends in a newline *)
+        match List.rev (String.split_on_char '\n' d) with
+        | "" :: rest -> List.rev rest
+        | lines -> List.rev lines
+      in
+      let all = List.map split dumps in
+      let same_length =
+        match all with
+        | [] -> true
+        | l0 :: rest ->
+            let n = List.length l0 in
+            List.for_all (fun l -> List.length l = n) rest
+      in
+      if not same_length then
+        (* shapes diverged (should not happen between same-shaped
+           shard registries): degrade to concatenation rather than
+           lose data *)
+        String.concat "" dumps
+      else begin
+        let buf = Buffer.create (String.length first * 2) in
+        let emit l =
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n'
+        in
+        let rows = List.map Array.of_list all in
+        let n = match rows with r :: _ -> Array.length r | [] -> 0 in
+        for i = 0 to n - 1 do
+          let lines = List.map (fun r -> r.(i)) rows in
+          let line0 = List.hd lines in
+          match parse_sample line0 with
+          | None -> emit line0 (* comment: identical across shards *)
+          | Some s0 when has_prefix ~prefix:keep_prefix s0.s_name ->
+              (* per-shard series stay per-shard, in shard order *)
+              List.iter emit lines
+          | Some s0 -> (
+              let stripped =
+                List.map
+                  (fun l ->
+                    match parse_sample l with
+                    | Some s ->
+                        Some
+                          { s with s_labels =
+                              List.filter
+                                (fun (k, _) -> k <> strip_label)
+                                s.s_labels }
+                    | None -> None)
+                  lines
+              in
+              let agree =
+                List.for_all
+                  (function
+                    | Some s ->
+                        s.s_name = s0.s_name
+                        && s.s_labels
+                           = List.filter
+                               (fun (k, _) -> k <> strip_label)
+                               s0.s_labels
+                    | None -> false)
+                  stripped
+              in
+              if not agree then List.iter emit lines
+              else begin
+                let values =
+                  List.filter_map
+                    (function
+                      | Some s -> float_of_string_opt s.s_value
+                      | None -> None)
+                    stripped
+                in
+                if List.length values <> List.length lines then
+                  List.iter emit lines
+                else begin
+                  let by_max =
+                    has_suffix ~suffix:"_max" s0.s_name
+                    || List.mem s0.s_name max_names
+                  in
+                  let merged =
+                    List.fold_left
+                      (if by_max then Float.max else ( +. ))
+                      (if by_max then neg_infinity else 0.0)
+                      values
+                  in
+                  let base =
+                    match stripped with Some s :: _ -> s | _ -> assert false
+                  in
+                  emit (render_sample { base with s_value = fmt_float merged })
+                end
+              end)
+        done;
+        Buffer.contents buf
+      end

@@ -144,3 +144,30 @@ val prometheus : Registry.t -> string
     labels plus [_sum] and [_count]. Label values are escaped with
     {!escape_label}. Output is byte-stable for a fixed registration
     order and instrument state. *)
+
+val merge_prometheus :
+  ?strip_label:string ->
+  ?keep_prefix:string ->
+  ?max_names:string list ->
+  string list ->
+  string
+(** Merge the {!prometheus} dumps of [K] registries that were built by
+    the same registration sequence — the per-shard registries of a
+    sharded server, which register identical instruments except for a
+    distinguishing [strip_label] (default ["shard"]). The merge is
+    positional: line [i] of every dump describes the same instrument,
+    so the result preserves the registration order exactly and scrapers
+    (including [pmp top] and the Prometheus-order tests) see the same
+    series in the same order as a single-registry server.
+
+    Per line: comments are taken from the first dump; samples whose
+    name starts with [keep_prefix] (default ["pmpd_shard_"]) are
+    intentionally per-shard and pass through once per dump, in dump
+    order; every other sample has [strip_label] removed and its values
+    combined — by [Float.max] when the name ends in [_max] or is listed
+    in [max_names] (a per-shard peak of a global quantity), by sum
+    otherwise (counts, sums, bucket populations, gauge levels).
+
+    [merge_prometheus [d]] is [d], byte for byte. Dumps whose shapes
+    disagree (different line counts, mismatched names) degrade to
+    concatenation / verbatim passthrough rather than dropping data. *)

@@ -1,0 +1,41 @@
+type plan = { shards : int; machine_size : int; shard_size : int }
+
+let plan ~machine_size ~shards =
+  if not (Pow2.is_pow2 machine_size) then
+    Error (Printf.sprintf "machine size %d is not a power of two" machine_size)
+  else if not (Pow2.is_pow2 shards) then
+    Error (Printf.sprintf "shard count %d is not a power of two" shards)
+  else if shards > machine_size then
+    Error
+      (Printf.sprintf "%d shards cannot partition %d PEs" shards machine_size)
+  else Ok { shards; machine_size; shard_size = machine_size / shards }
+
+let global_id p ~shard local = (local * p.shards) + shard
+let local_id p g = g / p.shards
+let owner p g = g mod p.shards
+let leaf_offset p shard = shard * p.shard_size
+let conn_shard p n = n mod p.shards
+
+let pick_victim p ~self ~size ~cap_pes ~queued ~active =
+  if p.shards < 2 || size > p.shard_size then None
+  else begin
+    let fits s =
+      match cap_pes with None -> true | Some c -> active.(s) + size <= c
+    in
+    let better v s =
+      match v with
+      | None -> true
+      | Some v -> active.(s) < active.(v) (* ties keep the leftmost *)
+    in
+    let victim = ref None in
+    for s = 0 to p.shards - 1 do
+      if s <> self && queued.(s) = 0 && fits s && better !victim s then
+        victim := Some s
+    done;
+    (* Only steal when the victim is strictly better off than we are:
+       a saturated-everywhere machine keeps FIFO order at home rather
+       than bouncing tasks between equally hot shards. *)
+    match !victim with
+    | Some v when queued.(self) > 0 || active.(v) < active.(self) -> Some v
+    | _ -> None
+  end

@@ -1,0 +1,53 @@
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (** next index to pop; advanced only by the consumer *)
+  tail : int Atomic.t;  (** next index to fill; advanced only by the producer *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Spsc.create: capacity must be positive";
+  let cap = Pow2.round_up_pow2 capacity in
+  {
+    slots = Array.make cap None;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+(* Indices grow without wrapping (63-bit ints do not overflow in any
+   realistic run); the slot is [index land mask]. *)
+
+let push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then `Full
+  else begin
+    t.slots.(tail land t.mask) <- Some x;
+    (* The release store: a consumer that reads the new tail
+       happens-after the slot write above. *)
+    Atomic.set t.tail (tail + 1);
+    `Pushed (if tail = head then `Was_empty else `Was_nonempty)
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail = head then None
+  else begin
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    t.slots.(i) <- None;
+    Atomic.set t.head (head + 1);
+    match x with
+    | Some _ -> x
+    | None ->
+        (* unreachable under the SPSC contract: tail > head implies the
+           producer's slot write is visible *)
+        assert false
+  end
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let is_empty t = length t = 0

@@ -1381,6 +1381,270 @@ let test_metrics_monotone_across_recovery () =
         (v "pmpd_recovered_ops_total");
       Server.close s')
 
+
+(* --- the sharded (multicore) server ------------------------------- *)
+
+module Mserver = Pmp_server.Mserver
+module Loadgen = Pmp_server.Loadgen
+
+let stats_of client =
+  match Client.request client Protocol.Stats with
+  | Ok (Protocol.Stats_reply st) -> st
+  | Ok r -> Alcotest.failf "stats: unexpected reply %s" (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "stats: %s" e
+
+let metrics_of client =
+  match Client.request client Protocol.Metrics with
+  | Ok (Protocol.Metrics_reply dump) -> dump
+  | Ok r -> Alcotest.failf "metrics: unexpected reply %s" (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "metrics: %s" e
+
+(* Sum every sample in a Prometheus dump whose line starts with [name]
+   and contains [sel] as a substring. *)
+let scrape_sum dump name sel =
+  String.split_on_char '\n' dump
+  |> List.fold_left
+       (fun acc line ->
+         if
+           String.length line > String.length name
+           && String.sub line 0 (String.length name) = name
+           && (let rec contains i =
+                 i + String.length sel <= String.length line
+                 && (String.sub line i (String.length sel) = sel
+                    || contains (i + 1))
+               in
+               sel = "" || contains 0)
+         then
+           match String.rindex_opt line ' ' with
+           | Some sp -> (
+               match
+                 float_of_string_opt
+                   (String.sub line (sp + 1) (String.length line - sp - 1))
+               with
+               | Some v -> acc +. v
+               | None -> acc)
+           | None -> acc
+         else acc)
+       0.0
+
+let drive_service ~domains ~requests ~seed =
+  get_ok ~ctx:"service"
+    (Loadgen.with_local_service ~machine_size:64 ~domains (fun socket ->
+         match Client.connect_unix ~proto:Client.Binary socket with
+         | Error e -> Error ("connect: " ^ e)
+         | Ok client ->
+             let gen = Loadgen.make_gen ~seed ~machine_size:64 in
+             let r = Loadgen.drive client gen ~requests ~window:16 () in
+             let st = stats_of client in
+             Client.close client;
+             Result.map (fun o -> (o, st)) r))
+
+(* The headline equivalence: the same deterministic workload through a
+   sharded server and through the classic single-core server must land
+   on the same machine-wide statistics — same admissions, completions,
+   active set size, queue depth, errors. Placement coordinates differ
+   (the shards partition the tree); the aggregate state must not. *)
+let test_multicore_stats_equivalence () =
+  let requests = 600 and seed = 0xC0FFEE in
+  let o1, st1 = drive_service ~domains:1 ~requests ~seed in
+  let o4, st4 = drive_service ~domains:4 ~requests ~seed in
+  Alcotest.(check int) "requests" o1.Loadgen.requests o4.Loadgen.requests;
+  Alcotest.(check int) "mutations" o1.Loadgen.mutations o4.Loadgen.mutations;
+  Alcotest.(check int) "driver errors" o1.Loadgen.errors o4.Loadgen.errors;
+  Alcotest.(check int) "submitted" st1.Cluster.submitted st4.Cluster.submitted;
+  Alcotest.(check int) "completed" st1.Cluster.completed st4.Cluster.completed;
+  Alcotest.(check int) "active now" st1.Cluster.active_now st4.Cluster.active_now;
+  Alcotest.(check int) "active size" st1.Cluster.active_size st4.Cluster.active_size;
+  Alcotest.(check int) "queued now" st1.Cluster.queued_now st4.Cluster.queued_now
+
+(* A full session against a sharded server over a socket: submits land
+   on every shard (ids interleave), cross-shard query/finish route
+   exactly, and the merged metrics dump aggregates the shard
+   registries into the single-server series names. *)
+let test_multicore_session () =
+  with_dir (fun dir ->
+      let base =
+        {
+          (Server.default_config ~machine_size:64 ~policy:Cluster.Greedy ~dir) with
+          Server.snapshot_every = 0;
+        }
+      in
+      let m =
+        get_ok ~ctx:"create"
+          (Mserver.create { Mserver.base; domains = 4; steal_threshold = 1 })
+      in
+      let path = Filename.concat dir "pmp.sock" in
+      let listener = Server.listen_unix path in
+      let domain = Domain.spawn (fun () -> Mserver.serve m ~listeners:[ listener ]) in
+      Fun.protect ~finally:(fun () -> Domain.join domain) (fun () ->
+          let client = get_ok ~ctx:"connect" (Client.connect_unix ~proto:Client.Binary path) in
+          let ids =
+            List.init 12 (fun i ->
+                expect_placed ~ctx:(Printf.sprintf "submit %d" i)
+                  (Client.request client (Protocol.Submit 4)))
+          in
+          (* ids are unique, and every one queries back as active *)
+          Alcotest.(check int) "distinct ids" 12
+            (List.length (List.sort_uniq compare ids));
+          List.iter
+            (fun id ->
+              match Client.request client (Protocol.Query id) with
+              | Ok (Protocol.State (_, Protocol.Active _)) -> ()
+              | Ok r ->
+                  Alcotest.failf "query %d: unexpected reply %s" id
+                    (Protocol.encode_response r)
+              | Error e -> Alcotest.failf "query %d: %s" id e)
+            ids;
+          (* cross-shard finishes all land *)
+          List.iter
+            (fun id ->
+              match Client.request client (Protocol.Finish id) with
+              | Ok Protocol.Finished -> ()
+              | Ok r ->
+                  Alcotest.failf "finish %d: unexpected reply %s" id
+                    (Protocol.encode_response r)
+              | Error e -> Alcotest.failf "finish %d: %s" id e)
+            ids;
+          (* a finished id is gone everywhere *)
+          (match Client.request client (Protocol.Query (List.hd ids)) with
+          | Ok (Protocol.State (_, Protocol.Unknown)) -> ()
+          | Ok r ->
+              Alcotest.failf "query gone: unexpected reply %s"
+                (Protocol.encode_response r)
+          | Error e -> Alcotest.failf "query gone: %s" e);
+          let st = stats_of client in
+          Alcotest.(check int) "submitted" 12 st.Cluster.submitted;
+          Alcotest.(check int) "completed" 12 st.Cluster.completed;
+          Alcotest.(check int) "active now" 0 st.Cluster.active_now;
+          (* the merged dump speaks the single-server metric names, and
+             the per-shard series keep their shard labels *)
+          let dump = metrics_of client in
+          Alcotest.(check (float 0.0)) "merged submissions+finishes" 24.0
+            (scrape_sum dump "pmpd_mutations_total " "");
+          Alcotest.(check bool) "per-shard queue depth series" true
+            (scrape_sum dump "pmpd_shard_queue_depth{" "" = 0.0);
+          shutdown_server client;
+          Client.close client))
+
+(* Work stealing under an admission cap: a single connection hashes to
+   shard 0, so without stealing every submission would pile onto one
+   quarter of the machine. With a cap forcing shard 0 full, admissions
+   spill to idle shards (the steal counters say so), every stolen task
+   still finishes exactly once, and the books balance. *)
+let test_multicore_steal () =
+  with_dir (fun dir ->
+      let base =
+        {
+          (Server.default_config ~machine_size:64 ~policy:Cluster.Greedy ~dir) with
+          Server.snapshot_every = 0;
+          admission_cap = Some 0.5;
+        }
+      in
+      let m =
+        get_ok ~ctx:"create"
+          (Mserver.create { Mserver.base; domains = 4; steal_threshold = 1 })
+      in
+      let path = Filename.concat dir "pmp.sock" in
+      let listener = Server.listen_unix path in
+      let domain = Domain.spawn (fun () -> Mserver.serve m ~listeners:[ listener ]) in
+      Fun.protect ~finally:(fun () -> Domain.join domain) (fun () ->
+          let client = get_ok ~ctx:"connect" (Client.connect_unix ~proto:Client.Binary path) in
+          (* 24 x size-4 = 96 PEs of demand against a 64-PE machine
+             capped at 0.5 per subtree: shard 0 alone (16 PEs) can hold
+             at most a few, so admission must spread or queue *)
+          let ids = ref [] in
+          for i = 1 to 24 do
+            match Client.request client (Protocol.Submit 4) with
+            | Ok (Protocol.Placed (id, _)) | Ok (Protocol.Queued id) ->
+                ids := id :: !ids
+            | Ok r ->
+                Alcotest.failf "submit %d: unexpected reply %s" i
+                  (Protocol.encode_response r)
+            | Error e -> Alcotest.failf "submit %d: %s" i e
+          done;
+          let dump = metrics_of client in
+          let stolen = scrape_sum dump "pmpd_shard_steals_total{" "dir=\"out\"" in
+          Alcotest.(check bool) "steals happened" true (stolen > 0.0);
+          let stolen_in = scrape_sum dump "pmpd_shard_steals_total{" "dir=\"in\"" in
+          Alcotest.(check (float 0.0)) "every steal has one receiver" stolen stolen_in;
+          (* stolen or not, every task finishes exactly once *)
+          List.iter
+            (fun id ->
+              match Client.request client (Protocol.Finish id) with
+              | Ok Protocol.Finished -> ()
+              | Ok r ->
+                  Alcotest.failf "finish %d: unexpected reply %s" id
+                    (Protocol.encode_response r)
+              | Error e -> Alcotest.failf "finish %d: %s" id e)
+            !ids;
+          let st = stats_of client in
+          Alcotest.(check int) "submitted" 24 st.Cluster.submitted;
+          Alcotest.(check int) "completed" 24 st.Cluster.completed;
+          Alcotest.(check int) "nothing left" 0
+            (st.Cluster.active_now + st.Cluster.queued_now);
+          shutdown_server client;
+          Client.close client))
+
+(* Clean shutdown, then recovery: a second Mserver.create over the
+   same directory must replay the whole WAL, pass every per-shard
+   audit and reproduce the merged statistics; the single-core server
+   and wrong shard counts must refuse the directory outright. *)
+let test_multicore_recovery () =
+  with_dir (fun dir ->
+      let base =
+        {
+          (Server.default_config ~machine_size:64 ~policy:Cluster.Greedy ~dir) with
+          Server.snapshot_every = 0;
+        }
+      in
+      let mcfg = { Mserver.base; domains = 4; steal_threshold = 1 } in
+      let m = get_ok ~ctx:"create" (Mserver.create mcfg) in
+      let path = Filename.concat dir "pmp.sock" in
+      let listener = Server.listen_unix path in
+      let domain = Domain.spawn (fun () -> Mserver.serve m ~listeners:[ listener ]) in
+      let live_stats =
+        Fun.protect ~finally:(fun () -> Domain.join domain) (fun () ->
+            let client = get_ok ~ctx:"connect" (Client.connect_unix ~proto:Client.Binary path) in
+            let gen = Loadgen.make_gen ~seed:7 ~machine_size:64 in
+            let o = get_ok ~ctx:"drive" (Loadgen.drive client gen ~requests:300 ~window:8 ()) in
+            let st = stats_of client in
+            shutdown_server client;
+            Client.close client;
+            ignore o.Loadgen.elapsed;
+            st)
+      in
+      let m' = get_ok ~ctx:"recover" (Mserver.create mcfg) in
+      Alcotest.(check int) "recovered every mutation" 300 (Mserver.recovered_ops m');
+      let st = Mserver.merged_stats m' in
+      Alcotest.(check int) "submitted" live_stats.Cluster.submitted st.Cluster.submitted;
+      Alcotest.(check int) "completed" live_stats.Cluster.completed st.Cluster.completed;
+      Alcotest.(check int) "active size" live_stats.Cluster.active_size st.Cluster.active_size;
+      Alcotest.(check int) "queued" live_stats.Cluster.queued_now st.Cluster.queued_now;
+      (* the marker fences both doors *)
+      (match Server.create base with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "single-core server must refuse a sharded directory");
+      (match Mserver.create { mcfg with domains = 2 } with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "wrong shard count must refuse the directory"))
+
+(* The reverse fence: a directory with single-core history (no marker)
+   refuses to open sharded. *)
+let test_multicore_refuses_singlecore_dir () =
+  with_dir (fun dir ->
+      let base =
+        {
+          (Server.default_config ~machine_size:64 ~policy:Cluster.Greedy ~dir) with
+          Server.snapshot_every = 0;
+        }
+      in
+      let s = Result.get_ok (Server.create base) in
+      apply s [ Protocol.Submit 4; Protocol.Submit 8 ];
+      Server.close s;
+      match Mserver.create { Mserver.base; domains = 4; steal_threshold = 1 } with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "sharded server must refuse single-core history")
+
 let suite =
   [
     ("decode errors", `Quick, test_decode_errors);
@@ -1414,6 +1678,11 @@ let suite =
     ("request ids over sockets", `Quick, test_rid_echo_over_sockets);
     ("latency attribution reconciles", `Quick, test_latency_attribution_reconciles);
     ("metrics monotone across recovery", `Quick, test_metrics_monotone_across_recovery);
+    ("multicore stats equivalence", `Quick, test_multicore_stats_equivalence);
+    ("multicore session", `Quick, test_multicore_session);
+    ("multicore stealing", `Quick, test_multicore_steal);
+    ("multicore recovery", `Quick, test_multicore_recovery);
+    ("multicore refuses single-core dir", `Quick, test_multicore_refuses_singlecore_dir);
   ]
   @ Helpers.qtests
       [

@@ -1,0 +1,133 @@
+(* The SPSC ring under its actual contract: one producer domain, one
+   consumer domain, nothing lost, nothing duplicated, nothing
+   reordered — plus the single-domain boundary behaviour at full and
+   empty that the shard loops rely on for backpressure and wakeups. *)
+
+module Spsc = Pmp_util.Spsc
+
+let test_capacity_rounding () =
+  Alcotest.(check int) "1" 1 (Spsc.capacity (Spsc.create 1));
+  Alcotest.(check int) "2" 2 (Spsc.capacity (Spsc.create 2));
+  Alcotest.(check int) "3 -> 4" 4 (Spsc.capacity (Spsc.create 3));
+  Alcotest.(check int) "5 -> 8" 8 (Spsc.capacity (Spsc.create 5));
+  Alcotest.(check int) "64" 64 (Spsc.capacity (Spsc.create 64))
+
+let test_empty_full_boundaries () =
+  let q = Spsc.create 4 in
+  Alcotest.(check bool) "fresh is empty" true (Spsc.is_empty q);
+  Alcotest.(check int) "fresh length" 0 (Spsc.length q);
+  Alcotest.(check bool) "pop empty" true (Spsc.pop q = None);
+  (* first push reports the was-empty wakeup cue; the rest don't *)
+  Alcotest.(check bool) "push 1" true (Spsc.push q 1 = `Pushed `Was_empty);
+  Alcotest.(check bool) "push 2" true (Spsc.push q 2 = `Pushed `Was_nonempty);
+  Alcotest.(check bool) "push 3" true (Spsc.push q 3 = `Pushed `Was_nonempty);
+  Alcotest.(check bool) "push 4" true (Spsc.push q 4 = `Pushed `Was_nonempty);
+  Alcotest.(check bool) "push to full" true (Spsc.push q 5 = `Full);
+  Alcotest.(check int) "full length" 4 (Spsc.length q);
+  (* a full push left the queue unchanged *)
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Spsc.pop q);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Spsc.pop q);
+  (* freeing a slot re-enables the producer *)
+  Alcotest.(check bool) "push 5" true (Spsc.push q 5 = `Pushed `Was_nonempty);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Spsc.pop q);
+  Alcotest.(check (option int)) "fifo 4" (Some 4) (Spsc.pop q);
+  Alcotest.(check (option int)) "fifo 5" (Some 5) (Spsc.pop q);
+  Alcotest.(check bool) "drained" true (Spsc.is_empty q);
+  (* drain-refill across the wrap point *)
+  for round = 0 to 10 do
+    Alcotest.(check bool) "wrap push" true (Spsc.push q round <> `Full);
+    Alcotest.(check (option int)) "wrap pop" (Some round) (Spsc.pop q)
+  done
+
+(* One producer domain pushes [0 .. n), spinning on `Full; the
+   consumer (this domain) pops everything. The received sequence must
+   be exactly 0, 1, 2, ... — any loss, duplication or reordering
+   breaks the strict increment. A small capacity forces constant
+   wrap-around and full/empty collisions, which is where an indexing
+   or publication bug would show. *)
+(* Spin briefly, then sleep: on a single-core runner two domains
+   spinning pure [cpu_relax] only hand the ring over once per OS
+   timeslice, which would turn these properties into minutes. The
+   sleep forces a reschedule so the other side can run. *)
+let backoff spins =
+  if spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.0002
+
+let prop_concurrent_fifo =
+  QCheck.Test.make ~name:"spsc: concurrent push/pop is lossless FIFO"
+    ~count:10
+    QCheck.(pair (int_bound 3) (int_range 500 4_000))
+    (fun (cap_exp, n) ->
+      let q = Spsc.create (1 lsl cap_exp) in
+      let producer =
+        Domain.spawn (fun () ->
+            for i = 0 to n - 1 do
+              let spins = ref 0 in
+              while Spsc.push q i = `Full do
+                backoff !spins;
+                incr spins
+              done
+            done)
+      in
+      let expected = ref 0 in
+      let ok = ref true in
+      let spins = ref 0 in
+      while !expected < n && !ok do
+        match Spsc.pop q with
+        | Some v ->
+            spins := 0;
+            if v <> !expected then ok := false else incr expected
+        | None ->
+            backoff !spins;
+            incr spins
+      done;
+      Domain.join producer;
+      !ok && Spsc.is_empty q)
+
+(* Wakeup cue soundness under concurrency: `Was_empty must be reported
+   at least once (the first push), and the consumer must never be left
+   with items it was not cued for — i.e. after the producer finishes,
+   total pops = total pushes. *)
+let prop_concurrent_counts =
+  QCheck.Test.make ~name:"spsc: pushes and pops balance" ~count:10
+    QCheck.(int_range 100 2_000)
+    (fun n ->
+      let q = Spsc.create 8 in
+      let producer =
+        Domain.spawn (fun () ->
+            let cues = ref 0 in
+            for i = 0 to n - 1 do
+              let spins = ref 0 in
+              let rec go () =
+                match Spsc.push q i with
+                | `Full ->
+                    backoff !spins;
+                    incr spins;
+                    go ()
+                | `Pushed `Was_empty -> incr cues
+                | `Pushed `Was_nonempty -> ()
+              in
+              go ()
+            done;
+            !cues)
+      in
+      let popped = ref 0 in
+      let spins = ref 0 in
+      while !popped < n do
+        match Spsc.pop q with
+        | Some _ ->
+            spins := 0;
+            incr popped
+        | None ->
+            backoff !spins;
+            incr spins
+      done;
+      let cues = Domain.join producer in
+      cues >= 1 && cues <= n && !popped = n && Spsc.pop q = None)
+
+let suite =
+  [
+    Alcotest.test_case "capacity rounding" `Quick test_capacity_rounding;
+    Alcotest.test_case "empty/full boundaries" `Quick
+      test_empty_full_boundaries;
+  ]
+  @ Helpers.qtests [ prop_concurrent_fifo; prop_concurrent_counts ]

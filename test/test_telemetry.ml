@@ -328,6 +328,123 @@ let test_fragmentation_empty_is_nan () =
   Alcotest.(check bool) "empty trajectory is nan" true
     (Float.is_nan (Pmp_sim.Metrics.fragmentation r))
 
+
+(* --- merging per-shard Prometheus dumps --------------------------- *)
+
+(* Build K registries through the identical registration sequence the
+   sharded server uses — same names, same order, a distinguishing
+   shard label — and check the merge against hand-computed output. *)
+let shard_regs k fill =
+  List.init k (fun s ->
+      let reg = Metrics.Registry.create () in
+      fill reg s;
+      Metrics.prometheus reg)
+
+let test_merge_single_dump_identity () =
+  let dumps =
+    shard_regs 1 (fun reg s ->
+        let c =
+          Metrics.Registry.counter reg
+            ~labels:[ ("shard", string_of_int s) ]
+            ~help:"h" "pmpd_requests_total"
+        in
+        Metrics.Counter.inc c 7)
+  in
+  Alcotest.(check string) "single dump verbatim" (List.hd dumps)
+    (Metrics.merge_prometheus dumps);
+  Alcotest.(check string) "empty list" "" (Metrics.merge_prometheus [])
+
+let test_merge_sums_and_maxes () =
+  let dumps =
+    shard_regs 4 (fun reg s ->
+        let l = [ ("shard", string_of_int s) ] in
+        let c = Metrics.Registry.counter reg ~labels:l "pmpd_requests_total" in
+        Metrics.Counter.inc c (10 + s);
+        let g = Metrics.Registry.gauge reg ~labels:l "pmpd_max_load" in
+        Metrics.Gauge.set g (float_of_int (2 * s)))
+  in
+  let merged =
+    Metrics.merge_prometheus ~max_names:[ "pmpd_max_load" ] dumps
+  in
+  let expect =
+    "# TYPE pmpd_requests_total counter\n" ^ "pmpd_requests_total 46\n"
+    ^ "# TYPE pmpd_max_load gauge\n" ^ "pmpd_max_load 6\n"
+    ^ "pmpd_max_load_max 6\n"
+  in
+  Alcotest.(check string) "sum counters, max the max-load gauge" expect merged
+
+(* Gauge [_max] high-water lines are maxed by their suffix even when
+   the base name sums — a per-shard peak is not additive. *)
+let test_merge_max_suffix () =
+  let dumps =
+    shard_regs 2 (fun reg s ->
+        let g =
+          Metrics.Registry.gauge reg
+            ~labels:[ ("shard", string_of_int s) ]
+            "pmpd_queued_tasks"
+        in
+        Metrics.Gauge.set g (float_of_int (5 * (s + 1)));
+        Metrics.Gauge.set g (float_of_int (s + 1)))
+  in
+  let merged = Metrics.merge_prometheus dumps in
+  let expect =
+    "# TYPE pmpd_queued_tasks gauge\n" ^ "pmpd_queued_tasks 3\n"
+    ^ "pmpd_queued_tasks_max 10\n"
+  in
+  Alcotest.(check string) "levels sum, high-water maxes" expect merged
+
+let test_merge_keeps_shard_series () =
+  let dumps =
+    shard_regs 2 (fun reg s ->
+        let g =
+          Metrics.Registry.gauge reg
+            ~labels:[ ("shard", string_of_int s) ]
+            "pmpd_shard_queue_depth"
+        in
+        Metrics.Gauge.set g (float_of_int (s + 1)))
+  in
+  let merged = Metrics.merge_prometheus dumps in
+  let expect =
+    "# TYPE pmpd_shard_queue_depth gauge\n"
+    ^ "pmpd_shard_queue_depth{shard=\"0\"} 1\n"
+    ^ "pmpd_shard_queue_depth{shard=\"1\"} 2\n"
+    ^ "pmpd_shard_queue_depth_max{shard=\"0\"} 1\n"
+    ^ "pmpd_shard_queue_depth_max{shard=\"1\"} 2\n"
+  in
+  Alcotest.(check string) "per-shard series pass through, in shard order"
+    expect merged
+
+(* Other labels survive the shard-label strip, and the merged dump
+   preserves registration order line for line — what keeps [pmp top]
+   and the Prometheus-order contract working unchanged. *)
+let test_merge_label_strip_and_order () =
+  let dumps =
+    shard_regs 2 (fun reg s ->
+        let l = [ ("shard", string_of_int s) ] in
+        let a = Metrics.Registry.counter reg ~labels:l "aaa_total" in
+        Metrics.Counter.inc a (s + 1);
+        let b =
+          Metrics.Registry.counter reg
+            ~labels:(l @ [ ("dir", "out") ])
+            "bbb_total"
+        in
+        Metrics.Counter.inc b (10 * (s + 1)))
+  in
+  let merged = Metrics.merge_prometheus dumps in
+  let expect =
+    "# TYPE aaa_total counter\n" ^ "aaa_total 3\n"
+    ^ "# TYPE bbb_total counter\n" ^ "bbb_total{dir=\"out\"} 30\n"
+  in
+  Alcotest.(check string) "labels survive, order preserved" expect merged
+
+(* Dumps whose shapes disagree degrade to concatenation — never
+   silently dropped. *)
+let test_merge_shape_mismatch () =
+  let d1 = "# TYPE a counter\na 1\n" in
+  let d2 = "# TYPE a counter\na 2\nb 3\n" in
+  Alcotest.(check string) "concatenation fallback" (d1 ^ d2)
+    (Metrics.merge_prometheus [ d1; d2 ])
+
 let suite =
   [
     Alcotest.test_case "log_bounds" `Quick test_log_bounds;
@@ -349,5 +466,11 @@ let suite =
     Alcotest.test_case "noop probe" `Quick test_noop_probe;
     Alcotest.test_case "imbalance all-idle nan" `Quick test_imbalance_all_idle_is_nan;
     Alcotest.test_case "fragmentation empty nan" `Quick test_fragmentation_empty_is_nan;
+    Alcotest.test_case "merge single dump" `Quick test_merge_single_dump_identity;
+    Alcotest.test_case "merge sums and maxes" `Quick test_merge_sums_and_maxes;
+    Alcotest.test_case "merge max suffix" `Quick test_merge_max_suffix;
+    Alcotest.test_case "merge keeps shard series" `Quick test_merge_keeps_shard_series;
+    Alcotest.test_case "merge strips labels in order" `Quick test_merge_label_strip_and_order;
+    Alcotest.test_case "merge shape mismatch" `Quick test_merge_shape_mismatch;
   ]
   @ Helpers.qtests [ prop_counters_match_engine; prop_quantile_bounded ]
