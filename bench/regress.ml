@@ -44,6 +44,13 @@ let min_multicore_speedup = 2.0
    this factor over the same matrix point with telemetry disabled *)
 let max_observability_overhead = 1.05
 
+(* the federation ceiling: a request through the router pays one extra
+   socket hop plus the upstream shard's own group commit, serialized
+   per request on a single connection, so federated ns/request is
+   gated as a (generous) multiple of the direct binary+group point
+   on the same host rather than anywhere near parity *)
+let max_federation_overhead = 50.0
+
 (* the same seeded churn as Workloads.churn in the experiment harness
    (dune forbids sharing a module across two executables in one
    directory, and the suite's workload must stay pinned either way) *)
@@ -356,6 +363,166 @@ let multicore_probe () =
             ("min_required", Json.Num min_multicore_speedup);
           ]
 
+(* The federation gate is double, like the scenario gate: the routing
+   core's verdict on a scripted workload — run through the in-process
+   Sim twin (same Fed_index rule, same id scheme, same quotas, same
+   Rebalance planner as the socket router) — is deterministic and
+   pinned byte-for-byte against the baseline, and the live stack (one
+   router in front of three shard daemons, every hop binary+group over
+   Unix sockets) must stay under an absolute per-request overhead
+   ceiling vs the direct service point measured on the same host. *)
+let federation_probe calib =
+  let module L = Pmp_server.Loadgen in
+  let module Sim = Pmp_federation.Sim in
+  let module Rebalance = Pmp_federation.Rebalance in
+  let module Server = Pmp_server.Server in
+  let module Router = Pmp_federation.Router in
+  let module Client = Pmp_server.Client in
+  let module Protocol = Pmp_server.Protocol in
+  (* deterministic golden: 3 shards of 64 PEs, 4 tenants quota-capped
+     at half a shard each, an over-eager rebalancer every 50 ops *)
+  let machine_size = 64 in
+  let ops = Sim.script ~seed ~ops:2_000 ~machine_size ~tenants:4 in
+  let sim =
+    match
+      Sim.run ~shards:3 ~machine_size ~tenant_quota:32
+        ~rebalance:({ Rebalance.default_config with threshold = 1 }, 50)
+        ~ops ()
+    with
+    | Ok r -> r
+    | Error e -> failwith ("federation probe (sim): " ^ e)
+  in
+  let stats_json (st : Pmp_cluster.Cluster.stats) =
+    Json.Obj
+      [
+        ("submitted", Json.Num (float_of_int st.Pmp_cluster.Cluster.submitted));
+        ("completed", Json.Num (float_of_int st.Pmp_cluster.Cluster.completed));
+        ("queued_now", Json.Num (float_of_int st.Pmp_cluster.Cluster.queued_now));
+        ("active_now", Json.Num (float_of_int st.Pmp_cluster.Cluster.active_now));
+        ( "active_size",
+          Json.Num (float_of_int st.Pmp_cluster.Cluster.active_size) );
+        ("max_load", Json.Num (float_of_int st.Pmp_cluster.Cluster.max_load));
+        ("peak_load", Json.Num (float_of_int st.Pmp_cluster.Cluster.peak_load));
+      ]
+  in
+  let golden =
+    Json.Obj
+      [
+        ( "routed",
+          Json.Arr
+            (Array.to_list
+               (Array.map (fun n -> Json.Num (float_of_int n)) sim.Sim.routed))
+        );
+        ("rejects", Json.Num (float_of_int sim.Sim.rejects));
+        ("rebalanced", Json.Num (float_of_int sim.Sim.rebalanced));
+        ( "rebalanced_bytes",
+          Json.Num (float_of_int sim.Sim.rebalanced_bytes) );
+        ( "shard_stats",
+          Json.Arr (Array.to_list (Array.map stats_json sim.Sim.stats)) );
+      ]
+  in
+  (* live overhead: the same Loadgen workload through a real router
+     over three real shard daemons, vs the direct binary+group point *)
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let run_federated ~requests =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pmp-regress-fed-%d" (Unix.getpid ()))
+    in
+    rm_rf dir;
+    Unix.mkdir dir 0o755;
+    let start_shard k =
+      let sdir = Filename.concat dir (Printf.sprintf "shard-%d" k) in
+      let config =
+        {
+          (Server.default_config ~machine_size:256
+             ~policy:Pmp_cluster.Cluster.Greedy ~dir:sdir)
+          with
+          Server.snapshot_every = 0;
+        }
+      in
+      let server = Result.get_ok (Server.create config) in
+      let path = Filename.concat sdir "pmp.sock" in
+      let listener = Server.listen_unix path in
+      ( path,
+        Domain.spawn (fun () -> Server.serve server ~listeners:[ listener ]) )
+    in
+    let shard_list = List.init 3 start_shard in
+    let sockets = Array.of_list (List.map fst shard_list) in
+    let router =
+      match
+        Router.create
+          {
+            (Router.default_config ~sockets ~dir) with
+            poll_interval = 0.05;
+            probe_interval = 0.05;
+            shutdown_shards = true;
+          }
+      with
+      | Ok r -> r
+      | Error e -> failwith ("federation probe (router): " ^ e)
+    in
+    let fed_path = Filename.concat dir "fed.sock" in
+    let fed_listener = Server.listen_unix fed_path in
+    let rdom =
+      Domain.spawn (fun () -> Router.serve router ~listeners:[ fed_listener ])
+    in
+    let result =
+      match Client.connect_unix ~proto:Client.Binary fed_path with
+      | Error e -> Error e
+      | Ok c ->
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let gen = L.make_gen ~seed:0xB00 ~machine_size:256 in
+              match L.drive c gen ~requests ~window:32 ~rids:true () with
+              | Error e -> Error e
+              | Ok outcome ->
+                  (match Client.request c Protocol.Shutdown with
+                  | Ok _ | Error _ -> ());
+                  Ok outcome)
+    in
+    Domain.join rdom;
+    List.iter (fun (_, d) -> Domain.join d) shard_list;
+    rm_rf dir;
+    match result with
+    | Ok o -> o
+    | Error e -> failwith ("federation probe (live): " ^ e)
+  in
+  let direct =
+    match
+      L.bench ~proto:Client.Binary ~fsync_policy:Pmp_server.Wal.Group
+        ~wal_format:Pmp_server.Wal.Binary_records ~requests:10_000 ()
+    with
+    | Ok o -> o
+    | Error e -> failwith ("federation probe (direct): " ^ e)
+  in
+  let fed = run_federated ~requests:10_000 in
+  let direct_ns = L.ns_per_request direct
+  and fed_ns = L.ns_per_request fed in
+  Json.Obj
+    [
+      ( "case",
+        Json.Str "federation: router x 3 shards vs direct (binary+group)" );
+      ("golden", golden);
+      ("fed_requests", Json.Num (float_of_int fed.L.requests));
+      ("fed_errors", Json.Num (float_of_int fed.L.errors));
+      ("fed_ns_per_request", Json.Num (Float.round fed_ns));
+      ("direct_ns_per_request", Json.Num (Float.round direct_ns));
+      ( "fed_requests_per_sec",
+        Json.Num (Float.round (L.requests_per_sec fed)) );
+      ("norm_fed_ns_per_request", Json.Num (fed_ns /. calib));
+      ("overhead", Json.Num (fed_ns /. direct_ns));
+      ("max_overhead", Json.Num max_federation_overhead);
+    ]
+
 (* The production-shaped scenario gate: replay the registry's fast
    subset (pinned seed, per-scenario default machine, greedy, oracle
    armed) and pin each verdict's deterministic projection. Scenario
@@ -381,7 +548,7 @@ let scenario_verdicts () =
         Pmp_scenario.Verdict.golden_json verdict ))
     Pmp_scenario.Registry.fast_subset
 
-let report calib cases speedup service multicore scenarios =
+let report calib cases speedup service multicore federation scenarios =
   Json.Obj
     [
       ("suite", Json.Str "pmp bench-regress");
@@ -393,6 +560,7 @@ let report calib cases speedup service multicore scenarios =
       ("speedup", speedup);
       ("service", service);
       ("multicore", multicore);
+      ("federation", federation);
       ("scenarios", Json.Obj scenarios);
     ]
 
@@ -554,6 +722,63 @@ let check_multicore mc =
         ]
       else []
 
+(* The federation gates: the routing core's deterministic golden must
+   match the baseline's byte-for-byte (same Fed_index rule, same id
+   scheme, same quotas, same planner — any drift is a routing-policy
+   change smuggled in), the live federated run must ack every request
+   (errors beyond admission noise mean the at-least-once story broke),
+   and the live per-request overhead vs the direct point is capped by
+   an absolute same-host ceiling. *)
+let check_federation baseline fd =
+  let floor_failures =
+    let o = get_num "federation" fd "overhead" in
+    if o > max_federation_overhead then
+      [
+        {
+          key = "federation";
+          msg =
+            Printf.sprintf
+              "federated request overhead %.1fx exceeds the %.0fx ceiling \
+               (router x 3 shards vs direct binary+group)"
+              o max_federation_overhead;
+          timing = true;
+        };
+      ]
+    else []
+  in
+  let drift =
+    match Option.bind baseline (Json.member "federation") with
+    | None ->
+        if baseline <> None then
+          Printf.printf "note: baseline has no federation section\n";
+        []
+    | Some base -> (
+        match (Json.member "golden" base, Json.member "golden" fd) with
+        | Some b, Some c ->
+            if Json.to_string b <> Json.to_string c then
+              [
+                {
+                  key = "federation";
+                  msg =
+                    Printf.sprintf
+                      "federation routing golden drifted\n  baseline: %s\n  \
+                       current:  %s"
+                      (Json.to_string b) (Json.to_string c);
+                  timing = false;
+                };
+              ]
+            else []
+        | _ ->
+            [
+              {
+                key = "federation";
+                msg = "federation golden missing from baseline or this run";
+                timing = false;
+              };
+            ])
+  in
+  floor_failures @ drift
+
 (* The scenario gate is double: every verdict must pass on its own
    (load bound, oracle, everything drained) regardless of any
    baseline, and its deterministic projection must match the
@@ -686,6 +911,15 @@ let () =
         (Option.value ~default:nan
            (Option.bind (Json.member "speedup" mc) Json.to_float))
         min_multicore_speedup);
+  Printf.printf
+    "measuring federation (router x 3 shards vs direct, + routing golden)...\n%!";
+  let fd = federation_probe calib in
+  Printf.printf "federation overhead: %.1fx (ceiling %.0fx), %.0f req/s federated\n%!"
+    (Option.value ~default:nan
+       (Option.bind (Json.member "overhead" fd) Json.to_float))
+    max_federation_overhead
+    (Option.value ~default:nan
+       (Option.bind (Json.member "fed_requests_per_sec" fd) Json.to_float));
   Printf.printf "running scenario fast subset (%s)...\n%!"
     (String.concat ", "
        (List.map
@@ -735,6 +969,7 @@ let () =
     check_speedup sp
     @ check_service ~tolerance:!tolerance baseline sv
     @ check_multicore mc
+    @ check_federation baseline fd
     @ check_scenarios baseline scenarios
     @ !failures
   in
@@ -746,7 +981,7 @@ let () =
   let hard, soft =
     List.partition (fun f -> !strict_time || not f.timing) failures
   in
-  let rep = report calib !cases sp sv mc scenarios in
+  let rep = report calib !cases sp sv mc fd scenarios in
   Json.to_file !out rep;
   Printf.printf "wrote %s (%d cases)\n%!" !out (List.length !cases);
   if !update_baseline then begin

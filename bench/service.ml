@@ -243,6 +243,130 @@ let point_domains ~label ~domains ~conns () =
           ("fsync_total", Json.Num (metric "pmpd_fsync_total"));
         ]
 
+(* the federation corner: three in-process shard daemons behind one
+   router, the whole stack over real Unix sockets, binary protocol,
+   rids on so every response carries its serving shard. Rebalancing is
+   deliberately over-eager (threshold 0, 50 ms rounds) so the point
+   also reports live cross-shard migration volume. *)
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let point_federation ~label ~shards () =
+  Printf.printf "running %-14s ...%!" label;
+  let module Server = Pmp_server.Server in
+  let module Router = Pmp_federation.Router in
+  let module Rebalance = Pmp_federation.Rebalance in
+  let requests = 10_000 in
+  let machine_size = 256 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmp-bench-fed-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  let start_shard k =
+    let sdir = Filename.concat dir (Printf.sprintf "shard-%d" k) in
+    let config =
+      {
+        (Server.default_config ~machine_size ~policy:Pmp_cluster.Cluster.Greedy
+           ~dir:sdir)
+        with
+        Server.snapshot_every = 0;
+      }
+    in
+    let server = Result.get_ok (Server.create config) in
+    let path = Filename.concat sdir "pmp.sock" in
+    let listener = Server.listen_unix path in
+    (path, Domain.spawn (fun () -> Server.serve server ~listeners:[ listener ]))
+  in
+  let shard_list = List.init shards start_shard in
+  let sockets = Array.of_list (List.map fst shard_list) in
+  let router_config =
+    {
+      (Router.default_config ~sockets ~dir) with
+      poll_interval = 0.05;
+      probe_interval = 0.05;
+      rebalance = Some { Rebalance.default_config with threshold = 0 };
+      rebalance_interval = 0.05;
+      shutdown_shards = true;
+    }
+  in
+  let router =
+    match Router.create router_config with
+    | Ok r -> r
+    | Error e -> failwith (Printf.sprintf "service bench (%s): %s" label e)
+  in
+  let fed_path = Filename.concat dir "fed.sock" in
+  let fed_listener = Server.listen_unix fed_path in
+  let rdom =
+    Domain.spawn (fun () -> Router.serve router ~listeners:[ fed_listener ])
+  in
+  let latency =
+    Metrics.Histogram.make (Metrics.log_bounds ~start:1.0 ~ratio:2.0 ~count:24)
+  in
+  let result =
+    match Client.connect_unix ~proto:Client.Binary fed_path with
+    | Error e -> Error e
+    | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            let gen = L.make_gen ~seed:0xB00 ~machine_size in
+            match L.drive c gen ~requests ~window:32 ~latency ~rids:true () with
+            | Error e -> Error e
+            | Ok outcome ->
+                let dump =
+                  match Client.request c Protocol.Metrics with
+                  | Ok (Protocol.Metrics_reply m) -> m
+                  | Ok _ | Error _ -> ""
+                in
+                (match Client.request c Protocol.Shutdown with
+                | Ok Protocol.Bye | Ok _ | Error _ -> ());
+                Ok (outcome, dump))
+  in
+  Domain.join rdom;
+  List.iter (fun (_, d) -> Domain.join d) shard_list;
+  rm_rf dir;
+  match result with
+  | Error e -> failwith (Printf.sprintf "service bench (%s): %s" label e)
+  | Ok (o, dump) ->
+      let metric name = Option.value ~default:nan (metric_value dump name) in
+      let rebalanced = metric "fed_rebalanced_total" in
+      Printf.printf " %8.0f req/s  p99 %6.0f us  rebalanced %.0f\n%!"
+        (L.requests_per_sec o)
+        (L.percentile latency 99.0)
+        rebalanced;
+      Json.Obj
+        [
+          ("label", Json.Str label);
+          ("proto", Json.Str (Client.proto_name Client.Binary));
+          ("fsync_policy", Json.Str (Wal.policy_name Wal.Group));
+          ("wal_format", Json.Str (Wal.format_name Wal.Binary_records));
+          ("shards", Json.Num (float_of_int shards));
+          ("requests", Json.Num (float_of_int o.L.requests));
+          ("mutations", Json.Num (float_of_int o.L.mutations));
+          ("errors", Json.Num (float_of_int o.L.errors));
+          ("ns_per_request", Json.Num (Float.round (L.ns_per_request o)));
+          ("requests_per_sec", Json.Num (Float.round (L.requests_per_sec o)));
+          ("latency_p50_us", Json.Num (L.percentile latency 50.0));
+          ("latency_p99_us", Json.Num (L.percentile latency 99.0));
+          ( "by_shard",
+            Json.Obj
+              (List.map
+                 (fun (shard, n) ->
+                   (string_of_int shard, Json.Num (float_of_int n)))
+                 o.L.by_shard) );
+          ("fed_requests_total", Json.Num (metric "fed_requests_total"));
+          ("fed_rebalanced_total", Json.Num rebalanced);
+          ( "fed_rebalanced_bytes_total",
+            Json.Num (metric "fed_rebalanced_bytes_total") );
+        ]
+
 let () =
   let out = ref "BENCH_telemetry.json" in
   Arg.parse
@@ -278,7 +402,10 @@ let () =
   (* the multicore corner: four shard domains, four parallel client
      connections, the same binary+group fast path *)
   let p6 = point_domains ~label:"binary+group+dom4" ~domains:4 ~conns:4 () in
-  let points = [ p1; p2; p3; p4; p5; p6 ] in
+  (* the federation corner: one router in front of three shard daemons,
+     same binary+group fast path on every hop *)
+  let p7 = point_federation ~label:"fed+3shards" ~shards:3 () in
+  let points = [ p1; p2; p3; p4; p5; p6; p7 ] in
   let words =
     match L.words_per_request () with
     | Ok w -> w

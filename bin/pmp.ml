@@ -715,6 +715,23 @@ let fetch_metrics conn =
 
 let stage_names = [ "read"; "decode"; "apply"; "wal_append"; "fsync"; "ack" ]
 
+(* Per-shard throughput attribution, from the shard tags a federation
+   router piggybacks on rid-tagged responses. Empty against a plain
+   pmpd (no tags) — then we print nothing. *)
+let print_by_shard (o : Pmp_server.Loadgen.outcome) =
+  match o.Pmp_server.Loadgen.by_shard with
+  | [] -> ()
+  | by_shard ->
+      let total =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 by_shard
+      in
+      Printf.printf "served by shard:\n";
+      List.iter
+        (fun (shard, n) ->
+          Printf.printf "  shard %-3d : %8d req (%.1f%%)\n" shard n
+            (100.0 *. float_of_int n /. float_of_int (max 1 total)))
+        by_shard
+
 let client_bench_cmd =
   let requests_arg =
     let doc = "Number of requests to drive." in
@@ -767,6 +784,7 @@ let client_bench_cmd =
         (Pmp_server.Loadgen.requests_per_sec o);
       Printf.printf "ns/request     : %.0f\n"
         (Pmp_server.Loadgen.ns_per_request o);
+      print_by_shard o;
       Ok ()
     end
     else begin
@@ -809,6 +827,7 @@ let client_bench_cmd =
         "latency (us)   : p50 <= %.0f  p90 <= %.0f  p99 <= %.0f  max %.1f\n"
         (p 50.0) (p 90.0) (p 99.0)
         (Metrics.Histogram.max_seen latency);
+      print_by_shard o;
       (* server-side attribution: the same run, seen from inside the
          daemon — end-to-end minus these stages is queueing + wire *)
       let rows =
@@ -912,6 +931,323 @@ let client_cmd =
          "Drive a running pmpd from stdin (submit/finish/query/stats/loads/\
           metrics/snapshot/shutdown), or benchmark it with $(b,bench).")
     [ client_bench_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* federation: many tree machines behind one allocator                 *)
+
+let fed_serve_cmd =
+  let shards_arg =
+    let doc =
+      "Spawn $(docv) local pmpd shards — one domain each, durable state \
+       under <dir>/shard-<k>, Unix socket <dir>/shard-<k>/pmp.sock — and \
+       route across them. The router owns these shards: $(b,shutdown) \
+       against the router shuts them down too. Mutually exclusive with \
+       $(b,--shard-socket)."
+    in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"M" ~doc)
+  in
+  let shard_socket_arg =
+    let doc =
+      "Unix socket of an already-running pmpd shard (repeatable; argument \
+       order fixes shard indices). Mutually exclusive with $(b,--shards)."
+    in
+    Arg.(
+      value & opt_all string [] & info [ "shard-socket" ] ~docv:"PATH" ~doc)
+  in
+  let dir_arg =
+    let doc =
+      "Router directory: flight-recorder dumps, the default listen socket \
+       (<dir>/fed.sock) and self-spawned shard state live here (created)."
+    in
+    Arg.(value & opt string "fed-state" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let cap_arg =
+    let doc =
+      "Admission capacity of each self-spawned shard, as a multiple of its \
+       machine size (omit for the paper's real-time model)."
+    in
+    Arg.(value & opt (some float) None & info [ "cap" ] ~docv:"X" ~doc)
+  in
+  let tenant_cap_arg =
+    let doc =
+      "Per-tenant admission quota, as a multiple of the aggregate machine \
+       size (each client connection is one tenant). Omit for no quotas."
+    in
+    Arg.(value & opt (some float) None & info [ "tenant-cap" ] ~docv:"X" ~doc)
+  in
+  let poll_arg =
+    let doc = "Seconds between stats polls that refresh the shard load index." in
+    Arg.(value & opt float 0.5 & info [ "poll-interval" ] ~docv:"S" ~doc)
+  in
+  let probe_arg =
+    let doc = "Seconds between health probes that reconnect downed shards." in
+    Arg.(value & opt float 0.5 & info [ "probe-interval" ] ~docv:"S" ~doc)
+  in
+  let rebalance_arg =
+    let doc =
+      "Enable the cross-shard rebalancer: drain tasks from the hottest to \
+       the coldest shard whenever their load gap exceeds $(docv). Omit to \
+       disable."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rebalance-threshold" ] ~docv:"GAP" ~doc)
+  in
+  let rebalance_tasks_arg =
+    let doc = "Migration budget: tasks moved per rebalance round." in
+    Arg.(value & opt int 8 & info [ "rebalance-tasks" ] ~docv:"K" ~doc)
+  in
+  let rebalance_bytes_arg =
+    let doc = "Migration budget: bytes moved per rebalance round." in
+    Arg.(
+      value & opt int (1 lsl 20) & info [ "rebalance-bytes" ] ~docv:"B" ~doc)
+  in
+  let rebalance_interval_arg =
+    let doc = "Seconds between rebalance rounds." in
+    Arg.(value & opt float 1.0 & info [ "rebalance-interval" ] ~docv:"S" ~doc)
+  in
+  let recorder_arg =
+    let doc =
+      "Router flight-recorder ring size; dumped to <dir>/flightrec.jsonl on \
+       SIGUSR1 and on abnormal exit. 0 disables."
+    in
+    Arg.(value & opt int 4096 & info [ "flight-recorder" ] ~docv:"K" ~doc)
+  in
+  let action machine_size alloc_name d_str seed shards shard_sockets dir cap
+      tenant_cap socket host port poll_interval probe_interval
+      rebalance_threshold rebalance_tasks rebalance_bytes rebalance_interval
+      recorder_size =
+    let* _ = Builders.machine machine_size in
+    let* d = Builders.parse_d d_str in
+    let* () =
+      match (shards > 0, shard_sockets <> []) with
+      | true, true ->
+          Error (`Msg "give either --shards or --shard-socket, not both")
+      | false, false ->
+          Error (`Msg "give --shards M or at least one --shard-socket")
+      | _ -> Ok ()
+    in
+    (* Self-spawned shards: create (and recover) each server in this
+       domain so failures surface before we listen, then hand its event
+       loop to a fresh domain. The bound socket accepts connections the
+       moment it exists, so the router's create below can connect
+       immediately and block until the shard's loop answers. *)
+    let* sockets, domains =
+      if shards = 0 then Ok (Array.of_list shard_sockets, [])
+      else begin
+        let rec build socks doms k =
+          if k = shards then Ok (Array.of_list (List.rev socks), List.rev doms)
+          else begin
+            let sdir = Filename.concat dir (Printf.sprintf "shard-%d" k) in
+            let* policy =
+              Builders.cluster_policy alloc_name ~d ~seed:(seed + (k * 7919))
+            in
+            let* fsync_policy =
+              Result.map_error (fun e -> `Msg e)
+                (Pmp_server.Wal.parse_policy "group")
+            in
+            let* wal_format =
+              Result.map_error (fun e -> `Msg e)
+                (Pmp_server.Wal.parse_format "binary")
+            in
+            let config =
+              {
+                Pmp_server.Server.machine_size;
+                policy;
+                admission_cap = cap;
+                dir = sdir;
+                fsync_policy;
+                wal_format;
+                snapshot_every = 1024;
+                crash_after = None;
+                loop = Pmp_server.Loop.default_config;
+                latency_profile = false;
+                slow_ms = None;
+                recorder_size = 256;
+              }
+            in
+            let* server =
+              Result.map_error (fun e -> `Msg e)
+                (Pmp_server.Server.create config)
+            in
+            if Pmp_server.Server.recovered_ops server > 0 then
+              Printf.printf "shard %d: recovered %d WAL records (seq %d)\n%!"
+                k
+                (Pmp_server.Server.recovered_ops server)
+                (Pmp_server.Server.seq server);
+            let path = Filename.concat sdir "pmp.sock" in
+            let fd = Pmp_server.Server.listen_unix path in
+            Printf.printf "shard %d: listening on unix socket %s\n%!" k path;
+            let dom =
+              Domain.spawn (fun () ->
+                  try Pmp_server.Server.serve server ~listeners:[ fd ]
+                  with e ->
+                    Printf.eprintf "shard %d died: %s\n%!" k
+                      (Printexc.to_string e))
+            in
+            build (path :: socks) (dom :: doms) (k + 1)
+          end
+        in
+        build [] [] 0
+      end
+    in
+    let config =
+      {
+        (Pmp_federation.Router.default_config ~sockets ~dir) with
+        tenant_quota = tenant_cap;
+        poll_interval;
+        probe_interval;
+        rebalance =
+          Option.map
+            (fun threshold ->
+              {
+                Pmp_federation.Rebalance.default_config with
+                threshold;
+                max_tasks = rebalance_tasks;
+                max_bytes = rebalance_bytes;
+              })
+            rebalance_threshold;
+        rebalance_interval;
+        shutdown_shards = shards > 0;
+        recorder_size;
+      }
+    in
+    let* router =
+      Result.map_error (fun e -> `Msg e)
+        (Pmp_federation.Router.create config)
+    in
+    Printf.printf "federating %d shards, %d PEs aggregate\n%!"
+      (Pmp_federation.Router.shards router)
+      (Pmp_federation.Router.aggregate_size router);
+    let socket =
+      match (socket, port) with
+      | None, None -> Some (Filename.concat dir "fed.sock")
+      | _ -> socket
+    in
+    let listeners =
+      (match socket with
+      | Some path ->
+          Printf.printf "listening on unix socket %s\n%!" path;
+          [ Pmp_server.Server.listen_unix path ]
+      | None -> [])
+      @
+      match port with
+      | Some port ->
+          let fd, bound = Pmp_server.Server.listen_tcp ~host ~port in
+          Printf.printf "listening on %s:%d\n%!" host bound;
+          [ fd ]
+      | None -> []
+    in
+    Pmp_federation.Router.serve router ~listeners;
+    List.iter Domain.join domains;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ machine_arg $ alloc_arg $ d_arg $ seed_arg
+       $ shards_arg $ shard_socket_arg $ dir_arg $ cap_arg $ tenant_cap_arg
+       $ socket_arg $ host_arg $ port_arg $ poll_arg $ probe_arg
+       $ rebalance_arg $ rebalance_tasks_arg $ rebalance_bytes_arg
+       $ rebalance_interval_arg $ recorder_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a federation router over many pmpd shards: min-of-max \
+          placement, shard-tagged ids, tenant quotas, failover and \
+          budgeted cross-shard rebalancing.")
+    term
+
+let fed_status_cmd =
+  let action socket host port proto =
+    let* proto =
+      Result.map_error (fun e -> `Msg e) (Pmp_server.Client.parse_proto proto)
+    in
+    let* conn =
+      Result.map_error (fun e -> `Msg e)
+        (connect_client ~proto socket host port)
+    in
+    let request req =
+      Result.map_error (fun e -> `Msg e) (Pmp_server.Client.request conn req)
+    in
+    let r =
+      let* health = request Pmp_server.Protocol.Health in
+      let* stats = request Pmp_server.Protocol.Stats in
+      let* dump =
+        match request Pmp_server.Protocol.Metrics with
+        | Ok (Pmp_server.Protocol.Metrics_reply dump) -> Ok dump
+        | Ok r ->
+            Error
+              (`Msg
+                 ("unexpected response: "
+                 ^ Pmp_server.Protocol.render_response r))
+        | Error e -> Error e
+      in
+      Printf.printf "router   : %s\n"
+        (Pmp_server.Protocol.render_response health);
+      Printf.printf "aggregate: %s\n"
+        (Pmp_server.Protocol.render_response stats);
+      let scrape_shard name sx =
+        scrape_value dump (Printf.sprintf "%s{shard=\"%d\"}" name sx)
+      in
+      let total name =
+        match scrape_value dump name with Some v -> v | None -> 0.0
+      in
+      Printf.printf
+        "requests : %.0f routed, %.0f quota rejects, %.0f mark-downs, %.0f \
+         re-admitted\n"
+        (total "fed_requests_total")
+        (total "fed_admission_rejects_total")
+        (total "fed_markdowns_total")
+        (total "fed_readmitted_total");
+      Printf.printf "rebalance: %.0f tasks, %.0f bytes, %.0f audit failures\n"
+        (total "fed_rebalanced_total")
+        (total "fed_rebalanced_bytes_total")
+        (total "fed_audit_failures_total");
+      let rec shard_rows sx =
+        match scrape_shard "fed_shard_up" sx with
+        | None -> ()
+        | Some up ->
+            let load =
+              Option.value ~default:0.0 (scrape_shard "fed_shard_load" sx)
+            in
+            let routed =
+              Option.value ~default:0.0
+                (scrape_shard "fed_shard_routed_total" sx)
+            in
+            Printf.printf "  shard %-3d: %-4s load %-6.0f routed %.0f\n" sx
+              (if up > 0.0 then "up" else "DOWN")
+              load routed;
+            shard_rows (sx + 1)
+      in
+      shard_rows 0;
+      Ok ()
+    in
+    Pmp_server.Client.close conn;
+    r
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ socket_arg $ host_arg $ port_arg
+       $ proto_arg ~default:"binary"))
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Show a federation router's health, aggregate stats and a \
+          per-shard up/load/routed table scraped from its metrics.")
+    term
+
+let fed_cmd =
+  Cmd.group
+    (Cmd.info "fed"
+       ~doc:
+         "Federate many pmpd tree machines behind one allocator endpoint \
+          ($(b,serve)), and inspect it ($(b,status)).")
+    [ fed_serve_cmd; fed_status_cmd ]
 
 let top_cmd =
   let interval_arg =
@@ -1541,8 +1877,8 @@ let () =
     Cmd.group info
       [
         run_cmd; sweep_cmd; adversary_cmd; gen_cmd; replay_cmd; profile_cmd;
-        scenario_cmd; console_cmd; serve_cmd; client_cmd; top_cmd; chart_cmd;
-        bounds_cmd;
+        scenario_cmd; console_cmd; serve_cmd; client_cmd; fed_cmd; top_cmd;
+        chart_cmd; bounds_cmd;
       ]
   in
   exit (Cmd.eval group)

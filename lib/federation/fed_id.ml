@@ -1,0 +1,17 @@
+type plan = { shards : int }
+
+let plan ~shards =
+  if shards < 1 then
+    Error (Printf.sprintf "federation needs at least one shard, got %d" shards)
+  else Ok { shards }
+
+let global_id p ~shard local = (local * p.shards) + shard
+let local_id p g = g / p.shards
+let owner p g = g mod p.shards
+
+let leaf_offset ~shard_sizes shard =
+  let off = ref 0 in
+  for s = 0 to shard - 1 do
+    off := !off + shard_sizes.(s)
+  done;
+  !off

@@ -1,0 +1,34 @@
+(** The arithmetic of federated task ids.
+
+    A federation of [M] shards extends the {!Pmp_util.Sharding}
+    interleaving one level up: the [i]-th task a shard [s] assigns
+    gets the federated id [i * M + s], so ids from different shards
+    never collide no matter how unevenly the router spreads traffic,
+    and the {e birth} shard of any federated id is [id mod M] with no
+    routing table. Unlike the in-process sharding plan, [M] need not
+    be a power of two (shards are whole machines, not aligned
+    subtrees), and the map is only the {e default} route: failover and
+    cross-shard rebalancing re-home tasks without renaming them, so
+    the router overlays this arithmetic with a ledger of moved ids.
+
+    Kept pure so bijectivity is testable without a socket. *)
+
+type plan = private { shards : int  (** M >= 1 *) }
+
+val plan : shards:int -> (plan, string) result
+(** Errors unless [shards >= 1]. *)
+
+val global_id : plan -> shard:int -> int -> int
+(** [global_id p ~shard local] = [local * M + shard]. *)
+
+val local_id : plan -> int -> int
+(** [local_id p g] = [g / M]. *)
+
+val owner : plan -> int -> int
+(** [owner p g] = [g mod M] — the shard whose cluster assigned [g]. *)
+
+val leaf_offset : shard_sizes:int array -> int -> int
+(** First aggregate leaf of a shard's machine when the [M] disjoint
+    machines are laid side by side in shard order: the sum of the
+    sizes before it. Placements reported to federation clients are
+    offset into this aggregate leaf space. *)

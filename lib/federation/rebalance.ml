@@ -1,0 +1,65 @@
+type config = {
+  threshold : int;
+  max_tasks : int;
+  max_bytes : int;
+  bytes_per_pe : int;
+}
+
+let default_config =
+  { threshold = 2; max_tasks = 8; max_bytes = 1 lsl 20; bytes_per_pe = 4096 }
+
+type task = { gid : int; size : int; queued : bool }
+type move = { task : task; src : int; dst : int }
+
+let move_bytes config m = m.task.size * config.bytes_per_pe
+
+let plan config ~loads ~up ~shard_sizes ~tasks =
+  let m = Array.length loads in
+  let hot = ref (-1) and cold = ref (-1) in
+  for sx = m - 1 downto 0 do
+    if up.(sx) then begin
+      (match !hot with
+      | -1 -> hot := sx
+      | h -> if loads.(sx) >= loads.(h) then hot := sx);
+      match !cold with
+      | -1 -> cold := sx
+      | c -> if loads.(sx) <= loads.(c) then cold := sx
+    end
+  done;
+  if
+    !hot < 0 || !cold < 0 || !hot = !cold
+    || loads.(!hot) - loads.(!cold) <= config.threshold
+  then []
+  else begin
+    let src = !hot and dst = !cold in
+    (* queued backlog first, then active tasks cheapest-drain-first *)
+    let queued, active = List.partition (fun t -> t.queued) (tasks src) in
+    let candidates =
+      queued @ List.sort (fun a b -> compare a.size b.size) active
+    in
+    let moves = ref [] and n = ref 0 and bytes = ref 0 in
+    (* projected summary loads: an active task of size s contributes
+       ~ceil(s / N) to a shard's max PE load, at least 1 *)
+    let contribution sx t = max 1 (t.size / max 1 shard_sizes.(sx)) in
+    let src_load = ref loads.(src) and dst_load = ref loads.(dst) in
+    List.iter
+      (fun t ->
+        let cost = t.size * config.bytes_per_pe in
+        let converged = !src_load - !dst_load <= config.threshold in
+        if
+          (not converged)
+          && !n < config.max_tasks
+          && !bytes + cost <= config.max_bytes
+          && t.size <= shard_sizes.(dst)
+        then begin
+          moves := { task = t; src; dst } :: !moves;
+          incr n;
+          bytes := !bytes + cost;
+          if not t.queued then begin
+            src_load := !src_load - contribution src t;
+            dst_load := !dst_load + contribution dst t
+          end
+        end)
+      candidates;
+    List.rev !moves
+  end

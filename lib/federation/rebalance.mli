@@ -1,0 +1,49 @@
+(** Cross-shard rebalancing as a d-reallocation instance one level up.
+
+    Within a shard, the paper's algorithms may move up to [d * N]
+    tasks per arrival to keep max load near optimal. Between shards a
+    move is a real migration — drain the task from its source and
+    replay it on the destination — so, following the dynamic
+    reallocation literature (Lim & Gilbert), every round is capped by
+    an explicit migration {e budget} in tasks and in bytes rather
+    than by an abstract [d]. The planner is pure: given the shard
+    summaries and each shard's movable tasks, it returns the list of
+    moves the router should execute (and audit). *)
+
+type config = {
+  threshold : int;
+      (** act only when the hottest up shard's summary load exceeds
+          the coldest's by more than this many units *)
+  max_tasks : int;  (** per-round task budget *)
+  max_bytes : int;  (** per-round byte budget *)
+  bytes_per_pe : int;
+      (** migration cost model: draining a size-[s] task moves
+          [s * bytes_per_pe] bytes of state *)
+}
+
+val default_config : config
+(** [threshold = 2], [max_tasks = 8], [max_bytes = 1 lsl 20],
+    [bytes_per_pe = 4096]. *)
+
+type task = { gid : int; size : int; queued : bool }
+(** A movable task as the router's ledger sees it. *)
+
+type move = { task : task; src : int; dst : int }
+
+val move_bytes : config -> move -> int
+
+val plan :
+  config ->
+  loads:int array ->
+  up:bool array ->
+  shard_sizes:int array ->
+  tasks:(int -> task list) ->
+  move list
+(** One round: pick the hottest and coldest up shards by summary
+    load; if they differ by more than [threshold], move tasks from
+    hot to cold — queued tasks first (a queued task is pure backlog:
+    moving it costs its bytes but frees no load), then active tasks
+    smallest-first (cheapest drains first) — until the projected
+    loads converge or a budget is exhausted. Only tasks that
+    structurally fit the destination move. The returned moves respect
+    [max_tasks] and [max_bytes] strictly. *)

@@ -1,0 +1,54 @@
+(** An in-process federation: the router's routing core run against
+    [M] in-memory {!Pmp_cluster.Cluster}s, with {e exact} summaries
+    (the index is refreshed from true shard stats after every
+    mutation, as if a stats poll followed every response).
+
+    This is the deterministic twin of the socket router: same
+    {!Fed_index} choice rule, same id scheme, same tenant quotas, same
+    {!Rebalance} planner. Tests use it for the routing-replay
+    equivalence property (each shard's slice of a federated run,
+    replayed through an independent cluster, must reproduce that
+    shard's stats exactly); the bench-regression gate pins its
+    verdict on a scripted workload byte-for-byte. *)
+
+type op =
+  | Submit of { size : int; tenant : int }
+  | Finish of int
+      (** finish the [n]-th acknowledged task (ignored when out of
+          range or already finished) *)
+
+type decision =
+  | Routed of int  (** submit placed or queued on this shard *)
+  | Rejected  (** tenant quota or no shard fits *)
+  | Finished_on of int
+  | Noop  (** finish of an out-of-range or dead id *)
+
+type result = {
+  decisions : decision array;  (** one per op, in op order *)
+  stats : Pmp_cluster.Cluster.stats array;  (** final, per shard *)
+  routed : int array;  (** submits routed per shard *)
+  rejects : int;
+  rebalanced : int;  (** tasks migrated across shards *)
+  rebalanced_bytes : int;
+}
+
+val run :
+  shards:int ->
+  machine_size:int ->
+  ?admission_cap:float option ->
+  ?tenant_quota:int ->
+  ?rebalance:Rebalance.config * int ->
+  ops:op list ->
+  unit ->
+  (result, string) Stdlib.result
+(** [machine_size] is per shard. [tenant_quota] is a per-tenant cap on
+    admitted PEs across the whole federation. [rebalance (config, n)]
+    runs a planner round every [n] ops and executes its moves
+    (drain from source, replay on destination, same federated id).
+    Deterministic: same arguments, same result. *)
+
+val script : seed:int -> ops:int -> machine_size:int -> tenants:int -> op list
+(** The canonical scripted workload for goldens: a seeded churn mix
+    of power-of-two submits (sizes up to [machine_size / 4]) spread
+    over [tenants] tenants, interleaved with finishes of earlier
+    acks. Deterministic in [seed]. *)

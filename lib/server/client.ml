@@ -72,7 +72,7 @@ let input_varint ic =
 (* The encoding of each response is detected from its first byte, like
    the server does for requests — so a connection can switch formats
    mid-stream and both sides stay in step. *)
-let receive_with_rid t =
+let receive_attr t =
   match
     let c = input_char t.ic in
     if Char.code c = Wire.request_magic then begin
@@ -86,19 +86,22 @@ let receive_with_rid t =
             if len < 0 || len > Wire.max_payload then Error "bad frame length"
             else begin
               let payload = really_input_string t.ic len in
-              Protocol.decode_response_payload_rid payload ~pos:0 ~limit:len
+              Protocol.decode_response_payload_attr payload ~pos:0 ~limit:len
             end
       end
     end
     else begin
       let line = input_line t.ic in
-      Protocol.decode_response_rid (String.make 1 c ^ line)
+      Protocol.decode_response_attr (String.make 1 c ^ line)
     end
   with
   | r -> r
   | exception End_of_file -> Error "connection closed"
   | exception Sys_error e -> Error e
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let receive_with_rid t =
+  Result.map (fun (r, rid, _shard) -> (r, rid)) (receive_attr t)
 
 let receive t = Result.map fst (receive_with_rid t)
 

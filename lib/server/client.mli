@@ -43,4 +43,10 @@ val receive_with_rid : t -> (Protocol.response * int option, string) result
 (** Like {!receive} but also returns the echoed request id, when the
     response carries one. *)
 
+val receive_attr :
+  t -> (Protocol.response * int option * int option, string) result
+(** Like {!receive_with_rid} but also returns the serving shard tag
+    ([(response, rid, shard)]) stamped by a federation router;
+    [None] against a plain (non-federated) server. *)
+
 val close : t -> unit

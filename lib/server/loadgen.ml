@@ -63,6 +63,9 @@ type outcome = {
   mutations : int;
   errors : int;
   elapsed : float;  (** seconds *)
+  by_shard : (int * int) list;
+      (** responses per serving shard, sorted by shard id; non-empty
+          only against a federation router with rids on *)
 }
 
 let ns_per_request o = o.elapsed *. 1e9 /. float_of_int (max 1 o.requests)
@@ -91,9 +94,10 @@ let drive client gen ~requests ~window ?latency ?(rids = false) () =
     | Error e -> raise (Fail ("send: " ^ e)));
     incr sent
   in
+  let shard_counts = Hashtbl.create 8 in
   let recv_one () =
-    match Client.receive_with_rid client with
-    | Ok (resp, rid) ->
+    match Client.receive_attr client with
+    | Ok (resp, rid, shard) ->
         (* the server answers strictly in order, so with rids on, the
            echo must be exactly the send index of this slot *)
         if rids && rid <> Some !recvd then
@@ -105,6 +109,11 @@ let drive client gen ~requests ~window ?latency ?(rids = false) () =
         | Some h ->
             Metrics.Histogram.observe h
               ((Unix.gettimeofday () -. times.(!recvd mod window)) *. 1e6)
+        | None -> ());
+        (match shard with
+        | Some s ->
+            Hashtbl.replace shard_counts s
+              (1 + try Hashtbl.find shard_counts s with Not_found -> 0)
         | None -> ());
         note_response gen resp;
         (match resp with Protocol.Error _ -> incr errors | _ -> ());
@@ -125,6 +134,9 @@ let drive client gen ~requests ~window ?latency ?(rids = false) () =
           mutations = !mutations;
           errors = !errors;
           elapsed = Unix.gettimeofday () -. t0;
+          by_shard =
+            Hashtbl.fold (fun s n acc -> (s, n) :: acc) shard_counts []
+            |> List.sort compare;
         }
   | exception Fail e -> Error e
 
@@ -150,6 +162,15 @@ let drive_parallel ~connect ~conns ~requests ~window ~seed ~machine_size
   in
   let domains = List.init conns (fun i -> Domain.spawn (worker i)) in
   let results = List.map Domain.join domains in
+  let merge_by_shard a b =
+    List.fold_left
+      (fun acc (s, n) ->
+        match List.assoc_opt s acc with
+        | Some m -> (s, m + n) :: List.remove_assoc s acc
+        | None -> (s, n) :: acc)
+      a b
+    |> List.sort compare
+  in
   List.fold_left
     (fun acc r ->
       match (acc, r) with
@@ -161,8 +182,16 @@ let drive_parallel ~connect ~conns ~requests ~window ~seed ~machine_size
               mutations = a.mutations + o.mutations;
               errors = a.errors + o.errors;
               elapsed = Float.max a.elapsed o.elapsed;
+              by_shard = merge_by_shard a.by_shard o.by_shard;
             })
-    (Ok { requests = 0; mutations = 0; errors = 0; elapsed = 0.0 })
+    (Ok
+       {
+         requests = 0;
+         mutations = 0;
+         errors = 0;
+         elapsed = 0.0;
+         by_shard = [];
+       })
     results
 
 (* ------------------------------------------------------------------ *)

@@ -26,6 +26,10 @@ type outcome = {
   mutations : int;  (** submits + finishes sent *)
   errors : int;  (** [Error] responses (admission rejections etc.) *)
   elapsed : float;  (** seconds *)
+  by_shard : (int * int) list;
+      (** responses per serving shard (sorted by shard id), from the
+          shard tag a federation router stamps on rid-tagged
+          responses; empty against a plain server or with rids off *)
 }
 
 val ns_per_request : outcome -> float

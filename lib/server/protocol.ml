@@ -196,12 +196,15 @@ let response_value r =
   | Bye -> ok_fields "bye" []
   | Error e -> Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str e) ]
 
-let encode_response ?rid r =
-  match (rid, response_value r) with
-  | None, v -> Json.to_string v
-  | Some n, Json.Obj fields ->
-      Json.to_string (Json.Obj (fields @ [ ("rid", num n) ]))
-  | Some _, v -> Json.to_string v
+let encode_response ?rid ?shard r =
+  let extra =
+    (match rid with Some n -> [ ("rid", num n) ] | None -> [])
+    @ match shard with Some s -> [ ("shard", num s) ] | None -> []
+  in
+  match (extra, response_value r) with
+  | [], v -> Json.to_string v
+  | extra, Json.Obj fields -> Json.to_string (Json.Obj (fields @ extra))
+  | _, v -> Json.to_string v
 
 let decode_placement v =
   let* base = int_field v "base" in
@@ -299,6 +302,15 @@ let decode_response_rid line =
   let* r = decode_response_value v in
   Ok (r, rid_of v)
 
+(* Like [rid], "shard" is a tracing aid: absent or mistyped means no
+   attribution, never a decode error. *)
+let shard_of v = Option.bind (Json.member "shard" v) Json.to_int
+
+let decode_response_attr line =
+  let* v = parse line in
+  let* r = decode_response_value v in
+  Ok (r, rid_of v, shard_of v)
+
 (* ------------------------------------------------------------------ *)
 (* binary encoding                                                     *)
 
@@ -338,6 +350,11 @@ let st_health = 11
 
 let st_tagged = 12
 (* wrapper: varint rid, then the inner response payload (not itself tagged) *)
+
+let st_shard_tagged = 13
+(* wrapper: varint rid, varint shard, then the inner response payload
+   (not itself tagged). Emitted by the federation router so a client
+   can attribute a rid-tagged response to the shard that served it. *)
 
 let add_tag buf t = Buffer.add_char buf (Char.chr t)
 
@@ -431,6 +448,12 @@ let response_payload_rid buf ~rid r =
   Wire.add_varint buf rid;
   response_payload buf r
 
+let response_payload_attr buf ~rid ~shard r =
+  add_tag buf st_shard_tagged;
+  Wire.add_varint buf rid;
+  Wire.add_varint buf shard;
+  response_payload buf r
+
 (* Wrap [payload] (already encoded) in a frame. *)
 let add_frame buf payload =
   Buffer.add_char buf (Char.chr Wire.request_magic);
@@ -450,10 +473,13 @@ let encode_request_binary ?rid r =
   | None -> encode_binary request_payload r
   | Some n -> encode_binary (fun buf r -> request_payload_rid buf ~rid:n r) r
 
-let encode_response_binary ?rid r =
-  match rid with
-  | None -> encode_binary response_payload r
-  | Some n -> encode_binary (fun buf r -> response_payload_rid buf ~rid:n r) r
+let encode_response_binary ?rid ?shard r =
+  match (rid, shard) with
+  | None, _ -> encode_binary response_payload r
+  | Some n, None ->
+      encode_binary (fun buf r -> response_payload_rid buf ~rid:n r) r
+  | Some n, Some s ->
+      encode_binary (fun buf r -> response_payload_attr buf ~rid:n ~shard:s r) r
 
 (* --- binary decoding ---------------------------------------------- *)
 
@@ -605,25 +631,40 @@ let decode_response_plain s ~pos ~limit =
         end
     | tag -> Result.Error (Printf.sprintf "unknown binary status tag %d" tag)
 
-let decode_response_payload_rid s ~pos ~limit =
+let decode_response_payload_attr s ~pos ~limit =
   match
-    if Char.code s.[pos] = st_tagged then begin
+    let tag = Char.code s.[pos] in
+    if tag = st_tagged then begin
       let rid, pos = Wire.get_varint_string s (pos + 1) limit in
       if pos >= limit then Result.Error "truncated frame"
       else
         match decode_response_plain s ~pos ~limit with
-        | Ok r -> Ok (r, Some rid)
+        | Ok r -> Ok (r, Some rid, None)
+        | Result.Error e -> Result.Error e
+    end
+    else if tag = st_shard_tagged then begin
+      let rid, pos = Wire.get_varint_string s (pos + 1) limit in
+      let shard, pos = Wire.get_varint_string s pos limit in
+      if pos >= limit then Result.Error "truncated frame"
+      else
+        match decode_response_plain s ~pos ~limit with
+        | Ok r -> Ok (r, Some rid, Some shard)
         | Result.Error e -> Result.Error e
     end
     else begin
       match decode_response_plain s ~pos ~limit with
-      | Ok r -> Ok (r, None)
+      | Ok r -> Ok (r, None, None)
       | Result.Error e -> Result.Error e
     end
   with
   | r -> r
   | exception Wire.Corrupt e -> Result.Error e
   | exception Invalid_argument _ -> Result.Error "truncated frame"
+
+let decode_response_payload_rid s ~pos ~limit =
+  Result.map
+    (fun (r, rid, _shard) -> (r, rid))
+    (decode_response_payload_attr s ~pos ~limit)
 
 let decode_response_payload s ~pos ~limit =
   Result.map fst (decode_response_payload_rid s ~pos ~limit)

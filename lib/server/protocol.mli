@@ -79,9 +79,18 @@ val decode_request_rid : string -> (request * int option, string) result
 (** Like {!decode_request} but also returns the ["rid"] member when
     present (and integer-valued). *)
 
-val encode_response : ?rid:int -> response -> string
+val encode_response : ?rid:int -> ?shard:int -> response -> string
+(** [?shard] adds a ["shard"] member — the federation router stamps
+    the upstream shard that served a rid-tagged response so clients
+    can attribute throughput per shard. *)
+
 val decode_response : string -> (response, string) result
 val decode_response_rid : string -> (response * int option, string) result
+
+val decode_response_attr :
+  string -> (response * int option * int option, string) result
+(** Like {!decode_response_rid} but also returns the ["shard"]
+    member when present: [(response, rid, shard)]. *)
 
 (** {1 Binary encoding}
 
@@ -108,11 +117,17 @@ val request_payload_rid : Buffer.t -> rid:int -> request -> unit
 
 val response_payload_rid : Buffer.t -> rid:int -> response -> unit
 
+val response_payload_attr : Buffer.t -> rid:int -> shard:int -> response -> unit
+(** The shard-tagged wrapper ([varint rid], [varint shard], inner
+    payload) used by the federation router. Never nests. *)
+
 val encode_request_binary : ?rid:int -> request -> string
 (** A complete frame, ready to write to a socket (no newline); [?rid]
     uses the tagged wrapper. *)
 
-val encode_response_binary : ?rid:int -> response -> string
+val encode_response_binary : ?rid:int -> ?shard:int -> response -> string
+(** [?shard] (requires [?rid]; ignored without it) uses the
+    shard-tagged wrapper. *)
 
 val decode_request_payload :
   string -> pos:int -> limit:int -> (request, string) result
@@ -128,6 +143,14 @@ val decode_response_payload :
 
 val decode_response_payload_rid :
   string -> pos:int -> limit:int -> (response * int option, string) result
+
+val decode_response_payload_attr :
+  string ->
+  pos:int ->
+  limit:int ->
+  (response * int option * int option, string) result
+(** [(response, rid, shard)] — unwraps both the rid-tagged and the
+    shard-tagged wrapper. *)
 
 val decode_request_binary : string -> (request, string) result
 (** Decode one complete frame, header included. Never raises. *)

@@ -353,8 +353,10 @@ let has_prefix ~prefix s =
   let lp = String.length prefix and l = String.length s in
   l >= lp && String.sub s 0 lp = prefix
 
-let merge_prometheus ?(strip_label = "shard") ?(keep_prefix = "pmpd_shard_")
-    ?(max_names = []) dumps =
+let default_keep_prefixes = [ "pmpd_shard_"; "fed_shard_" ]
+
+let merge_prometheus ?(strip_label = "shard")
+    ?(keep_prefixes = default_keep_prefixes) ?(max_names = []) dumps =
   match dumps with
   | [] -> ""
   | [ d ] -> d
@@ -392,7 +394,10 @@ let merge_prometheus ?(strip_label = "shard") ?(keep_prefix = "pmpd_shard_")
           let line0 = List.hd lines in
           match parse_sample line0 with
           | None -> emit line0 (* comment: identical across shards *)
-          | Some s0 when has_prefix ~prefix:keep_prefix s0.s_name ->
+          | Some s0
+            when List.exists
+                   (fun prefix -> has_prefix ~prefix s0.s_name)
+                   keep_prefixes ->
               (* per-shard series stay per-shard, in shard order *)
               List.iter emit lines
           | Some s0 -> (

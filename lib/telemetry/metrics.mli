@@ -145,9 +145,13 @@ val prometheus : Registry.t -> string
     {!escape_label}. Output is byte-stable for a fixed registration
     order and instrument state. *)
 
+val default_keep_prefixes : string list
+(** The per-shard passthrough prefixes {!merge_prometheus} uses by
+    default: [["pmpd_shard_"; "fed_shard_"]]. *)
+
 val merge_prometheus :
   ?strip_label:string ->
-  ?keep_prefix:string ->
+  ?keep_prefixes:string list ->
   ?max_names:string list ->
   string list ->
   string
@@ -161,9 +165,12 @@ val merge_prometheus :
     series in the same order as a single-registry server.
 
     Per line: comments are taken from the first dump; samples whose
-    name starts with [keep_prefix] (default ["pmpd_shard_"]) are
-    intentionally per-shard and pass through once per dump, in dump
-    order; every other sample has [strip_label] removed and its values
+    name starts with any prefix in [keep_prefixes] (default
+    {!default_keep_prefixes}) are intentionally per-shard and pass
+    through once per dump, in dump order — the rule is purely
+    prefix-driven, so a federation router can keep its own [fed_shard_*]
+    series per-upstream with the same stable-order guarantees;
+    every other sample has [strip_label] removed and its values
     combined — by [Float.max] when the name ends in [_max] or is listed
     in [max_names] (a per-shard peak of a global quantity), by sum
     otherwise (counts, sums, bucket populations, gauge levels).

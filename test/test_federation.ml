@@ -1,0 +1,514 @@
+(* The federation layer: id arithmetic, the second-level min-of-max
+   index, the budgeted rebalance planner, routing-replay equivalence on
+   the deterministic sim, and live multi-shard sessions over real
+   sockets — including the headline failover property: crash one shard
+   mid-stream and no acknowledged task is lost. *)
+
+module Sm = Pmp_prng.Splitmix64
+module Cluster = Pmp_cluster.Cluster
+module Protocol = Pmp_server.Protocol
+module Server = Pmp_server.Server
+module Client = Pmp_server.Client
+module Fed_id = Pmp_federation.Fed_id
+module Fed_index = Pmp_federation.Fed_index
+module Rebalance = Pmp_federation.Rebalance
+module Sim = Pmp_federation.Sim
+module Router = Pmp_federation.Router
+
+let get_ok ~ctx = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" ctx e
+
+(* --- temp state directories --------------------------------------- *)
+
+let temp_count = ref 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (ENOENT, _, _) -> ()
+
+let with_dir f =
+  incr temp_count;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmpd-fed-test-%d-%d" (Unix.getpid ()) !temp_count)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- federated id arithmetic -------------------------------------- *)
+
+let test_fed_id_plan () =
+  (match Fed_id.plan ~shards:0 with
+  | Ok _ -> Alcotest.fail "plan 0 unexpectedly ok"
+  | Error _ -> ());
+  let _ = get_ok ~ctx:"plan 1" (Fed_id.plan ~shards:1) in
+  Alcotest.(check (list int))
+    "leaf offsets over uneven machines" [ 0; 8; 12; 28 ]
+    (List.init 4 (Fed_id.leaf_offset ~shard_sizes:[| 8; 4; 16; 8 |]))
+
+let prop_fed_id_bijection =
+  QCheck.Test.make ~name:"federation: id scheme is a bijection" ~count:500
+    QCheck.(triple (int_range 1 8) (int_bound 7) (int_bound 100_000))
+    (fun (shards, shard, local) ->
+      let shard = shard mod shards in
+      let p = get_ok ~ctx:"plan" (Fed_id.plan ~shards) in
+      let g = Fed_id.global_id p ~shard local in
+      Fed_id.owner p g = shard && Fed_id.local_id p g = local && g >= 0)
+
+(* --- the second-level index --------------------------------------- *)
+
+let test_fed_index_pick () =
+  let t =
+    Fed_index.create ~shard_sizes:[| 8; 8; 8 |] ~capacities:(Array.make 3 None)
+  in
+  Alcotest.(check (option int)) "all idle -> leftmost" (Some 0)
+    (Fed_index.pick t ~size:4);
+  Fed_index.note_submit t 0 ~size:8;
+  Alcotest.(check int) "optimistic estimate raises the summary" 1
+    (Fed_index.load t 0);
+  Alcotest.(check (option int)) "skips the loaded shard" (Some 1)
+    (Fed_index.pick t ~size:4);
+  Fed_index.set_up t 1 false;
+  Alcotest.(check (option int)) "down shards are never picked" (Some 2)
+    (Fed_index.pick t ~size:4);
+  Fed_index.observe t 0 ~max_load:0 ~active_size:0;
+  Alcotest.(check (option int)) "a poll snaps the estimate back" (Some 0)
+    (Fed_index.pick t ~size:4);
+  Alcotest.(check (option int)) "no shard fits an oversized task" None
+    (Fed_index.pick t ~size:16);
+  Fed_index.set_up t 0 false;
+  Fed_index.set_up t 2 false;
+  Alcotest.(check (option int)) "every shard down" None
+    (Fed_index.pick t ~size:1);
+  Fed_index.set_up t 1 true;
+  Alcotest.(check (option int)) "recovery restores the leaf" (Some 1)
+    (Fed_index.pick t ~size:1)
+
+let test_fed_index_headroom () =
+  (* equal loads: the capped-out shard loses to one with headroom *)
+  let t =
+    Fed_index.create ~shard_sizes:[| 8; 8 |]
+      ~capacities:[| Some 8; Some 64 |]
+  in
+  Fed_index.note_submit t 0 ~size:8;
+  Fed_index.note_submit t 1 ~size:8;
+  Alcotest.(check int) "loads tie" (Fed_index.load t 0) (Fed_index.load t 1);
+  Alcotest.(check (option int)) "headroom breaks the tie" (Some 1)
+    (Fed_index.pick t ~size:2);
+  (* nobody has headroom: fall back to the leftmost min that fits *)
+  let t =
+    Fed_index.create ~shard_sizes:[| 8; 8 |] ~capacities:[| Some 2; Some 2 |]
+  in
+  Fed_index.note_submit t 0 ~size:2;
+  Fed_index.note_submit t 1 ~size:2;
+  Alcotest.(check (option int)) "queueing fallback is still leftmost min"
+    (Some 0)
+    (Fed_index.pick t ~size:4)
+
+let prop_fed_index_leftmost_min =
+  QCheck.Test.make ~name:"federation: pick is the leftmost up minimum"
+    ~count:300
+    QCheck.(pair (int_range 1 6) (int_range 0 1_000_000))
+    (fun (m, seed) ->
+      Helpers.with_seed ~label:"fed-index-pick" seed (fun g ->
+          let t =
+            Fed_index.create ~shard_sizes:(Array.make m 8)
+              ~capacities:(Array.make m None)
+          in
+          for sx = 0 to m - 1 do
+            Fed_index.observe t sx ~max_load:(Sm.int g 6) ~active_size:0;
+            if Sm.int g 4 = 0 then Fed_index.set_up t sx false
+          done;
+          let ups = List.filter (Fed_index.up t) (List.init m Fun.id) in
+          match Fed_index.pick t ~size:1 with
+          | None -> ups = []
+          | Some sx ->
+              Fed_index.up t sx
+              && List.for_all
+                   (fun j ->
+                     Fed_index.load t j > Fed_index.load t sx
+                     || (Fed_index.load t j = Fed_index.load t sx && j >= sx))
+                   ups))
+
+(* --- the rebalance planner ---------------------------------------- *)
+
+let prop_rebalance_plan =
+  QCheck.Test.make
+    ~name:"federation: rebalance moves respect budgets and direction"
+    ~count:300
+    QCheck.(pair (int_range 2 5) (int_range 0 1_000_000))
+    (fun (m, seed) ->
+      Helpers.with_seed ~label:"rebalance-plan" seed (fun g ->
+          let loads = Array.init m (fun _ -> Sm.int g 12) in
+          let up = Array.init m (fun _ -> Sm.int g 5 > 0) in
+          let shard_sizes = Array.make m 8 in
+          let gid = ref 0 in
+          let tasks_by_shard =
+            Array.init m (fun _ ->
+                List.init (Sm.int g 6) (fun _ ->
+                    incr gid;
+                    {
+                      Rebalance.gid = !gid;
+                      size = 1 lsl Sm.int g 5;
+                      queued = Sm.bool g;
+                    }))
+          in
+          let config =
+            {
+              Rebalance.threshold = Sm.int g 3;
+              max_tasks = 1 + Sm.int g 4;
+              max_bytes = (1 + Sm.int g 8) * 4096;
+              bytes_per_pe = 4096;
+            }
+          in
+          let moves =
+            Rebalance.plan config ~loads ~up ~shard_sizes ~tasks:(fun sx ->
+                tasks_by_shard.(sx))
+          in
+          let ups = List.filter (fun i -> up.(i)) (List.init m Fun.id) in
+          let max_up = List.fold_left (fun a i -> max a loads.(i)) min_int ups
+          and min_up =
+            List.fold_left (fun a i -> min a loads.(i)) max_int ups
+          in
+          List.length moves <= config.max_tasks
+          && List.fold_left
+               (fun acc mv -> acc + Rebalance.move_bytes config mv)
+               0 moves
+             <= config.max_bytes
+          && List.for_all
+               (fun (mv : Rebalance.move) ->
+                 mv.src <> mv.dst
+                 && up.(mv.src) && up.(mv.dst)
+                 && loads.(mv.src) = max_up
+                 && loads.(mv.dst) = min_up
+                 && mv.task.Rebalance.size <= shard_sizes.(mv.dst)
+                 && List.mem mv.task tasks_by_shard.(mv.src))
+               moves
+          &&
+          match ups with
+          | [] | [ _ ] -> moves = []
+          | _ -> if max_up - min_up <= config.threshold then moves = [] else true))
+
+(* --- routing-replay equivalence ----------------------------------- *)
+
+(* Partition a federated run by its recorded routing decisions and
+   replay each shard's slice through an independent cluster: the final
+   per-shard stats must be reproduced exactly. This is the property
+   that pins the router to "M independent pmpds plus a pure routing
+   function" — no hidden cross-shard state. *)
+let replay_matches ~shards ~machine_size ~ops (r : Sim.result) =
+  let clusters =
+    Array.init shards (fun _ ->
+        Result.get_ok
+          (Cluster.create ~machine_size ~policy:Cluster.Greedy
+             ~admission_cap:None ()))
+  in
+  (* mirror of the sim's ack bookkeeping, newest first *)
+  let acked = ref [] and n_acked = ref 0 in
+  List.iteri
+    (fun i op ->
+      match (op, r.Sim.decisions.(i)) with
+      | Sim.Submit { size; _ }, Sim.Routed sx -> (
+          match Cluster.submit clusters.(sx) ~size with
+          | Ok (Cluster.Placed (local, _)) | Ok (Cluster.Queued local) ->
+              acked := (sx, local) :: !acked;
+              incr n_acked
+          | Error e -> Alcotest.failf "replay submit on %d: %s" sx e)
+      | Sim.Submit _, Sim.Rejected -> ()
+      | Sim.Finish nth, Sim.Finished_on sx -> (
+          let sx', local = List.nth !acked (!n_acked - 1 - nth) in
+          if sx' <> sx then
+            Alcotest.failf "replay: finish recorded on %d, routed to %d" sx sx';
+          match Cluster.finish clusters.(sx) local with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "replay finish on %d: %s" sx e)
+      | Sim.Finish _, Sim.Noop -> ()
+      | _ -> Alcotest.fail "replay: op and decision shapes disagree")
+    ops;
+  Array.for_all2
+    (fun (c : Cluster.t) expect -> Cluster.stats c = expect)
+    clusters r.Sim.stats
+
+let prop_routing_replay =
+  QCheck.Test.make ~name:"federation: routing-replay equivalence" ~count:40
+    QCheck.(triple (int_range 1 4) (int_range 3 5) (int_range 0 1_000_000))
+    (fun (shards, mexp, seed) ->
+      let machine_size = 1 lsl mexp in
+      let ops = Sim.script ~seed ~ops:120 ~machine_size ~tenants:3 in
+      let tenant_quota =
+        if seed mod 2 = 0 then Some (2 * machine_size) else None
+      in
+      let r =
+        get_ok ~ctx:"sim" (Sim.run ~shards ~machine_size ?tenant_quota ~ops ())
+      in
+      let total_routed = Array.fold_left ( + ) 0 r.Sim.routed in
+      let routed_decisions =
+        Array.fold_left
+          (fun acc d -> match d with Sim.Routed _ -> acc + 1 | _ -> acc)
+          0 r.Sim.decisions
+      in
+      total_routed = routed_decisions
+      && replay_matches ~shards ~machine_size ~ops r)
+
+let test_sim_rebalance_deterministic () =
+  let machine_size = 16 in
+  let ops = Sim.script ~seed:7 ~ops:400 ~machine_size ~tenants:4 in
+  let config =
+    { Rebalance.default_config with threshold = 0; max_tasks = 4 }
+  in
+  let run () =
+    get_ok ~ctx:"sim"
+      (Sim.run ~shards:3 ~machine_size ~rebalance:(config, 25) ~ops ())
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-for-bit deterministic" true (a = b);
+  Alcotest.(check bool) "the planner actually migrated tasks" true
+    (a.Sim.rebalanced > 0);
+  let rounds = List.length ops / 25 in
+  Alcotest.(check bool) "per-round task budget bounds the total" true
+    (a.Sim.rebalanced <= rounds * config.Rebalance.max_tasks)
+
+(* --- the shard-tagged response wrapper ---------------------------- *)
+
+let test_shard_tag_roundtrip () =
+  let resp = Protocol.Queued 42 in
+  let buf = Buffer.create 32 in
+  Protocol.response_payload_attr buf ~rid:7 ~shard:2 resp;
+  let s = Buffer.contents buf in
+  (match
+     Protocol.decode_response_payload_attr s ~pos:0 ~limit:(String.length s)
+   with
+  | Ok (r, Some 7, Some 2) when r = resp -> ()
+  | Ok _ -> Alcotest.fail "binary shard-tagged wrapper did not round-trip"
+  | Error e -> Alcotest.fail e);
+  (match
+     Protocol.decode_response_payload_rid s ~pos:0 ~limit:(String.length s)
+   with
+  | Ok (r, Some 7) when r = resp -> ()
+  | _ -> Alcotest.fail "rid decoder must accept and drop the shard tag");
+  let buf = Buffer.create 32 in
+  Protocol.response_payload_rid buf ~rid:9 resp;
+  let s = Buffer.contents buf in
+  (match
+     Protocol.decode_response_payload_attr s ~pos:0 ~limit:(String.length s)
+   with
+  | Ok (r, Some 9, None) when r = resp -> ()
+  | _ -> Alcotest.fail "plain rid wrapper reports no shard");
+  match
+    Protocol.decode_response_attr (Protocol.encode_response ~rid:7 ~shard:2 resp)
+  with
+  | Ok (r, Some 7, Some 2) when r = resp -> ()
+  | _ -> Alcotest.fail "JSON shard member did not round-trip"
+
+(* --- live federation over real sockets ---------------------------- *)
+
+let start_shard ~dir ~machine_size ?crash_after k =
+  let sdir = Filename.concat dir (Printf.sprintf "shard-%d" k) in
+  let config =
+    {
+      (Server.default_config ~machine_size ~policy:Cluster.Greedy ~dir:sdir) with
+      Server.snapshot_every = 0;
+      crash_after;
+    }
+  in
+  let server = Result.get_ok (Server.create config) in
+  let path = Filename.concat sdir "pmp.sock" in
+  let listener = Server.listen_unix path in
+  let domain =
+    Domain.spawn (fun () ->
+        match Server.serve server ~listeners:[ listener ] with
+        | () -> false
+        | exception Server.Crash -> true)
+  in
+  (path, domain)
+
+let router_config ~sockets ~dir =
+  {
+    (Router.default_config ~sockets ~dir) with
+    poll_interval = 0.05;
+    probe_interval = 0.05;
+    shutdown_shards = true;
+  }
+
+let submit_acked ~ctx client size =
+  match Client.request client (Protocol.Submit size) with
+  | Ok (Protocol.Placed (gid, _)) | Ok (Protocol.Queued gid) -> gid
+  | Ok r ->
+      Alcotest.failf "%s: unexpected reply %s" ctx (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "%s: %s" ctx e
+
+let shutdown_router client =
+  match Client.request client Protocol.Shutdown with
+  | Ok Protocol.Bye -> ()
+  | Ok r ->
+      Alcotest.failf "shutdown: unexpected reply %s"
+        (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "shutdown: %s" e
+
+(* A full session against 3 shards: min-of-max spreads machine-filling
+   tasks one per shard, shard-tagged ids resolve for query and finish,
+   and stats/loads aggregate across the federation. *)
+let test_live_session () =
+  with_dir (fun dir ->
+      let shards = List.init 3 (start_shard ~dir ~machine_size:8) in
+      let sockets = Array.of_list (List.map fst shards) in
+      let router =
+        get_ok ~ctx:"router" (Router.create (router_config ~sockets ~dir))
+      in
+      Alcotest.(check int) "aggregate size" 24 (Router.aggregate_size router);
+      let fed_path = Filename.concat dir "fed.sock" in
+      let listener = Server.listen_unix fed_path in
+      let rdom =
+        Domain.spawn (fun () -> Router.serve router ~listeners:[ listener ])
+      in
+      let client =
+        get_ok ~ctx:"connect" (Client.connect_unix ~proto:Client.Binary fed_path)
+      in
+      (* three machine-filling tasks: min-of-max must use every shard *)
+      let gids = List.init 3 (fun _ -> submit_acked ~ctx:"submit" client 8) in
+      Alcotest.(check (list int))
+        "one per shard" [ 0; 1; 2 ]
+        (List.sort compare (List.map (fun g -> g mod 3) gids));
+      List.iter
+        (fun g ->
+          match Client.request client (Protocol.Query g) with
+          | Ok (Protocol.State (g', Protocol.Active _)) when g' = g -> ()
+          | Ok r ->
+              Alcotest.failf "query %d: unexpected reply %s" g
+                (Protocol.encode_response r)
+          | Error e -> Alcotest.failf "query %d: %s" g e)
+        gids;
+      (match Client.request client (Protocol.Finish (List.hd gids)) with
+      | Ok Protocol.Finished -> ()
+      | Ok r ->
+          Alcotest.failf "finish: unexpected reply %s"
+            (Protocol.encode_response r)
+      | Error e -> Alcotest.failf "finish: %s" e);
+      (match Client.request client Protocol.Stats with
+      | Ok (Protocol.Stats_reply st) ->
+          Alcotest.(check int) "submitted" 3 st.Cluster.submitted;
+          Alcotest.(check int) "completed" 1 st.Cluster.completed
+      | Ok r ->
+          Alcotest.failf "stats: unexpected reply %s"
+            (Protocol.encode_response r)
+      | Error e -> Alcotest.failf "stats: %s" e);
+      (match Client.request client Protocol.Loads with
+      | Ok (Protocol.Loads_reply loads) ->
+          Alcotest.(check int) "aggregate loads" 24 (Array.length loads)
+      | Ok r ->
+          Alcotest.failf "loads: unexpected reply %s"
+            (Protocol.encode_response r)
+      | Error e -> Alcotest.failf "loads: %s" e);
+      shutdown_router client;
+      Client.close client;
+      Domain.join rdom;
+      List.iter (fun (_, d) -> ignore (Domain.join d)) shards)
+
+(* The failover acceptance property: crash one shard mid-stream via
+   injection. Every submit the client sees acknowledged must stay
+   resolvable — immediately on a healthy shard (queued tasks are
+   re-admitted, in-flight submits fail over) or on the crashed shard
+   once it restarts from its own WAL and a probe re-homes it. *)
+let test_failover_no_acked_loss () =
+  with_dir (fun dir ->
+      let machine_size = 4 and victim = 1 in
+      let shards =
+        List.init 3 (fun k ->
+            start_shard ~dir ~machine_size
+              ?crash_after:(if k = victim then Some 6 else None)
+              k)
+      in
+      let sockets = Array.of_list (List.map fst shards) in
+      let router =
+        get_ok ~ctx:"router" (Router.create (router_config ~sockets ~dir))
+      in
+      let fed_path = Filename.concat dir "fed.sock" in
+      let listener = Server.listen_unix fed_path in
+      let rdom =
+        Domain.spawn (fun () -> Router.serve router ~listeners:[ listener ])
+      in
+      let client =
+        get_ok ~ctx:"connect" (Client.connect_unix ~proto:Client.Binary fed_path)
+      in
+      (* enough unit tasks to fill all 12 PEs, queue backlog on every
+         shard, and trip the victim's 6th mutation mid-stream; every
+         one must be acknowledged despite the crash *)
+      let gids = List.init 30 (fun _ -> submit_acked ~ctx:"submit" client 1) in
+      let crashed = Domain.join (snd (List.nth shards victim)) in
+      Alcotest.(check bool) "crash injection fired" true crashed;
+      (* acked ids resolve on a healthy shard or name the down one —
+         never unknown *)
+      List.iter
+        (fun g ->
+          match Client.request client (Protocol.Query g) with
+          | Ok (Protocol.State (_, (Protocol.Active _ | Protocol.Queued_task)))
+            -> ()
+          | Ok (Protocol.Error msg) ->
+              let mentions_down =
+                let sub = "down" in
+                let n = String.length msg and k = String.length sub in
+                let rec scan i =
+                  i + k <= n && (String.sub msg i k = sub || scan (i + 1))
+                in
+                scan 0
+              in
+              if not mentions_down then
+                Alcotest.failf "query %d: lost acknowledged task (%s)" g msg
+          | Ok r ->
+              Alcotest.failf "query %d: unexpected reply %s" g
+                (Protocol.encode_response r)
+          | Error e -> Alcotest.failf "query %d: %s" g e)
+        gids;
+      (* restart the victim on its own durable state; the router's
+         probe reconnects it and every acked id must resolve *)
+      let _, victim_dom = start_shard ~dir ~machine_size victim in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_resolved g =
+        match Client.request client (Protocol.Query g) with
+        | Ok (Protocol.State (_, (Protocol.Active _ | Protocol.Queued_task)))
+          -> ()
+        | Ok (Protocol.Error _) when Unix.gettimeofday () < deadline ->
+            Unix.sleepf 0.05;
+            wait_resolved g
+        | Ok r ->
+            Alcotest.failf "query %d after restart: %s" g
+              (Protocol.encode_response r)
+        | Error e -> Alcotest.failf "query %d after restart: %s" g e
+      in
+      List.iter wait_resolved gids;
+      shutdown_router client;
+      Client.close client;
+      Domain.join rdom;
+      ignore (Domain.join victim_dom);
+      List.iteri
+        (fun k (_, d) -> if k <> victim then ignore (Domain.join d))
+        shards)
+
+let suite =
+  [
+    Alcotest.test_case "fed_id plan and offsets" `Quick test_fed_id_plan;
+    Alcotest.test_case "fed_index pick script" `Quick test_fed_index_pick;
+    Alcotest.test_case "fed_index headroom preference" `Quick
+      test_fed_index_headroom;
+    Alcotest.test_case "sim rebalance deterministic" `Quick
+      test_sim_rebalance_deterministic;
+    Alcotest.test_case "shard-tag wrapper roundtrip" `Quick
+      test_shard_tag_roundtrip;
+    Alcotest.test_case "live 3-shard session" `Quick test_live_session;
+    Alcotest.test_case "failover keeps every acked task" `Quick
+      test_failover_no_acked_loss;
+  ]
+  @ Helpers.qtests
+      [
+        prop_fed_id_bijection;
+        prop_fed_index_leftmost_min;
+        prop_rebalance_plan;
+        prop_routing_replay;
+      ]

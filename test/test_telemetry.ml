@@ -414,6 +414,41 @@ let test_merge_keeps_shard_series () =
   Alcotest.(check string) "per-shard series pass through, in shard order"
     expect merged
 
+(* The per-shard passthrough is a prefix list, not a hard-coded name:
+   fed_shard_* rides the default list next to pmpd_shard_*, an unknown
+   family merges positionally like any other gauge, and callers can
+   keep a family of their own with [~keep_prefixes]. *)
+let test_merge_keep_prefixes () =
+  let mk name =
+    shard_regs 2 (fun reg s ->
+        let g =
+          Metrics.Registry.gauge reg
+            ~labels:[ ("shard", string_of_int s) ]
+            name
+        in
+        Metrics.Gauge.set g (float_of_int (s + 1)))
+  in
+  let kept name =
+    Printf.sprintf
+      "# TYPE %s gauge\n\
+       %s{shard=\"0\"} 1\n\
+       %s{shard=\"1\"} 2\n\
+       %s_max{shard=\"0\"} 1\n\
+       %s_max{shard=\"1\"} 2\n"
+      name name name name name
+  in
+  Alcotest.(check string) "fed_shard_* passes through by default"
+    (kept "fed_shard_load")
+    (Metrics.merge_prometheus (mk "fed_shard_load"));
+  Alcotest.(check string) "an unknown prefix sums like any gauge"
+    ("# TYPE acme_shard_depth gauge\n" ^ "acme_shard_depth 3\n"
+   ^ "acme_shard_depth_max 2\n")
+    (Metrics.merge_prometheus (mk "acme_shard_depth"));
+  Alcotest.(check string) "~keep_prefixes keeps it per shard"
+    (kept "acme_shard_depth")
+    (Metrics.merge_prometheus ~keep_prefixes:[ "acme_" ]
+       (mk "acme_shard_depth"))
+
 (* Other labels survive the shard-label strip, and the merged dump
    preserves registration order line for line — what keeps [pmp top]
    and the Prometheus-order contract working unchanged. *)
@@ -470,6 +505,7 @@ let suite =
     Alcotest.test_case "merge sums and maxes" `Quick test_merge_sums_and_maxes;
     Alcotest.test_case "merge max suffix" `Quick test_merge_max_suffix;
     Alcotest.test_case "merge keeps shard series" `Quick test_merge_keeps_shard_series;
+    Alcotest.test_case "merge keep-prefix list" `Quick test_merge_keep_prefixes;
     Alcotest.test_case "merge strips labels in order" `Quick test_merge_label_strip_and_order;
     Alcotest.test_case "merge shape mismatch" `Quick test_merge_shape_mismatch;
   ]
